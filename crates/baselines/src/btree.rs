@@ -1,0 +1,245 @@
+//! One-sided B-tree: O(log n) far accesses, or a huge client cache.
+//!
+//! §5.2: "With trees, traversals take O(log n) far accesses; this cost can
+//! be avoided by caching most levels of the tree at the client, but that
+//! requires a large cache with O(n) items." This module measures both
+//! sides: a far B-tree whose lookups read one node per level, and an
+//! optional client cache of the top `cached_levels` levels, whose memory
+//! footprint [`OneSidedBTree::cache_bytes`] reports.
+
+use std::collections::HashMap;
+
+use farmem_alloc::{AllocHint, FarAlloc};
+use farmem_fabric::{FabricClient, FarAddr, WORD};
+use std::sync::Arc;
+
+use crate::{BaselineError, Result};
+
+/// Keys per node (fanout is `FANOUT + 1` for internal nodes).
+pub const FANOUT: usize = 8;
+
+/// Node layout: is_leaf, n_keys, keys[FANOUT], slots[FANOUT+1]
+/// (child pointers for internal nodes, values for leaves — leaves use
+/// `slots[i]` for `keys[i]`).
+const NODE_WORDS: usize = 2 + FANOUT + FANOUT + 1;
+const NODE_LEN: u64 = NODE_WORDS as u64 * WORD;
+
+#[derive(Clone, Debug)]
+struct Node {
+    is_leaf: bool,
+    keys: Vec<u64>,
+    slots: Vec<u64>,
+}
+
+fn decode(bytes: &[u8]) -> Node {
+    let w: Vec<u64> = bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("word")))
+        .collect();
+    let n = w[1] as usize;
+    Node {
+        is_leaf: w[0] == 1,
+        keys: w[2..2 + n].to_vec(),
+        slots: w[2 + FANOUT..2 + FANOUT + n + 1].to_vec(),
+    }
+}
+
+fn encode(node: &Node) -> Vec<u8> {
+    let mut w = vec![0u64; NODE_WORDS];
+    w[0] = u64::from(node.is_leaf);
+    w[1] = node.keys.len() as u64;
+    w[2..2 + node.keys.len()].copy_from_slice(&node.keys);
+    w[2 + FANOUT..2 + FANOUT + node.slots.len()].copy_from_slice(&node.slots);
+    w.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// A read-mostly B-tree in far memory, bulk-built from sorted data.
+///
+/// This is a *comparator*: built once by one client, then looked up
+/// one-sidedly by many. (The paper's point is that no amount of tweaking
+/// makes the traversal O(1) without an O(n) cache.)
+pub struct OneSidedBTree {
+    root: FarAddr,
+    depth: usize,
+    /// Client cache of the top levels: far address → decoded node.
+    cache: HashMap<u64, Node>,
+    cached_levels: usize,
+}
+
+impl OneSidedBTree {
+    /// Bulk-builds a B-tree over `items` (must be sorted by key,
+    /// duplicate-free). `cached_levels` top levels are kept in client
+    /// memory (0 = pure one-sided traversal).
+    pub fn build(
+        client: &mut FabricClient,
+        alloc: &Arc<FarAlloc>,
+        items: &[(u64, u64)],
+        cached_levels: usize,
+    ) -> Result<OneSidedBTree> {
+        if items.is_empty() {
+            return Err(BaselineError::BadConfig("cannot build an empty B-tree"));
+        }
+        if items.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(BaselineError::BadConfig("items must be sorted and unique"));
+        }
+        // Build leaves.
+        let mut level: Vec<(u64, FarAddr)> = Vec::new(); // (first key, node)
+        for chunk in items.chunks(FANOUT) {
+            let node = Node {
+                is_leaf: true,
+                keys: chunk.iter().map(|&(k, _)| k).collect(),
+                slots: chunk.iter().map(|&(_, v)| v).collect(),
+            };
+            let addr = alloc.alloc(NODE_LEN, AllocHint::Spread)?;
+            client.write(addr, &encode(&node))?;
+            level.push((chunk[0].0, addr));
+        }
+        let mut depth = 1;
+        // Build internal levels until a single root remains.
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for chunk in level.chunks(FANOUT + 1) {
+                let node = Node {
+                    is_leaf: false,
+                    // Separator keys: first key of each child except the first.
+                    keys: chunk[1..].iter().map(|&(k, _)| k).collect(),
+                    slots: chunk.iter().map(|&(_, a)| a.0).collect(),
+                };
+                let addr = alloc.alloc(NODE_LEN, AllocHint::Spread)?;
+                client.write(addr, &encode(&node))?;
+                next.push((chunk[0].0, addr));
+            }
+            level = next;
+            depth += 1;
+        }
+        let root = level[0].1;
+        let mut tree = OneSidedBTree { root, depth, cache: HashMap::new(), cached_levels: 0 };
+        tree.set_cached_levels(client, cached_levels)?;
+        Ok(tree)
+    }
+
+    /// Tree depth (nodes on a root→leaf path).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// (Re)fills the client cache with the top `levels` levels.
+    pub fn set_cached_levels(&mut self, client: &mut FabricClient, levels: usize) -> Result<()> {
+        self.cache.clear();
+        self.cached_levels = levels.min(self.depth);
+        if self.cached_levels == 0 {
+            return Ok(());
+        }
+        let mut frontier = vec![self.root.0];
+        for level in 0..self.cached_levels {
+            let mut next = Vec::new();
+            for addr in &frontier {
+                let node = decode(&client.read(FarAddr(*addr), NODE_LEN)?);
+                if !node.is_leaf && level + 1 < self.cached_levels {
+                    next.extend(node.slots.iter().copied());
+                }
+                self.cache.insert(*addr, node);
+            }
+            frontier = next;
+        }
+        Ok(())
+    }
+
+    /// Bytes of client memory the level cache occupies — the §5.2 cost of
+    /// buying O(1) traversals from a tree.
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache.len() as u64 * NODE_LEN
+    }
+
+    /// Number of cached nodes.
+    pub fn cached_nodes(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Looks up `key`: one far access per *uncached* level.
+    pub fn get(&self, client: &mut FabricClient, key: u64) -> Result<Option<u64>> {
+        let mut addr = self.root.0;
+        loop {
+            let node = match self.cache.get(&addr) {
+                Some(n) => {
+                    client.near_access();
+                    n.clone()
+                }
+                None => decode(&client.read(FarAddr(addr), NODE_LEN)?),
+            };
+            if node.is_leaf {
+                return Ok(node
+                    .keys
+                    .iter()
+                    .position(|&k| k == key)
+                    .map(|i| node.slots[i]));
+            }
+            // Child index: number of separators ≤ key.
+            let idx = node.keys.partition_point(|&k| k <= key);
+            addr = node.slots[idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmem_fabric::FabricConfig;
+
+    fn build(n: u64, cached: usize) -> (std::sync::Arc<farmem_fabric::Fabric>, OneSidedBTree) {
+        let f = FabricConfig::count_only(256 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        let mut c = f.client();
+        let items: Vec<(u64, u64)> = (0..n).map(|k| (k * 2, k)).collect();
+        let t = OneSidedBTree::build(&mut c, &a, &items, cached).unwrap();
+        (f, t)
+    }
+
+    #[test]
+    fn lookups_hit_and_miss() {
+        let (f, t) = build(1000, 0);
+        let mut c = f.client();
+        for k in 0..1000u64 {
+            assert_eq!(t.get(&mut c, k * 2).unwrap(), Some(k));
+            assert_eq!(t.get(&mut c, k * 2 + 1).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn uncached_lookup_costs_depth_accesses() {
+        let (f, t) = build(4096, 0);
+        let mut c = f.client();
+        let before = c.stats();
+        t.get(&mut c, 1234 * 2).unwrap();
+        let d = c.stats().since(&before);
+        assert_eq!(d.round_trips as usize, t.depth());
+        assert!(t.depth() >= 4, "4096 items at fanout 8 is at least 4 deep");
+    }
+
+    #[test]
+    fn caching_levels_trades_memory_for_accesses() {
+        let (f, mut t) = build(4096, 0);
+        let mut c = f.client();
+        let depth = t.depth();
+        // Cache all levels but the leaves: lookups cost exactly 1 access.
+        t.set_cached_levels(&mut c, depth - 1).unwrap();
+        let before = c.stats();
+        assert_eq!(t.get(&mut c, 2468).unwrap(), Some(1234));
+        assert_eq!(c.stats().since(&before).round_trips, 1);
+        // But the cache is O(n): on the order of the leaf count.
+        assert!(
+            t.cached_nodes() > 4096 / (FANOUT * (FANOUT + 1)),
+            "cached {} nodes",
+            t.cached_nodes()
+        );
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        let f = FabricConfig::count_only(16 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        let mut c = f.client();
+        assert!(OneSidedBTree::build(&mut c, &a, &[], 0).is_err());
+        assert!(OneSidedBTree::build(&mut c, &a, &[(2, 0), (1, 0)], 0).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! RPC key-value store: the two-sided comparator (§1, §3.1).
+//!
+//! A processor close to the memory receives and services requests against
+//! a plain near-memory hash map. Every operation is exactly **one round
+//! trip** over the fabric — but it consumes the memory-side CPU, which is
+//! the design point the paper contrasts one-sided structures against:
+//! shipping computation (RPC) versus shipping data (one-sided access).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use farmem_rpc::{RpcClient, RpcServer, RpcService, ServerCpu};
+use parking_lot::Mutex;
+
+/// Request opcodes of the tiny wire protocol.
+const OP_GET: u8 = 1;
+const OP_PUT: u8 = 2;
+const OP_REMOVE: u8 = 3;
+
+/// Response status bytes.
+const ST_HIT: u8 = 1;
+const ST_MISS: u8 = 0;
+
+/// The memory-side service: a near-memory hash map behind one CPU.
+pub struct KvService {
+    map: Mutex<HashMap<u64, u64>>,
+}
+
+impl KvService {
+    /// Creates an empty service.
+    pub fn new() -> Arc<KvService> {
+        Arc::new(KvService { map: Mutex::new(HashMap::new()) })
+    }
+
+    /// Number of stored keys (test/diagnostic helper).
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Returns `true` if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+impl RpcService for KvService {
+    fn handle(&self, req: &[u8]) -> Vec<u8> {
+        if req.len() < 9 {
+            return vec![ST_MISS, 0, 0, 0, 0, 0, 0, 0, 0];
+        }
+        let op = req[0];
+        let key = u64::from_le_bytes(req[1..9].try_into().expect("key"));
+        let mut map = self.map.lock();
+        let mut resp = vec![0u8; 9];
+        match op {
+            OP_GET => {
+                if let Some(&v) = map.get(&key) {
+                    resp[0] = ST_HIT;
+                    resp[1..9].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            OP_PUT if req.len() >= 17 => {
+                let value = u64::from_le_bytes(req[9..17].try_into().expect("value"));
+                map.insert(key, value);
+                resp[0] = ST_HIT;
+            }
+            OP_REMOVE => {
+                resp[0] = if map.remove(&key).is_some() { ST_HIT } else { ST_MISS };
+            }
+            _ => {}
+        }
+        resp
+    }
+}
+
+/// A client handle on an RPC KV server (optionally sharded by key hash).
+pub struct RpcKv {
+    client: RpcClient,
+}
+
+impl RpcKv {
+    /// Creates a server with the given CPU model and returns it; clients
+    /// connect with [`RpcKv::connect`].
+    pub fn serve(cpu: ServerCpu, cost: farmem_fabric::CostModel) -> Arc<RpcServer> {
+        RpcServer::new(KvService::new(), cpu, cost)
+    }
+
+    /// Connects a client to one or more server shards.
+    pub fn connect(servers: Vec<Arc<RpcServer>>) -> RpcKv {
+        RpcKv { client: RpcClient::sharded(servers) }
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        if self.client.shards() == 1 {
+            0
+        } else {
+            (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % self.client.shards()
+        }
+    }
+
+    /// The underlying RPC client (for stats and clock).
+    pub fn rpc(&self) -> &RpcClient {
+        &self.client
+    }
+
+    /// Current virtual time at this client.
+    pub fn now_ns(&self) -> u64 {
+        self.client.now_ns()
+    }
+
+    /// Advances this client's clock to at least `t` (joining an experiment
+    /// after a preload phase).
+    pub fn rpc_advance(&mut self, t: u64) {
+        let now = self.client.now_ns();
+        if t > now {
+            self.client.advance_time(t - now);
+        }
+    }
+
+    /// Looks up `key`. One round trip.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        let mut req = vec![OP_GET];
+        req.extend_from_slice(&key.to_le_bytes());
+        let resp = self.client.call_shard(self.shard_of(key), &req);
+        (resp[0] == ST_HIT)
+            .then(|| u64::from_le_bytes(resp[1..9].try_into().expect("value")))
+    }
+
+    /// Inserts `key → value`. One round trip.
+    pub fn put(&mut self, key: u64, value: u64) {
+        let mut req = vec![OP_PUT];
+        req.extend_from_slice(&key.to_le_bytes());
+        req.extend_from_slice(&value.to_le_bytes());
+        self.client.call_shard(self.shard_of(key), &req);
+    }
+
+    /// Removes `key`; returns whether it was present. One round trip.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let mut req = vec![OP_REMOVE];
+        req.extend_from_slice(&key.to_le_bytes());
+        self.client.call_shard(self.shard_of(key), &req)[0] == ST_HIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmem_fabric::CostModel;
+
+    #[test]
+    fn get_put_remove_round_trip() {
+        let server = RpcKv::serve(ServerCpu::DEFAULT, CostModel::DEFAULT);
+        let mut kv = RpcKv::connect(vec![server]);
+        assert_eq!(kv.get(1), None);
+        kv.put(1, 10);
+        assert_eq!(kv.get(1), Some(10));
+        assert!(kv.remove(1));
+        assert!(!kv.remove(1));
+        assert_eq!(kv.get(1), None);
+    }
+
+    #[test]
+    fn every_op_is_one_round_trip() {
+        let server = RpcKv::serve(ServerCpu::DEFAULT, CostModel::DEFAULT);
+        let mut kv = RpcKv::connect(vec![server]);
+        kv.put(1, 10);
+        kv.get(1);
+        kv.remove(1);
+        assert_eq!(kv.rpc().stats().calls, 3);
+    }
+
+    #[test]
+    fn sharding_spreads_keys() {
+        let s0 = RpcKv::serve(ServerCpu::DEFAULT, CostModel::DEFAULT);
+        let s1 = RpcKv::serve(ServerCpu::DEFAULT, CostModel::DEFAULT);
+        let mut kv = RpcKv::connect(vec![s0.clone(), s1.clone()]);
+        for k in 0..100 {
+            kv.put(k, k);
+        }
+        for k in 0..100 {
+            assert_eq!(kv.get(k), Some(k));
+        }
+        assert!(s0.stats().requests > 20);
+        assert!(s1.stats().requests > 20);
+    }
+
+    #[test]
+    fn server_cpu_time_accumulates() {
+        let server = RpcKv::serve(ServerCpu::DEFAULT, CostModel::DEFAULT);
+        let mut kv = RpcKv::connect(vec![server.clone()]);
+        for k in 0..50 {
+            kv.put(k, k);
+        }
+        assert!(server.stats().busy_ns >= 50 * 500);
+    }
+}

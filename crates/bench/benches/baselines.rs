@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the comparator structures
+//! (host wall-clock of the simulated operations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use farmem_alloc::FarAlloc;
+use farmem_baselines::{ChainedHash, HopscotchHash, OneSidedBTree, RpcKv};
+use farmem_fabric::{CostModel, FabricConfig};
+use farmem_rpc::ServerCpu;
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let fabric =
+        FabricConfig { cost: CostModel::DEFAULT, ..FabricConfig::single_node(256 << 20) }.build();
+    let alloc = FarAlloc::new(fabric.clone());
+    let mut client = fabric.client();
+    let n = 10_000u64;
+
+    let mut g = c.benchmark_group("baselines");
+    let mut chained = ChainedHash::create(&mut client, &alloc, 2 * n, false).unwrap();
+    for k in 0..n {
+        chained.insert(&mut client, k, k).unwrap();
+    }
+    let mut i = 0u64;
+    g.bench_function("chained_get", |b| {
+        b.iter(|| {
+            i = (i + 7) % n;
+            black_box(chained.get(&mut client, i).unwrap())
+        })
+    });
+
+    let mut hops = HopscotchHash::create(&mut client, &alloc, 4 * n).unwrap();
+    for k in 0..n {
+        let _ = hops.insert(&mut client, k, k);
+    }
+    g.bench_function("hopscotch_get", |b| {
+        b.iter(|| {
+            i = (i + 7) % n;
+            black_box(hops.get(&mut client, i).unwrap())
+        })
+    });
+
+    let items: Vec<(u64, u64)> = (0..n).map(|k| (k, k)).collect();
+    let btree = OneSidedBTree::build(&mut client, &alloc, &items, 0).unwrap();
+    g.bench_function("btree_get", |b| {
+        b.iter(|| {
+            i = (i + 7) % n;
+            black_box(btree.get(&mut client, i).unwrap())
+        })
+    });
+
+    let server = RpcKv::serve(ServerCpu::DEFAULT, CostModel::DEFAULT);
+    let mut kv = RpcKv::connect(vec![server]);
+    for k in 0..n {
+        kv.put(k, k);
+    }
+    g.bench_function("rpc_get", |b| {
+        b.iter(|| {
+            i = (i + 7) % n;
+            black_box(kv.get(i))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the far-memory data structures
+//! (host wall-clock of the simulated operations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use farmem_alloc::{AllocHint, FarAlloc};
+use farmem_core::{
+    FarCounter, FarQueue, FarVec, HtTree, HtTreeConfig, QueueConfig, RefreshMode,
+    RefreshPolicy, RefreshableVec, VecReader, VecWriter,
+};
+use farmem_fabric::{CostModel, FabricConfig};
+use std::hint::black_box;
+
+fn bench_structures(c: &mut Criterion) {
+    let fabric =
+        FabricConfig { cost: CostModel::DEFAULT, ..FabricConfig::single_node(2048 << 20) }.build();
+    let alloc = FarAlloc::new(fabric.clone());
+    let mut client = fabric.client();
+
+    let mut g = c.benchmark_group("httree");
+    let cfg = HtTreeConfig { initial_buckets: 4096, ..HtTreeConfig::default() };
+    let tree = HtTree::create(&mut client, &alloc, cfg).unwrap();
+    let mut h = tree.attach(&mut client, &alloc, cfg).unwrap();
+    for k in 0..10_000u64 {
+        h.put(&mut client, k, k).unwrap();
+    }
+    let mut i = 0u64;
+    g.bench_function("get", |b| {
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            black_box(h.get(&mut client, i).unwrap())
+        })
+    });
+    g.bench_function("put", |b| {
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            h.put(&mut client, i, i).unwrap()
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("queue");
+    let q = FarQueue::create(&mut client, &alloc, QueueConfig::new(1 << 14, 4)).unwrap();
+    let mut qh = FarQueue::attach(&mut client, q.hdr()).unwrap();
+    for v in 0..64u64 {
+        qh.enqueue(&mut client, v).unwrap();
+    }
+    g.bench_function("enqueue_dequeue", |b| {
+        b.iter(|| {
+            qh.enqueue(&mut client, black_box(5)).unwrap();
+            black_box(qh.dequeue(&mut client).unwrap())
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("refvec");
+    let v = RefreshableVec::create(&mut client, &alloc, 1 << 14, 64, AllocHint::Spread).unwrap();
+    let writer = VecWriter::new(v);
+    let mut reader_client = fabric.client();
+    let mut reader = VecReader::new(
+        &mut reader_client,
+        v,
+        RefreshPolicy { initial: RefreshMode::Polling, dynamic: false, ..RefreshPolicy::default() },
+    )
+    .unwrap();
+    g.bench_function("write", |b| {
+        b.iter(|| {
+            i = (i + 13) % (1 << 14);
+            writer.write(&mut client, i, i).unwrap()
+        })
+    });
+    g.bench_function("refresh_one_group", |b| {
+        b.iter(|| {
+            writer.write(&mut client, black_box(77), 1).unwrap();
+            black_box(reader.refresh(&mut reader_client).unwrap())
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("simple");
+    let ctr = FarCounter::create(&mut client, &alloc, 0, AllocHint::Spread).unwrap();
+    g.bench_function("counter_add", |b| b.iter(|| ctr.add(&mut client, 1).unwrap()));
+    let vec = FarVec::create(&mut client, &alloc, 1024, AllocHint::Spread).unwrap();
+    g.bench_function("vector_add2", |b| {
+        b.iter(|| vec.add(&mut client, black_box(3), 1).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_structures
+}
+criterion_main!(benches);

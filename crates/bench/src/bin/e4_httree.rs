@@ -1,0 +1,171 @@
+//! E4 — §5.2: the HT-tree's per-operation costs, cache arithmetic, and
+//! split behaviour.
+//!
+//! Claims to reproduce:
+//! * lookups take **one** far access and stores **two** when the client
+//!   cache is fresh;
+//! * clients cache the *tree only*: "an HT-tree can store 1 trillion items
+//!   with a tree of 10M nodes (taking 100s of MB of cache space) and 10M
+//!   hash tables of 100K elements each";
+//! * a split "is split and added to the tree, without affecting the other
+//!   hash tables";
+//! * stale caches recover through the per-table versions.
+//!
+//! Run: `cargo run --release -p farmem-bench --bin e4_httree`
+
+use farmem_alloc::FarAlloc;
+use farmem_bench::Table;
+use farmem_core::{HtTree, HtTreeConfig};
+use farmem_fabric::{CostModel, FabricConfig, Striping};
+
+fn main() {
+    let fabric = FabricConfig {
+        nodes: 4,
+        node_capacity: 1 << 30,
+        striping: Striping::Striped { stripe: 4096 },
+        cost: CostModel::COUNT_ONLY,
+        ..FabricConfig::default()
+    }
+    .build();
+    let alloc = FarAlloc::new(fabric.clone());
+    let mut c = fabric.client();
+    let cfg = HtTreeConfig {
+        initial_buckets: 8192,
+        split_check_interval: 512,
+        ..HtTreeConfig::default()
+    };
+    let tree = HtTree::create(&mut c, &alloc, cfg).unwrap();
+    let mut h = tree.attach(&mut c, &alloc, cfg).unwrap();
+
+    // Load 1M items, measuring amortized store cost as we go.
+    let n: u64 = 1_000_000;
+    let before = c.stats();
+    for k in 0..n {
+        h.put(&mut c, k.wrapping_mul(0x9e37_79b9_7f4a_7c15), k).unwrap();
+    }
+    let load = c.stats().since(&before);
+    let handle_after_load = h.stats();
+
+    // Fresh handle: fresh cache, then measure per-op costs.
+    let mut h = tree.attach(&mut c, &alloc, cfg).unwrap();
+    let probes = 50_000u64;
+    let before = c.stats();
+    for k in 0..probes {
+        let key = (k * 17 % n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        assert_eq!(h.get(&mut c, key).unwrap(), Some(k * 17 % n));
+    }
+    let lookups = c.stats().since(&before);
+    let before = c.stats();
+    for k in 0..probes {
+        h.put(&mut c, (k * 31 % n).wrapping_mul(0x9e37_79b9_7f4a_7c15), k).unwrap();
+    }
+    let stores = c.stats().since(&before);
+    let before = c.stats();
+    for k in 0..probes {
+        // Absent keys.
+        assert_eq!(h.get(&mut c, k.wrapping_mul(31) + 3).unwrap(), None);
+    }
+    let misses = c.stats().since(&before);
+
+    let mut t = Table::new(
+        "E4a: HT-tree per-operation far accesses at 1M items (fresh cache)",
+        &["operation", "far accesses/op", "messages/op", "posted/op", "bytes/op"],
+    );
+    let mut row = |name: &str, d: farmem_fabric::AccessStats, ops: u64| {
+        t.row(vec![
+            name.into(),
+            format!("{:.3}", d.round_trips as f64 / ops as f64),
+            format!("{:.3}", d.messages as f64 / ops as f64),
+            format!("{:.3}", d.posted_messages as f64 / ops as f64),
+            format!("{:.1}", d.bytes_total() as f64 / ops as f64),
+        ]);
+    };
+    row("lookup (hit)", lookups, probes);
+    row("lookup (miss)", misses, probes);
+    row("store (update)", stores, probes);
+    row("store (amortized load, incl. splits)", load, n);
+    t.print();
+    println!(
+        "paper: lookups 1 far access; stores 2 (version check gathers with the bucket\n\
+         read; the item write rides the fenced CAS batch); splits amortize away."
+    );
+
+    // Cache arithmetic.
+    let mut t = Table::new(
+        "E4b: client cache is tree-sized — measured and extrapolated (§5.2)",
+        &["items", "tree leaves", "client cache", "items per leaf", "source"],
+    );
+    let leaves = h.leaves() as u64;
+    let bytes_per_leaf = h.cache_bytes() as f64 / leaves as f64;
+    let items_per_leaf = n as f64 / leaves as f64;
+    t.row(vec![
+        format!("{n}"),
+        leaves.to_string(),
+        format!("{:.1} KiB", h.cache_bytes() as f64 / 1024.0),
+        format!("{items_per_leaf:.0}"),
+        "measured".into(),
+    ]);
+    for items in [1e9, 1e12] {
+        let l = items / items_per_leaf;
+        t.row(vec![
+            format!("{items:.0e}"),
+            format!("{l:.2e}"),
+            format!("{:.1} MiB", l * bytes_per_leaf / (1024.0 * 1024.0)),
+            format!("{items_per_leaf:.0}"),
+            "extrapolated".into(),
+        ]);
+    }
+    // The paper sizes leaves at ~100K elements each; extrapolate with that
+    // table size too (leaf size is a free parameter of the design).
+    let paper_leaf = 100_000.0;
+    let l = 1e12 / paper_leaf;
+    t.row(vec![
+        "1e12".into(),
+        format!("{l:.2e}"),
+        format!("{:.1} MiB", l * bytes_per_leaf / (1024.0 * 1024.0)),
+        format!("{paper_leaf:.0}"),
+        "extrapolated @ paper leaf size".into(),
+    ]);
+    t.print();
+    println!(
+        "paper: 10^12 items ⇒ ~10M tree nodes, 100s of MB of client cache. Our leaves\n\
+         hold ~{items_per_leaf:.0} items ({}-bucket tables at 75% load), so the ratio lands in the\n\
+         same regime; the cache grows with the TREE, not with the data.",
+        cfg.initial_buckets
+    );
+
+    // Split isolation: split one leaf, count accesses other leaves see.
+    let mut t = Table::new(
+        "E4c: a split does not disturb the other hash tables",
+        &["metric", "value"],
+    );
+    let splits = handle_after_load.splits + handle_after_load.grows;
+    t.row(vec!["restructures during the 1M load".into(), splits.to_string()]);
+    // Measure: lookups against *other* leaves while a split runs are not
+    // blocked — simulated by checking a stale second handle only refreshes
+    // on the split range.
+    let mut c2 = fabric.client();
+    let mut h2 = tree.attach(&mut c2, &alloc, cfg).unwrap();
+    h.split(&mut c, 0).unwrap();
+    let before = c2.stats();
+    let mut refreshes = 0;
+    for k in 0..1000u64 {
+        let key = (k % n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h2.get(&mut c2, key).unwrap();
+        refreshes = h2.stats().stale_refreshes;
+    }
+    let d = c2.stats().since(&before);
+    t.row(vec![
+        "far accesses/op for a client with a pre-split cache".into(),
+        format!("{:.3}", d.round_trips as f64 / 1000.0),
+    ]);
+    t.row(vec![
+        "of 1000 random lookups, forced cache refreshes".into(),
+        refreshes.to_string(),
+    ]);
+    t.print();
+    println!(
+        "Only lookups landing on the split range pay the refresh; the rest of the\n\
+         tree keeps serving at one far access."
+    );
+}

@@ -1,0 +1,17 @@
+//! # farmem-bench — workloads and experiment drivers
+//!
+//! Workload generators and reporting helpers shared by the experiment
+//! driver binaries (`e1_primitives` … `e10_regime`), which regenerate
+//! every quantitative claim of the paper (see DESIGN.md §3 and
+//! EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod report;
+pub mod workload;
+
+pub use fleet::{Fleet, FleetOutcome};
+pub use report::Table;
+pub use workload::{DecayingRate, KeyDist, Zipf};

@@ -1,0 +1,218 @@
+//! Workload generators: key distributions and update-rate processes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf(θ) sampler over `0..n` using the classic Gray et al. method.
+///
+/// θ = 0.99 is the YCSB default the KV literature (and refs \[24, 25\])
+/// evaluates with.
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    theta: f64,
+    zeta2: f64,
+    rng: StdRng,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta` and a fixed seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `[0, 1)`.
+    pub fn new(n: u64, theta: f64, seed: u64) -> Zipf {
+        assert!(n > 0, "population must be non-empty");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        Zipf {
+            n,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            theta,
+            zeta2,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n; the standard truncated approximation above
+        // 10^6 keeps setup costs sane with negligible error.
+        let cap = n.min(1_000_000);
+        let mut sum = 0.0;
+        for i in 1..=cap {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > cap {
+            // Integral tail approximation.
+            sum += ((n as f64).powf(1.0 - theta) - (cap as f64).powf(1.0 - theta))
+                / (1.0 - theta);
+        }
+        sum
+    }
+
+    /// Draws the next key.
+    pub fn next_key(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let _ = self.zeta2;
+        ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64 % self.n
+    }
+}
+
+/// Key access distributions used by the experiment drivers.
+pub enum KeyDist {
+    /// Uniform over `0..n`.
+    Uniform {
+        /// Population size.
+        n: u64,
+        /// RNG.
+        rng: StdRng,
+    },
+    /// Zipf-skewed.
+    Zipf(Zipf),
+    /// Sequential scan (wraps).
+    Sequential {
+        /// Population size.
+        n: u64,
+        /// Next key.
+        next: u64,
+    },
+}
+
+impl KeyDist {
+    /// Uniform distribution over `0..n`.
+    pub fn uniform(n: u64, seed: u64) -> KeyDist {
+        KeyDist::Uniform { n, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Zipf(θ) distribution over `0..n`.
+    pub fn zipf(n: u64, theta: f64, seed: u64) -> KeyDist {
+        KeyDist::Zipf(Zipf::new(n, theta, seed))
+    }
+
+    /// Sequential scan over `0..n`.
+    pub fn sequential(n: u64) -> KeyDist {
+        KeyDist::Sequential { n, next: 0 }
+    }
+
+    /// Draws the next key.
+    pub fn next_key(&mut self) -> u64 {
+        match self {
+            KeyDist::Uniform { n, rng } => rng.gen_range(0..*n),
+            KeyDist::Zipf(z) => z.next_key(),
+            KeyDist::Sequential { n, next } => {
+                let k = *next;
+                *next = (*next + 1) % *n;
+                k
+            }
+        }
+    }
+}
+
+/// An exponentially decaying update-rate process: models an iterative ML
+/// algorithm converging (§5.4 — updates slow down over training).
+pub struct DecayingRate {
+    rate: f64,
+    decay: f64,
+    floor: f64,
+    rng: StdRng,
+}
+
+impl DecayingRate {
+    /// Starts at `initial` updates per tick, multiplying by `decay` each
+    /// tick, never dropping below `floor`.
+    pub fn new(initial: f64, decay: f64, floor: f64, seed: u64) -> DecayingRate {
+        DecayingRate { rate: initial, decay, floor, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Number of updates in the next tick (Poisson-ish sampling), and
+    /// advances the decay.
+    pub fn next_tick(&mut self) -> u64 {
+        let lambda = self.rate.max(self.floor);
+        self.rate *= self.decay;
+        // Cheap Poisson sample: sum of Bernoulli over a discretization.
+        let whole = lambda.floor() as u64;
+        let frac = lambda - lambda.floor();
+        whole + u64::from(self.rng.gen_bool(frac.clamp(0.0, 1.0)))
+    }
+
+    /// Current rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut z = Zipf::new(1000, 0.99, 42);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            let k = z.next_key();
+            assert!(k < 1000);
+            counts[k as usize] += 1;
+        }
+        let hot: u64 = counts[..10].iter().sum();
+        assert!(hot > 30_000, "top-10 keys draw >30% of traffic, got {hot}");
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_roughly_uniform() {
+        let mut z = Zipf::new(100, 0.0, 7);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..100_000 {
+            counts[z.next_key() as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 3 * min.max(1), "uniform-ish: max {max} min {min}");
+    }
+
+    #[test]
+    fn distributions_are_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut d = KeyDist::zipf(500, 0.9, 9);
+            (0..50).map(|_| d.next_key()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut d = KeyDist::zipf(500, 0.9, 9);
+            (0..50).map(|_| d.next_key()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decaying_rate_decays() {
+        let mut r = DecayingRate::new(100.0, 0.5, 0.01, 3);
+        let first = r.next_tick();
+        for _ in 0..20 {
+            r.next_tick();
+        }
+        let late = r.next_tick();
+        assert!(first >= 50);
+        assert!(late <= 2);
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let mut d = KeyDist::sequential(3);
+        assert_eq!(
+            (0..7).map(|_| d.next_key()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2, 0]
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Variable-length values over the HT-tree: blob records behind pointers.
+//!
+//! The core map stores `u64 → u64`; for "very large keys or values" the
+//! paper points at pointer indirection with placement control (§7.1).
+//! [`FarBlobMap`] layers that on the HT-tree: a value is a pointer to an
+//! immutable far record `{len, bytes…}` written through a per-handle
+//! arena.
+//!
+//! Costs: a store is one record publish plus the map's two far accesses;
+//! a lookup is the map's one far access plus one record read — the record
+//! read prefetches [`FarBlobMap::PREFETCH`] bytes, so blobs up to
+//! `PREFETCH - 8` bytes need no second read.
+
+use farmem_alloc::{AllocHint, Arena, FarAlloc};
+use farmem_fabric::{FabricClient, FarAddr, WORD};
+use std::sync::Arc;
+
+use crate::error::{CoreError, Result};
+use crate::httree::{HtTree, HtTreeConfig, HtTreeHandle};
+
+/// A far-memory map from `u64` keys to byte strings.
+///
+/// # Examples
+///
+/// ```
+/// use farmem_fabric::FabricConfig;
+/// use farmem_alloc::FarAlloc;
+/// use farmem_core::{FarBlobMap, HtTreeConfig};
+///
+/// let fabric = FabricConfig::single_node(16 << 20).build();
+/// let alloc = FarAlloc::new(fabric.clone());
+/// let mut c = fabric.client();
+/// let mut m = FarBlobMap::create(&mut c, &alloc, HtTreeConfig::default()).unwrap();
+/// m.put_bytes(&mut c, 1, b"hello far memory").unwrap();
+/// assert_eq!(m.get_bytes(&mut c, 1).unwrap().unwrap(), b"hello far memory");
+/// ```
+pub struct FarBlobMap {
+    inner: HtTreeHandle,
+    arena: Arena,
+}
+
+impl FarBlobMap {
+    /// Bytes fetched with the first record read; blobs up to
+    /// `PREFETCH - 8` bytes complete in that one access.
+    pub const PREFETCH: u64 = 256;
+
+    /// Creates a new blob map (an HT-tree plus a record arena).
+    pub fn create(
+        client: &mut FabricClient,
+        alloc: &Arc<FarAlloc>,
+        cfg: HtTreeConfig,
+    ) -> Result<FarBlobMap> {
+        let tree = HtTree::create(client, alloc, cfg)?;
+        FarBlobMap::attach(client, alloc, tree, cfg)
+    }
+
+    /// Attaches to an existing HT-tree as a blob map.
+    pub fn attach(
+        client: &mut FabricClient,
+        alloc: &Arc<FarAlloc>,
+        tree: HtTree,
+        cfg: HtTreeConfig,
+    ) -> Result<FarBlobMap> {
+        let inner = tree.attach(client, alloc, cfg)?;
+        Ok(FarBlobMap { inner, arena: Arena::new(alloc.clone(), 16 * 4096, AllocHint::Spread) })
+    }
+
+    /// The underlying HT-tree (to share with `u64`-value users or attach
+    /// more handles).
+    pub fn tree(&self) -> HtTree {
+        *self.inner.tree()
+    }
+
+    /// Stores `value` under `key`: one record publish + the map's two far
+    /// accesses (three total, the first two independent).
+    pub fn put_bytes(&mut self, client: &mut FabricClient, key: u64, value: &[u8]) -> Result<()> {
+        if value.len() as u64 > u32::MAX as u64 {
+            return Err(CoreError::BadConfig("blob too large"));
+        }
+        let record = self.arena.alloc(WORD + value.len() as u64)?;
+        let mut bytes = Vec::with_capacity(8 + value.len());
+        bytes.extend_from_slice(&(value.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(value);
+        client.write(record, &bytes)?;
+        self.inner.put(client, key, record.0)
+    }
+
+    /// Fetches the blob under `key`: the map's one far access plus one
+    /// (sometimes two, for blobs past the prefetch) record reads.
+    pub fn get_bytes(&mut self, client: &mut FabricClient, key: u64) -> Result<Option<Vec<u8>>> {
+        let Some(ptr) = self.inner.get(client, key)? else {
+            return Ok(None);
+        };
+        let record = FarAddr(ptr);
+        let first = client.read(record, Self::PREFETCH)?;
+        let len = u64::from_le_bytes(first[0..8].try_into().expect("length word"));
+        let mut out = Vec::with_capacity(len as usize);
+        let have = (Self::PREFETCH - WORD).min(len);
+        out.extend_from_slice(&first[8..8 + have as usize]);
+        if len > have {
+            let tail = client.read(record.offset(WORD + have), len - have)?;
+            out.extend_from_slice(&tail);
+        }
+        Ok(Some(out))
+    }
+
+    /// Removes `key` (the record itself is quarantined with the arena).
+    pub fn remove(&mut self, client: &mut FabricClient, key: u64) -> Result<()> {
+        self.inner.remove(client, key)
+    }
+
+    /// Statistics of the underlying map handle.
+    pub fn stats(&self) -> crate::httree::HtTreeStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmem_fabric::FabricConfig;
+
+    fn setup() -> (Arc<farmem_fabric::Fabric>, Arc<FarAlloc>) {
+        let f = FabricConfig::count_only(256 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        (f, a)
+    }
+
+    #[test]
+    fn bytes_round_trip_various_sizes() {
+        let (f, a) = setup();
+        let mut c = f.client();
+        let mut m = FarBlobMap::create(&mut c, &a, HtTreeConfig::default()).unwrap();
+        for (k, size) in [(1u64, 0usize), (2, 1), (3, 100), (4, 247), (5, 248), (6, 249), (7, 5000)] {
+            let v: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+            m.put_bytes(&mut c, k, &v).unwrap();
+            assert_eq!(m.get_bytes(&mut c, k).unwrap().as_deref(), Some(&v[..]), "size {size}");
+        }
+        assert_eq!(m.get_bytes(&mut c, 99).unwrap(), None);
+    }
+
+    #[test]
+    fn small_blob_lookup_costs_two_far_accesses() {
+        let (f, a) = setup();
+        let mut c = f.client();
+        let cfg = HtTreeConfig { initial_buckets: 4096, ..HtTreeConfig::default() };
+        let mut m = FarBlobMap::create(&mut c, &a, cfg).unwrap();
+        m.put_bytes(&mut c, 7, b"hello far memory").unwrap();
+        let before = c.stats();
+        assert_eq!(m.get_bytes(&mut c, 7).unwrap().unwrap(), b"hello far memory");
+        assert_eq!(
+            c.stats().since(&before).round_trips,
+            2,
+            "map lookup + one record read"
+        );
+    }
+
+    #[test]
+    fn large_blob_needs_one_extra_read() {
+        let (f, a) = setup();
+        let mut c = f.client();
+        let cfg = HtTreeConfig { initial_buckets: 4096, ..HtTreeConfig::default() };
+        let mut m = FarBlobMap::create(&mut c, &a, cfg).unwrap();
+        let v = vec![9u8; 4096];
+        m.put_bytes(&mut c, 7, &v).unwrap();
+        let before = c.stats();
+        assert_eq!(m.get_bytes(&mut c, 7).unwrap().unwrap(), v);
+        assert_eq!(c.stats().since(&before).round_trips, 3);
+    }
+
+    #[test]
+    fn updates_replace_and_removes_hide() {
+        let (f, a) = setup();
+        let mut c = f.client();
+        let mut m = FarBlobMap::create(&mut c, &a, HtTreeConfig::default()).unwrap();
+        m.put_bytes(&mut c, 1, b"first").unwrap();
+        m.put_bytes(&mut c, 1, b"second, longer value").unwrap();
+        assert_eq!(m.get_bytes(&mut c, 1).unwrap().unwrap(), b"second, longer value");
+        m.remove(&mut c, 1).unwrap();
+        assert_eq!(m.get_bytes(&mut c, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn survives_splits() {
+        let (f, a) = setup();
+        let mut c = f.client();
+        let cfg = HtTreeConfig {
+            initial_buckets: 8,
+            split_check_interval: 16,
+            ..HtTreeConfig::default()
+        };
+        let mut m = FarBlobMap::create(&mut c, &a, cfg).unwrap();
+        for k in 0..500u64 {
+            m.put_bytes(&mut c, k, format!("value-{k}").as_bytes()).unwrap();
+        }
+        assert!(m.stats().splits + m.stats().grows > 0);
+        for k in 0..500u64 {
+            assert_eq!(
+                m.get_bytes(&mut c, k).unwrap().unwrap(),
+                format!("value-{k}").as_bytes()
+            );
+        }
+    }
+}

@@ -1,0 +1,1121 @@
+//! The HT-tree map (§5.2): a tree of hash tables.
+//!
+//! Hash tables and trees are both poor choices for large far-memory maps:
+//! chained hash tables pay extra round trips on collisions and resize
+//! disruptively at scale, while trees take O(log n) far accesses unless a
+//! client caches O(n) items. The paper's *HT-tree* combines them:
+//!
+//! * a **tree** (here: a sorted directory of key ranges) whose leaves hold
+//!   hash-table base pointers — small enough that clients cache *all* of
+//!   it (10M nodes suffice for a trillion items);
+//! * one **hash table per leaf**, *not* cached at clients.
+//!
+//! A lookup traverses the cached tree locally, hashes into the leaf's
+//! table, and follows the bucket pointer with indirect addressing —
+//! **one far access**. A store checks the table's version and CASes the
+//! bucket — **two far accesses** (the version check rides a gather with
+//! the bucket read; the item publish rides a fenced batch with the CAS).
+//! When a table accumulates too many collisions it is *split* (or grown)
+//! without touching the other tables.
+//!
+//! ## Staleness and versioning
+//!
+//! Client caches may go stale. Every hash table has a version, kept in the
+//! client's cached tree *and stamped into every item in far memory*; a
+//! client checks the stamp on each access. Retired tables are *poisoned*
+//! (every bucket is pointed at a version-`u64::MAX` tombstone record), so
+//! a stale client's very first far access tells it to refresh its tree.
+//! Retired tables are quarantined rather than freed — reclamation would
+//! need client epochs, which the paper does not address (see DESIGN.md).
+
+use farmem_alloc::{AllocHint, Arena, FarAlloc};
+use farmem_fabric::{BatchOp, FabricClient, FarAddr, FarIov, WORD};
+use std::sync::Arc;
+
+use crate::error::{CoreError, Result};
+use crate::mutex::FarMutex;
+
+/// Anchor layout (the only fixed far location of an HT-tree).
+const A_DIR_PTR: u64 = 0;
+const A_DIR_VERSION: u64 = 8;
+const A_LOCK: u64 = 16;
+const A_POISON: u64 = 24;
+const ANCHOR_LEN: u64 = 32;
+
+/// Table header layout: version, buckets base, bucket count, item count,
+/// collision count — each one word.
+const H_VERSION: u64 = 0;
+const H_ITEMS: u64 = 24;
+const H_COLLISIONS: u64 = 32;
+const HDR_LEN: u64 = 40;
+
+/// Item record layout: `{key, value, version, next}`.
+const ITEM_LEN: u64 = 32;
+
+/// Version stamp of the poison record; never matches a cached version.
+const POISON_VERSION: u64 = u64::MAX;
+/// High bit of the version word marks a tombstone (deleted key).
+const TOMB_BIT: u64 = 1 << 63;
+/// Header version value while a split is in progress.
+const SPLITTING: u64 = 0;
+
+/// Directory entry encoding on the wire: 5 words.
+const ENTRY_LEN: u64 = 40;
+
+/// Host-side backoff for retry loops that wait on a concurrent
+/// restructure: yields first, then sleeps with linear growth. Virtual-time
+/// accounting is unaffected (waiting costs no far accesses).
+fn backoff(attempt: u32) {
+    if attempt < 4 {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(std::time::Duration::from_micros(50 * attempt.min(100) as u64));
+    }
+}
+
+fn hash_key(key: u64) -> u64 {
+    // SplitMix64 finalizer: cheap, well-mixed.
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn words(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("word")))
+        .collect()
+}
+
+/// A decoded item record.
+#[derive(Clone, Copy, Debug)]
+struct Item {
+    key: u64,
+    value: u64,
+    version: u64,
+    next: u64,
+}
+
+impl Item {
+    fn decode(bytes: &[u8]) -> Item {
+        let w = words(bytes);
+        Item { key: w[0], value: w[1], version: w[2], next: w[3] }
+    }
+
+    fn encode(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        out[0..8].copy_from_slice(&self.key.to_le_bytes());
+        out[8..16].copy_from_slice(&self.value.to_le_bytes());
+        out[16..24].copy_from_slice(&self.version.to_le_bytes());
+        out[24..32].copy_from_slice(&self.next.to_le_bytes());
+        out
+    }
+
+    fn is_tombstone(&self) -> bool {
+        self.version & TOMB_BIT != 0
+    }
+
+    fn plain_version(&self) -> u64 {
+        self.version & !TOMB_BIT
+    }
+}
+
+/// One cached directory entry: a key range and its hash table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Entry {
+    start_key: u64,
+    table_hdr: FarAddr,
+    buckets: FarAddr,
+    n_buckets: u64,
+    version: u64,
+}
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct HtTreeConfig {
+    /// Buckets in the initial (and each freshly split) hash table.
+    pub initial_buckets: u64,
+    /// Split/grow when `item_count * 100 / n_buckets` exceeds this.
+    pub max_load_percent: u64,
+    /// Check far-side load statistics every this many of a handle's own
+    /// inserts (amortizes the extra far access).
+    pub split_check_interval: u64,
+    /// Bound on retries after stale-cache refreshes or lost CAS races.
+    pub retry_budget: u32,
+    /// §5.2 offers two ways for clients to learn the tree changed:
+    /// notifications on the tree, or letting caches go stale and catching
+    /// it through the per-table versions. With `notify_dir` the handle
+    /// subscribes to the directory version word and refreshes proactively
+    /// when notified, avoiding the one wasted far access a stale first
+    /// touch otherwise costs.
+    pub notify_dir: bool,
+}
+
+impl Default for HtTreeConfig {
+    fn default() -> Self {
+        HtTreeConfig {
+            initial_buckets: 64,
+            max_load_percent: 75,
+            split_check_interval: 64,
+            retry_budget: 256,
+            notify_dir: false,
+        }
+    }
+}
+
+/// Statistics kept by one [`HtTreeHandle`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HtTreeStats {
+    /// Lookup operations.
+    pub gets: u64,
+    /// Insert/update operations.
+    pub puts: u64,
+    /// Remove operations.
+    pub removes: u64,
+    /// Extra chain hops beyond the first item (collision cost).
+    pub chain_hops: u64,
+    /// Directory refreshes forced by version mismatches.
+    pub stale_refreshes: u64,
+    /// Bucket CAS races lost (and retried).
+    pub cas_retries: u64,
+    /// Splits this handle performed.
+    pub splits: u64,
+    /// Grows (same range, more buckets) this handle performed.
+    pub grows: u64,
+    /// Directory-change notifications consumed (`notify_dir` mode).
+    pub dir_notifications: u64,
+}
+
+/// The shared descriptor of an HT-tree: just the anchor address.
+///
+/// # Examples
+///
+/// ```
+/// use farmem_fabric::FabricConfig;
+/// use farmem_alloc::FarAlloc;
+/// use farmem_core::{HtTree, HtTreeConfig};
+///
+/// let fabric = FabricConfig::single_node(16 << 20).build();
+/// let alloc = FarAlloc::new(fabric.clone());
+/// let mut c = fabric.client();
+/// let map = HtTree::create(&mut c, &alloc, HtTreeConfig::default()).unwrap();
+/// let mut h = map.attach(&mut c, &alloc, HtTreeConfig::default()).unwrap();
+/// h.put(&mut c, 7, 700).unwrap();            // two far accesses
+/// assert_eq!(h.get(&mut c, 7).unwrap(), Some(700)); // one far access
+/// h.remove(&mut c, 7).unwrap();
+/// assert_eq!(h.get(&mut c, 7).unwrap(), None);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HtTree {
+    anchor: FarAddr,
+}
+
+impl HtTree {
+    /// Creates an empty HT-tree: one table covering the whole key space.
+    pub fn create(
+        client: &mut FabricClient,
+        alloc: &Arc<FarAlloc>,
+        cfg: HtTreeConfig,
+    ) -> Result<HtTree> {
+        if cfg.initial_buckets < 2 {
+            return Err(CoreError::BadConfig("need at least two buckets"));
+        }
+        let anchor = alloc.alloc(ANCHOR_LEN, AllocHint::Spread)?;
+        // The global poison record: version = MAX, no successor.
+        let poison = alloc.alloc(ITEM_LEN, AllocHint::Colocate(anchor))?;
+        let poison_item =
+            Item { key: 0, value: 0, version: POISON_VERSION, next: 0 }.encode();
+        // Initial table, version 1, covering [0, MAX].
+        let (hdr, buckets) = write_table(client, alloc, cfg.initial_buckets, 1)?;
+        // Initial directory blob with one entry.
+        let entry = Entry {
+            start_key: 0,
+            table_hdr: hdr,
+            buckets,
+            n_buckets: cfg.initial_buckets,
+            version: 1,
+        };
+        let dir = write_directory(client, alloc, &[entry])?;
+        let mut anchor_bytes = Vec::with_capacity(ANCHOR_LEN as usize);
+        for w in [dir.0, 1u64, 0, poison.0] {
+            anchor_bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        client.batch(&[
+            BatchOp::Write { addr: poison, data: &poison_item },
+            BatchOp::Write { addr: anchor, data: &anchor_bytes },
+        ])?;
+        Ok(HtTree { anchor })
+    }
+
+    /// The anchor address (for sharing with other clients).
+    pub fn anchor(&self) -> FarAddr {
+        self.anchor
+    }
+
+    /// Attaches a client: reads the anchor and caches the entire directory
+    /// (the "tree", §5.2). Two far accesses.
+    pub fn attach(
+        &self,
+        client: &mut FabricClient,
+        alloc: &Arc<FarAlloc>,
+        cfg: HtTreeConfig,
+    ) -> Result<HtTreeHandle> {
+        let dir_sub = if cfg.notify_dir {
+            Some(client.notify0(self.anchor.offset(A_DIR_VERSION), farmem_fabric::WORD)?)
+        } else {
+            None
+        };
+        let mut h = HtTreeHandle {
+            tree: *self,
+            cfg,
+            alloc: alloc.clone(),
+            arena: Arena::new(alloc.clone(), 4096, AllocHint::Spread),
+            entries: Vec::new(),
+            dir_version: 0,
+            poison: FarAddr::NULL,
+            dir_sub,
+            stats: HtTreeStats::default(),
+            puts_since_check: 0,
+        };
+        h.refresh_directory(client)?;
+        Ok(h)
+    }
+}
+
+/// Writes a fresh, empty table; returns `(header, buckets)`.
+fn write_table(
+    client: &mut FabricClient,
+    alloc: &Arc<FarAlloc>,
+    n_buckets: u64,
+    version: u64,
+) -> Result<(FarAddr, FarAddr)> {
+    let buckets = alloc.alloc(n_buckets * WORD, AllocHint::Spread)?;
+    let hdr = alloc.alloc(HDR_LEN, AllocHint::Colocate(buckets))?;
+    let zeros = vec![0u8; (n_buckets * WORD) as usize];
+    let mut hdr_bytes = Vec::with_capacity(HDR_LEN as usize);
+    for w in [version, buckets.0, n_buckets, 0, 0] {
+        hdr_bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    client.batch(&[
+        BatchOp::Write { addr: buckets, data: &zeros },
+        BatchOp::Write { addr: hdr, data: &hdr_bytes },
+    ])?;
+    Ok((hdr, buckets))
+}
+
+/// Serializes and writes a directory blob; returns its address.
+fn write_directory(
+    client: &mut FabricClient,
+    alloc: &Arc<FarAlloc>,
+    entries: &[Entry],
+) -> Result<FarAddr> {
+    let len = WORD + entries.len() as u64 * ENTRY_LEN;
+    let blob = alloc.alloc(len, AllocHint::Spread)?;
+    let mut bytes = Vec::with_capacity(len as usize);
+    bytes.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for e in entries {
+        for w in [e.start_key, e.table_hdr.0, e.buckets.0, e.n_buckets, e.version] {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    client.write(blob, &bytes)?;
+    Ok(blob)
+}
+
+/// A client's handle on an [`HtTree`]: the cached tree, an item arena, and
+/// per-client statistics.
+pub struct HtTreeHandle {
+    tree: HtTree,
+    cfg: HtTreeConfig,
+    alloc: Arc<FarAlloc>,
+    arena: Arena,
+    entries: Vec<Entry>,
+    dir_version: u64,
+    poison: FarAddr,
+    /// Directory-change subscription (`notify_dir` mode).
+    dir_sub: Option<farmem_fabric::SubId>,
+    stats: HtTreeStats,
+    puts_since_check: u64,
+}
+
+impl HtTreeHandle {
+    /// Per-handle counters.
+    pub fn stats(&self) -> HtTreeStats {
+        self.stats
+    }
+
+    /// The tree descriptor this handle is attached to.
+    pub fn tree(&self) -> &HtTree {
+        &self.tree
+    }
+
+    /// Number of leaves (hash tables) in the cached tree.
+    pub fn leaves(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Bytes of client memory the cached tree occupies — the §5.2 claim is
+    /// that this stays small (tree only, never the hash tables).
+    pub fn cache_bytes(&self) -> u64 {
+        self.entries.len() as u64 * std::mem::size_of::<Entry>() as u64
+    }
+
+    /// Re-reads the anchor and the directory blob (two far accesses).
+    pub fn refresh_directory(&mut self, client: &mut FabricClient) -> Result<()> {
+        let anchor = client.read(self.tree.anchor, ANCHOR_LEN)?;
+        let w = words(&anchor);
+        let dir_ptr = FarAddr(w[(A_DIR_PTR / 8) as usize]);
+        self.dir_version = w[(A_DIR_VERSION / 8) as usize];
+        self.poison = FarAddr(w[(A_POISON / 8) as usize]);
+        if dir_ptr.is_null() {
+            return Err(CoreError::Corrupted("HT-tree anchor has no directory"));
+        }
+        let n = client.read_u64(dir_ptr)?;
+        let blob = client.read(dir_ptr.offset(WORD), n * ENTRY_LEN)?;
+        let mut entries = Vec::with_capacity(n as usize);
+        for chunk in blob.chunks_exact(ENTRY_LEN as usize) {
+            let w = words(chunk);
+            entries.push(Entry {
+                start_key: w[0],
+                table_hdr: FarAddr(w[1]),
+                buckets: FarAddr(w[2]),
+                n_buckets: w[3],
+                version: w[4],
+            });
+        }
+        if entries.is_empty() || entries[0].start_key != 0 {
+            return Err(CoreError::Corrupted("directory does not cover the key space"));
+        }
+        self.entries = entries;
+        Ok(())
+    }
+
+    /// In `notify_dir` mode: refreshes the directory if a change
+    /// notification is pending. A purely local check (events are pushed).
+    fn sync_directory(&mut self, client: &mut FabricClient) -> Result<()> {
+        let Some(sub) = self.dir_sub else { return Ok(()) };
+        let events = client.take_events(|e| {
+            e.sub() == Some(sub) || matches!(e, farmem_fabric::Event::Lost { .. })
+        });
+        if !events.is_empty() {
+            self.stats.dir_notifications += events.len() as u64;
+            self.refresh_directory(client)?;
+        }
+        Ok(())
+    }
+
+    /// Finds the cached entry covering `key` — a purely local traversal of
+    /// the tree (§5.2: "clients cache the entire tree").
+    fn entry_for(&self, client: &mut FabricClient, key: u64) -> Entry {
+        // Binary search over start keys; charge the local traversal.
+        client.near_accesses((self.entries.len().max(2) as u64).ilog2() as u64 + 1);
+        let idx = match self.entries.binary_search_by(|e| e.start_key.cmp(&key)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        self.entries[idx]
+    }
+
+    fn bucket_addr(entry: &Entry, key: u64) -> FarAddr {
+        entry.buckets.offset((hash_key(key) % entry.n_buckets) * WORD)
+    }
+
+    /// Looks up `key`. **One far access** when the cache is fresh and the
+    /// bucket is collision-free; each chain hop adds one access; a stale
+    /// cache adds a directory refresh and a retry.
+    pub fn get(&mut self, client: &mut FabricClient, key: u64) -> Result<Option<u64>> {
+        self.stats.gets += 1;
+        self.sync_directory(client)?;
+        for attempt in 0..self.cfg.retry_budget {
+            let entry = self.entry_for(client, key);
+            let bucket = Self::bucket_addr(&entry, key);
+            // One far access: dereference the bucket pointer and read the
+            // head item (indirect addressing, Fig. 1).
+            let first = match client.load0_auto(bucket, ITEM_LEN) {
+                Ok(bytes) => Item::decode(&bytes),
+                Err(farmem_fabric::FabricError::NullDeref { .. }) => {
+                    // Empty bucket in a live table: the key is absent. A
+                    // retired table can never show a null bucket (poison).
+                    return Ok(None);
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let mut item = first;
+            loop {
+                if item.plain_version() != entry.version {
+                    // Stale cache (split/retire happened): refresh, retry.
+                    // A concurrent splitter may still be mid-publish; back
+                    // off in host time so it can finish.
+                    self.stats.stale_refreshes += 1;
+                    self.refresh_directory(client)?;
+                    backoff(attempt);
+                    break;
+                }
+                if item.key == key {
+                    return Ok(if item.is_tombstone() { None } else { Some(item.value) });
+                }
+                if item.next == 0 {
+                    return Ok(None);
+                }
+                // Collision: follow the chain, one far access per hop.
+                self.stats.chain_hops += 1;
+                item = Item::decode(&client.read(FarAddr(item.next), ITEM_LEN)?);
+            }
+        }
+        Err(CoreError::Contended)
+    }
+
+    /// Inserts or updates `key → value`. **Two far accesses** when the
+    /// cache is fresh: a gather (bucket pointer + table version) and a
+    /// fenced batch (item publish + bucket CAS).
+    pub fn put(&mut self, client: &mut FabricClient, key: u64, value: u64) -> Result<()> {
+        self.stats.puts += 1;
+        self.put_record(client, key, value, false)?;
+        self.maybe_split(client, key)
+    }
+
+    /// Removes `key` by publishing a tombstone record (same cost as
+    /// [`put`](Self::put)).
+    pub fn remove(&mut self, client: &mut FabricClient, key: u64) -> Result<()> {
+        self.stats.removes += 1;
+        self.put_record(client, key, 0, true)
+    }
+
+    fn put_record(
+        &mut self,
+        client: &mut FabricClient,
+        key: u64,
+        value: u64,
+        tombstone: bool,
+    ) -> Result<()> {
+        self.sync_directory(client)?;
+        for attempt in 0..self.cfg.retry_budget {
+            let entry = self.entry_for(client, key);
+            let bucket = Self::bucket_addr(&entry, key);
+            // Far access 1: gather the bucket pointer and the table version
+            // in one round trip (two messages).
+            let gathered = client.rgather(&[
+                FarIov::new(bucket, WORD),
+                FarIov::new(entry.table_hdr.offset(H_VERSION), WORD),
+            ])?;
+            let w = words(&gathered);
+            let (old_head, far_version) = (w[0], w[1]);
+            if far_version != entry.version {
+                // Splitting (0) or already retired: refresh and retry.
+                // The splitter needs real (host) time to finish before the
+                // directory changes, so back off in host time too.
+                self.stats.stale_refreshes += 1;
+                self.refresh_directory(client)?;
+                if far_version == SPLITTING {
+                    client.advance_time(1_000);
+                }
+                backoff(attempt);
+                continue;
+            }
+            let version = if tombstone { entry.version | TOMB_BIT } else { entry.version };
+            let record = Item { key, value, version, next: old_head }.encode();
+            let item_addr = self.arena.alloc(ITEM_LEN)?;
+            // Far access 2: publish the record and swing the bucket in one
+            // fenced batch (the fabric orders the write before the CAS).
+            let out = client.batch(&[
+                BatchOp::Write { addr: item_addr, data: &record },
+                BatchOp::Cas { addr: bucket, expected: old_head, new: item_addr.0 },
+            ])?;
+            if out[1].value() != old_head {
+                // Lost the bucket race; retry from the version check.
+                self.stats.cas_retries += 1;
+                continue;
+            }
+            // Background bookkeeping, off the critical path.
+            client.post_faa_u64(entry.table_hdr.offset(H_ITEMS), 1)?;
+            if old_head != 0 {
+                client.post_faa_u64(entry.table_hdr.offset(H_COLLISIONS), 1)?;
+            }
+            self.puts_since_check += 1;
+            return Ok(());
+        }
+        Err(CoreError::Contended)
+    }
+
+    /// Periodically checks far-side load statistics and splits the table
+    /// covering `key` when overloaded.
+    fn maybe_split(&mut self, client: &mut FabricClient, key: u64) -> Result<()> {
+        if self.puts_since_check < self.cfg.split_check_interval {
+            return Ok(());
+        }
+        self.puts_since_check = 0;
+        let entry = self.entry_for(client, key);
+        let hdr = client.read(entry.table_hdr, HDR_LEN)?;
+        let w = words(&hdr);
+        let (version, n_buckets, items) = (w[0], w[2], w[3]);
+        if version != entry.version {
+            return Ok(()); // someone is already restructuring
+        }
+        if items * 100 > n_buckets * self.cfg.max_load_percent {
+            self.split(client, entry.start_key)?;
+        }
+        Ok(())
+    }
+
+    /// Approximate number of live items, from the far-side per-table
+    /// counters (one gather over all leaf headers). The counters are
+    /// maintained with posted (unsignaled) atomics, so the estimate can
+    /// trail in-flight operations slightly.
+    pub fn len_estimate(&mut self, client: &mut FabricClient) -> Result<u64> {
+        let iov: Vec<FarIov> = self
+            .entries
+            .iter()
+            .map(|e| FarIov::new(e.table_hdr.offset(H_ITEMS), farmem_fabric::WORD))
+            .collect();
+        let bytes = client.rgather(&iov)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("word")))
+            .sum())
+    }
+
+    /// Scans keys in `[lo, hi]`, returning sorted `(key, value)` pairs.
+    ///
+    /// The cached tree selects the leaf tables covering the range; each is
+    /// drained with bulk transfers (the bucket array in one access, then
+    /// one gather per chain level), so the cost is O(tables covered), not
+    /// O(keys in the map). Results reflect a leaf-consistent snapshot:
+    /// concurrent writers may or may not appear, but versions guarantee no
+    /// torn or foreign data.
+    pub fn scan(
+        &mut self,
+        client: &mut FabricClient,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, u64)>> {
+        if lo > hi {
+            return Ok(Vec::new());
+        }
+        'retry: for _ in 0..self.cfg.retry_budget {
+            let mut out: Vec<(u64, u64)> = Vec::new();
+            let first = match self.entries.binary_search_by(|e| e.start_key.cmp(&lo)) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            };
+            for idx in first..self.entries.len() {
+                let entry = self.entries[idx];
+                if entry.start_key > hi {
+                    break;
+                }
+                // Drain the leaf with batched transfers, validating the
+                // table version along the way.
+                let bucket_words =
+                    words(&client.read(entry.buckets, entry.n_buckets * WORD)?);
+                let mut seen = std::collections::HashSet::new();
+                let mut frontier: Vec<u64> =
+                    bucket_words.iter().copied().filter(|&p| p != 0).collect();
+                while !frontier.is_empty() {
+                    let iov: Vec<FarIov> =
+                        frontier.iter().map(|&p| FarIov::new(FarAddr(p), ITEM_LEN)).collect();
+                    let bytes = client.rgather(&iov)?;
+                    let items: Vec<Item> =
+                        bytes.chunks_exact(ITEM_LEN as usize).map(Item::decode).collect();
+                    for item in &items {
+                        if item.plain_version() != entry.version {
+                            // Stale leaf (split raced the scan): refresh
+                            // the tree and restart the whole scan.
+                            self.stats.stale_refreshes += 1;
+                            self.refresh_directory(client)?;
+                            continue 'retry;
+                        }
+                        if seen.insert(item.key)
+                            && !item.is_tombstone()
+                            && item.key >= lo
+                            && item.key <= hi
+                        {
+                            out.push((item.key, item.value));
+                        }
+                    }
+                    frontier = items.iter().map(|it| it.next).filter(|&p| p != 0).collect();
+                }
+            }
+            out.sort_unstable_by_key(|&(k, _)| k);
+            return Ok(out);
+        }
+        Err(CoreError::Contended)
+    }
+
+    /// Splits (or grows) the table covering `start_key`. Serialized by the
+    /// tree's far mutex; other tables are unaffected (§5.2).
+    pub fn split(&mut self, client: &mut FabricClient, start_key: u64) -> Result<()> {
+        let lock = FarMutex::attach(self.tree.anchor.offset(A_LOCK));
+        lock.lock(client, 1_000_000)?;
+        let result = self.split_locked(client, start_key);
+        lock.unlock(client)?;
+        result
+    }
+
+    fn split_locked(&mut self, client: &mut FabricClient, key: u64) -> Result<()> {
+        // Re-read the directory under the lock; the range may have been
+        // restructured while we waited.
+        self.refresh_directory(client)?;
+        let idx = match self.entries.binary_search_by(|e| e.start_key.cmp(&key)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let entry = self.entries[idx];
+        let range_end = self
+            .entries
+            .get(idx + 1)
+            .map(|e| e.start_key)
+            .unwrap_or(u64::MAX);
+
+        // Block writers: mark the table as splitting.
+        client.write_u64(entry.table_hdr.offset(H_VERSION), SPLITTING)?;
+
+        // Drain the table with batched transfers: read the bucket array
+        // (one access), walk all chains level by level with gathers (one
+        // access per chain *depth*, not per item), then poison every
+        // bucket in one fenced CAS volley. Buckets whose CAS loses to a
+        // racing insert are re-drained individually — the version marker
+        // makes such races rare.
+        let bucket_words = words(&client.read(entry.buckets, entry.n_buckets * WORD)?);
+        // Newest value per key: `None` marks a tombstone. Chains link
+        // newest to oldest, so within one chain the *first* occurrence of
+        // a key is authoritative.
+        let mut live: std::collections::HashMap<u64, Option<u64>> =
+            std::collections::HashMap::new();
+        let mut frontier: Vec<u64> =
+            bucket_words.iter().copied().filter(|&p| p != 0).collect();
+        while !frontier.is_empty() {
+            let iov: Vec<FarIov> =
+                frontier.iter().map(|&p| FarIov::new(FarAddr(p), ITEM_LEN)).collect();
+            let bytes = client.rgather(&iov)?;
+            let items: Vec<Item> =
+                bytes.chunks_exact(ITEM_LEN as usize).map(Item::decode).collect();
+            // Level-by-level walk preserves per-chain order (keys never
+            // span buckets), so first-seen wins.
+            for item in &items {
+                if item.plain_version() == entry.version {
+                    live.entry(item.key).or_insert_with(|| {
+                        (!item.is_tombstone()).then_some(item.value)
+                    });
+                }
+            }
+            frontier = items.iter().map(|it| it.next).filter(|&p| p != 0).collect();
+        }
+        // Poison volley: one fenced batch of CASes over all buckets.
+        let cas_ops: Vec<BatchOp<'_>> = bucket_words
+            .iter()
+            .enumerate()
+            .map(|(i, &head)| BatchOp::Cas {
+                addr: entry.buckets.offset(i as u64 * WORD),
+                expected: head,
+                new: self.poison.0,
+            })
+            .collect();
+        let outs = client.batch(&cas_ops)?;
+        for (i, out) in outs.iter().enumerate() {
+            let mut head = out.value();
+            if head == bucket_words[i] {
+                continue; // poison landed
+            }
+            // A racing insert won. Its chain holds items NEWER than
+            // anything harvested above for the same keys, so the chain's
+            // first occurrence per key *overrides* the earlier harvest.
+            loop {
+                let mut chain = Vec::new();
+                let mut cur = head;
+                while cur != 0 {
+                    let item = Item::decode(&client.read(FarAddr(cur), ITEM_LEN)?);
+                    chain.push(item);
+                    cur = item.next;
+                }
+                let mut seen_chain = std::collections::HashSet::new();
+                for item in &chain {
+                    if item.plain_version() == entry.version && seen_chain.insert(item.key) {
+                        live.insert(
+                            item.key,
+                            (!item.is_tombstone()).then_some(item.value),
+                        );
+                    }
+                }
+                let bucket_addr = entry.buckets.offset(i as u64 * WORD);
+                let prev = client.cas(bucket_addr, head, self.poison.0)?;
+                if prev == head {
+                    break;
+                }
+                head = prev;
+            }
+        }
+        let mut live: Vec<(u64, u64)> =
+            live.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).collect();
+
+        // Decide: split by median key, or grow in place when the range
+        // cannot be partitioned.
+        live.sort_unstable_by_key(|&(k, _)| k);
+        let can_split = live.len() >= 2 && live.first().unwrap().0 != live.last().unwrap().0;
+        let new_version = entry.version + 1;
+        let mut new_entries: Vec<Entry> = Vec::new();
+        if can_split {
+            let mid_key = live[live.len() / 2].0;
+            // All keys strictly below mid go left; mid and above go right.
+            let split_at = live.partition_point(|&(k, _)| k < mid_key);
+            let (left, right) = live.split_at(split_at);
+            debug_assert!(!left.is_empty() && !right.is_empty());
+            new_entries.push(self.build_table(client, entry.start_key, left, new_version)?);
+            new_entries.push(self.build_table(client, mid_key, right, new_version)?);
+            let _ = range_end;
+            self.stats.splits += 1;
+        } else {
+            // Grow: same range, twice the buckets.
+            let grown = self.build_table_sized(
+                client,
+                entry.start_key,
+                &live,
+                new_version,
+                (entry.n_buckets * 2).max(self.cfg.initial_buckets),
+            )?;
+            new_entries.push(grown);
+            self.stats.grows += 1;
+        }
+
+        // Publish the new directory and bump the version, in one batch.
+        let mut entries = self.entries.clone();
+        entries.splice(idx..=idx, new_entries);
+        let blob = write_directory(client, &self.alloc, &entries)?;
+        let new_dir_version = self.dir_version + 1;
+        client.batch(&[
+            BatchOp::Write {
+                addr: self.tree.anchor.offset(A_DIR_PTR),
+                data: &blob.0.to_le_bytes(),
+            },
+            BatchOp::Write {
+                addr: self.tree.anchor.offset(A_DIR_VERSION),
+                data: &new_dir_version.to_le_bytes(),
+            },
+        ])?;
+        self.entries = entries;
+        self.dir_version = new_dir_version;
+        // The retired table is quarantined, not freed (see module docs).
+        Ok(())
+    }
+
+    fn build_table(
+        &mut self,
+        client: &mut FabricClient,
+        start_key: u64,
+        items: &[(u64, u64)],
+        version: u64,
+    ) -> Result<Entry> {
+        self.build_table_sized(client, start_key, items, version, self.cfg.initial_buckets)
+    }
+
+    /// Builds a fully populated table in bulk: item records laid out
+    /// contiguously, bucket words chained locally, all written with a few
+    /// large transfers.
+    fn build_table_sized(
+        &mut self,
+        client: &mut FabricClient,
+        start_key: u64,
+        items: &[(u64, u64)],
+        version: u64,
+        n_buckets: u64,
+    ) -> Result<Entry> {
+        let buckets_addr = self.alloc.alloc(n_buckets * WORD, AllocHint::Spread)?;
+        let hdr = self.alloc.alloc(HDR_LEN, AllocHint::Colocate(buckets_addr))?;
+        let items_addr = if items.is_empty() {
+            FarAddr::NULL
+        } else {
+            self.alloc.alloc(items.len() as u64 * ITEM_LEN, AllocHint::Spread)?
+        };
+        let mut bucket_words = vec![0u64; n_buckets as usize];
+        let mut item_bytes = Vec::with_capacity(items.len() * ITEM_LEN as usize);
+        let mut collisions = 0u64;
+        for (i, &(k, v)) in items.iter().enumerate() {
+            let addr = items_addr.0 + i as u64 * ITEM_LEN;
+            let b = (hash_key(k) % n_buckets) as usize;
+            let next = bucket_words[b];
+            if next != 0 {
+                collisions += 1;
+            }
+            bucket_words[b] = addr;
+            item_bytes.extend_from_slice(&Item { key: k, value: v, version, next }.encode());
+        }
+        let bucket_bytes: Vec<u8> =
+            bucket_words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let mut hdr_bytes = Vec::with_capacity(HDR_LEN as usize);
+        for w in [version, buckets_addr.0, n_buckets, items.len() as u64, collisions] {
+            hdr_bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let mut ops = vec![
+            BatchOp::Write { addr: buckets_addr, data: &bucket_bytes },
+            BatchOp::Write { addr: hdr, data: &hdr_bytes },
+        ];
+        if !items.is_empty() {
+            ops.push(BatchOp::Write { addr: items_addr, data: &item_bytes });
+        }
+        client.batch(&ops)?;
+        Ok(Entry {
+            start_key,
+            table_hdr: hdr,
+            buckets: buckets_addr,
+            n_buckets,
+            version,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmem_fabric::FabricConfig;
+
+    fn setup(cap: u64) -> (Arc<farmem_fabric::Fabric>, Arc<FarAlloc>, HtTree) {
+        let f = FabricConfig::count_only(cap).build();
+        let a = FarAlloc::new(f.clone());
+        let mut c = f.client();
+        let t = HtTree::create(&mut c, &a, HtTreeConfig::default()).unwrap();
+        (f, a, t)
+    }
+
+    #[test]
+    fn put_get_remove_round_trip() {
+        let (f, a, t) = setup(64 << 20);
+        let mut c = f.client();
+        let mut h = t.attach(&mut c, &a, HtTreeConfig::default()).unwrap();
+        assert_eq!(h.get(&mut c, 42).unwrap(), None);
+        h.put(&mut c, 42, 420).unwrap();
+        assert_eq!(h.get(&mut c, 42).unwrap(), Some(420));
+        h.put(&mut c, 42, 421).unwrap();
+        assert_eq!(h.get(&mut c, 42).unwrap(), Some(421));
+        h.remove(&mut c, 42).unwrap();
+        assert_eq!(h.get(&mut c, 42).unwrap(), None);
+    }
+
+    #[test]
+    fn lookup_is_one_far_access_and_store_is_two() {
+        let (f, a, t) = setup(64 << 20);
+        let mut c = f.client();
+        let cfg = HtTreeConfig { initial_buckets: 4096, ..HtTreeConfig::default() };
+        let mut h = t.attach(&mut c, &a, cfg).unwrap();
+        // Unique-bucket keys so the measurement sees no chains.
+        h.put(&mut c, 7, 70).unwrap();
+
+        let before = c.stats();
+        assert_eq!(h.get(&mut c, 7).unwrap(), Some(70));
+        let d = c.stats().since(&before);
+        assert_eq!(d.round_trips, 1, "fresh-cache lookup is ONE far access");
+
+        let before = c.stats();
+        h.put(&mut c, 9, 90).unwrap();
+        let d = c.stats().since(&before);
+        assert_eq!(d.round_trips, 2, "fresh-cache store is TWO far accesses");
+        assert!(d.posted_messages >= 1, "bookkeeping is posted, not charged");
+
+        let before = c.stats();
+        assert_eq!(h.get(&mut c, 12345).unwrap(), None);
+        let d = c.stats().since(&before);
+        assert_eq!(d.round_trips, 1, "absent lookup is also one far access");
+    }
+
+    #[test]
+    fn many_keys_survive_splits() {
+        let (f, a, t) = setup(256 << 20);
+        let mut c = f.client();
+        let cfg = HtTreeConfig {
+            initial_buckets: 16,
+            split_check_interval: 8,
+            ..HtTreeConfig::default()
+        };
+        let mut h = t.attach(&mut c, &a, cfg).unwrap();
+        let n = 2000u64;
+        for k in 0..n {
+            h.put(&mut c, k * 7919, k).unwrap();
+        }
+        assert!(h.stats().splits + h.stats().grows > 0, "restructures happened");
+        assert!(h.leaves() > 1, "the tree grew leaves");
+        for k in 0..n {
+            assert_eq!(h.get(&mut c, k * 7919).unwrap(), Some(k), "key {k}");
+        }
+        // Keys that were never inserted stay absent.
+        for k in 0..100 {
+            assert_eq!(h.get(&mut c, k * 7919 + 1).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn notify_dir_mode_refreshes_before_touching_far_memory() {
+        let (f, a, t) = setup(256 << 20);
+        let mut c1 = f.client();
+        let mut c2 = f.client();
+        let cfg = HtTreeConfig {
+            initial_buckets: 8,
+            notify_dir: true,
+            ..HtTreeConfig::default()
+        };
+        let mut h1 = t.attach(&mut c1, &a, cfg).unwrap();
+        let mut h2 = t.attach(&mut c2, &a, cfg).unwrap();
+        for k in 0..64u64 {
+            h1.put(&mut c1, k, k + 1).unwrap();
+        }
+        h1.split(&mut c1, 0).unwrap();
+        // h2 receives the directory notification and refreshes locally:
+        // no stale far access is ever issued.
+        for k in 0..64u64 {
+            assert_eq!(h2.get(&mut c2, k).unwrap(), Some(k + 1));
+        }
+        assert!(h2.stats().dir_notifications > 0, "notification consumed");
+        assert_eq!(h2.stats().stale_refreshes, 0, "no stale far touches");
+    }
+
+    #[test]
+    fn stale_client_recovers_through_poison() {
+        let (f, a, t) = setup(256 << 20);
+        let mut c1 = f.client();
+        let mut c2 = f.client();
+        let cfg = HtTreeConfig { initial_buckets: 8, ..HtTreeConfig::default() };
+        let mut h1 = t.attach(&mut c1, &a, cfg).unwrap();
+        let mut h2 = t.attach(&mut c2, &a, cfg).unwrap();
+        for k in 0..64u64 {
+            h1.put(&mut c1, k, k + 1).unwrap();
+        }
+        // h2's cache is now stale; force a split through h1.
+        h1.split(&mut c1, 0).unwrap();
+        let stale_before = h2.stats().stale_refreshes;
+        for k in 0..64u64 {
+            assert_eq!(h2.get(&mut c2, k).unwrap(), Some(k + 1), "key {k}");
+        }
+        assert!(
+            h2.stats().stale_refreshes > stale_before,
+            "the stale cache was detected via versions/poison"
+        );
+    }
+
+    #[test]
+    fn stale_writer_recovers() {
+        let (f, a, t) = setup(256 << 20);
+        let mut c1 = f.client();
+        let mut c2 = f.client();
+        let cfg = HtTreeConfig { initial_buckets: 8, ..HtTreeConfig::default() };
+        let mut h1 = t.attach(&mut c1, &a, cfg).unwrap();
+        let mut h2 = t.attach(&mut c2, &a, cfg).unwrap();
+        for k in 0..32u64 {
+            h1.put(&mut c1, k, 1).unwrap();
+        }
+        h1.split(&mut c1, 0).unwrap();
+        // h2 writes with a stale cache: must land in the new tables.
+        h2.put(&mut c2, 5, 99).unwrap();
+        assert_eq!(h1.get(&mut c1, 5).unwrap(), Some(99));
+    }
+
+    #[test]
+    fn concurrent_writers_on_same_bucket_lose_no_updates() {
+        let f = FabricConfig::single_node(256 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        let mut c0 = f.client();
+        let cfg = HtTreeConfig { initial_buckets: 2, ..HtTreeConfig::default() };
+        let t = HtTree::create(&mut c0, &a, cfg).unwrap();
+        let writers = 4u64;
+        let per = 100u64;
+        let mut handles = Vec::new();
+        for wid in 0..writers {
+            let f = f.clone();
+            let a = a.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut c = f.client();
+                let mut h = t.attach(&mut c, &a, cfg).unwrap();
+                for i in 0..per {
+                    h.put(&mut c, wid * 1000 + i, wid * 1000 + i + 7).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut c = f.client();
+        let mut h = t.attach(&mut c, &a, cfg).unwrap();
+        for wid in 0..writers {
+            for i in 0..per {
+                let k = wid * 1000 + i;
+                assert_eq!(h.get(&mut c, k).unwrap(), Some(k + 7), "key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_hops_are_counted() {
+        let (f, a, t) = setup(64 << 20);
+        let mut c = f.client();
+        // Two buckets: plenty of collisions.
+        let cfg = HtTreeConfig {
+            initial_buckets: 2,
+            split_check_interval: u64::MAX,
+            ..HtTreeConfig::default()
+        };
+        let mut h = t.attach(&mut c, &a, cfg).unwrap();
+        for k in 0..16u64 {
+            h.put(&mut c, k, k).unwrap();
+        }
+        for k in 0..16u64 {
+            assert_eq!(h.get(&mut c, k).unwrap(), Some(k));
+        }
+        assert!(h.stats().chain_hops > 0, "collisions cost extra hops");
+    }
+
+    #[test]
+    fn len_estimate_tracks_inserts_and_removes() {
+        let (f, a, t) = setup(64 << 20);
+        let mut c = f.client();
+        let mut h = t.attach(&mut c, &a, HtTreeConfig::default()).unwrap();
+        for k in 0..100u64 {
+            h.put(&mut c, k, k).unwrap();
+        }
+        assert_eq!(h.len_estimate(&mut c).unwrap(), 100);
+        // Removes publish tombstones; the estimate counts records, so it
+        // grows — it is an upper bound on distinct keys touched.
+        h.remove(&mut c, 5).unwrap();
+        assert!(h.len_estimate(&mut c).unwrap() >= 100);
+    }
+
+    #[test]
+    fn scan_returns_sorted_ranges_across_leaves() {
+        let (f, a, t) = setup(256 << 20);
+        let mut c = f.client();
+        let cfg = HtTreeConfig {
+            initial_buckets: 8,
+            split_check_interval: 8,
+            ..HtTreeConfig::default()
+        };
+        let mut h = t.attach(&mut c, &a, cfg).unwrap();
+        for k in (0..1000u64).step_by(3) {
+            h.put(&mut c, k, k * 2).unwrap();
+        }
+        assert!(h.leaves() > 1, "scan spans multiple leaves");
+        h.remove(&mut c, 300).unwrap();
+        let got = h.scan(&mut c, 100, 400).unwrap();
+        let want: Vec<(u64, u64)> = (100..=400u64)
+            .filter(|k| k % 3 == 0 && *k != 300)
+            .map(|k| (k, k * 2))
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(h.scan(&mut c, 500, 400).unwrap(), Vec::new());
+        // Full-range scan matches the whole content.
+        let all = h.scan(&mut c, 0, u64::MAX).unwrap();
+        assert_eq!(all.len(), 1000 / 3 + 1 - 1);
+    }
+
+    #[test]
+    fn cache_stays_tree_sized() {
+        let (f, a, t) = setup(256 << 20);
+        let mut c = f.client();
+        let cfg = HtTreeConfig {
+            initial_buckets: 32,
+            split_check_interval: 16,
+            ..HtTreeConfig::default()
+        };
+        let mut h = t.attach(&mut c, &a, cfg).unwrap();
+        for k in 0..4000u64 {
+            h.put(&mut c, k.wrapping_mul(0x9e3779b97f4a7c15), k).unwrap();
+        }
+        // The client cache holds directory entries only — far smaller than
+        // the data (4000 items × 32 B records + buckets).
+        assert!(h.cache_bytes() < 4000 * 32 / 4, "cache is tree-sized");
+    }
+}

@@ -1,0 +1,242 @@
+//! Far mutexes (§5.1).
+//!
+//! A far mutex is a far-memory word initialized to 0 (free). Clients
+//! acquire it with a fabric CAS; when the CAS fails, an equality
+//! notification against 0 (`notifye`) tells the waiter when the mutex is
+//! released — no far-memory polling.
+
+use farmem_alloc::{AllocHint, FarAlloc};
+use farmem_fabric::{FabricClient, FarAddr, WORD};
+
+use crate::error::{CoreError, Result};
+
+/// Value of a free mutex word.
+const FREE: u64 = 0;
+
+/// A mutual-exclusion lock in far memory.
+///
+/// The handle carries no client state; any client can contend on the same
+/// address. Lock owners are identified by `client.id() + 1` so a free lock
+/// (0) is never a valid owner.
+///
+/// # Examples
+///
+/// ```
+/// use farmem_fabric::FabricConfig;
+/// use farmem_alloc::{AllocHint, FarAlloc};
+/// use farmem_core::FarMutex;
+///
+/// let fabric = FabricConfig::single_node(1 << 20).build();
+/// let alloc = FarAlloc::new(fabric.clone());
+/// let mut c = fabric.client();
+/// let m = FarMutex::create(&mut c, &alloc, AllocHint::Spread).unwrap();
+/// m.lock(&mut c, 16).unwrap();   // one CAS when uncontended
+/// /* critical section on far data */
+/// m.unlock(&mut c).unwrap();
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FarMutex {
+    addr: FarAddr,
+}
+
+impl FarMutex {
+    /// Allocates a free mutex. One far access.
+    pub fn create(client: &mut FabricClient, alloc: &FarAlloc, hint: AllocHint) -> Result<FarMutex> {
+        let addr = alloc.alloc(WORD, hint)?;
+        client.write_u64(addr, FREE)?;
+        Ok(FarMutex { addr })
+    }
+
+    /// Attaches to an existing mutex at `addr`.
+    pub fn attach(addr: FarAddr) -> FarMutex {
+        FarMutex { addr }
+    }
+
+    /// The mutex's far address.
+    pub fn addr(&self) -> FarAddr {
+        self.addr
+    }
+
+    fn owner_tag(client: &FabricClient) -> u64 {
+        client.id() as u64 + 1
+    }
+
+    /// Attempts to acquire the mutex with one CAS. One far access;
+    /// returns `true` on success.
+    pub fn try_lock(&self, client: &mut FabricClient) -> Result<bool> {
+        let tag = Self::owner_tag(client);
+        Ok(client.cas(self.addr, FREE, tag)? == FREE)
+    }
+
+    /// Acquires the mutex, using an equality notification to wait for
+    /// release instead of polling far memory (§5.1).
+    ///
+    /// `max_attempts` bounds CAS retries (each retry happens only after a
+    /// release notification or an initial failure), after which
+    /// [`CoreError::LockTimeout`] is returned. The fast path is one far
+    /// access.
+    pub fn lock(&self, client: &mut FabricClient, max_attempts: u32) -> Result<()> {
+        if self.try_lock(client)? {
+            return Ok(());
+        }
+        // Contended: subscribe once, then re-CAS only when notified free.
+        let sub = client.notifye(self.addr, FREE)?;
+        let mut attempts = 1;
+        let result = loop {
+            if attempts >= max_attempts {
+                break Err(CoreError::LockTimeout);
+            }
+            // A release may have raced the subscription; check once
+            // immediately, then only on events.
+            if self.try_lock(client)? {
+                break Ok(());
+            }
+            attempts += 1;
+            // Wait for a release notification. In single-threaded virtual
+            // time the event is already queued; in threaded use, park
+            // until one is pending, then claim it.
+            if client.take_events(|e| e.sub() == Some(sub)).is_empty() {
+                client
+                    .sink()
+                    .wait_pending(std::time::Duration::from_millis(50));
+                let _ = client.take_events(|e| e.sub() == Some(sub));
+            }
+        };
+        client.unsubscribe(sub)?;
+        result
+    }
+
+    /// Releases the mutex. One far access.
+    ///
+    /// Returns [`CoreError::Corrupted`] if the word did not hold this
+    /// client's tag — unlocking a mutex one does not own is a logic error
+    /// worth surfacing loudly.
+    pub fn unlock(&self, client: &mut FabricClient) -> Result<()> {
+        let tag = Self::owner_tag(client);
+        let prev = client.cas(self.addr, tag, FREE)?;
+        if prev != tag {
+            return Err(CoreError::Corrupted("unlock of a mutex not held by this client"));
+        }
+        Ok(())
+    }
+
+    /// Runs `f` under the mutex, always releasing it afterwards.
+    pub fn with<T>(
+        &self,
+        client: &mut FabricClient,
+        max_attempts: u32,
+        f: impl FnOnce(&mut FabricClient) -> Result<T>,
+    ) -> Result<T> {
+        self.lock(client, max_attempts)?;
+        let out = f(client);
+        // Release even if `f` failed; surface the first error.
+        let rel = self.unlock(client);
+        match (out, rel) {
+            (Ok(v), Ok(())) => Ok(v),
+            (Err(e), _) => Err(e),
+            (Ok(_), Err(e)) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmem_fabric::FabricConfig;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<farmem_fabric::Fabric>, Arc<FarAlloc>) {
+        let f = FabricConfig::count_only(1 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        (f, a)
+    }
+
+    #[test]
+    fn uncontended_lock_is_one_far_access() {
+        let (f, a) = setup();
+        let mut c = f.client();
+        let m = FarMutex::create(&mut c, &a, AllocHint::Spread).unwrap();
+        let before = c.stats();
+        m.lock(&mut c, 10).unwrap();
+        assert_eq!(c.stats().since(&before).round_trips, 1);
+        m.unlock(&mut c).unwrap();
+    }
+
+    #[test]
+    fn contended_try_lock_fails_until_release() {
+        let (f, a) = setup();
+        let mut c1 = f.client();
+        let mut c2 = f.client();
+        let m = FarMutex::create(&mut c1, &a, AllocHint::Spread).unwrap();
+        assert!(m.try_lock(&mut c1).unwrap());
+        assert!(!m.try_lock(&mut c2).unwrap());
+        m.unlock(&mut c1).unwrap();
+        assert!(m.try_lock(&mut c2).unwrap());
+    }
+
+    #[test]
+    fn notification_wakes_contended_locker() {
+        let (f, a) = setup();
+        let mut holder = f.client();
+        let mut waiter = f.client();
+        let m = FarMutex::create(&mut holder, &a, AllocHint::Spread).unwrap();
+        assert!(m.try_lock(&mut holder).unwrap());
+        // Single-threaded: release first, so the waiter's event is queued
+        // by the time it enters its wait loop.
+        assert!(!m.try_lock(&mut waiter).unwrap());
+        m.unlock(&mut holder).unwrap();
+        m.lock(&mut waiter, 10).unwrap();
+        m.unlock(&mut waiter).unwrap();
+    }
+
+    #[test]
+    fn unlock_by_non_owner_is_detected() {
+        let (f, a) = setup();
+        let mut c1 = f.client();
+        let mut c2 = f.client();
+        let m = FarMutex::create(&mut c1, &a, AllocHint::Spread).unwrap();
+        assert!(m.try_lock(&mut c1).unwrap());
+        assert!(matches!(m.unlock(&mut c2), Err(CoreError::Corrupted(_))));
+        m.unlock(&mut c1).unwrap();
+    }
+
+    #[test]
+    fn with_releases_on_error() {
+        let (f, a) = setup();
+        let mut c = f.client();
+        let m = FarMutex::create(&mut c, &a, AllocHint::Spread).unwrap();
+        let r: Result<()> = m.with(&mut c, 10, |_| Err(CoreError::QueueEmpty));
+        assert!(matches!(r, Err(CoreError::QueueEmpty)));
+        assert!(m.try_lock(&mut c).unwrap(), "mutex was released");
+        m.unlock(&mut c).unwrap();
+    }
+
+    #[test]
+    fn threads_contend_correctly() {
+        let f = FabricConfig::single_node(1 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        let mut c0 = f.client();
+        let m = FarMutex::create(&mut c0, &a, AllocHint::Spread).unwrap();
+        let counter_addr = a.alloc(8, AllocHint::Spread).unwrap();
+        c0.write_u64(counter_addr, 0).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let f = f.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut c = f.client();
+                let m = FarMutex::attach(m.addr());
+                for _ in 0..50 {
+                    m.lock(&mut c, 10_000).unwrap();
+                    // Non-atomic read-modify-write protected by the mutex.
+                    let v = c.read_u64(counter_addr).unwrap();
+                    c.write_u64(counter_addr, v + 1).unwrap();
+                    m.unlock(&mut c).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c0.read_u64(counter_addr).unwrap(), 200);
+    }
+}

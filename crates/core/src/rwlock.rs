@@ -1,0 +1,239 @@
+//! Far reader-writer locks: a natural extension of the §5.1 mutex.
+//!
+//! The lock is one far word: the writer bit plus a reader count. The fast
+//! paths are single fabric atomics — **one far access** to enter or leave
+//! a read section — and contended paths wait on notifications instead of
+//! polling far memory, like the mutex.
+
+use farmem_alloc::{AllocHint, FarAlloc};
+use farmem_fabric::{FabricClient, FarAddr, WORD};
+
+use crate::error::{CoreError, Result};
+
+/// Writer-held flag (the reader count occupies the low bits).
+const WRITER: u64 = 1 << 63;
+
+/// A reader-writer lock in far memory.
+///
+/// No fairness is enforced: a steady stream of readers can starve a
+/// writer (documented trade-off; far-memory fairness needs a ticket
+/// scheme and more far state).
+///
+/// # Examples
+///
+/// ```
+/// use farmem_fabric::FabricConfig;
+/// use farmem_alloc::{AllocHint, FarAlloc};
+/// use farmem_core::FarRwLock;
+///
+/// let fabric = FabricConfig::single_node(1 << 20).build();
+/// let alloc = FarAlloc::new(fabric.clone());
+/// let mut c = fabric.client();
+/// let l = FarRwLock::create(&mut c, &alloc, AllocHint::Spread).unwrap();
+/// l.read_lock(&mut c, 16).unwrap();  // one fetch-and-add
+/// l.read_unlock(&mut c).unwrap();
+/// l.write_lock(&mut c, 16).unwrap(); // one CAS
+/// l.write_unlock(&mut c).unwrap();
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FarRwLock {
+    addr: FarAddr,
+}
+
+impl FarRwLock {
+    /// Allocates a free lock. One far access.
+    pub fn create(client: &mut FabricClient, alloc: &FarAlloc, hint: AllocHint) -> Result<FarRwLock> {
+        let addr = alloc.alloc(WORD, hint)?;
+        client.write_u64(addr, 0)?;
+        Ok(FarRwLock { addr })
+    }
+
+    /// Attaches to an existing lock at `addr`.
+    pub fn attach(addr: FarAddr) -> FarRwLock {
+        FarRwLock { addr }
+    }
+
+    /// The lock's far address.
+    pub fn addr(&self) -> FarAddr {
+        self.addr
+    }
+
+    /// Attempts to enter a read section: one fetch-and-add — **one far
+    /// access** when no writer holds the lock. On writer conflict the
+    /// optimistic increment is rolled back (one more access) and `false`
+    /// is returned.
+    pub fn try_read_lock(&self, client: &mut FabricClient) -> Result<bool> {
+        let old = client.faa(self.addr, 1)?;
+        if old & WRITER != 0 {
+            client.faa(self.addr, u64::MAX)?; // roll back
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Enters a read section, parking on a change notification while a
+    /// writer holds the lock. `max_attempts` bounds the retries.
+    pub fn read_lock(&self, client: &mut FabricClient, max_attempts: u32) -> Result<()> {
+        if self.try_read_lock(client)? {
+            return Ok(());
+        }
+        let sub = client.notify0(self.addr, WORD)?;
+        let result = (|| {
+            for _ in 1..max_attempts {
+                if self.try_read_lock(client)? {
+                    return Ok(());
+                }
+                if client.take_events(|e| e.sub() == Some(sub)).is_empty() {
+                    client.sink().wait_pending(std::time::Duration::from_millis(20));
+                    let _ = client.take_events(|e| e.sub() == Some(sub));
+                }
+            }
+            Err(CoreError::LockTimeout)
+        })();
+        client.unsubscribe(sub)?;
+        result
+    }
+
+    /// Leaves a read section. One far access.
+    pub fn read_unlock(&self, client: &mut FabricClient) -> Result<()> {
+        let old = client.faa(self.addr, u64::MAX)?;
+        if old == 0 || old & WRITER != 0 && old & !WRITER == 0 {
+            return Err(CoreError::Corrupted("read_unlock without a read lock"));
+        }
+        Ok(())
+    }
+
+    /// Attempts to take the write lock: one CAS (free → writer).
+    /// **One far access**; fails if any reader or writer is inside.
+    pub fn try_write_lock(&self, client: &mut FabricClient) -> Result<bool> {
+        Ok(client.cas(self.addr, 0, WRITER)? == 0)
+    }
+
+    /// Takes the write lock, parking on change notifications while the
+    /// lock is busy.
+    pub fn write_lock(&self, client: &mut FabricClient, max_attempts: u32) -> Result<()> {
+        if self.try_write_lock(client)? {
+            return Ok(());
+        }
+        let sub = client.notifye(self.addr, 0)?;
+        let result = (|| {
+            for _ in 1..max_attempts {
+                if self.try_write_lock(client)? {
+                    return Ok(());
+                }
+                if client.take_events(|e| e.sub() == Some(sub)).is_empty() {
+                    client.sink().wait_pending(std::time::Duration::from_millis(20));
+                    let _ = client.take_events(|e| e.sub() == Some(sub));
+                }
+            }
+            Err(CoreError::LockTimeout)
+        })();
+        client.unsubscribe(sub)?;
+        result
+    }
+
+    /// Releases the write lock. One far access.
+    pub fn write_unlock(&self, client: &mut FabricClient) -> Result<()> {
+        if client.cas(self.addr, WRITER, 0)? != WRITER {
+            return Err(CoreError::Corrupted("write_unlock without the write lock"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmem_fabric::FabricConfig;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<farmem_fabric::Fabric>, Arc<FarAlloc>) {
+        let f = FabricConfig::count_only(1 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        (f, a)
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let (f, a) = setup();
+        let mut r1 = f.client();
+        let mut r2 = f.client();
+        let mut w = f.client();
+        let l = FarRwLock::create(&mut r1, &a, AllocHint::Spread).unwrap();
+        assert!(l.try_read_lock(&mut r1).unwrap());
+        assert!(l.try_read_lock(&mut r2).unwrap(), "readers share");
+        assert!(!l.try_write_lock(&mut w).unwrap(), "writer excluded");
+        l.read_unlock(&mut r1).unwrap();
+        assert!(!l.try_write_lock(&mut w).unwrap(), "one reader remains");
+        l.read_unlock(&mut r2).unwrap();
+        assert!(l.try_write_lock(&mut w).unwrap());
+        assert!(!l.try_read_lock(&mut r1).unwrap(), "readers excluded by writer");
+        l.write_unlock(&mut w).unwrap();
+    }
+
+    #[test]
+    fn read_fast_path_is_one_far_access() {
+        let (f, a) = setup();
+        let mut c = f.client();
+        let l = FarRwLock::create(&mut c, &a, AllocHint::Spread).unwrap();
+        let before = c.stats();
+        l.read_lock(&mut c, 10).unwrap();
+        assert_eq!(c.stats().since(&before).round_trips, 1);
+        let before = c.stats();
+        l.read_unlock(&mut c).unwrap();
+        assert_eq!(c.stats().since(&before).round_trips, 1);
+    }
+
+    #[test]
+    fn bad_unlocks_detected() {
+        let (f, a) = setup();
+        let mut c = f.client();
+        let l = FarRwLock::create(&mut c, &a, AllocHint::Spread).unwrap();
+        assert!(matches!(l.read_unlock(&mut c), Err(CoreError::Corrupted(_))));
+        assert!(matches!(l.write_unlock(&mut c), Err(CoreError::Corrupted(_))));
+    }
+
+    #[test]
+    fn threads_respect_exclusion() {
+        let f = FabricConfig::single_node(1 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        let mut c0 = f.client();
+        let l = FarRwLock::create(&mut c0, &a, AllocHint::Spread).unwrap();
+        let cell = a.alloc(8, AllocHint::Spread).unwrap();
+        c0.write_u64(cell, 0).unwrap();
+        let mut handles = Vec::new();
+        // Two writers increment under the write lock; two readers verify
+        // they never observe a torn intermediate (odd marker) state.
+        for _ in 0..2 {
+            let f = f.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut c = f.client();
+                let l = FarRwLock::attach(l.addr());
+                for _ in 0..100 {
+                    l.write_lock(&mut c, 100_000).unwrap();
+                    let v = c.read_u64(cell).unwrap();
+                    c.write_u64(cell, v + 1).unwrap(); // odd: mid-update
+                    c.write_u64(cell, v + 2).unwrap(); // even: settled
+                    l.write_unlock(&mut c).unwrap();
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let f = f.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut c = f.client();
+                let l = FarRwLock::attach(l.addr());
+                for _ in 0..200 {
+                    l.read_lock(&mut c, 100_000).unwrap();
+                    let v = c.read_u64(cell).unwrap();
+                    assert_eq!(v % 2, 0, "readers never see a mid-update value");
+                    l.read_unlock(&mut c).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c0.read_u64(cell).unwrap(), 400);
+    }
+}

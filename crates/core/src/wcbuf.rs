@@ -1,0 +1,215 @@
+//! Write combining: trading far accesses for near accesses on the write
+//! path (§3.1's central advice).
+//!
+//! A single-writer producer that updates many far locations — metrics,
+//! model parameters, log records — can stage its writes in near memory
+//! and flush them as one scatter (§4.2): `n` logical writes become one
+//! far access. The cost is the §3.2 freshness dimension: staged writes
+//! are invisible to other clients until the flush, so this fits
+//! single-writer structures with relaxed freshness.
+
+use std::collections::BTreeMap;
+
+use farmem_fabric::{FabricClient, FarAddr, FarIov, WORD};
+
+use crate::error::{CoreError, Result};
+
+/// Statistics of one write-combining buffer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WcStats {
+    /// Logical word writes staged.
+    pub staged: u64,
+    /// Staged writes that overwrote an already-staged word (absorbed for
+    /// free — zero far cost).
+    pub absorbed: u64,
+    /// Flushes issued.
+    pub flushes: u64,
+    /// Contiguous runs written across all flushes (fabric messages).
+    pub runs: u64,
+}
+
+/// A near-memory staging buffer for far word writes.
+///
+/// Writes accumulate locally (near accesses); [`WriteCombiner::flush`]
+/// coalesces adjacent words into contiguous runs and issues them as one
+/// `wscatter` — **one far access** regardless of how many words were
+/// staged.
+///
+/// # Examples
+///
+/// ```
+/// use farmem_fabric::{FabricConfig, FarAddr};
+/// use farmem_core::WriteCombiner;
+///
+/// let fabric = FabricConfig::single_node(1 << 20).build();
+/// let mut c = fabric.client();
+/// let mut wc = WriteCombiner::new(64);
+/// for i in 0..10u64 {
+///     wc.write(&mut c, FarAddr(4096 + i * 8), i).unwrap(); // near-only
+/// }
+/// let before = c.stats();
+/// wc.flush(&mut c).unwrap(); // ONE far access for all ten words
+/// assert_eq!(c.stats().since(&before).round_trips, 1);
+/// ```
+pub struct WriteCombiner {
+    pending: BTreeMap<u64, u64>,
+    capacity: usize,
+    stats: WcStats,
+}
+
+impl WriteCombiner {
+    /// Creates a buffer that auto-flushes via [`WriteCombiner::write`]'s
+    /// return value once `capacity` distinct words are staged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (configuration error).
+    pub fn new(capacity: usize) -> WriteCombiner {
+        assert!(capacity > 0, "write combiner needs capacity");
+        WriteCombiner { pending: BTreeMap::new(), capacity, stats: WcStats::default() }
+    }
+
+    /// Stages a word write (a near access — zero far cost). Returns `true`
+    /// when the buffer is at capacity and should be flushed.
+    pub fn write(&mut self, client: &mut FabricClient, addr: FarAddr, value: u64) -> Result<bool> {
+        if !addr.is_aligned(WORD) {
+            return Err(CoreError::BadConfig("write combiner stages aligned words"));
+        }
+        client.near_access();
+        self.stats.staged += 1;
+        if self.pending.insert(addr.0, value).is_some() {
+            self.stats.absorbed += 1;
+        }
+        Ok(self.pending.len() >= self.capacity)
+    }
+
+    /// Number of distinct words currently staged.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Buffer statistics.
+    pub fn stats(&self) -> WcStats {
+        self.stats
+    }
+
+    /// Flushes every staged write in **one far access**: adjacent words
+    /// merge into contiguous runs, and all runs go out in a single
+    /// `wscatter`.
+    pub fn flush(&mut self, client: &mut FabricClient) -> Result<usize> {
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        let mut iov: Vec<FarIov> = Vec::new();
+        let mut payload: Vec<u8> = Vec::with_capacity(self.pending.len() * 8);
+        let mut run_start: Option<u64> = None;
+        let mut run_len = 0u64;
+        for (&addr, &value) in &self.pending {
+            match run_start {
+                Some(start) if start + run_len * WORD == addr => {
+                    run_len += 1;
+                }
+                Some(start) => {
+                    iov.push(FarIov::new(FarAddr(start), run_len * WORD));
+                    run_start = Some(addr);
+                    run_len = 1;
+                }
+                None => {
+                    run_start = Some(addr);
+                    run_len = 1;
+                }
+            }
+            payload.extend_from_slice(&value.to_le_bytes());
+        }
+        if let Some(start) = run_start {
+            iov.push(FarIov::new(FarAddr(start), run_len * WORD));
+        }
+        client.wscatter(&iov, &payload)?;
+        let flushed = self.pending.len();
+        self.stats.flushes += 1;
+        self.stats.runs += iov.len() as u64;
+        self.pending.clear();
+        Ok(flushed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmem_fabric::FabricConfig;
+
+    #[test]
+    fn staged_writes_land_after_flush_in_one_far_access() {
+        let f = FabricConfig::count_only(16 << 20).build();
+        let mut c = f.client();
+        let mut wc = WriteCombiner::new(64);
+        let before = c.stats();
+        for i in 0..20u64 {
+            wc.write(&mut c, FarAddr(4096 + i * 16), i + 1).unwrap();
+        }
+        assert_eq!(c.stats().since(&before).round_trips, 0, "staging is near-only");
+        // Nothing visible yet.
+        assert_eq!(c.read_u64(FarAddr(4096)).unwrap(), 0);
+        let before = c.stats();
+        assert_eq!(wc.flush(&mut c).unwrap(), 20);
+        assert_eq!(c.stats().since(&before).round_trips, 1, "one scatter");
+        for i in 0..20u64 {
+            assert_eq!(c.read_u64(FarAddr(4096 + i * 16)).unwrap(), i + 1);
+        }
+    }
+
+    #[test]
+    fn adjacent_words_merge_into_runs() {
+        let f = FabricConfig::count_only(16 << 20).build();
+        let mut c = f.client();
+        let mut wc = WriteCombiner::new(64);
+        // Two contiguous runs: [4096..4096+4w) and [8192..8192+2w).
+        for i in 0..4u64 {
+            wc.write(&mut c, FarAddr(4096 + i * 8), i).unwrap();
+        }
+        wc.write(&mut c, FarAddr(8192), 10).unwrap();
+        wc.write(&mut c, FarAddr(8200), 11).unwrap();
+        wc.flush(&mut c).unwrap();
+        assert_eq!(wc.stats().runs, 2, "six words, two contiguous runs");
+        assert_eq!(c.read_u64(FarAddr(4120)).unwrap(), 3);
+        assert_eq!(c.read_u64(FarAddr(8200)).unwrap(), 11);
+    }
+
+    #[test]
+    fn rewrites_are_absorbed_for_free() {
+        let f = FabricConfig::count_only(16 << 20).build();
+        let mut c = f.client();
+        let mut wc = WriteCombiner::new(64);
+        for v in 0..100u64 {
+            wc.write(&mut c, FarAddr(4096), v).unwrap();
+        }
+        assert_eq!(wc.stats().absorbed, 99);
+        assert_eq!(wc.pending(), 1);
+        wc.flush(&mut c).unwrap();
+        assert_eq!(c.read_u64(FarAddr(4096)).unwrap(), 99, "last write wins");
+    }
+
+    #[test]
+    fn capacity_signals_flush_time() {
+        let f = FabricConfig::count_only(16 << 20).build();
+        let mut c = f.client();
+        let mut wc = WriteCombiner::new(4);
+        for i in 0..3u64 {
+            assert!(!wc.write(&mut c, FarAddr(4096 + i * 8), i).unwrap());
+        }
+        assert!(wc.write(&mut c, FarAddr(8192), 9).unwrap(), "at capacity");
+        wc.flush(&mut c).unwrap();
+        assert_eq!(wc.pending(), 0);
+    }
+
+    #[test]
+    fn unaligned_writes_rejected_and_empty_flush_free() {
+        let f = FabricConfig::count_only(16 << 20).build();
+        let mut c = f.client();
+        let mut wc = WriteCombiner::new(4);
+        assert!(wc.write(&mut c, FarAddr(4097), 1).is_err());
+        let before = c.stats();
+        assert_eq!(wc.flush(&mut c).unwrap(), 0);
+        assert_eq!(c.stats().since(&before).round_trips, 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Software notification brokers and subscription coarsening (§7.2).
+//!
+//! A hardware implementation of notifications must scale in the number of
+//! subscribers and subscriptions. The paper proposes a software–hardware
+//! co-design: the *hardware* subscribers are a small number of compute
+//! nodes or dedicated brokers, and a software layer routes notifications
+//! onward. It also proposes increasing the spatial granularity of hardware
+//! subscriptions — two subscriptions on nearby ranges become one on an
+//! encompassing range — at the price of false positives that either the
+//! subscriber checks, or the notification's trigger information resolves.
+//!
+//! [`Broker`] implements both ideas and exposes counters so experiment E9
+//! can quantify the trade-offs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::addr::{FarAddr, PAGE, WORD};
+use crate::client::FabricClient;
+use crate::error::Result;
+use crate::notify::{DeliveryPolicy, Event, EventSink, SubId};
+
+/// A software subscriber registered with a broker.
+#[derive(Clone)]
+struct SoftSub {
+    /// Range the subscriber actually asked for.
+    addr: FarAddr,
+    len: u64,
+    sink: Arc<EventSink>,
+}
+
+/// One hardware subscription owned by the broker, covering the ranges of
+/// several software subscribers on the same page.
+struct Route {
+    hw_sub: SubId,
+    /// Encompassing range currently registered in hardware.
+    addr: FarAddr,
+    len: u64,
+    subs: Vec<SoftSub>,
+}
+
+/// Delivery/routing counters for one broker.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Hardware events the broker consumed.
+    pub hw_events: u64,
+    /// Events routed to software subscribers.
+    pub routed: u64,
+    /// Deliveries suppressed because the trigger information proved the
+    /// subscriber's own range was untouched (a false positive resolved in
+    /// software for free).
+    pub filtered_false_positives: u64,
+    /// Deliveries made *without* trigger information to subscribers whose
+    /// range may not have changed — the subscriber must check (§7.2).
+    pub unverified_deliveries: u64,
+    /// `Lost` warnings propagated to all subscribers of this broker.
+    pub lost_warnings: u64,
+}
+
+/// A pub-sub broker: one hardware subscriber fanning notifications out to
+/// many software subscribers (§7.2).
+///
+/// # Examples
+///
+/// ```
+/// use farmem_fabric::{Broker, FabricConfig, FarAddr};
+///
+/// let fabric = FabricConfig::single_node(1 << 20).build();
+/// let mut writer = fabric.client();
+/// let mut broker = Broker::new(fabric.client(), true); // coarsening on
+/// let dashboard = broker.make_subscriber_sink(1);
+/// broker.subscribe(FarAddr(4096), 8, dashboard.clone()).unwrap();
+/// writer.write_u64(FarAddr(4096), 7).unwrap();
+/// broker.pump();
+/// assert!(dashboard.try_recv().is_some());
+/// ```
+pub struct Broker {
+    client: FabricClient,
+    /// Routes keyed by page, one hardware subscription per page when
+    /// coarsening, else one per software subscription.
+    routes: HashMap<u64, Vec<Route>>,
+    coarsen: bool,
+    stats: BrokerStats,
+}
+
+impl Broker {
+    /// Creates a broker using `client` as its hardware subscriber.
+    ///
+    /// With `coarsen` set, software subscriptions landing on the same page
+    /// share (and widen) a single hardware subscription.
+    pub fn new(client: FabricClient, coarsen: bool) -> Broker {
+        Broker { client, routes: HashMap::new(), coarsen, stats: BrokerStats::default() }
+    }
+
+    /// Creates a sink suitable for handing to [`Broker::subscribe`].
+    pub fn make_subscriber_sink(&self, seed: u64) -> Arc<EventSink> {
+        EventSink::new(DeliveryPolicy::COALESCING, seed)
+    }
+
+    /// Registers a software subscription on `[addr, addr+len)`, installing
+    /// or widening a hardware subscription as needed.
+    pub fn subscribe(&mut self, addr: FarAddr, len: u64, sink: Arc<EventSink>) -> Result<()> {
+        let page = addr.0 / PAGE;
+        let soft = SoftSub { addr, len, sink };
+        let routes = self.routes.entry(page).or_default();
+        if self.coarsen {
+            if let Some(route) = routes.first_mut() {
+                // Widen the existing hardware subscription to the
+                // encompassing, word-aligned range.
+                let start = route.addr.0.min(addr.0) / WORD * WORD;
+                let end = (route.addr.0 + route.len).max(addr.0 + len);
+                let end = end.div_ceil(WORD) * WORD;
+                if start != route.addr.0 || end != route.addr.0 + route.len {
+                    self.client.unsubscribe(route.hw_sub)?;
+                    route.hw_sub = self.client.notify0(FarAddr(start), end - start)?;
+                    route.addr = FarAddr(start);
+                    route.len = end - start;
+                }
+                route.subs.push(soft);
+                return Ok(());
+            }
+        }
+        let hw_sub = self.client.notify0(addr, len)?;
+        routes.push(Route { hw_sub, addr, len, subs: vec![soft] });
+        Ok(())
+    }
+
+    /// Number of hardware subscriptions currently held.
+    pub fn hw_subscriptions(&self) -> usize {
+        self.routes.values().map(|v| v.len()).sum()
+    }
+
+    /// Total number of software subscribers.
+    pub fn soft_subscriptions(&self) -> usize {
+        self.routes.values().flat_map(|v| v.iter()).map(|r| r.subs.len()).sum()
+    }
+
+    /// Routing counters.
+    pub fn stats(&self) -> BrokerStats {
+        self.stats
+    }
+
+    /// Drains hardware events and routes them to software subscribers;
+    /// returns the number of hardware events processed.
+    ///
+    /// With trigger information available (the fabric's `carry_trigger`
+    /// setting), the broker filters false positives exactly; without it,
+    /// every subscriber on the route is notified and must check its own
+    /// data (both paths are counted in [`BrokerStats`]).
+    pub fn pump(&mut self) -> usize {
+        let events = self.client.recv_events();
+        let n = events.len();
+        for event in events {
+            match &event {
+                Event::Lost { .. } => {
+                    self.stats.lost_warnings += 1;
+                    for routes in self.routes.values() {
+                        for route in routes {
+                            for sub in &route.subs {
+                                sub.sink.deliver(event.clone());
+                            }
+                        }
+                    }
+                }
+                Event::Changed { sub, trigger, .. } => {
+                    self.stats.hw_events += 1;
+                    let route = self
+                        .routes
+                        .values()
+                        .flat_map(|v| v.iter())
+                        .find(|r| r.hw_sub == *sub);
+                    let Some(route) = route else { continue };
+                    for soft in &route.subs {
+                        match trigger {
+                            Some((t_addr, t_len)) => {
+                                let overlap = t_addr.0 < soft.addr.0 + soft.len
+                                    && soft.addr.0 < t_addr.0 + t_len;
+                                if overlap {
+                                    soft.sink.deliver(event.clone());
+                                    self.stats.routed += 1;
+                                } else {
+                                    self.stats.filtered_false_positives += 1;
+                                }
+                            }
+                            None => {
+                                soft.sink.deliver(event.clone());
+                                self.stats.routed += 1;
+                                self.stats.unverified_deliveries += 1;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    self.stats.hw_events += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FabricConfig;
+
+    #[test]
+    fn broker_routes_to_matching_subscriber_only() {
+        let f = FabricConfig::single_node(1 << 20).build();
+        let mut writer = f.client();
+        let mut broker = Broker::new(f.client(), true);
+        let s1 = broker.make_subscriber_sink(1);
+        let s2 = broker.make_subscriber_sink(2);
+        broker.subscribe(FarAddr(4096), 8, s1.clone()).unwrap();
+        broker.subscribe(FarAddr(4096 + 512), 8, s2.clone()).unwrap();
+        // Coarsening merged the two into one hardware subscription.
+        assert_eq!(broker.hw_subscriptions(), 1);
+        assert_eq!(broker.soft_subscriptions(), 2);
+
+        writer.write_u64(FarAddr(4096 + 512), 1).unwrap();
+        broker.pump();
+        assert!(s1.try_recv().is_none(), "trigger info filters s1 out");
+        assert!(s2.try_recv().is_some());
+        let st = broker.stats();
+        assert_eq!(st.routed, 1);
+        assert_eq!(st.filtered_false_positives, 1);
+    }
+
+    #[test]
+    fn without_trigger_info_false_positives_reach_subscribers() {
+        let f = FabricConfig { carry_trigger: false, ..FabricConfig::single_node(1 << 20) }
+            .build();
+        let mut writer = f.client();
+        let mut broker = Broker::new(f.client(), true);
+        let s1 = broker.make_subscriber_sink(1);
+        let s2 = broker.make_subscriber_sink(2);
+        broker.subscribe(FarAddr(4096), 8, s1.clone()).unwrap();
+        broker.subscribe(FarAddr(4096 + 512), 8, s2.clone()).unwrap();
+        writer.write_u64(FarAddr(4096 + 512), 1).unwrap();
+        broker.pump();
+        assert!(s1.try_recv().is_some(), "s1 gets a false positive to check");
+        assert!(s2.try_recv().is_some());
+        assert_eq!(broker.stats().unverified_deliveries, 2);
+    }
+
+    #[test]
+    fn uncoarsened_broker_keeps_one_hw_sub_per_range() {
+        let f = FabricConfig::single_node(1 << 20).build();
+        let mut broker = Broker::new(f.client(), false);
+        let s = broker.make_subscriber_sink(3);
+        broker.subscribe(FarAddr(4096), 8, s.clone()).unwrap();
+        broker.subscribe(FarAddr(4096 + 512), 8, s).unwrap();
+        assert_eq!(broker.hw_subscriptions(), 2);
+    }
+}

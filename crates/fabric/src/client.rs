@@ -1,0 +1,676 @@
+//! The client adapter: the compute-node end of the fabric.
+//!
+//! A [`FabricClient`] models one compute node's fabric interface. It issues
+//! one-sided verbs (loads, stores, atomics — §2 — plus the extended verbs
+//! of Fig. 1 implemented in [`crate::ext`]), charges the cost model against
+//! its own virtual clock, and accounts every far access in its
+//! [`AccessStats`].
+//!
+//! # Fenced batches
+//!
+//! The memory fabric can enforce ordering constraints via request
+//! completion queues (§2). [`FabricClient::batch`] models this: a batch of
+//! independent verbs is issued back-to-back, the fabric applies them in
+//! order, and the client observes a single round trip of latency. Batches
+//! count one `round_trip` but one `message` per constituent verb, keeping
+//! the accounting auditable.
+
+use std::sync::Arc;
+
+use crate::addr::{FarAddr, WORD};
+use crate::cost::SimClock;
+use crate::error::{FabricError, Result};
+use crate::fabric::Fabric;
+use crate::notify::{Event, EventSink, SubId, SubKind};
+use crate::stats::AccessStats;
+
+/// One compute node's far-memory adapter.
+pub struct FabricClient {
+    fabric: Arc<Fabric>,
+    id: u32,
+    clock: SimClock,
+    stats: AccessStats,
+    sink: Arc<EventSink>,
+    /// Events drained from the sink but not yet claimed by a consumer —
+    /// lets several data structures share one client without stealing each
+    /// other's notifications (see [`FabricClient::take_events`]).
+    pending: Vec<Event>,
+}
+
+/// One verb inside a fenced batch.
+#[derive(Clone, Debug)]
+pub enum BatchOp<'a> {
+    /// Read `len` bytes at `addr`.
+    Read {
+        /// Source far address.
+        addr: FarAddr,
+        /// Bytes to read.
+        len: u64,
+    },
+    /// Write `data` at `addr`.
+    Write {
+        /// Destination far address.
+        addr: FarAddr,
+        /// Bytes to write.
+        data: &'a [u8],
+    },
+    /// Compare-and-swap the word at `addr`.
+    Cas {
+        /// Word address.
+        addr: FarAddr,
+        /// Expected value.
+        expected: u64,
+        /// Replacement value.
+        new: u64,
+    },
+    /// Fetch-and-add on the word at `addr`.
+    Faa {
+        /// Word address.
+        addr: FarAddr,
+        /// Added value (wrapping).
+        delta: u64,
+    },
+}
+
+/// Result of one verb inside a fenced batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchOut {
+    /// Bytes returned by a `Read`.
+    Bytes(Vec<u8>),
+    /// Previous word value returned by `Cas` or `Faa`.
+    Value(u64),
+    /// A `Write` completed.
+    Done,
+}
+
+impl BatchOut {
+    /// The previous word value, for `Cas`/`Faa` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is not a value; batch authors know the shape of
+    /// their own batches.
+    pub fn value(&self) -> u64 {
+        match self {
+            BatchOut::Value(v) => *v,
+            other => panic!("batch output {other:?} is not a value"),
+        }
+    }
+
+    /// The returned bytes, for `Read` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is not bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            BatchOut::Bytes(b) => b,
+            other => panic!("batch output {other:?} is not bytes"),
+        }
+    }
+}
+
+impl FabricClient {
+    pub(crate) fn new(fabric: Arc<Fabric>, id: u32) -> FabricClient {
+        let policy = fabric.config().delivery;
+        let seed =
+            fabric.config().seed ^ (id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let sink = EventSink::new(policy, seed);
+        FabricClient {
+            fabric,
+            id,
+            clock: SimClock::new(),
+            stats: AccessStats::new(),
+            sink,
+            pending: Vec::new(),
+        }
+    }
+
+    /// This client's identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The fabric this client is attached to.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// Current virtual time at this client.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Advances this client's clock by `ns` of local compute time.
+    pub fn advance_time(&mut self, ns: u64) {
+        self.clock.advance(ns);
+    }
+
+    /// Snapshot of the access counters.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// The client's notification queue.
+    pub fn sink(&self) -> &Arc<EventSink> {
+        &self.sink
+    }
+
+    /// Charges one near (client-local) access — a cache hit.
+    #[inline]
+    pub fn near_access(&mut self) {
+        self.stats.near_accesses += 1;
+        self.clock.advance(self.fabric.cost().near_ns);
+    }
+
+    /// Charges `n` near accesses at once.
+    pub fn near_accesses(&mut self, n: u64) {
+        self.stats.near_accesses += n;
+        self.clock.advance(self.fabric.cost().near_ns * n);
+    }
+
+    // ----- internal timing helpers (shared with `crate::ext`) -----
+
+    /// Virtual time at which a message issued now arrives at a node.
+    pub(crate) fn arrival(&self) -> u64 {
+        self.clock.now() + self.fabric.cost().one_way_ns()
+    }
+
+    /// Completes one dependent round trip whose last node-side event
+    /// happened at `node_finish`.
+    pub(crate) fn finish_rt(&mut self, node_finish: u64) {
+        self.clock
+            .advance_to(node_finish + self.fabric.cost().one_way_ns());
+        self.stats.round_trips += 1;
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut AccessStats {
+        &mut self.stats
+    }
+
+    /// Executes a read of `[addr, addr+len)` arriving at `arrival`,
+    /// returning `(bytes, node_finish)`. Counts messages/bytes, not RTs.
+    pub(crate) fn exec_read(
+        &mut self,
+        addr: FarAddr,
+        len: u64,
+        arrival: u64,
+    ) -> Result<(Vec<u8>, u64)> {
+        let cost = *self.fabric.cost();
+        let segs = self.fabric.segments(addr, len)?;
+        let mut buf = vec![0u8; len as usize];
+        let mut finish = arrival;
+        let mut done = 0usize;
+        for seg in &segs {
+            let node = self.fabric.node(seg.node);
+            node.check_alive()?;
+            let service = cost.node_msg_ns + cost.bytes_ns(seg.len);
+            let f = node.occupy(arrival, service);
+            node.read_bytes(seg.offset, &mut buf[done..done + seg.len as usize])?;
+            done += seg.len as usize;
+            finish = finish.max(f);
+        }
+        self.stats.messages += segs.len() as u64;
+        self.stats.bytes_read += len;
+        Ok((buf, finish))
+    }
+
+    /// Executes a write of `data` at `addr` arriving at `arrival`,
+    /// returning the node-side finish time. Fires notifications.
+    pub(crate) fn exec_write(&mut self, addr: FarAddr, data: &[u8], arrival: u64) -> Result<u64> {
+        let cost = *self.fabric.cost();
+        let len = data.len() as u64;
+        let segs = self.fabric.segments(addr, len)?;
+        let mut finish = arrival;
+        let mut done = 0usize;
+        for seg in &segs {
+            let node = self.fabric.node(seg.node);
+            node.check_alive()?;
+            let service = cost.node_msg_ns + cost.bytes_ns(seg.len);
+            let f = node.occupy(arrival, service);
+            node.write_bytes(seg.offset, &data[done..done + seg.len as usize])?;
+            self.fabric.fire(seg.node, seg.offset, seg.len, f);
+            done += seg.len as usize;
+            finish = finish.max(f);
+        }
+        self.stats.messages += segs.len() as u64;
+        self.stats.bytes_written += len;
+        Ok(finish)
+    }
+
+    /// Locates the single word at `addr` (words never span nodes because
+    /// stripes are page multiples).
+    pub(crate) fn word_home(&self, addr: FarAddr) -> Result<(crate::addr::NodeId, u64)> {
+        if !addr.is_aligned(WORD) {
+            return Err(FabricError::Unaligned { addr, required: WORD });
+        }
+        self.fabric.map().check(addr, WORD)?;
+        Ok(self.fabric.map().locate(addr))
+    }
+
+    /// Executes a word read arriving at `arrival`; returns `(value, finish)`.
+    pub(crate) fn exec_read_u64(&mut self, addr: FarAddr, arrival: u64) -> Result<(u64, u64)> {
+        let cost = *self.fabric.cost();
+        let (nid, off) = self.word_home(addr)?;
+        let node = self.fabric.node(nid);
+        node.check_alive()?;
+        let f = node.occupy(arrival, cost.node_msg_ns + cost.bytes_ns(WORD));
+        let v = node.read_u64(off)?;
+        self.stats.messages += 1;
+        self.stats.bytes_read += WORD;
+        Ok((v, f))
+    }
+
+    /// Executes a word write arriving at `arrival`; returns the finish time.
+    pub(crate) fn exec_write_u64(&mut self, addr: FarAddr, value: u64, arrival: u64) -> Result<u64> {
+        let cost = *self.fabric.cost();
+        let (nid, off) = self.word_home(addr)?;
+        let node = self.fabric.node(nid);
+        node.check_alive()?;
+        let f = node.occupy(arrival, cost.node_msg_ns + cost.bytes_ns(WORD));
+        node.write_u64(off, value)?;
+        self.fabric.fire(nid, off, WORD, f);
+        self.stats.messages += 1;
+        self.stats.bytes_written += WORD;
+        Ok(f)
+    }
+
+    /// Executes a CAS arriving at `arrival`; returns `(previous, finish)`.
+    pub(crate) fn exec_cas(
+        &mut self,
+        addr: FarAddr,
+        expected: u64,
+        new: u64,
+        arrival: u64,
+    ) -> Result<(u64, u64)> {
+        let cost = *self.fabric.cost();
+        let (nid, off) = self.word_home(addr)?;
+        let node = self.fabric.node(nid);
+        node.check_alive()?;
+        let f = node.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
+        let prev = node.cas_u64(off, expected, new)?;
+        if prev == expected {
+            self.fabric.fire(nid, off, WORD, f);
+        }
+        self.stats.messages += 1;
+        self.stats.atomics += 1;
+        Ok((prev, f))
+    }
+
+    /// Executes a fetch-and-add arriving at `arrival`; returns
+    /// `(previous, finish)`.
+    pub(crate) fn exec_faa(
+        &mut self,
+        addr: FarAddr,
+        delta: u64,
+        arrival: u64,
+    ) -> Result<(u64, u64)> {
+        let cost = *self.fabric.cost();
+        let (nid, off) = self.word_home(addr)?;
+        let node = self.fabric.node(nid);
+        node.check_alive()?;
+        let f = node.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
+        let prev = node.faa_u64(off, delta)?;
+        self.fabric.fire(nid, off, WORD, f);
+        self.stats.messages += 1;
+        self.stats.atomics += 1;
+        Ok((prev, f))
+    }
+
+    // ----- public one-sided verbs (§2 baseline set) -----
+
+    /// One-sided read of `len` bytes at `addr`. One far access.
+    pub fn read(&mut self, addr: FarAddr, len: u64) -> Result<Vec<u8>> {
+        let arrival = self.arrival();
+        let (buf, finish) = self.exec_read(addr, len, arrival)?;
+        self.finish_rt(finish);
+        Ok(buf)
+    }
+
+    /// One-sided write of `data` at `addr`. One far access.
+    pub fn write(&mut self, addr: FarAddr, data: &[u8]) -> Result<()> {
+        let arrival = self.arrival();
+        let finish = self.exec_write(addr, data, arrival)?;
+        self.finish_rt(finish);
+        Ok(())
+    }
+
+    /// One-sided read of the aligned word at `addr`. One far access.
+    pub fn read_u64(&mut self, addr: FarAddr) -> Result<u64> {
+        let arrival = self.arrival();
+        let (v, finish) = self.exec_read_u64(addr, arrival)?;
+        self.finish_rt(finish);
+        Ok(v)
+    }
+
+    /// One-sided write of the aligned word at `addr`. One far access.
+    pub fn write_u64(&mut self, addr: FarAddr, value: u64) -> Result<()> {
+        let arrival = self.arrival();
+        let finish = self.exec_write_u64(addr, value, arrival)?;
+        self.finish_rt(finish);
+        Ok(())
+    }
+
+    /// Fabric-level compare-and-swap (§2); returns the previous value.
+    /// One far access.
+    pub fn cas(&mut self, addr: FarAddr, expected: u64, new: u64) -> Result<u64> {
+        let arrival = self.arrival();
+        let (prev, finish) = self.exec_cas(addr, expected, new, arrival)?;
+        self.finish_rt(finish);
+        Ok(prev)
+    }
+
+    /// Fabric-level fetch-and-add (§2); returns the previous value.
+    /// One far access.
+    pub fn faa(&mut self, addr: FarAddr, delta: u64) -> Result<u64> {
+        let arrival = self.arrival();
+        let (prev, finish) = self.exec_faa(addr, delta, arrival)?;
+        self.finish_rt(finish);
+        Ok(prev)
+    }
+
+    /// Issues a fenced batch: the verbs are applied in order (the fabric's
+    /// completion queue enforces the barrier, §2) and the whole batch costs
+    /// one dependent round trip.
+    pub fn batch(&mut self, ops: &[BatchOp<'_>]) -> Result<Vec<BatchOut>> {
+        let arrival = self.arrival();
+        let mut out = Vec::with_capacity(ops.len());
+        let mut finish = arrival;
+        for op in ops {
+            let f = match op {
+                BatchOp::Read { addr, len } => {
+                    let (buf, f) = self.exec_read(*addr, *len, arrival)?;
+                    out.push(BatchOut::Bytes(buf));
+                    f
+                }
+                BatchOp::Write { addr, data } => {
+                    let f = self.exec_write(*addr, data, arrival)?;
+                    out.push(BatchOut::Done);
+                    f
+                }
+                BatchOp::Cas { addr, expected, new } => {
+                    let (prev, f) = self.exec_cas(*addr, *expected, *new, arrival)?;
+                    out.push(BatchOut::Value(prev));
+                    f
+                }
+                BatchOp::Faa { addr, delta } => {
+                    let (prev, f) = self.exec_faa(*addr, *delta, arrival)?;
+                    out.push(BatchOut::Value(prev));
+                    f
+                }
+            };
+            finish = finish.max(f);
+        }
+        self.finish_rt(finish);
+        Ok(out)
+    }
+
+    /// Posts an *unsignaled* word write: the message is issued and the
+    /// client continues without waiting for a completion, so no dependent
+    /// round trip is charged — only issue overhead. Real fabrics offer
+    /// exactly this (unsignaled RDMA writes); the §5.3 queue uses it to
+    /// zero consumed slots off the critical path.
+    ///
+    /// The write is applied (and notifications fire) before this call
+    /// returns, which over-approximates real visibility: a posted write is
+    /// visible no later than the client's next fenced operation.
+    pub fn post_write_u64(&mut self, addr: FarAddr, value: u64) -> Result<()> {
+        let cost = *self.fabric.cost();
+        let arrival = self.arrival();
+        let (nid, off) = self.word_home(addr)?;
+        let node = self.fabric.node(nid);
+        node.check_alive()?;
+        let f = node.occupy(arrival, cost.node_msg_ns + cost.bytes_ns(WORD));
+        node.write_u64(off, value)?;
+        self.fabric.fire(nid, off, WORD, f);
+        self.stats.messages += 1;
+        self.stats.posted_messages += 1;
+        self.stats.bytes_written += WORD;
+        // Issue overhead only: the client does not wait for the completion.
+        self.clock.advance(cost.near_ns);
+        Ok(())
+    }
+
+    /// Posts an *unsignaled* fetch-and-add (result discarded): used for
+    /// background statistics counters (e.g. the HT-tree's collision and
+    /// item counts, §5.2) that must not cost a dependent round trip.
+    pub fn post_faa_u64(&mut self, addr: FarAddr, delta: u64) -> Result<()> {
+        let cost = *self.fabric.cost();
+        let arrival = self.arrival();
+        let (nid, off) = self.word_home(addr)?;
+        let node = self.fabric.node(nid);
+        node.check_alive()?;
+        let f = node.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
+        node.faa_u64(off, delta)?;
+        self.fabric.fire(nid, off, WORD, f);
+        self.stats.messages += 1;
+        self.stats.posted_messages += 1;
+        self.stats.atomics += 1;
+        self.clock.advance(cost.near_ns);
+        Ok(())
+    }
+
+    // ----- notification verbs (Fig. 1, §4.3) -----
+
+    fn subscribe(&mut self, addr: FarAddr, len: u64, kind: SubKind) -> Result<SubId> {
+        crate::notify::SubscriptionTable::validate_range(addr, len)?;
+        let segs = self.fabric.segments(addr, len)?;
+        debug_assert_eq!(segs.len(), 1, "a page never spans nodes");
+        let seg = segs[0];
+        let node = self.fabric.node(seg.node);
+        node.check_alive()?;
+        let arrival = self.arrival();
+        let cost = *self.fabric.cost();
+        let finish = node.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
+        let id = node
+            .subs
+            .register(addr, seg.offset, len, kind, self.sink.clone())?;
+        self.fabric.register_sub(id, seg.node);
+        self.stats.messages += 1;
+        self.finish_rt(finish);
+        Ok(id)
+    }
+
+    /// `notify0(ad, ℓ)`: signal any change in `[ad, ad+ℓ)` (Fig. 1).
+    ///
+    /// The range must be word-aligned and must not cross a page boundary.
+    pub fn notify0(&mut self, addr: FarAddr, len: u64) -> Result<SubId> {
+        self.subscribe(addr, len, SubKind::Changed)
+    }
+
+    /// `notifye(ad, v)`: signal when the word at `ad` becomes `v` (Fig. 1).
+    pub fn notifye(&mut self, addr: FarAddr, value: u64) -> Result<SubId> {
+        self.subscribe(addr, WORD, SubKind::Equal { value })
+    }
+
+    /// `notify0d(ad, ℓ)`: signal a change in `[ad, ad+ℓ)` and return the
+    /// changed data (Fig. 1).
+    pub fn notify0d(&mut self, addr: FarAddr, len: u64) -> Result<SubId> {
+        self.subscribe(addr, len, SubKind::ChangedData)
+    }
+
+    /// Cancels a subscription created by this or any other client.
+    pub fn unsubscribe(&mut self, id: SubId) -> Result<()> {
+        let arrival = self.arrival();
+        self.fabric.unregister_sub(id)?;
+        self.stats.messages += 1;
+        self.finish_rt(arrival);
+        Ok(())
+    }
+
+    /// Moves newly delivered events from the sink into the local pending
+    /// buffer, advancing the clock and the notification counters.
+    fn pump_events(&mut self) {
+        let events = self.sink.drain();
+        let one_way = self.fabric.cost().one_way_ns();
+        for e in &events {
+            match e {
+                Event::Lost { count } => self.stats.notifications_lost += count,
+                _ => {
+                    self.stats.notifications += 1;
+                    self.clock.advance_to(e.fired_at_ns() + one_way);
+                }
+            }
+        }
+        self.pending.extend(events);
+    }
+
+    /// Drains *all* pending notifications (previously buffered plus newly
+    /// delivered). Prefer [`FabricClient::take_events`] when several data
+    /// structures share this client.
+    pub fn recv_events(&mut self) -> Vec<Event> {
+        self.pump_events();
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Removes and returns the pending events matching `filter`, leaving
+    /// the rest buffered for other consumers. [`Event::Lost`] warnings are
+    /// global: pass a filter that accepts them if the caller must react to
+    /// loss (the first taker claims each warning).
+    pub fn take_events(&mut self, filter: impl Fn(&Event) -> bool) -> Vec<Event> {
+        self.pump_events();
+        let mut taken = Vec::new();
+        let mut kept = Vec::with_capacity(self.pending.len());
+        for e in self.pending.drain(..) {
+            if filter(&e) {
+                taken.push(e);
+            } else {
+                kept.push(e);
+            }
+        }
+        self.pending = kept;
+        taken
+    }
+
+    /// Number of locally buffered (unclaimed) events.
+    pub fn pending_events(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FabricConfig;
+
+    fn client() -> FabricClient {
+        FabricConfig::single_node(1 << 20).build().client()
+    }
+
+    #[test]
+    fn word_round_trip_counts_one_access() {
+        let mut c = client();
+        c.write_u64(FarAddr(64), 11).unwrap();
+        assert_eq!(c.read_u64(FarAddr(64)).unwrap(), 11);
+        let s = c.stats();
+        assert_eq!(s.round_trips, 2);
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes_written, 8);
+        assert_eq!(s.bytes_read, 8);
+    }
+
+    #[test]
+    fn bulk_round_trip_and_latency_regime() {
+        let mut c = client();
+        let data = vec![0xabu8; 1024];
+        let t0 = c.now_ns();
+        c.write(FarAddr(4096), &data).unwrap();
+        let elapsed = c.now_ns() - t0;
+        // 1 KiB costs about 1 µs of payload plus the RTT (§2).
+        assert!(elapsed >= 2_000 + 1_000, "elapsed {elapsed}");
+        assert_eq!(c.read(FarAddr(4096), 1024).unwrap(), data);
+    }
+
+    #[test]
+    fn cas_and_faa_return_previous() {
+        let mut c = client();
+        c.write_u64(FarAddr(8), 5).unwrap();
+        assert_eq!(c.cas(FarAddr(8), 5, 9).unwrap(), 5);
+        assert_eq!(c.cas(FarAddr(8), 5, 1).unwrap(), 9);
+        assert_eq!(c.faa(FarAddr(8), 2).unwrap(), 9);
+        assert_eq!(c.read_u64(FarAddr(8)).unwrap(), 11);
+        assert_eq!(c.stats().atomics, 3);
+    }
+
+    #[test]
+    fn batch_costs_one_round_trip() {
+        let mut c = client();
+        let data = [7u8; 8];
+        let out = c
+            .batch(&[
+                BatchOp::Write { addr: FarAddr(128), data: &data },
+                BatchOp::Cas { addr: FarAddr(136), expected: 0, new: 3 },
+                BatchOp::Read { addr: FarAddr(128), len: 8 },
+            ])
+            .unwrap();
+        assert_eq!(out[1].value(), 0);
+        assert_eq!(out[2].bytes(), &data);
+        let s = c.stats();
+        assert_eq!(s.round_trips, 1);
+        assert_eq!(s.messages, 3);
+    }
+
+    #[test]
+    fn notify0_delivers_on_write() {
+        let f = FabricConfig::single_node(1 << 20).build();
+        let mut writer = f.client();
+        let mut watcher = f.client();
+        watcher.notify0(FarAddr(4096), 64).unwrap();
+        writer.write_u64(FarAddr(4096 + 8), 1).unwrap();
+        let events = watcher.recv_events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], Event::Changed { .. }));
+        assert_eq!(watcher.stats().notifications, 1);
+    }
+
+    #[test]
+    fn notifye_wakes_on_value() {
+        let f = FabricConfig::single_node(1 << 20).build();
+        let mut writer = f.client();
+        let mut watcher = f.client();
+        watcher.notifye(FarAddr(4096), 0).unwrap();
+        writer.write_u64(FarAddr(4096), 3).unwrap();
+        assert!(watcher.recv_events().is_empty());
+        writer.write_u64(FarAddr(4096), 0).unwrap();
+        assert_eq!(watcher.recv_events().len(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_is_effective_and_idempotent_errors() {
+        let f = FabricConfig::single_node(1 << 20).build();
+        let mut writer = f.client();
+        let mut watcher = f.client();
+        let id = watcher.notify0(FarAddr(4096), 8).unwrap();
+        watcher.unsubscribe(id).unwrap();
+        assert!(watcher.unsubscribe(id).is_err());
+        writer.write_u64(FarAddr(4096), 1).unwrap();
+        assert!(watcher.recv_events().is_empty());
+    }
+
+    #[test]
+    fn failed_node_surfaces_errors() {
+        let f = FabricConfig::single_node(1 << 20).build();
+        let mut c = f.client();
+        f.node(crate::addr::NodeId(0)).fail();
+        assert!(matches!(
+            c.read_u64(FarAddr(8)),
+            Err(FabricError::NodeFailed(_))
+        ));
+        f.node(crate::addr::NodeId(0)).recover();
+        assert!(c.read_u64(FarAddr(8)).is_ok());
+    }
+
+    #[test]
+    fn contention_queues_in_virtual_time() {
+        // Two clients hammering one node serialize behind its interface.
+        let f = FabricConfig::single_node(1 << 20).build();
+        let mut a = f.client();
+        let mut b = f.client();
+        for _ in 0..100 {
+            a.read_u64(FarAddr(8)).unwrap();
+            b.read_u64(FarAddr(8)).unwrap();
+        }
+        // Each client saw at least its own service times queueing.
+        assert!(a.now_ns() > 100 * 2_000);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for fabric operations.
+
+use crate::addr::{FarAddr, NodeId};
+
+/// Errors returned by far-memory verbs.
+///
+/// Every verb is fallible: real fabrics surface addressing faults and node
+/// failures as completion errors rather than panics, and this library follows
+/// the same discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// The access touches bytes outside the provisioned far address space.
+    OutOfBounds {
+        /// First byte of the faulting access.
+        addr: FarAddr,
+        /// Length of the faulting access in bytes.
+        len: u64,
+    },
+    /// The access required a stricter alignment than the address has.
+    Unaligned {
+        /// The faulting address.
+        addr: FarAddr,
+        /// Required alignment in bytes.
+        required: u64,
+    },
+    /// An indirect verb dereferenced a null (zero) pointer.
+    NullDeref {
+        /// Location holding the null pointer.
+        pointer_at: FarAddr,
+    },
+    /// An indirect verb resolved to memory on a different node while the
+    /// fabric runs in [`IndirectionMode::Error`](crate::IndirectionMode::Error).
+    ///
+    /// The client must complete the indirection itself with a second
+    /// round trip to `target`.
+    IndirectRemote {
+        /// The dereferenced pointer value.
+        target: FarAddr,
+        /// Node that owns `target`.
+        target_node: NodeId,
+    },
+    /// The addressed memory node has been failed by fault injection.
+    NodeFailed(NodeId),
+    /// A notification registration violated the page rules of §4.3:
+    /// ranges must be word-aligned and must not cross a page boundary.
+    BadSubscription {
+        /// Start of the offending range.
+        addr: FarAddr,
+        /// Length of the offending range.
+        len: u64,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// An iovec argument was empty or its total length disagreed with the
+    /// contiguous side of a scatter/gather transfer.
+    BadIovec {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The referenced subscription does not exist (already cancelled).
+    NoSuchSubscription,
+    /// A guarded verb's guard word did not hold the expected value; the
+    /// operation was not performed.
+    GuardMismatch {
+        /// The value the guard word actually held.
+        observed: u64,
+    },
+}
+
+impl core::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FabricError::OutOfBounds { addr, len } => {
+                write!(f, "access [{addr:?} +{len}) outside far address space")
+            }
+            FabricError::Unaligned { addr, required } => {
+                write!(f, "address {addr:?} not aligned to {required} bytes")
+            }
+            FabricError::NullDeref { pointer_at } => {
+                write!(f, "indirect verb dereferenced null pointer at {pointer_at:?}")
+            }
+            FabricError::IndirectRemote { target, target_node } => {
+                write!(
+                    f,
+                    "indirection target {target:?} lives on remote node {target_node:?}"
+                )
+            }
+            FabricError::NodeFailed(n) => write!(f, "memory node {n:?} has failed"),
+            FabricError::BadSubscription { addr, len, reason } => {
+                write!(f, "bad subscription [{addr:?} +{len}): {reason}")
+            }
+            FabricError::BadIovec { reason } => write!(f, "bad iovec: {reason}"),
+            FabricError::NoSuchSubscription => write!(f, "no such subscription"),
+            FabricError::GuardMismatch { observed } => {
+                write!(f, "guard word mismatch (observed {observed})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Convenience alias used throughout the fabric crate.
+pub type Result<T> = core::result::Result<T, FabricError>;

@@ -1,0 +1,871 @@
+//! Indirect addressing verbs (Fig. 1, §4.1).
+//!
+//! Indirect addressing dereferences a pointer held in far memory to
+//! determine another far address to load or store, all inside the memory
+//! node — avoiding a round trip whenever a data structure needs to follow
+//! a pointer. The full Fig. 1 family is implemented:
+//!
+//! | verb | semantics |
+//! |------|-----------|
+//! | `load0(ad, ℓ)`        | `tmp = *ad; return *tmp` |
+//! | `store0(ad, v, ℓ)`    | `tmp = *ad; *tmp = v` |
+//! | `load1(ad, i, ℓ)`     | `tmp = *(ad + i); return *tmp` |
+//! | `store1(ad, i, v, ℓ)` | `tmp = *(ad + i); *tmp = v` |
+//! | `load2(ad, i, ℓ)`     | `tmp = (*ad) + i; return *tmp` |
+//! | `store2(ad, i, v, ℓ)` | `tmp = (*ad) + i; *tmp = v` |
+//! | `faai(ad, v, ℓ)`      | `tmp = *ad; *ad += v; return *tmp` |
+//! | `saai(ad, v, v', ℓ)`  | `tmp = *ad; *ad += v; *tmp = v'` |
+//! | `add0(ad, v)`         | `**ad += v` |
+//! | `add1(ad, v, i)`      | `tmp = ad + i; **tmp += v` |
+//! | `add2(ad, v, i)`      | `tmp = *ad + i; *tmp += v` |
+//!
+//! (`faai`'s Fig. 1 pseudo-code returns the old pointer; the prose says it
+//! "returns the value pointed by its old value", which is what the queue of
+//! §5.3 needs — we follow the prose.)
+//!
+//! When the dereferenced target lives on a *different* memory node, the
+//! behaviour follows the fabric's [`IndirectionMode`]
+//! (§7.1): `Forward` completes the access with a memory-side hop, `Error`
+//! returns [`FabricError::IndirectRemote`] and the client finishes the
+//! access itself — the `*_auto` wrappers do exactly that.
+
+use crate::addr::{FarAddr, NodeId, WORD};
+use crate::client::FabricClient;
+use crate::error::{FabricError, Result};
+use crate::fabric::IndirectionMode;
+
+/// How an indirect verb reads its pointer word.
+#[derive(Clone, Copy, Debug)]
+enum PtrRead {
+    /// Plain load of the pointer.
+    Plain,
+    /// Atomic fetch-and-add of `delta` (for `faai` / `saai`).
+    FetchAdd(u64),
+    /// Fetch-and-add performed only if a guard word (on the same node)
+    /// holds the expected value — the conditional/masked-atomic flavour
+    /// real NICs offer (e.g. ConnectX masked atomics), used by the §5.3
+    /// queue to fence its fast path against slow-path repairs.
+    GuardedFetchAdd {
+        /// Added to the pointer word.
+        delta: u64,
+        /// Far address of the guard word (must share the pointer's node).
+        guard: FarAddr,
+        /// Required guard value.
+        expect: u64,
+    },
+}
+
+/// What the verb does at the dereferenced target.
+enum TargetAccess<'a> {
+    /// Read `len` bytes.
+    Read(u64),
+    /// Write the given bytes.
+    Write(&'a [u8]),
+    /// Atomically add to the target word.
+    Add(u64),
+    /// Atomically swap the target word with a replacement (destructive
+    /// read), returning the old contents.
+    Swap(u64),
+}
+
+impl FabricClient {
+    /// Core of every indirect verb: one client round trip that reads the
+    /// pointer at `ptr_addr`, offsets it by `index`, and performs `access`
+    /// at the target — forwarding or erroring if the target is remote.
+    /// Returns `(pointer value, read data)`. The pointer value is exposed
+    /// because fabric completions for atomic verbs carry the old value
+    /// anyway (RDMA fetch-and-add does); the §5.3 queue's background slack
+    /// check depends on learning where its `faai`/`saai` landed.
+    ///
+    /// Guarded verbs with a node-local target execute as ONE atomic unit
+    /// at the memory node (guard check, pointer bump, target access);
+    /// with a remote target only the guard+bump is atomic and the target
+    /// access follows via forwarding — structures needing full atomicity
+    /// must colocate their pointer and data (§7.1 localized placement).
+    fn indirect(
+        &mut self,
+        ptr_addr: FarAddr,
+        ptr_read: PtrRead,
+        index: u64,
+        access: TargetAccess<'_>,
+    ) -> Result<(u64, Option<Vec<u8>>)> {
+        let cost = *self.fabric().cost();
+        let mode = self.fabric().config().indirection;
+        let arrival = self.arrival();
+
+        // Resolve the pointer at its home node.
+        let (home_id, ptr_off) = self.word_home(ptr_addr)?;
+        let fabric = self.fabric().clone();
+        let home = fabric.node(home_id);
+        home.check_alive()?;
+        let home_finish = home.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
+        self.stats_mut().messages += 1;
+
+        let len = match &access {
+            TargetAccess::Read(l) => *l,
+            TargetAccess::Write(d) => d.len() as u64,
+            TargetAccess::Add(_) | TargetAccess::Swap(_) => WORD,
+        };
+
+        // The guarded flavour: one atomic unit at the home node.
+        if let PtrRead::GuardedFetchAdd { delta, guard, expect } = ptr_read {
+            let (guard_node, guard_off) = self.word_home(guard)?;
+            if guard_node != home_id {
+                self.finish_rt(home_finish);
+                return Err(FabricError::BadIovec {
+                    reason: "guard word must live on the pointer's node",
+                });
+            }
+            // Outcome of the atomic unit.
+            enum Unit {
+                Null,
+                Local { ptr: u64, out: Option<Vec<u8>>, fired: Option<(u64, u64)> },
+                Remote { ptr: u64, target: FarAddr, node: NodeId },
+            }
+            let fabric2 = fabric.clone();
+            let unit = home.guarded_verb(guard_off, expect, |n| {
+                let ptr = n.words_raw(ptr_off)?.load(std::sync::atomic::Ordering::SeqCst);
+                if ptr == 0 {
+                    return Ok(Unit::Null);
+                }
+                let target = FarAddr(ptr + index);
+                let segs = fabric2.segments(target, len)?;
+                if segs.iter().any(|s| s.node != home_id) {
+                    // Remote target: bump the pointer atomically; the
+                    // target access happens outside the unit.
+                    n.words_raw(ptr_off)?
+                        .fetch_add(delta, std::sync::atomic::Ordering::SeqCst);
+                    let remote = segs.iter().find(|s| s.node != home_id).unwrap();
+                    return Ok(Unit::Remote { ptr, target, node: remote.node });
+                }
+                // Local target: bump + access inside the unit.
+                n.words_raw(ptr_off)?
+                    .fetch_add(delta, std::sync::atomic::Ordering::SeqCst);
+                let seg = segs[0];
+                debug_assert_eq!(segs.len(), 1, "single-node target is one segment");
+                let (out, fired) = match &access {
+                    TargetAccess::Read(l) => {
+                        let mut buf = vec![0u8; *l as usize];
+                        n.read_bytes(seg.offset, &mut buf)?;
+                        (Some(buf), None)
+                    }
+                    TargetAccess::Write(data) => {
+                        n.write_bytes(seg.offset, data)?;
+                        (None, Some((seg.offset, seg.len)))
+                    }
+                    TargetAccess::Swap(replacement) => {
+                        if !target.is_aligned(WORD) {
+                            return Err(FabricError::Unaligned {
+                                addr: target,
+                                required: WORD,
+                            });
+                        }
+                        let old = n
+                            .words_raw(seg.offset)?
+                            .swap(*replacement, std::sync::atomic::Ordering::SeqCst);
+                        (Some(old.to_le_bytes().to_vec()), Some((seg.offset, WORD)))
+                    }
+                    TargetAccess::Add(v) => {
+                        if !target.is_aligned(WORD) {
+                            return Err(FabricError::Unaligned {
+                                addr: target,
+                                required: WORD,
+                            });
+                        }
+                        n.words_raw(seg.offset)?
+                            .fetch_add(*v, std::sync::atomic::Ordering::SeqCst);
+                        (None, Some((seg.offset, WORD)))
+                    }
+                };
+                Ok(Unit::Local { ptr, out, fired })
+            });
+            self.stats_mut().atomics += 1;
+            let service = cost.node_ext_ns + cost.bytes_ns(len);
+            let finish = home.occupy(home_finish, service);
+            match unit {
+                Err(e) => {
+                    self.finish_rt(home_finish);
+                    return Err(e);
+                }
+                Ok(Unit::Null) => {
+                    self.finish_rt(home_finish);
+                    return Err(FabricError::NullDeref { pointer_at: ptr_addr });
+                }
+                Ok(Unit::Local { ptr, out, fired }) => {
+                    // Notifications fire outside the atomic unit.
+                    fabric.fire(home_id, ptr_off, WORD, finish);
+                    if let Some((off, l)) = fired {
+                        fabric.fire(home_id, off, l, finish);
+                    }
+                    match &access {
+                        TargetAccess::Read(l) => self.stats_mut().bytes_read += *l,
+                        TargetAccess::Swap(_) => self.stats_mut().bytes_read += WORD,
+                        TargetAccess::Write(d) => {
+                            self.stats_mut().bytes_written += d.len() as u64
+                        }
+                        TargetAccess::Add(_) => {}
+                    }
+                    self.finish_rt(finish);
+                    return Ok((ptr, out));
+                }
+                Ok(Unit::Remote { ptr, target, node }) => {
+                    fabric.fire(home_id, ptr_off, WORD, finish);
+                    if mode == IndirectionMode::Error {
+                        self.finish_rt(finish);
+                        return Err(FabricError::IndirectRemote {
+                            target,
+                            target_node: node,
+                        });
+                    }
+                    // Forwarded completion (weaker atomicity, documented).
+                    return self.finish_at_target(ptr, target, len, access, home_id, arrival, finish);
+                }
+            }
+        }
+
+        let ptr = match ptr_read {
+            PtrRead::Plain => home.read_u64(ptr_off)?,
+            PtrRead::FetchAdd(delta) => {
+                self.stats_mut().atomics += 1;
+                let prev = home.faa_u64(ptr_off, delta)?;
+                fabric.fire(home_id, ptr_off, WORD, home_finish);
+                prev
+            }
+            PtrRead::GuardedFetchAdd { .. } => unreachable!("handled above"),
+        };
+        if ptr == 0 {
+            self.finish_rt(home_finish);
+            return Err(FabricError::NullDeref { pointer_at: ptr_addr });
+        }
+        let target = FarAddr(ptr + index);
+        let segs = match fabric.segments(target, len) {
+            Ok(s) => s,
+            Err(e) => {
+                self.finish_rt(home_finish);
+                return Err(e);
+            }
+        };
+
+        // §7.1: a dereferenced pointer may refer to data on a remote node.
+        let any_remote = segs.iter().any(|s| s.node != home_id);
+        if any_remote && mode == IndirectionMode::Error {
+            let remote = segs.iter().find(|s| s.node != home_id).unwrap();
+            self.finish_rt(home_finish);
+            return Err(FabricError::IndirectRemote {
+                target,
+                target_node: remote.node,
+            });
+        }
+        self.finish_at_target(ptr, target, len, access, home_id, arrival, home_finish)
+    }
+
+    /// Completes an indirect verb at its (possibly remote) target
+    /// segments. Segments on `home_id` (the pointer's node) extend the
+    /// home service chain; remote segments are forwarded with one
+    /// memory-side hop (§7.1).
+    fn finish_at_target(
+        &mut self,
+        ptr: u64,
+        target: FarAddr,
+        len: u64,
+        access: TargetAccess<'_>,
+        home_id: NodeId,
+        arrival: u64,
+        home_finish: u64,
+    ) -> Result<(u64, Option<Vec<u8>>)> {
+        let cost = *self.fabric().cost();
+        let fabric = self.fabric().clone();
+        let segs = fabric.segments(target, len)?;
+        let mut finish = home_finish;
+        let mut out = match access {
+            TargetAccess::Read(l) => Some(vec![0u8; l as usize]),
+            TargetAccess::Swap(_) => Some(vec![0u8; WORD as usize]),
+            _ => None,
+        };
+        let mut done = 0usize;
+        for seg in &segs {
+            let node = fabric.node(seg.node);
+            node.check_alive()?;
+            // Remote targets occupy their node's interface from the
+            // arrival time (the interface is work-conserving); the
+            // memory-side hop latency is added to the completion.
+            let service = cost.node_msg_ns + cost.bytes_ns(seg.len);
+            let f = if seg.node == home_id {
+                node.occupy(home_finish, service)
+            } else {
+                self.stats_mut().forward_hops += 1;
+                self.stats_mut().messages += 1;
+                node.occupy(arrival, service).max(home_finish) + cost.mem_hop_ns
+            };
+            match (&mut out, &access) {
+                (Some(buf), TargetAccess::Swap(replacement)) => {
+                    if !target.is_aligned(WORD) {
+                        return Err(FabricError::Unaligned { addr: target, required: WORD });
+                    }
+                    self.stats_mut().atomics += 1;
+                    let old = node.swap_u64(seg.offset, *replacement)?;
+                    buf[done..done + 8].copy_from_slice(&old.to_le_bytes());
+                    fabric.fire(seg.node, seg.offset, WORD, f);
+                }
+                (Some(buf), _) => {
+                    node.read_bytes(seg.offset, &mut buf[done..done + seg.len as usize])?;
+                }
+                (None, access) => match access {
+                    TargetAccess::Write(data) => {
+                        node.write_bytes(seg.offset, &data[done..done + seg.len as usize])?;
+                        fabric.fire(seg.node, seg.offset, seg.len, f);
+                    }
+                    TargetAccess::Add(v) => {
+                        if !target.is_aligned(WORD) {
+                            return Err(FabricError::Unaligned {
+                                addr: target,
+                                required: WORD,
+                            });
+                        }
+                        self.stats_mut().atomics += 1;
+                        node.faa_u64(seg.offset, *v)?;
+                        fabric.fire(seg.node, seg.offset, WORD, f);
+                    }
+                    TargetAccess::Read(_) | TargetAccess::Swap(_) => unreachable!(),
+                },
+            }
+            done += seg.len as usize;
+            finish = finish.max(f);
+        }
+        match &access {
+            TargetAccess::Read(l) => self.stats_mut().bytes_read += *l,
+            TargetAccess::Swap(_) => self.stats_mut().bytes_read += WORD,
+            TargetAccess::Write(d) => self.stats_mut().bytes_written += d.len() as u64,
+            TargetAccess::Add(_) => {}
+        }
+        self.finish_rt(finish);
+        Ok((ptr, out))
+    }
+
+    /// `load0(ad, ℓ)`: dereference the pointer at `ad` and read `ℓ` bytes
+    /// at the target. One far access.
+    pub fn load0(&mut self, ad: FarAddr, len: u64) -> Result<Vec<u8>> {
+        Ok(self.indirect(ad, PtrRead::Plain, 0, TargetAccess::Read(len))?.1.unwrap())
+    }
+
+    /// `store0(ad, v, ℓ)`: dereference the pointer at `ad` and write `v`
+    /// at the target. One far access.
+    pub fn store0(&mut self, ad: FarAddr, data: &[u8]) -> Result<()> {
+        self.indirect(ad, PtrRead::Plain, 0, TargetAccess::Write(data))?;
+        Ok(())
+    }
+
+    /// `load1(ad, i, ℓ)`: read through the pointer at `ad + i` — the
+    /// pointer itself is indexed, extracting a chosen field of a struct of
+    /// pointers. One far access.
+    pub fn load1(&mut self, ad: FarAddr, i: u64, len: u64) -> Result<Vec<u8>> {
+        Ok(self
+            .indirect(ad.offset(i), PtrRead::Plain, 0, TargetAccess::Read(len))?
+            .1
+            .unwrap())
+    }
+
+    /// `store1(ad, i, v, ℓ)`: write through the pointer at `ad + i`.
+    /// One far access.
+    pub fn store1(&mut self, ad: FarAddr, i: u64, data: &[u8]) -> Result<()> {
+        self.indirect(ad.offset(i), PtrRead::Plain, 0, TargetAccess::Write(data))?;
+        Ok(())
+    }
+
+    /// `load2(ad, i, ℓ)`: read at `(*ad) + i` — the *target* is indexed,
+    /// extracting a chosen field of the pointed-to struct. One far access.
+    pub fn load2(&mut self, ad: FarAddr, i: u64, len: u64) -> Result<Vec<u8>> {
+        Ok(self.indirect(ad, PtrRead::Plain, i, TargetAccess::Read(len))?.1.unwrap())
+    }
+
+    /// `store2(ad, i, v, ℓ)`: write at `(*ad) + i`. One far access.
+    pub fn store2(&mut self, ad: FarAddr, i: u64, data: &[u8]) -> Result<()> {
+        self.indirect(ad, PtrRead::Plain, i, TargetAccess::Write(data))?;
+        Ok(())
+    }
+
+    /// `faai(ad, v, ℓ)`: atomically add `v` to the pointer at `ad` and
+    /// return `ℓ` bytes at the *old* pointer target — the `*ptr++` idiom
+    /// the §5.3 queue dequeues with. One far access.
+    ///
+    /// Also returns the old pointer value (the completion of a fabric
+    /// atomic carries it anyway), which the queue's background slack check
+    /// needs.
+    pub fn faai(&mut self, ad: FarAddr, v: u64, len: u64) -> Result<(u64, Vec<u8>)> {
+        let (ptr, data) = self.indirect(ad, PtrRead::FetchAdd(v), 0, TargetAccess::Read(len))?;
+        Ok((ptr, data.unwrap()))
+    }
+
+    /// `saai(ad, v, v', ℓ)`: atomically add `v` to the pointer at `ad` and
+    /// store `v'` at the *old* pointer target — the §5.3 queue's enqueue.
+    /// One far access. Returns the old pointer value (see
+    /// [`faai`](Self::faai)).
+    pub fn saai(&mut self, ad: FarAddr, v: u64, data: &[u8]) -> Result<u64> {
+        Ok(self.indirect(ad, PtrRead::FetchAdd(v), 0, TargetAccess::Write(data))?.0)
+    }
+
+    /// `faai_swap(ad, v, r)`: like [`faai`](Self::faai), but the target
+    /// word is atomically *swapped* with `r` (a destructive read) — the
+    /// queue's dequeue consumes its slot in the same far access, leaving
+    /// no window where a claimed slot still holds its item. Swap-style
+    /// indirect atomics are among §4.1's "additional useful variants";
+    /// Gen-Z ships atomic swap. One far access.
+    pub fn faai_swap(&mut self, ad: FarAddr, v: u64, replacement: u64) -> Result<(u64, u64)> {
+        let (ptr, data) = self.indirect(
+            ad,
+            PtrRead::FetchAdd(v),
+            0,
+            TargetAccess::Swap(replacement),
+        )?;
+        let old = u64::from_le_bytes(data.unwrap().try_into().expect("word"));
+        Ok((ptr, old))
+    }
+
+    /// Guarded [`faai_swap`](Self::faai_swap) (see
+    /// [`faai_guarded`](Self::faai_guarded) for the guard semantics).
+    pub fn faai_swap_guarded(
+        &mut self,
+        ad: FarAddr,
+        v: u64,
+        replacement: u64,
+        guard: FarAddr,
+        expect: u64,
+    ) -> Result<(u64, u64)> {
+        let (ptr, data) = self.indirect(
+            ad,
+            PtrRead::GuardedFetchAdd { delta: v, guard, expect },
+            0,
+            TargetAccess::Swap(replacement),
+        )?;
+        let old = u64::from_le_bytes(data.unwrap().try_into().expect("word"));
+        Ok((ptr, old))
+    }
+
+    /// [`faai_swap_guarded`](Self::faai_swap_guarded) with client-side
+    /// completion of remote indirections (a plain far swap would be needed;
+    /// our fabric exposes it via CAS loop — rare path).
+    pub fn faai_swap_guarded_auto(
+        &mut self,
+        ad: FarAddr,
+        v: u64,
+        replacement: u64,
+        guard: FarAddr,
+        expect: u64,
+    ) -> Result<(u64, u64)> {
+        match self.faai_swap_guarded(ad, v, replacement, guard, expect) {
+            Err(FabricError::IndirectRemote { target, .. }) => {
+                self.stats_mut().reissues += 1;
+                // Complete with a far CAS loop emulating the swap.
+                loop {
+                    let cur = self.read_u64(target)?;
+                    if self.cas(target, cur, replacement)? == cur {
+                        return Ok((target.0, cur));
+                    }
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Guarded [`faai`](Self::faai): performed only if the word at `guard`
+    /// (same node as `ad`) equals `expect`, atomically — otherwise
+    /// [`FabricError::GuardMismatch`] and nothing happens. One far access
+    /// either way.
+    pub fn faai_guarded(
+        &mut self,
+        ad: FarAddr,
+        v: u64,
+        len: u64,
+        guard: FarAddr,
+        expect: u64,
+    ) -> Result<(u64, Vec<u8>)> {
+        let (ptr, data) = self.indirect(
+            ad,
+            PtrRead::GuardedFetchAdd { delta: v, guard, expect },
+            0,
+            TargetAccess::Read(len),
+        )?;
+        Ok((ptr, data.unwrap()))
+    }
+
+    /// Guarded [`saai`](Self::saai) (see [`faai_guarded`](Self::faai_guarded)).
+    pub fn saai_guarded(
+        &mut self,
+        ad: FarAddr,
+        v: u64,
+        data: &[u8],
+        guard: FarAddr,
+        expect: u64,
+    ) -> Result<u64> {
+        Ok(self
+            .indirect(
+                ad,
+                PtrRead::GuardedFetchAdd { delta: v, guard, expect },
+                0,
+                TargetAccess::Write(data),
+            )?
+            .0)
+    }
+
+    /// [`faai_guarded`](Self::faai_guarded) with client-side completion of
+    /// remote indirections.
+    pub fn faai_guarded_auto(
+        &mut self,
+        ad: FarAddr,
+        v: u64,
+        len: u64,
+        guard: FarAddr,
+        expect: u64,
+    ) -> Result<(u64, Vec<u8>)> {
+        match self.faai_guarded(ad, v, len, guard, expect) {
+            Err(FabricError::IndirectRemote { target, .. }) => {
+                let data = self.complete_read(target, len)?;
+                Ok((target.0, data))
+            }
+            other => other,
+        }
+    }
+
+    /// [`saai_guarded`](Self::saai_guarded) with client-side completion of
+    /// remote indirections.
+    pub fn saai_guarded_auto(
+        &mut self,
+        ad: FarAddr,
+        v: u64,
+        data: &[u8],
+        guard: FarAddr,
+        expect: u64,
+    ) -> Result<u64> {
+        match self.saai_guarded(ad, v, data, guard, expect) {
+            Err(FabricError::IndirectRemote { target, .. }) => {
+                self.complete_write(target, data)?;
+                Ok(target.0)
+            }
+            other => other,
+        }
+    }
+
+    /// `add0(ad, v)`: `**ad += v` — add through a pointer. One far access.
+    pub fn add0(&mut self, ad: FarAddr, v: u64) -> Result<()> {
+        self.indirect(ad, PtrRead::Plain, 0, TargetAccess::Add(v))?;
+        Ok(())
+    }
+
+    /// `add1(ad, v, i)`: add through the pointer at `ad + i`.
+    /// One far access.
+    pub fn add1(&mut self, ad: FarAddr, v: u64, i: u64) -> Result<()> {
+        self.indirect(ad.offset(i), PtrRead::Plain, 0, TargetAccess::Add(v))?;
+        Ok(())
+    }
+
+    /// `add2(ad, v, i)`: add to the word at `(*ad) + i` — e.g. increment
+    /// histogram slot `i` through the current-window base pointer (§6).
+    /// One far access.
+    pub fn add2(&mut self, ad: FarAddr, v: u64, i: u64) -> Result<()> {
+        self.indirect(ad, PtrRead::Plain, i, TargetAccess::Add(v))?;
+        Ok(())
+    }
+
+    // ----- auto wrappers: complete remote indirections client-side -----
+
+    fn complete_read(&mut self, target: FarAddr, len: u64) -> Result<Vec<u8>> {
+        self.stats_mut().reissues += 1;
+        self.read(target, len)
+    }
+
+    fn complete_write(&mut self, target: FarAddr, data: &[u8]) -> Result<()> {
+        self.stats_mut().reissues += 1;
+        self.write(target, data)
+    }
+
+    /// [`load2`](Self::load2) that transparently completes a remote
+    /// indirection with a second round trip in
+    /// [`IndirectionMode::Error`] fabrics.
+    pub fn load2_auto(&mut self, ad: FarAddr, i: u64, len: u64) -> Result<Vec<u8>> {
+        match self.load2(ad, i, len) {
+            Err(FabricError::IndirectRemote { target, .. }) => self.complete_read(target, len),
+            other => other,
+        }
+    }
+
+    /// [`load0`](Self::load0) with client-side completion on remote targets.
+    pub fn load0_auto(&mut self, ad: FarAddr, len: u64) -> Result<Vec<u8>> {
+        match self.load0(ad, len) {
+            Err(FabricError::IndirectRemote { target, .. }) => self.complete_read(target, len),
+            other => other,
+        }
+    }
+
+    /// [`store0`](Self::store0) with client-side completion on remote targets.
+    pub fn store0_auto(&mut self, ad: FarAddr, data: &[u8]) -> Result<()> {
+        match self.store0(ad, data) {
+            Err(FabricError::IndirectRemote { target, .. }) => self.complete_write(target, data),
+            other => other,
+        }
+    }
+
+    /// [`faai`](Self::faai) with client-side completion: the pointer bump
+    /// already happened atomically at the home node, so the wrapper only
+    /// finishes the dereference.
+    pub fn faai_auto(&mut self, ad: FarAddr, v: u64, len: u64) -> Result<(u64, Vec<u8>)> {
+        match self.faai(ad, v, len) {
+            Err(FabricError::IndirectRemote { target, .. }) => {
+                let data = self.complete_read(target, len)?;
+                Ok((target.0, data))
+            }
+            other => other,
+        }
+    }
+
+    /// [`saai`](Self::saai) with client-side completion (see
+    /// [`faai_auto`](Self::faai_auto)).
+    pub fn saai_auto(&mut self, ad: FarAddr, v: u64, data: &[u8]) -> Result<u64> {
+        match self.saai(ad, v, data) {
+            Err(FabricError::IndirectRemote { target, .. }) => {
+                self.complete_write(target, data)?;
+                Ok(target.0)
+            }
+            other => other,
+        }
+    }
+
+    /// [`add2`](Self::add2) with client-side completion via a far
+    /// fetch-and-add at the resolved target.
+    pub fn add2_auto(&mut self, ad: FarAddr, v: u64, i: u64) -> Result<()> {
+        match self.add2(ad, v, i) {
+            Err(FabricError::IndirectRemote { target, .. }) => {
+                self.stats_mut().reissues += 1;
+                self.faa(target, v).map(|_| ())
+            }
+            other => other,
+        }
+    }
+
+    /// Resolves where an indirection through `ad` (+`i`) would land,
+    /// without touching the target: used by tests and placement audits.
+    pub fn peek_indirect(&mut self, ad: FarAddr, i: u64) -> Result<(FarAddr, NodeId)> {
+        let ptr = self.read_u64(ad)?;
+        if ptr == 0 {
+            return Err(FabricError::NullDeref { pointer_at: ad });
+        }
+        let target = FarAddr(ptr + i);
+        Ok((target, self.fabric().map().node_of(target)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Striping;
+    use crate::fabric::FabricConfig;
+
+    fn client() -> FabricClient {
+        FabricConfig::count_only(1 << 20).build().client()
+    }
+
+    #[test]
+    fn load0_store0_follow_pointer_in_one_access() {
+        let mut c = client();
+        let ptr_at = FarAddr(64);
+        let data_at = FarAddr(4096);
+        c.write_u64(ptr_at, data_at.0).unwrap();
+        let before = c.stats();
+        c.store0(ptr_at, &7u64.to_le_bytes()).unwrap();
+        assert_eq!(c.load0(ptr_at, 8).unwrap(), 7u64.to_le_bytes());
+        let d = c.stats().since(&before);
+        assert_eq!(d.round_trips, 2, "each indirect verb is one far access");
+        assert_eq!(c.read_u64(data_at).unwrap(), 7);
+    }
+
+    #[test]
+    fn load1_indexes_the_pointer_array() {
+        let mut c = client();
+        let table = FarAddr(64);
+        c.write_u64(table, 4096).unwrap();
+        c.write_u64(table.offset(8), 8192).unwrap();
+        c.write_u64(FarAddr(4096), 1).unwrap();
+        c.write_u64(FarAddr(8192), 2).unwrap();
+        assert_eq!(c.load1(table, 0, 8).unwrap(), 1u64.to_le_bytes());
+        assert_eq!(c.load1(table, 8, 8).unwrap(), 2u64.to_le_bytes());
+    }
+
+    #[test]
+    fn load2_indexes_the_target() {
+        let mut c = client();
+        let ptr_at = FarAddr(64);
+        c.write_u64(ptr_at, 4096).unwrap();
+        c.write_u64(FarAddr(4096 + 24), 99).unwrap();
+        assert_eq!(c.load2(ptr_at, 24, 8).unwrap(), 99u64.to_le_bytes());
+        c.store2(ptr_at, 32, &5u64.to_le_bytes()).unwrap();
+        assert_eq!(c.read_u64(FarAddr(4096 + 32)).unwrap(), 5);
+    }
+
+    #[test]
+    fn faai_returns_old_target_and_bumps_pointer() {
+        let mut c = client();
+        let head = FarAddr(64);
+        c.write_u64(head, 4096).unwrap();
+        c.write_u64(FarAddr(4096), 41).unwrap();
+        c.write_u64(FarAddr(4104), 42).unwrap();
+        let before = c.stats();
+        let (old, data) = c.faai(head, 8, 8).unwrap();
+        assert_eq!(old, 4096);
+        assert_eq!(data, 41u64.to_le_bytes());
+        assert_eq!(c.stats().since(&before).round_trips, 1);
+        assert_eq!(c.read_u64(head).unwrap(), 4104);
+        assert_eq!(c.faai(head, 8, 8).unwrap().1, 42u64.to_le_bytes());
+    }
+
+    #[test]
+    fn saai_stores_at_old_target() {
+        let mut c = client();
+        let tail = FarAddr(64);
+        c.write_u64(tail, 4096).unwrap();
+        assert_eq!(c.saai(tail, 8, &10u64.to_le_bytes()).unwrap(), 4096);
+        c.saai(tail, 8, &11u64.to_le_bytes()).unwrap();
+        assert_eq!(c.read_u64(FarAddr(4096)).unwrap(), 10);
+        assert_eq!(c.read_u64(FarAddr(4104)).unwrap(), 11);
+        assert_eq!(c.read_u64(tail).unwrap(), 4112);
+    }
+
+    #[test]
+    fn guarded_faai_respects_the_guard() {
+        let mut c = client();
+        let head = FarAddr(64);
+        let guard = FarAddr(72);
+        c.write_u64(head, 4096).unwrap();
+        c.write_u64(guard, 2).unwrap();
+        c.write_u64(FarAddr(4096), 55).unwrap();
+        let (old, data) = c.faai_guarded(head, 8, 8, guard, 2).unwrap();
+        assert_eq!(old, 4096);
+        assert_eq!(data, 55u64.to_le_bytes());
+        // Guard moved: the op is rejected and performs nothing.
+        c.write_u64(guard, 3).unwrap();
+        assert!(matches!(
+            c.faai_guarded(head, 8, 8, guard, 2),
+            Err(FabricError::GuardMismatch { observed: 3 })
+        ));
+        assert_eq!(c.read_u64(head).unwrap(), 4104, "pointer not bumped again");
+    }
+
+    #[test]
+    fn faai_swap_consumes_the_slot_atomically() {
+        let mut c = client();
+        let head = FarAddr(64);
+        c.write_u64(head, 4096).unwrap();
+        c.write_u64(FarAddr(4096), 41).unwrap();
+        let before = c.stats();
+        let (old_ptr, item) = c.faai_swap(head, 8, 0).unwrap();
+        let d = c.stats().since(&before);
+        assert_eq!((old_ptr, item), (4096, 41));
+        assert_eq!(d.round_trips, 1);
+        assert_eq!(d.posted_messages, 0, "no separate zeroing write");
+        assert_eq!(c.read_u64(FarAddr(4096)).unwrap(), 0, "slot cleared in the verb");
+        assert_eq!(c.read_u64(head).unwrap(), 4104);
+    }
+
+    #[test]
+    fn guarded_saai_respects_the_guard() {
+        let mut c = client();
+        let tail = FarAddr(64);
+        let guard = FarAddr(72);
+        c.write_u64(tail, 4096).unwrap();
+        assert_eq!(c.saai_guarded(tail, 8, &9u64.to_le_bytes(), guard, 0).unwrap(), 4096);
+        c.write_u64(guard, 1).unwrap();
+        assert!(c.saai_guarded(tail, 8, &10u64.to_le_bytes(), guard, 0).is_err());
+        assert_eq!(c.read_u64(FarAddr(4104)).unwrap(), 0, "store suppressed");
+    }
+
+    #[test]
+    fn add_family_increments_through_pointers() {
+        let mut c = client();
+        let base = FarAddr(64);
+        c.write_u64(base, 4096).unwrap();
+        c.write_u64(base.offset(8), 8192).unwrap();
+        c.add0(base, 5).unwrap();
+        assert_eq!(c.read_u64(FarAddr(4096)).unwrap(), 5);
+        c.add1(base, 3, 8).unwrap();
+        assert_eq!(c.read_u64(FarAddr(8192)).unwrap(), 3);
+        c.add2(base, 2, 16).unwrap();
+        assert_eq!(c.read_u64(FarAddr(4096 + 16)).unwrap(), 2);
+    }
+
+    #[test]
+    fn null_pointer_dereference_is_an_error() {
+        let mut c = client();
+        assert!(matches!(
+            c.load0(FarAddr(64), 8),
+            Err(FabricError::NullDeref { .. })
+        ));
+    }
+
+    fn two_node_fabric(mode: IndirectionMode) -> std::sync::Arc<crate::fabric::Fabric> {
+        FabricConfig {
+            nodes: 2,
+            node_capacity: 1 << 20,
+            striping: Striping::Blocked,
+            indirection: mode,
+            cost: crate::cost::CostModel::COUNT_ONLY,
+            ..FabricConfig::default()
+        }
+        .build()
+    }
+
+    #[test]
+    fn remote_indirection_forwards_with_memory_side_hop() {
+        let f = two_node_fabric(IndirectionMode::Forward);
+        let mut c = f.client();
+        // Pointer on node 0, target on node 1.
+        let ptr_at = FarAddr(64);
+        let target = FarAddr((1 << 20) + 4096);
+        c.write_u64(ptr_at, target.0).unwrap();
+        let before = c.stats();
+        c.store0(ptr_at, &9u64.to_le_bytes()).unwrap();
+        let d = c.stats().since(&before);
+        assert_eq!(d.round_trips, 1, "forwarding keeps it one client RT");
+        assert_eq!(d.forward_hops, 1);
+        assert_eq!(c.read_u64(target).unwrap(), 9);
+    }
+
+    #[test]
+    fn remote_indirection_errors_and_auto_reissues() {
+        let f = two_node_fabric(IndirectionMode::Error);
+        let mut c = f.client();
+        let ptr_at = FarAddr(64);
+        let target = FarAddr((1 << 20) + 4096);
+        c.write_u64(ptr_at, target.0).unwrap();
+        c.write_u64(target, 33).unwrap();
+        assert!(matches!(
+            c.load0(ptr_at, 8),
+            Err(FabricError::IndirectRemote { .. })
+        ));
+        let before = c.stats();
+        assert_eq!(c.load0_auto(ptr_at, 8).unwrap(), 33u64.to_le_bytes());
+        let d = c.stats().since(&before);
+        assert_eq!(d.round_trips, 2, "error mode costs two client RTs");
+        assert_eq!(d.reissues, 1);
+    }
+
+    #[test]
+    fn local_indirection_in_error_mode_still_one_rt() {
+        let f = two_node_fabric(IndirectionMode::Error);
+        let mut c = f.client();
+        let ptr_at = FarAddr(64);
+        c.write_u64(ptr_at, 4096).unwrap();
+        c.write_u64(FarAddr(4096), 5).unwrap();
+        let before = c.stats();
+        assert_eq!(c.load0_auto(ptr_at, 8).unwrap(), 5u64.to_le_bytes());
+        assert_eq!(c.stats().since(&before).round_trips, 1);
+    }
+
+    #[test]
+    fn indirect_stores_fire_notifications_at_target() {
+        let f = FabricConfig::single_node(1 << 20).build();
+        let mut writer = f.client();
+        let mut watcher = f.client();
+        writer.write_u64(FarAddr(64), 4096).unwrap();
+        watcher.notify0(FarAddr(4096), 8).unwrap();
+        writer.store0(FarAddr(64), &1u64.to_le_bytes()).unwrap();
+        assert_eq!(watcher.recv_events().len(), 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Extended far-memory verbs (Fig. 1): the paper's proposed hardware
+//! primitives, grouped by class.
+//!
+//! All three classes share the design constraints of §4: they are simple
+//! (no loops, narrow interfaces), they make a significant difference
+//! (each saves at least one far round trip over emulation), and they are
+//! general-purpose (every data structure in `farmem-core` uses them).
+
+pub mod indirect;
+pub mod sg;

@@ -1,0 +1,235 @@
+//! The fabric: memory nodes behind a shared interconnect.
+//!
+//! A [`Fabric`] owns the memory nodes, the address map, the cost model and
+//! the notification machinery. Clients (compute-side adapters) are created
+//! with [`Fabric::client`] and issue one-sided verbs; no application
+//! processor ever mediates access to far memory (§2).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use crate::addr::{AddressMap, FarAddr, NodeId, Segment, Striping};
+use crate::cost::CostModel;
+use crate::error::{FabricError, Result};
+use crate::node::MemoryNode;
+use crate::notify::{DeliveryPolicy, SubId};
+
+/// What a memory node does when an indirect verb dereferences a pointer
+/// whose target lives on a different node (§7.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndirectionMode {
+    /// The home node forwards the request to the owning node (memory-side
+    /// hop, cheaper than a client round trip).
+    Forward,
+    /// The home node returns [`FabricError::IndirectRemote`], leaving the
+    /// compute node to complete the indirection with a second round trip.
+    Error,
+}
+
+/// Static configuration of a fabric instance.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricConfig {
+    /// Number of memory nodes.
+    pub nodes: u32,
+    /// Bytes of far memory per node (multiple of the page size).
+    pub node_capacity: u64,
+    /// Address-space mapping policy.
+    pub striping: Striping,
+    /// Latency model.
+    pub cost: CostModel,
+    /// Cross-node indirection handling.
+    pub indirection: IndirectionMode,
+    /// Default notification delivery policy for new clients.
+    pub delivery: DeliveryPolicy,
+    /// Whether `Changed` events carry the triggering write range (§7.2).
+    pub carry_trigger: bool,
+    /// Seed for deterministic best-effort notification drops.
+    pub seed: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            nodes: 1,
+            node_capacity: 64 << 20,
+            striping: Striping::Blocked,
+            cost: CostModel::DEFAULT,
+            indirection: IndirectionMode::Forward,
+            delivery: DeliveryPolicy::COALESCING,
+            carry_trigger: true,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Single-node fabric of `capacity` bytes with default costs.
+    pub fn single_node(capacity: u64) -> FabricConfig {
+        FabricConfig { nodes: 1, node_capacity: capacity, ..FabricConfig::default() }
+    }
+
+    /// Single-node fabric with the zero-latency counting model, for tests
+    /// that assert far-access counts.
+    pub fn count_only(capacity: u64) -> FabricConfig {
+        FabricConfig {
+            cost: CostModel::COUNT_ONLY,
+            ..FabricConfig::single_node(capacity)
+        }
+    }
+
+    /// Builds the fabric.
+    pub fn build(self) -> Arc<Fabric> {
+        Fabric::new(self)
+    }
+}
+
+/// A simulated far-memory fabric.
+pub struct Fabric {
+    config: FabricConfig,
+    map: AddressMap,
+    nodes: Vec<MemoryNode>,
+    next_client: AtomicU32,
+    /// Subscription registry: id → owning node, for unsubscribe routing.
+    subs: Mutex<HashMap<SubId, NodeId>>,
+    /// Monotone bump pointer used by the trivial built-in region allocator
+    /// ([`Fabric::alloc_region`]); the real allocator lives in
+    /// `farmem-alloc`.
+    region_cursor: AtomicU64,
+}
+
+impl Fabric {
+    /// Creates a fabric from `config`.
+    pub fn new(config: FabricConfig) -> Arc<Fabric> {
+        let map = AddressMap::new(config.nodes, config.node_capacity, config.striping);
+        let nodes = (0..config.nodes)
+            .map(|i| {
+                let n = MemoryNode::new(NodeId(i), config.node_capacity);
+                n.subs.set_carry_trigger(config.carry_trigger);
+                n
+            })
+            .collect();
+        Arc::new(Fabric {
+            config,
+            map,
+            nodes,
+            next_client: AtomicU32::new(0),
+            subs: Mutex::new(HashMap::new()),
+            // Skip the reserved null word; start allocations page-aligned.
+            region_cursor: AtomicU64::new(crate::addr::PAGE),
+        })
+    }
+
+    /// The fabric's configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// The address map in force.
+    pub fn map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// The cost model in force.
+    pub fn cost(&self) -> &CostModel {
+        &self.config.cost
+    }
+
+    /// Creates a new client adapter attached to this fabric.
+    pub fn client(self: &Arc<Self>) -> crate::client::FabricClient {
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        crate::client::FabricClient::new(self.clone(), id)
+    }
+
+    /// Immutable access to a memory node (fault injection, inspection).
+    pub fn node(&self, id: NodeId) -> &MemoryNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// All memory nodes.
+    pub fn nodes(&self) -> &[MemoryNode] {
+        &self.nodes
+    }
+
+    /// Reserves a page-aligned region of `len` bytes from the global
+    /// address space with a trivial bump allocator.
+    ///
+    /// This is the bootstrap allocator used to carve arenas for the real
+    /// allocator in `farmem-alloc`; it never frees.
+    pub fn alloc_region(&self, len: u64) -> Result<FarAddr> {
+        let len = len.div_ceil(crate::addr::PAGE) * crate::addr::PAGE;
+        let start = self.region_cursor.fetch_add(len, Ordering::Relaxed);
+        if start + len > self.map.total_capacity() {
+            return Err(FabricError::OutOfBounds { addr: FarAddr(start), len });
+        }
+        Ok(FarAddr(start))
+    }
+
+    pub(crate) fn register_sub(&self, id: SubId, node: NodeId) {
+        self.subs.lock().insert(id, node);
+    }
+
+    pub(crate) fn unregister_sub(&self, id: SubId) -> Result<()> {
+        let node = self
+            .subs
+            .lock()
+            .remove(&id)
+            .ok_or(FabricError::NoSuchSubscription)?;
+        self.node(node).subs.unregister(id)
+    }
+
+    /// Splits a global range into per-node segments.
+    pub(crate) fn segments(&self, addr: FarAddr, len: u64) -> Result<Vec<Segment>> {
+        self.map.segments(addr, len)
+    }
+
+    /// Fires notification subscriptions for a node-local write.
+    pub(crate) fn fire(&self, node: NodeId, offset: u64, len: u64, fired_at_ns: u64) {
+        let n = self.node(node);
+        if n.subs.is_empty() {
+            return;
+        }
+        n.subs.fire(
+            offset,
+            len,
+            fired_at_ns,
+            &|off| n.read_u64(off).unwrap_or(0),
+            &|off, l| {
+                let mut buf = vec![0u8; l as usize];
+                let _ = n.read_bytes(off, &mut buf);
+                buf
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let f = FabricConfig::default().build();
+        assert_eq!(f.map().node_count(), 1);
+        assert_eq!(f.map().total_capacity(), 64 << 20);
+    }
+
+    #[test]
+    fn region_allocator_bumps_and_bounds() {
+        let f = FabricConfig::single_node(1 << 20).build();
+        let a = f.alloc_region(100).unwrap();
+        let b = f.alloc_region(100).unwrap();
+        assert_eq!(b.0 - a.0, crate::addr::PAGE);
+        assert!(f.alloc_region(2 << 20).is_err());
+    }
+
+    #[test]
+    fn client_ids_are_unique() {
+        let f = FabricConfig::default().build();
+        let c1 = f.client();
+        let c2 = f.client();
+        assert_ne!(c1.id(), c2.id());
+    }
+}

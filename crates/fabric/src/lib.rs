@@ -1,0 +1,70 @@
+//! # farmem-fabric — a simulated far-memory fabric
+//!
+//! This crate is the substrate of the *Far Memory Data Structures* (HotOS
+//! '19) reproduction: a software model of a far-memory interconnect in the
+//! style of RDMA or Gen-Z, extended with the paper's proposed hardware
+//! primitives.
+//!
+//! ## Model
+//!
+//! A [`Fabric`] owns a pool of [`MemoryNode`]s holding word-granular far
+//! memory. Compute-side [`FabricClient`]s access it with *one-sided* verbs
+//! — no processor near the memory mediates:
+//!
+//! * baseline verbs (§2): [`read`](FabricClient::read),
+//!   [`write`](FabricClient::write), [`cas`](FabricClient::cas),
+//!   [`faa`](FabricClient::faa) and fenced
+//!   [`batch`](FabricClient::batch)es;
+//! * indirect addressing (Fig. 1, §4.1): `load0..2`, `store0..2`, `faai`,
+//!   `saai`, `add0..2` — see [`ext::indirect`];
+//! * scatter-gather (Fig. 1, §4.2): `rscatter`, `rgather`, `wscatter`,
+//!   `wgather` — see [`ext::sg`];
+//! * notifications (Fig. 1, §4.3): `notify0`, `notifye`, `notify0d`, with
+//!   coalescing, best-effort loss and spike-drop warnings (§7.2), plus a
+//!   software [`Broker`] tier.
+//!
+//! ## Accounting and time
+//!
+//! Every verb updates the client's [`AccessStats`] (the paper's key metric
+//! is far-memory accesses, §3.1) and charges a configurable [`CostModel`]
+//! against the client's virtual clock. No experiment in this repository
+//! measures wall-clock time.
+//!
+//! ## Example
+//!
+//! ```
+//! use farmem_fabric::{FabricConfig, FarAddr};
+//!
+//! let fabric = FabricConfig::single_node(1 << 20).build();
+//! let mut client = fabric.client();
+//! client.write_u64(FarAddr(64), 4096).unwrap();   // a far pointer
+//! client.write_u64(FarAddr(4096), 7).unwrap();    // its target
+//! // One far access dereferences the pointer and loads the target:
+//! let v = client.load0(FarAddr(64), 8).unwrap();
+//! assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod broker;
+pub mod client;
+pub mod cost;
+pub mod error;
+pub mod ext;
+pub mod fabric;
+pub mod node;
+pub mod notify;
+pub mod stats;
+
+pub use addr::{AddressMap, FarAddr, NodeId, Segment, Striping, PAGE, WORD};
+pub use broker::{Broker, BrokerStats};
+pub use client::{BatchOp, BatchOut, FabricClient};
+pub use cost::{CostModel, SimClock};
+pub use error::{FabricError, Result};
+pub use ext::sg::FarIov;
+pub use fabric::{Fabric, FabricConfig, IndirectionMode};
+pub use node::MemoryNode;
+pub use notify::{DeliveryPolicy, Event, EventSink, SinkStats, SubId, SubKind};
+pub use stats::AccessStats;

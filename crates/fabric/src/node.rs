@@ -1,0 +1,414 @@
+//! A memory node: the passive, word-granular storage end of the fabric.
+//!
+//! Far memory has no explicit owner among application processors (§2):
+//! nodes execute loads, stores and fabric-level atomics without any local
+//! application CPU. Word-aligned 8-byte accesses are atomic; larger
+//! transfers copy word by word and may observe tearing, exactly as one-sided
+//! RDMA reads may. Data-structure code must therefore bring its own
+//! version/CAS discipline — the simulator does not paper over races.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::addr::{NodeId, WORD};
+use crate::error::{FabricError, Result};
+use crate::notify::SubscriptionTable;
+
+/// State of the fabric interface's virtual queue.
+#[derive(Default)]
+struct IfaceQueue {
+    /// Pending (unserved) work, in nanoseconds of service time.
+    pending_ns: u64,
+    /// Latest arrival observed (drain reference point).
+    last_arrival_ns: u64,
+}
+
+/// One memory node's storage plus its fabric-interface serial resource.
+pub struct MemoryNode {
+    id: NodeId,
+    words: Vec<AtomicU64>,
+    /// Work-conserving virtual queue of the node's fabric interface;
+    /// models the per-node message-processing bottleneck.
+    queue: Mutex<IfaceQueue>,
+    /// Serializes guarded verbs against mutations of their guard words,
+    /// making `guard check + fetch-add` atomic at the node (real NICs
+    /// offer masked/conditional atomics with the same property).
+    guard_lock: Mutex<()>,
+    /// Total service time ever booked (diagnostics: utilization checks).
+    busy_ns: AtomicU64,
+    failed: AtomicBool,
+    /// Notification subscriptions associated with this node's pages (§4.3).
+    pub(crate) subs: SubscriptionTable,
+}
+
+impl MemoryNode {
+    /// Creates a zero-filled node of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a positive multiple of the word size;
+    /// the [`AddressMap`](crate::addr::AddressMap) constructor enforces a
+    /// stricter page multiple before any node is built.
+    pub fn new(id: NodeId, capacity: u64) -> MemoryNode {
+        assert!(capacity > 0 && capacity % WORD == 0);
+        let mut words = Vec::with_capacity((capacity / WORD) as usize);
+        words.resize_with((capacity / WORD) as usize, || AtomicU64::new(0));
+        MemoryNode {
+            id,
+            words,
+            queue: Mutex::new(IfaceQueue::default()),
+            guard_lock: Mutex::new(()),
+            busy_ns: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
+            subs: SubscriptionTable::new(capacity),
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.words.len() as u64 * WORD
+    }
+
+    /// Marks the node failed; all subsequent accesses return
+    /// [`FabricError::NodeFailed`]. Far memory sits in its own fault domain
+    /// (§2), so failing a node must not take client state with it.
+    pub fn fail(&self) {
+        self.failed.store(true, Ordering::SeqCst);
+    }
+
+    /// Clears an injected failure.
+    pub fn recover(&self) {
+        self.failed.store(false, Ordering::SeqCst);
+    }
+
+    /// Total service time ever booked on this node's interface.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns.load(Ordering::Relaxed)
+    }
+
+    /// Returns an error if the node is currently failed.
+    #[inline]
+    pub fn check_alive(&self) -> Result<()> {
+        if self.failed.load(Ordering::Relaxed) {
+            Err(FabricError::NodeFailed(self.id))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Occupies the node's serial fabric interface: a message arriving at
+    /// virtual time `arrival_ns` that needs `service_ns` of processing
+    /// waits behind the work currently queued, then is served; returns its
+    /// completion time.
+    ///
+    /// The interface is modelled as a *work-conserving* virtual queue:
+    /// pending work drains at line rate between arrivals, so a message
+    /// never waits behind idle gaps or behind slots booked for the future
+    /// by clients whose virtual clocks run ahead. This is how saturation
+    /// emerges — under overload the pending work grows and every client
+    /// queues — while an underloaded node adds no delay.
+    pub fn occupy(&self, arrival_ns: u64, service_ns: u64) -> u64 {
+        self.busy_ns.fetch_add(service_ns, Ordering::Relaxed);
+        let mut q = self.queue.lock();
+        if arrival_ns > q.last_arrival_ns {
+            // The interface drained for the interval since the previous
+            // arrival.
+            let idle = arrival_ns - q.last_arrival_ns;
+            q.pending_ns = q.pending_ns.saturating_sub(idle);
+            q.last_arrival_ns = arrival_ns;
+        }
+        let wait = q.pending_ns;
+        q.pending_ns += service_ns;
+        arrival_ns + wait + service_ns
+    }
+
+    #[inline]
+    fn word_index(&self, offset: u64, align: u64) -> Result<usize> {
+        if offset % align != 0 {
+            return Err(FabricError::Unaligned {
+                addr: crate::addr::FarAddr(offset),
+                required: align,
+            });
+        }
+        let idx = (offset / WORD) as usize;
+        if idx >= self.words.len() {
+            return Err(FabricError::OutOfBounds {
+                addr: crate::addr::FarAddr(offset),
+                len: WORD,
+            });
+        }
+        Ok(idx)
+    }
+
+    /// Atomically reads the aligned word at node-local `offset`.
+    pub fn read_u64(&self, offset: u64) -> Result<u64> {
+        let i = self.word_index(offset, WORD)?;
+        Ok(self.words[i].load(Ordering::SeqCst))
+    }
+
+    /// Atomically writes the aligned word at node-local `offset`.
+    pub fn write_u64(&self, offset: u64, value: u64) -> Result<()> {
+        let i = self.word_index(offset, WORD)?;
+        let _g = self.guard_lock.lock();
+        self.words[i].store(value, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Fabric-level compare-and-swap on the aligned word at `offset`;
+    /// returns the previous value (§2).
+    pub fn cas_u64(&self, offset: u64, expected: u64, new: u64) -> Result<u64> {
+        let i = self.word_index(offset, WORD)?;
+        let _g = self.guard_lock.lock();
+        match self.words[i].compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(prev) => Ok(prev),
+            Err(prev) => Ok(prev),
+        }
+    }
+
+    /// Fabric-level fetch-and-add on the aligned word at `offset`; returns
+    /// the previous value.
+    pub fn faa_u64(&self, offset: u64, delta: u64) -> Result<u64> {
+        let i = self.word_index(offset, WORD)?;
+        let _g = self.guard_lock.lock();
+        Ok(self.words[i].fetch_add(delta, Ordering::SeqCst))
+    }
+
+    /// Atomic swap of the aligned word at `offset`; returns the previous
+    /// value.
+    pub fn swap_u64(&self, offset: u64, value: u64) -> Result<u64> {
+        let i = self.word_index(offset, WORD)?;
+        let _g = self.guard_lock.lock();
+        Ok(self.words[i].swap(value, Ordering::SeqCst))
+    }
+
+    /// Guarded fetch-and-add: atomically checks that the word at
+    /// `guard_offset` equals `expect` and, only then, fetch-adds `delta`
+    /// to the word at `offset`. Returns the previous value, or
+    /// [`FabricError::GuardMismatch`] without performing the add.
+    ///
+    /// Serialized against all word mutations of this node, so no mutation
+    /// of the guard word can slip between the check and the add.
+    pub fn guarded_faa_u64(
+        &self,
+        offset: u64,
+        delta: u64,
+        guard_offset: u64,
+        expect: u64,
+    ) -> Result<u64> {
+        self.guarded_verb(guard_offset, expect, |n| {
+            let i = n.word_index(offset, WORD)?;
+            Ok(n.words[i].fetch_add(delta, Ordering::SeqCst))
+        })
+    }
+
+    /// Runs `body` atomically with respect to every word mutation of this
+    /// node, after checking that the guard word equals `expect`.
+    ///
+    /// This is how the extended *guarded indirect* verbs execute: the
+    /// guard check, the pointer bump and the (node-local) target access
+    /// form one indivisible unit, so a concurrent restructure that flips
+    /// the guard can never observe — or be observed by — a half-done verb.
+    ///
+    /// `body` must use the raw word accessors ([`MemoryNode::words_raw`])
+    /// or non-locking byte transfers; calling the locking word ops from
+    /// inside would deadlock.
+    pub(crate) fn guarded_verb<R>(
+        &self,
+        guard_offset: u64,
+        expect: u64,
+        body: impl FnOnce(&Self) -> Result<R>,
+    ) -> Result<R> {
+        let g = self.word_index(guard_offset, WORD)?;
+        let _lock = self.guard_lock.lock();
+        let observed = self.words[g].load(Ordering::SeqCst);
+        if observed != expect {
+            return Err(FabricError::GuardMismatch { observed });
+        }
+        body(self)
+    }
+
+    /// Raw (non-locking) access to the word array for use inside
+    /// [`MemoryNode::guarded_verb`] bodies.
+    pub(crate) fn words_raw(&self, offset: u64) -> Result<&AtomicU64> {
+        let i = self.word_index(offset, WORD)?;
+        Ok(&self.words[i])
+    }
+
+    /// Copies `buf.len()` bytes starting at node-local `offset` into `buf`.
+    ///
+    /// Word-by-word copy: each aligned word is read atomically, but the
+    /// range as a whole is *not* a single atomic snapshot.
+    pub fn read_bytes(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let len = buf.len() as u64;
+        if len == 0 {
+            return Ok(());
+        }
+        if offset + len > self.capacity() {
+            return Err(FabricError::OutOfBounds {
+                addr: crate::addr::FarAddr(offset),
+                len,
+            });
+        }
+        let mut done = 0u64;
+        while done < len {
+            let at = offset + done;
+            let word_base = at / WORD * WORD;
+            let in_word = (at - word_base) as usize;
+            let take = ((WORD as usize - in_word) as u64).min(len - done) as usize;
+            let w = self.words[(word_base / WORD) as usize].load(Ordering::SeqCst);
+            let bytes = w.to_le_bytes();
+            buf[done as usize..done as usize + take]
+                .copy_from_slice(&bytes[in_word..in_word + take]);
+            done += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Copies `data` into the node starting at node-local `offset`.
+    ///
+    /// Fully covered words are stored atomically; partially covered edge
+    /// words merge via a CAS loop so that untouched neighbouring bytes are
+    /// preserved even under concurrent writers.
+    pub fn write_bytes(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let len = data.len() as u64;
+        if len == 0 {
+            return Ok(());
+        }
+        if offset + len > self.capacity() {
+            return Err(FabricError::OutOfBounds {
+                addr: crate::addr::FarAddr(offset),
+                len,
+            });
+        }
+        let mut done = 0u64;
+        while done < len {
+            let at = offset + done;
+            let word_base = at / WORD * WORD;
+            let in_word = (at - word_base) as usize;
+            let take = ((WORD as usize - in_word) as u64).min(len - done) as usize;
+            let slot = &self.words[(word_base / WORD) as usize];
+            let src = &data[done as usize..done as usize + take];
+            if take == WORD as usize {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(src);
+                slot.store(u64::from_le_bytes(w), Ordering::SeqCst);
+            } else {
+                // Merge the covered bytes into the word without disturbing
+                // the rest; retry if a concurrent writer races the word.
+                let mut cur = slot.load(Ordering::SeqCst);
+                loop {
+                    let mut bytes = cur.to_le_bytes();
+                    bytes[in_word..in_word + take].copy_from_slice(src);
+                    let neww = u64::from_le_bytes(bytes);
+                    match slot.compare_exchange_weak(
+                        cur,
+                        neww,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    ) {
+                        Ok(_) => break,
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+            done += take as u64;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> MemoryNode {
+        MemoryNode::new(NodeId(0), 4096 * 4)
+    }
+
+    #[test]
+    fn word_ops_round_trip() {
+        let n = node();
+        n.write_u64(64, 0xdead_beef).unwrap();
+        assert_eq!(n.read_u64(64).unwrap(), 0xdead_beef);
+        assert_eq!(n.cas_u64(64, 0xdead_beef, 7).unwrap(), 0xdead_beef);
+        assert_eq!(n.read_u64(64).unwrap(), 7);
+        // A failed CAS returns the actual value and leaves memory intact.
+        assert_eq!(n.cas_u64(64, 99, 1).unwrap(), 7);
+        assert_eq!(n.read_u64(64).unwrap(), 7);
+        assert_eq!(n.faa_u64(64, 3).unwrap(), 7);
+        assert_eq!(n.read_u64(64).unwrap(), 10);
+    }
+
+    #[test]
+    fn unaligned_word_ops_rejected() {
+        let n = node();
+        assert!(matches!(
+            n.read_u64(4),
+            Err(FabricError::Unaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn byte_ranges_round_trip_unaligned() {
+        let n = node();
+        let data: Vec<u8> = (0..41u8).collect();
+        n.write_bytes(13, &data).unwrap();
+        let mut back = vec![0u8; 41];
+        n.read_bytes(13, &mut back).unwrap();
+        assert_eq!(back, data);
+        // Neighbouring bytes are untouched.
+        let mut edge = [0u8; 1];
+        n.read_bytes(12, &mut edge).unwrap();
+        assert_eq!(edge[0], 0);
+    }
+
+    #[test]
+    fn failure_blocks_access() {
+        let n = node();
+        n.fail();
+        assert_eq!(n.check_alive(), Err(FabricError::NodeFailed(NodeId(0))));
+        n.recover();
+        assert!(n.check_alive().is_ok());
+    }
+
+    #[test]
+    fn occupy_serializes_arrivals() {
+        let n = node();
+        let f1 = n.occupy(100, 50);
+        assert_eq!(f1, 150);
+        // Second message arriving earlier still queues behind the first.
+        let f2 = n.occupy(120, 50);
+        assert_eq!(f2, 200);
+        // A late arrival after the queue drains starts immediately.
+        let f3 = n.occupy(1000, 50);
+        assert_eq!(f3, 1050);
+    }
+
+    #[test]
+    fn guarded_faa_checks_atomically() {
+        let n = node();
+        n.write_u64(64, 100).unwrap();
+        n.write_u64(72, 7).unwrap(); // guard word
+        assert_eq!(n.guarded_faa_u64(64, 1, 72, 7).unwrap(), 100);
+        assert_eq!(n.read_u64(64).unwrap(), 101);
+        assert_eq!(
+            n.guarded_faa_u64(64, 1, 72, 8),
+            Err(FabricError::GuardMismatch { observed: 7 })
+        );
+        assert_eq!(n.read_u64(64).unwrap(), 101, "mismatch performs nothing");
+    }
+
+    #[test]
+    fn oob_byte_ranges_rejected() {
+        let n = node();
+        let mut buf = [0u8; 16];
+        assert!(n.read_bytes(n.capacity() - 8, &mut buf).is_err());
+        assert!(n.write_bytes(n.capacity() - 8, &buf).is_err());
+    }
+}

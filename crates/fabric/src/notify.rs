@@ -1,0 +1,670 @@
+//! Notifications: callbacks triggered when far memory changes (§4.3).
+//!
+//! A notification lets a client learn that a location changed without
+//! continuously probing far memory — probing is exactly what is expensive
+//! there. Three primitive kinds are provided, following Fig. 1:
+//!
+//! * `notify0(ad, ℓ)` — signal any change in `[ad, ad+ℓ)`;
+//! * `notifye(ad, v)` — signal when the word at `ad` becomes equal to `v`;
+//! * `notify0d(ad, ℓ)` — signal a change and return the changed data.
+//!
+//! For ease of hardware implementation, ranges must be word-aligned and
+//! must not cross page boundaries, so each subscription can be recorded
+//! against a single page (e.g. in a page-table entry at the memory node).
+//!
+//! Delivery is governed by a [`DeliveryPolicy`]: notifications may be
+//! coalesced (temporal batching), dropped silently with a configured
+//! probability (best-effort fabrics), or dropped under queue-overflow
+//! spikes — in which case the subscriber receives an explicit
+//! [`Event::Lost`] warning it must handle (§7.2).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::addr::{FarAddr, PAGE, WORD};
+use crate::error::{FabricError, Result};
+
+/// Globally unique identifier of one subscription.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SubId(pub u64);
+
+static NEXT_SUB_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_sub_id() -> SubId {
+    SubId(NEXT_SUB_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+/// What condition a subscription watches for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubKind {
+    /// Any change in the subscribed range (`notify0`).
+    Changed,
+    /// The watched word becomes equal to `value` (`notifye`).
+    Equal {
+        /// Value that triggers the notification.
+        value: u64,
+    },
+    /// Any change, with the changed data carried in the event (`notify0d`).
+    ChangedData,
+}
+
+/// An event delivered to a subscriber.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// The subscribed range changed (`notify0`).
+    Changed {
+        /// Subscription that fired.
+        sub: SubId,
+        /// Start of the subscribed range.
+        addr: FarAddr,
+        /// Length of the subscribed range.
+        len: u64,
+        /// The triggering write `[addr, addr+len)`, if the fabric is
+        /// configured to carry trigger information (§7.2 lets a software
+        /// layer disambiguate coarsened subscriptions with it).
+        trigger: Option<(FarAddr, u64)>,
+        /// Virtual time at which the event left the memory node.
+        fired_at_ns: u64,
+    },
+    /// The watched word became equal to the subscribed value (`notifye`).
+    Equal {
+        /// Subscription that fired.
+        sub: SubId,
+        /// Address of the watched word.
+        addr: FarAddr,
+        /// The matched value.
+        value: u64,
+        /// Virtual time at which the event left the memory node.
+        fired_at_ns: u64,
+    },
+    /// The subscribed range changed and its current contents are attached
+    /// (`notify0d`); useful when data is small.
+    ChangedData {
+        /// Subscription that fired.
+        sub: SubId,
+        /// Start of the subscribed range.
+        addr: FarAddr,
+        /// Contents of the subscribed range after the triggering write.
+        data: Vec<u8>,
+        /// Virtual time at which the event left the memory node.
+        fired_at_ns: u64,
+    },
+    /// Warning: `count` notifications were dropped since the last drain
+    /// because of a traffic spike. The data-structure algorithm must adapt
+    /// (e.g. fall back to version polling) per its consistency goals (§7.2).
+    Lost {
+        /// Number of suppressed events.
+        count: u64,
+    },
+}
+
+impl Event {
+    /// Subscription this event belongs to, if any (`Lost` has none).
+    pub fn sub(&self) -> Option<SubId> {
+        match self {
+            Event::Changed { sub, .. }
+            | Event::Equal { sub, .. }
+            | Event::ChangedData { sub, .. } => Some(*sub),
+            Event::Lost { .. } => None,
+        }
+    }
+
+    /// Virtual time the event left the memory node (0 for `Lost`).
+    pub fn fired_at_ns(&self) -> u64 {
+        match self {
+            Event::Changed { fired_at_ns, .. }
+            | Event::Equal { fired_at_ns, .. }
+            | Event::ChangedData { fired_at_ns, .. } => *fired_at_ns,
+            Event::Lost { .. } => 0,
+        }
+    }
+}
+
+/// How the fabric delivers notifications to one subscriber queue.
+#[derive(Clone, Copy, Debug)]
+pub struct DeliveryPolicy {
+    /// Probability (in millionths) that any single event is silently
+    /// dropped, modelling an unreliable best-effort fabric. `0` = reliable.
+    pub drop_ppm: u32,
+    /// Coalesce repeated events for the same subscription while one is
+    /// still pending in the queue (temporal batching, §7.2).
+    pub coalesce: bool,
+    /// Maximum pending events per subscriber queue; beyond it events are
+    /// dropped and surfaced as an [`Event::Lost`] warning (§7.2 spikes).
+    pub max_queue: usize,
+}
+
+impl DeliveryPolicy {
+    /// Reliable, uncoalesced delivery with a generous queue.
+    pub const RELIABLE: DeliveryPolicy = DeliveryPolicy {
+        drop_ppm: 0,
+        coalesce: false,
+        max_queue: 1 << 20,
+    };
+
+    /// Reliable delivery with coalescing — the recommended default.
+    pub const COALESCING: DeliveryPolicy = DeliveryPolicy {
+        drop_ppm: 0,
+        coalesce: true,
+        max_queue: 1 << 20,
+    };
+}
+
+impl Default for DeliveryPolicy {
+    fn default() -> Self {
+        DeliveryPolicy::COALESCING
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum QKey {
+    /// Coalescible events keyed by subscription.
+    Sub(u64),
+    /// Unique events (never coalesced).
+    Seq(u64),
+}
+
+#[derive(Default)]
+struct SinkInner {
+    order: VecDeque<QKey>,
+    map: HashMap<QKey, Event>,
+    seq: u64,
+    /// Events suppressed by queue overflow since the last drain; reported
+    /// as one `Lost` warning.
+    spike_dropped: u64,
+    /// Events silently dropped by best-effort delivery (never reported to
+    /// the subscriber, visible only to experiment harnesses).
+    silent_dropped: u64,
+    coalesced: u64,
+    delivered: u64,
+    rng: u64,
+}
+
+impl SinkInner {
+    fn next_rng(&mut self) -> u64 {
+        // Xorshift64*: deterministic per-sink pseudo-randomness for
+        // best-effort drops; seeded at sink creation.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// Counters describing one sink's delivery history.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SinkStats {
+    /// Events handed to the subscriber (excluding `Lost` warnings).
+    pub delivered: u64,
+    /// Events merged into an already-pending event.
+    pub coalesced: u64,
+    /// Events dropped by queue-overflow spikes (warned about).
+    pub spike_dropped: u64,
+    /// Events dropped silently by best-effort delivery.
+    pub silent_dropped: u64,
+}
+
+/// A subscriber-side notification queue.
+///
+/// One sink is shared by all subscriptions a client (or broker) registers;
+/// events from all of them are interleaved in delivery order.
+pub struct EventSink {
+    inner: Mutex<SinkInner>,
+    cv: Condvar,
+    policy: DeliveryPolicy,
+}
+
+impl EventSink {
+    /// Creates a sink with the given delivery policy and drop seed.
+    pub fn new(policy: DeliveryPolicy, seed: u64) -> Arc<EventSink> {
+        Arc::new(EventSink {
+            inner: Mutex::new(SinkInner {
+                rng: seed | 1,
+                ..SinkInner::default()
+            }),
+            cv: Condvar::new(),
+            policy,
+        })
+    }
+
+    /// Enqueues an event subject to the sink's delivery policy.
+    pub(crate) fn deliver(&self, event: Event) {
+        let mut g = self.inner.lock();
+        if self.policy.drop_ppm > 0 {
+            let roll = g.next_rng() % 1_000_000;
+            if roll < self.policy.drop_ppm as u64 {
+                g.silent_dropped += 1;
+                return;
+            }
+        }
+        let key = match (self.policy.coalesce, event.sub()) {
+            (true, Some(sub)) => QKey::Sub(sub.0),
+            _ => {
+                g.seq += 1;
+                QKey::Seq(g.seq)
+            }
+        };
+        if let QKey::Sub(_) = key {
+            if let Some(slot) = g.map.get_mut(&key) {
+                // Merge into the pending event: the subscriber sees a
+                // single, fresh event. `Changed` triggers are merged to
+                // their bounding box so no change information is lost —
+                // a wider trigger is a (conservative) false positive, not
+                // a miss.
+                match (&mut *slot, event) {
+                    (
+                        Event::Changed { trigger: old_t, fired_at_ns: old_f, .. },
+                        Event::Changed { trigger: new_t, fired_at_ns: new_f, .. },
+                    ) => {
+                        *old_t = match (*old_t, new_t) {
+                            (Some((a1, l1)), Some((a2, l2))) => {
+                                let start = a1.0.min(a2.0);
+                                let end = (a1.0 + l1).max(a2.0 + l2);
+                                Some((FarAddr(start), end - start))
+                            }
+                            // Unknown trigger on either side: unknown.
+                            _ => None,
+                        };
+                        *old_f = (*old_f).max(new_f);
+                    }
+                    (slot, event) => *slot = event,
+                }
+                g.coalesced += 1;
+                self.cv.notify_all();
+                return;
+            }
+        }
+        if g.order.len() >= self.policy.max_queue {
+            g.spike_dropped += 1;
+            self.cv.notify_all();
+            return;
+        }
+        g.order.push_back(key);
+        g.map.insert(key, event);
+        g.delivered += 1;
+        self.cv.notify_all();
+    }
+
+    /// Removes and returns the oldest pending event, if any.
+    ///
+    /// If events were dropped by a spike since the last call, an
+    /// [`Event::Lost`] warning is returned first.
+    pub fn try_recv(&self) -> Option<Event> {
+        let mut g = self.inner.lock();
+        if g.spike_dropped > 0 {
+            let count = g.spike_dropped;
+            g.spike_dropped = 0;
+            return Some(Event::Lost { count });
+        }
+        let key = g.order.pop_front()?;
+        g.map.remove(&key)
+    }
+
+    /// Drains all currently pending events (with a leading `Lost` warning
+    /// if applicable).
+    pub fn drain(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        while let Some(e) = self.try_recv() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Blocks the calling OS thread until an event is available, up to
+    /// `timeout`. Intended for threaded tests and examples; experiment
+    /// drivers use [`EventSink::try_recv`] with virtual time instead.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Event> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(e) = self.try_recv() {
+                return Some(e);
+            }
+            let mut g = self.inner.lock();
+            if !g.order.is_empty() || g.spike_dropped > 0 {
+                continue;
+            }
+            if self.cv.wait_until(&mut g, deadline).timed_out() {
+                drop(g);
+                return self.try_recv();
+            }
+        }
+    }
+
+    /// Blocks the calling OS thread until at least one event is pending,
+    /// without consuming it; returns `false` on timeout. Lets waiters park
+    /// and then drain through their client (which keeps the notification
+    /// accounting in one place).
+    pub fn wait_pending(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.inner.lock();
+        loop {
+            if !g.order.is_empty() || g.spike_dropped > 0 {
+                return true;
+            }
+            if self.cv.wait_until(&mut g, deadline).timed_out() {
+                return !g.order.is_empty() || g.spike_dropped > 0;
+            }
+        }
+    }
+
+    /// Number of currently pending events.
+    pub fn pending(&self) -> usize {
+        let g = self.inner.lock();
+        g.order.len() + usize::from(g.spike_dropped > 0)
+    }
+
+    /// Delivery counters for this sink.
+    pub fn stats(&self) -> SinkStats {
+        let g = self.inner.lock();
+        SinkStats {
+            delivered: g.delivered,
+            coalesced: g.coalesced,
+            spike_dropped: g.spike_dropped,
+            silent_dropped: g.silent_dropped,
+        }
+    }
+}
+
+/// One registered subscription, stored at the owning memory node.
+#[derive(Clone)]
+pub(crate) struct Subscription {
+    pub id: SubId,
+    /// Node-local offset of the watched range.
+    pub offset: u64,
+    pub len: u64,
+    /// Global address of the watched range (for event reporting).
+    pub addr: FarAddr,
+    pub kind: SubKind,
+    pub sink: Arc<EventSink>,
+}
+
+/// Per-node registry of subscriptions, associated with pages (§4.3).
+pub struct SubscriptionTable {
+    pages: Mutex<HashMap<u64, Vec<Subscription>>>,
+    count: AtomicUsize,
+    /// Whether fired events carry the triggering write range (§7.2).
+    carry_trigger: AtomicUsize,
+}
+
+impl SubscriptionTable {
+    pub(crate) fn new(_capacity: u64) -> SubscriptionTable {
+        SubscriptionTable {
+            pages: Mutex::new(HashMap::new()),
+            count: AtomicUsize::new(0),
+            carry_trigger: AtomicUsize::new(1),
+        }
+    }
+
+    /// Enables or disables trigger information in `Changed` events.
+    pub fn set_carry_trigger(&self, on: bool) {
+        self.carry_trigger.store(usize::from(on), Ordering::Relaxed);
+    }
+
+    /// Number of live subscriptions on this node.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` if no subscriptions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validates §4.3's range rules: word alignment, non-empty, single page.
+    pub(crate) fn validate_range(addr: FarAddr, len: u64) -> Result<()> {
+        if !addr.is_aligned(WORD) || len % WORD != 0 {
+            return Err(FabricError::BadSubscription {
+                addr,
+                len,
+                reason: "range must be word-aligned",
+            });
+        }
+        if len == 0 {
+            return Err(FabricError::BadSubscription {
+                addr,
+                len,
+                reason: "range must be non-empty",
+            });
+        }
+        if addr.0 / PAGE != (addr.0 + len - 1) / PAGE {
+            return Err(FabricError::BadSubscription {
+                addr,
+                len,
+                reason: "range must not cross a page boundary",
+            });
+        }
+        Ok(())
+    }
+
+    /// Registers a subscription whose range starts at node-local `offset`.
+    pub(crate) fn register(
+        &self,
+        addr: FarAddr,
+        offset: u64,
+        len: u64,
+        kind: SubKind,
+        sink: Arc<EventSink>,
+    ) -> Result<SubId> {
+        Self::validate_range(addr, len)?;
+        if let SubKind::Equal { .. } = kind {
+            if len != WORD {
+                return Err(FabricError::BadSubscription {
+                    addr,
+                    len,
+                    reason: "equality notifications watch a single word",
+                });
+            }
+        }
+        let id = fresh_sub_id();
+        let sub = Subscription { id, offset, len, addr, kind, sink };
+        let page = offset / PAGE;
+        self.pages.lock().entry(page).or_default().push(sub);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Removes a subscription; returns an error if it does not exist.
+    pub(crate) fn unregister(&self, id: SubId) -> Result<()> {
+        let mut pages = self.pages.lock();
+        for subs in pages.values_mut() {
+            if let Some(pos) = subs.iter().position(|s| s.id == id) {
+                subs.remove(pos);
+                self.count.fetch_sub(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+        Err(FabricError::NoSuchSubscription)
+    }
+
+    /// Fires subscriptions overlapping the node-local write
+    /// `[offset, offset+len)`.
+    ///
+    /// `read_word` and `read_range` let the table observe post-write memory
+    /// for `notifye` / `notify0d` without borrowing the node.
+    pub(crate) fn fire(
+        &self,
+        offset: u64,
+        len: u64,
+        fired_at_ns: u64,
+        read_word: &dyn Fn(u64) -> u64,
+        read_range: &dyn Fn(u64, u64) -> Vec<u8>,
+    ) {
+        if self.is_empty() || len == 0 {
+            return;
+        }
+        let carry = self.carry_trigger.load(Ordering::Relaxed) != 0;
+        let first_page = offset / PAGE;
+        let last_page = (offset + len - 1) / PAGE;
+        let pages = self.pages.lock();
+        for page in first_page..=last_page {
+            let Some(subs) = pages.get(&page) else { continue };
+            for s in subs {
+                let overlap = offset < s.offset + s.len && s.offset < offset + len;
+                if !overlap {
+                    continue;
+                }
+                let event = match s.kind {
+                    SubKind::Changed => Event::Changed {
+                        sub: s.id,
+                        addr: s.addr,
+                        len: s.len,
+                        trigger: carry.then(|| {
+                            let t0 = offset.max(s.offset);
+                            let t1 = (offset + len).min(s.offset + s.len);
+                            (FarAddr(s.addr.0 + (t0 - s.offset)), t1 - t0)
+                        }),
+                        fired_at_ns,
+                    },
+                    SubKind::Equal { value } => {
+                        if read_word(s.offset) != value {
+                            continue;
+                        }
+                        Event::Equal {
+                            sub: s.id,
+                            addr: s.addr,
+                            value,
+                            fired_at_ns,
+                        }
+                    }
+                    SubKind::ChangedData => Event::ChangedData {
+                        sub: s.id,
+                        addr: s.addr,
+                        data: read_range(s.offset, s.len),
+                        fired_at_ns,
+                    },
+                };
+                s.sink.deliver(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink() -> Arc<EventSink> {
+        EventSink::new(DeliveryPolicy::RELIABLE, 42)
+    }
+
+    #[test]
+    fn validate_rejects_bad_ranges() {
+        assert!(SubscriptionTable::validate_range(FarAddr(8), 8).is_ok());
+        assert!(SubscriptionTable::validate_range(FarAddr(4), 8).is_err());
+        assert!(SubscriptionTable::validate_range(FarAddr(8), 4).is_err());
+        assert!(SubscriptionTable::validate_range(FarAddr(8), 0).is_err());
+        // Crossing a page boundary is rejected.
+        assert!(SubscriptionTable::validate_range(FarAddr(PAGE - 8), 16).is_err());
+        // A full page starting on a boundary is fine.
+        assert!(SubscriptionTable::validate_range(FarAddr(PAGE), PAGE).is_ok());
+    }
+
+    #[test]
+    fn changed_fires_on_overlap_only() {
+        let t = SubscriptionTable::new(1 << 16);
+        let s = sink();
+        t.register(FarAddr(64), 64, 16, SubKind::Changed, s.clone()).unwrap();
+        t.fire(80, 8, 1, &|_| 0, &|_, _| vec![]);
+        assert!(s.try_recv().is_none(), "non-overlapping write must not fire");
+        t.fire(72, 8, 2, &|_| 0, &|_, _| vec![]);
+        match s.try_recv().unwrap() {
+            Event::Changed { addr, len, trigger, .. } => {
+                assert_eq!(addr, FarAddr(64));
+                assert_eq!(len, 16);
+                assert_eq!(trigger, Some((FarAddr(72), 8)));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equal_fires_only_on_match() {
+        let t = SubscriptionTable::new(1 << 16);
+        let s = sink();
+        t.register(FarAddr(8), 8, 8, SubKind::Equal { value: 0 }, s.clone()).unwrap();
+        t.fire(8, 8, 1, &|_| 7, &|_, _| vec![]);
+        assert!(s.try_recv().is_none());
+        t.fire(8, 8, 2, &|_| 0, &|_, _| vec![]);
+        assert!(matches!(s.try_recv(), Some(Event::Equal { value: 0, .. })));
+    }
+
+    #[test]
+    fn changed_data_carries_contents() {
+        let t = SubscriptionTable::new(1 << 16);
+        let s = sink();
+        t.register(FarAddr(16), 16, 8, SubKind::ChangedData, s.clone()).unwrap();
+        t.fire(16, 8, 1, &|_| 0, &|off, len| {
+            assert_eq!((off, len), (16, 8));
+            vec![9; 8]
+        });
+        assert!(matches!(
+            s.try_recv(),
+            Some(Event::ChangedData { data, .. }) if data == vec![9; 8]
+        ));
+    }
+
+    #[test]
+    fn coalescing_merges_pending_events() {
+        let t = SubscriptionTable::new(1 << 16);
+        let s = EventSink::new(DeliveryPolicy::COALESCING, 1);
+        t.register(FarAddr(8), 8, 8, SubKind::Changed, s.clone()).unwrap();
+        for i in 0..10 {
+            t.fire(8, 8, i, &|_| 0, &|_, _| vec![]);
+        }
+        assert_eq!(s.pending(), 1);
+        let stats = s.stats();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.coalesced, 9);
+        // The pending event is the most recent one.
+        assert_eq!(s.try_recv().unwrap().fired_at_ns(), 9);
+    }
+
+    #[test]
+    fn spike_drop_produces_lost_warning() {
+        let t = SubscriptionTable::new(1 << 16);
+        let s = EventSink::new(
+            DeliveryPolicy { drop_ppm: 0, coalesce: false, max_queue: 3 },
+            1,
+        );
+        t.register(FarAddr(8), 8, 8, SubKind::Changed, s.clone()).unwrap();
+        for i in 0..8 {
+            t.fire(8, 8, i, &|_| 0, &|_, _| vec![]);
+        }
+        assert!(matches!(s.try_recv(), Some(Event::Lost { count: 5 })));
+        // After the warning, the surviving events drain normally.
+        assert_eq!(s.drain().len(), 3);
+    }
+
+    #[test]
+    fn best_effort_drops_silently() {
+        let t = SubscriptionTable::new(1 << 16);
+        let s = EventSink::new(
+            DeliveryPolicy { drop_ppm: 500_000, coalesce: false, max_queue: 1 << 20 },
+            7,
+        );
+        t.register(FarAddr(8), 8, 8, SubKind::Changed, s.clone()).unwrap();
+        for i in 0..1000 {
+            t.fire(8, 8, i, &|_| 0, &|_, _| vec![]);
+        }
+        let st = s.stats();
+        assert!(st.silent_dropped > 300 && st.silent_dropped < 700);
+        assert_eq!(st.delivered + st.silent_dropped, 1000);
+    }
+
+    #[test]
+    fn unregister_stops_events() {
+        let t = SubscriptionTable::new(1 << 16);
+        let s = sink();
+        let id = t.register(FarAddr(8), 8, 8, SubKind::Changed, s.clone()).unwrap();
+        t.unregister(id).unwrap();
+        assert_eq!(t.unregister(id), Err(FabricError::NoSuchSubscription));
+        t.fire(8, 8, 1, &|_| 0, &|_, _| vec![]);
+        assert!(s.try_recv().is_none());
+        assert!(t.is_empty());
+    }
+}

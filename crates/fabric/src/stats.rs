@@ -1,0 +1,117 @@
+//! Far-access accounting.
+//!
+//! The number of far-memory accesses is the paper's key performance metric
+//! (§3.1). Every client tracks the round trips, messages and bytes of each
+//! verb it issues, so experiments can report exact per-operation access
+//! counts instead of noisy timings.
+
+use serde::Serialize;
+
+/// Counters accumulated by one client.
+///
+/// `round_trips` counts *dependent* round trips on the critical path: a
+/// fenced batch of ops issued together costs one round trip of latency and
+/// is counted once, while each constituent fabric message still increments
+/// `messages`. Reporting both keeps the "one far access" claims auditable
+/// (see DESIGN.md §2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct AccessStats {
+    /// Dependent far round trips (the paper's "far accesses").
+    pub round_trips: u64,
+    /// Individual fabric messages issued (≥ `round_trips`).
+    pub messages: u64,
+    /// Unsignaled posted writes: issued without waiting for completion
+    /// (not a dependent round trip; e.g. the queue's background slot
+    /// zeroing, §5.3).
+    pub posted_messages: u64,
+    /// Payload bytes read from far memory.
+    pub bytes_read: u64,
+    /// Payload bytes written to far memory.
+    pub bytes_written: u64,
+    /// Atomic fabric operations (CAS / fetch-add and indirect variants).
+    pub atomics: u64,
+    /// Memory-side forwarding hops for cross-node indirections (§7.1).
+    pub forward_hops: u64,
+    /// Client re-issues after `IndirectRemote` errors (§7.1 error mode).
+    pub reissues: u64,
+    /// Notifications received (including coalesced representatives).
+    pub notifications: u64,
+    /// Notifications that were coalesced into an already-pending event.
+    pub notifications_coalesced: u64,
+    /// Notifications dropped by best-effort delivery or spike suppression.
+    pub notifications_lost: u64,
+    /// Near (client-local cache) accesses — cheap, shown for contrast.
+    pub near_accesses: u64,
+}
+
+impl AccessStats {
+    /// A zeroed counter set.
+    pub fn new() -> AccessStats {
+        AccessStats::default()
+    }
+
+    /// Total bytes moved over the fabric in either direction.
+    #[inline]
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Component-wise difference `self - earlier`, for measuring one
+    /// operation or one experiment phase.
+    pub fn since(&self, earlier: &AccessStats) -> AccessStats {
+        AccessStats {
+            round_trips: self.round_trips - earlier.round_trips,
+            messages: self.messages - earlier.messages,
+            posted_messages: self.posted_messages - earlier.posted_messages,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            atomics: self.atomics - earlier.atomics,
+            forward_hops: self.forward_hops - earlier.forward_hops,
+            reissues: self.reissues - earlier.reissues,
+            notifications: self.notifications - earlier.notifications,
+            notifications_coalesced: self.notifications_coalesced
+                - earlier.notifications_coalesced,
+            notifications_lost: self.notifications_lost - earlier.notifications_lost,
+            near_accesses: self.near_accesses - earlier.near_accesses,
+        }
+    }
+
+    /// Component-wise sum, for aggregating over clients.
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.round_trips += other.round_trips;
+        self.messages += other.messages;
+        self.posted_messages += other.posted_messages;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.atomics += other.atomics;
+        self.forward_hops += other.forward_hops;
+        self.reissues += other.reissues;
+        self.notifications += other.notifications;
+        self.notifications_coalesced += other.notifications_coalesced;
+        self.notifications_lost += other.notifications_lost;
+        self.near_accesses += other.near_accesses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_and_merge_are_inverses() {
+        let mut a = AccessStats::new();
+        a.round_trips = 5;
+        a.messages = 9;
+        a.bytes_read = 128;
+        let mut b = a;
+        b.round_trips = 7;
+        b.messages = 12;
+        b.bytes_read = 160;
+        let d = b.since(&a);
+        assert_eq!(d.round_trips, 2);
+        assert_eq!(d.messages, 3);
+        let mut sum = a;
+        sum.merge(&d);
+        assert_eq!(sum, b);
+    }
+}

@@ -1,0 +1,78 @@
+//! # farmem-monitor — the §6 monitoring case study
+//!
+//! A sampled metric (e.g. CPU utilization) is tracked in far memory. The
+//! system raises alarms of different severity (warning / critical /
+//! failure) when samples exceed predefined thresholds for a certain
+//! duration within a time window.
+//!
+//! Two designs are implemented, exactly as the paper contrasts them:
+//!
+//! * [`NaiveMonitor`] — the producer writes every sample to a far-memory
+//!   log; each of `k` consumers reads every sample: `(k + 1) · N` far
+//!   transfers for `N` samples.
+//! * [`HistogramMonitor`] — far memory keeps a *histogram* of the samples
+//!   per window. The producer treats a sample as an offset into a far
+//!   vector and increments it with **one** indexed-indirect far access
+//!   (`add2` through the current-window base pointer). Consumers
+//!   subscribe to notifications on the alarm ranges only; since samples
+//!   are usually in the normal range, notifications are rare — far
+//!   transfers drop from `(k + 1) · N` to `N + m` with `m ≪ N`.
+//!
+//! Multiple windows are tracked with a circular buffer of histograms; the
+//! producer switches the base pointer in far memory at the end of each
+//! window and consumers are notified of the switch (they subscribe to all
+//! windows' alarm ranges once, so no resubscription is needed).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod naive;
+
+pub use histogram::{
+    AlarmSpec, ConsumerHandle, HistogramMonitor, MonitorAlarm, ProducerHandle, Severity,
+};
+pub use naive::{NaiveConsumer, NaiveMonitor, NaiveProducer};
+
+use farmem_core::CoreError;
+
+/// Errors from the monitoring service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorError {
+    /// A data-structure operation failed.
+    Core(CoreError),
+    /// Invalid configuration (bucket counts, thresholds, windows).
+    BadConfig(&'static str),
+}
+
+impl From<CoreError> for MonitorError {
+    fn from(e: CoreError) -> Self {
+        MonitorError::Core(e)
+    }
+}
+
+impl From<farmem_fabric::FabricError> for MonitorError {
+    fn from(e: farmem_fabric::FabricError) -> Self {
+        MonitorError::Core(CoreError::Fabric(e))
+    }
+}
+
+impl From<farmem_alloc::AllocError> for MonitorError {
+    fn from(e: farmem_alloc::AllocError) -> Self {
+        MonitorError::Core(CoreError::Alloc(e))
+    }
+}
+
+impl core::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MonitorError::Core(e) => write!(f, "monitor substrate error: {e}"),
+            MonitorError::BadConfig(s) => write!(f, "bad monitor configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, MonitorError>;

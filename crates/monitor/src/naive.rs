@@ -1,0 +1,167 @@
+//! The naive monitor (§6): every sample written once and read by every
+//! consumer — `(k + 1) · N` far transfers for `N` samples, `k` consumers.
+
+use farmem_alloc::{AllocHint, FarAlloc};
+use farmem_fabric::{FabricClient, FarAddr, WORD};
+use std::sync::Arc;
+
+use crate::{MonitorError, Result};
+
+/// Shared descriptor: a far sample log plus a cursor word.
+#[derive(Clone, Copy, Debug)]
+pub struct NaiveMonitor {
+    /// Cursor word: number of samples written.
+    cursor: FarAddr,
+    /// Sample log base.
+    log: FarAddr,
+    capacity: u64,
+}
+
+impl NaiveMonitor {
+    /// Creates a monitor with room for `capacity` samples.
+    pub fn create(
+        client: &mut FabricClient,
+        alloc: &Arc<FarAlloc>,
+        capacity: u64,
+    ) -> Result<NaiveMonitor> {
+        if capacity == 0 {
+            return Err(MonitorError::BadConfig("capacity must be positive"));
+        }
+        let cursor = alloc.alloc(WORD, AllocHint::Spread)?;
+        let log = alloc.alloc(capacity * WORD, AllocHint::Striped)?;
+        client.write_u64(cursor, 0)?;
+        Ok(NaiveMonitor { cursor, log, capacity })
+    }
+
+    /// Attaches the producer.
+    pub fn producer(&self) -> NaiveProducer {
+        NaiveProducer { m: *self, written: 0 }
+    }
+
+    /// Attaches a consumer.
+    pub fn consumer(&self) -> NaiveConsumer {
+        NaiveConsumer { m: *self, read: 0 }
+    }
+}
+
+/// The producing side of a [`NaiveMonitor`].
+pub struct NaiveProducer {
+    m: NaiveMonitor,
+    written: u64,
+}
+
+impl NaiveProducer {
+    /// Appends one sample: a sample write plus a cursor bump in one fenced
+    /// batch — one far access (being generous to the baseline).
+    pub fn record(&mut self, client: &mut FabricClient, sample: u64) -> Result<()> {
+        if self.written >= self.m.capacity {
+            return Err(MonitorError::BadConfig("sample log full"));
+        }
+        client.batch(&[
+            farmem_fabric::BatchOp::Write {
+                addr: self.m.log.offset(self.written * WORD),
+                data: &sample.to_le_bytes(),
+            },
+            farmem_fabric::BatchOp::Write {
+                addr: self.m.cursor,
+                data: &(self.written + 1).to_le_bytes(),
+            },
+        ])?;
+        self.written += 1;
+        Ok(())
+    }
+}
+
+/// One consuming side of a [`NaiveMonitor`]: must read every sample.
+pub struct NaiveConsumer {
+    m: NaiveMonitor,
+    read: u64,
+}
+
+impl NaiveConsumer {
+    /// Polls for new samples: reads the cursor, then the new suffix of the
+    /// log. Every consumer transfers every sample (`k · N` in aggregate).
+    pub fn poll(&mut self, client: &mut FabricClient) -> Result<Vec<u64>> {
+        let avail = client.read_u64(self.m.cursor)?;
+        if avail <= self.read {
+            return Ok(Vec::new());
+        }
+        let count = avail - self.read;
+        let bytes = client.read(self.m.log.offset(self.read * WORD), count * WORD)?;
+        self.read = avail;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("word")))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmem_fabric::FabricConfig;
+
+    #[test]
+    fn samples_flow_producer_to_consumers() {
+        let f = FabricConfig::count_only(16 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        let mut pc = f.client();
+        let m = NaiveMonitor::create(&mut pc, &a, 1000).unwrap();
+        let mut p = m.producer();
+        let mut c1 = f.client();
+        let mut c2 = f.client();
+        let mut cons1 = m.consumer();
+        let mut cons2 = m.consumer();
+        for s in 0..10u64 {
+            p.record(&mut pc, s * 10).unwrap();
+        }
+        let got1 = cons1.poll(&mut c1).unwrap();
+        assert_eq!(got1, (0..10u64).map(|s| s * 10).collect::<Vec<_>>());
+        assert_eq!(cons2.poll(&mut c2).unwrap().len(), 10);
+        // Incremental poll.
+        p.record(&mut pc, 999).unwrap();
+        assert_eq!(cons1.poll(&mut c1).unwrap(), vec![999]);
+    }
+
+    #[test]
+    fn transfer_accounting_matches_k_plus_one_n() {
+        let f = FabricConfig::count_only(16 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        let mut pc = f.client();
+        let m = NaiveMonitor::create(&mut pc, &a, 1000).unwrap();
+        let mut p = m.producer();
+        let n = 100u64;
+        let k = 3usize;
+        let before = pc.stats();
+        for s in 0..n {
+            p.record(&mut pc, s).unwrap();
+        }
+        let producer_accesses = pc.stats().since(&before).round_trips;
+        assert_eq!(producer_accesses, n, "N producer transfers");
+        let mut consumer_bytes = 0;
+        for _ in 0..k {
+            let mut cc = f.client();
+            let mut cons = m.consumer();
+            let before = cc.stats();
+            cons.poll(&mut cc).unwrap();
+            consumer_bytes += cc.stats().since(&before).bytes_read;
+        }
+        assert_eq!(
+            consumer_bytes,
+            k as u64 * (n * 8 + 8),
+            "k · N sample transfers (+ one cursor word per consumer)"
+        );
+    }
+
+    #[test]
+    fn log_capacity_enforced() {
+        let f = FabricConfig::count_only(16 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        let mut pc = f.client();
+        let m = NaiveMonitor::create(&mut pc, &a, 2).unwrap();
+        let mut p = m.producer();
+        p.record(&mut pc, 1).unwrap();
+        p.record(&mut pc, 2).unwrap();
+        assert!(p.record(&mut pc, 3).is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! # farmem-rpc — the two-sided comparator substrate
+//!
+//! The paper's central comparison (§1, §3.1) is between *far memory data
+//! structures* accessed with one-sided verbs and *distributed data
+//! structures* accessed via RPCs to a processor near the memory. An RPC
+//! takes exactly one round trip over the fabric, can touch many data items
+//! in arbitrary ways — but consumes a memory-side CPU, which becomes the
+//! bottleneck under load. This crate models that design point:
+//!
+//! * an [`RpcServer`] owns near memory privately (plain Rust state inside
+//!   the service) and executes requests *serially* on a modelled CPU;
+//! * an [`RpcClient`] pays one fabric round trip per call plus any
+//!   queueing delay at the server.
+//!
+//! Because service time is charged per request, saturation and queueing
+//! emerge naturally in virtual time: the crossovers the paper predicts
+//! (RPC beats multi-round-trip one-sided structures; a 1-round-trip
+//! one-sided structure beats RPC once the server CPU saturates) fall out
+//! of the model rather than being hard-coded.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use farmem_fabric::{CostModel, SimClock};
+use parking_lot::Mutex;
+
+/// A request handler running on the memory-side processor.
+///
+/// Implementations keep their state behind interior mutability; the server
+/// serializes calls, which is also the performance model (one CPU).
+pub trait RpcService: Send + Sync {
+    /// Handles one request, returning the response bytes.
+    fn handle(&self, req: &[u8]) -> Vec<u8>;
+}
+
+impl<F> RpcService for F
+where
+    F: Fn(&[u8]) -> Vec<u8> + Send + Sync,
+{
+    fn handle(&self, req: &[u8]) -> Vec<u8> {
+        self(req)
+    }
+}
+
+/// CPU cost model of the memory-side processor.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerCpu {
+    /// Fixed cost per request (request dispatch + operation).
+    pub base_ns: u64,
+    /// Additional cost per payload byte (request + response).
+    pub per_byte_ns_x1024: u64,
+}
+
+impl ServerCpu {
+    /// A fast single-core KV server: ~2M ops/s on small requests.
+    pub const DEFAULT: ServerCpu = ServerCpu { base_ns: 500, per_byte_ns_x1024: 256 };
+
+    /// Service time for a request/response pair totalling `bytes` bytes.
+    #[inline]
+    pub fn service_ns(&self, bytes: u64) -> u64 {
+        self.base_ns + bytes * self.per_byte_ns_x1024 / 1024
+    }
+}
+
+impl Default for ServerCpu {
+    fn default() -> Self {
+        ServerCpu::DEFAULT
+    }
+}
+
+/// Aggregate server-side counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Total CPU busy time in virtual nanoseconds.
+    pub busy_ns: u64,
+    /// Virtual time at which the CPU last became free.
+    pub next_free_ns: u64,
+}
+
+/// A memory-side RPC server: private near memory plus one serial CPU.
+pub struct RpcServer {
+    service: Arc<dyn RpcService>,
+    cpu: ServerCpu,
+    cost: CostModel,
+    /// Work-conserving virtual queue of the serial CPU: pending work and
+    /// the latest arrival (drain reference point).
+    queue: Mutex<(u64, u64)>,
+    next_free_ns: AtomicU64,
+    requests: AtomicU64,
+    busy_ns: AtomicU64,
+    /// Serializes handler execution (the modelled CPU is a single core).
+    exec: Mutex<()>,
+}
+
+impl RpcServer {
+    /// Creates a server around `service` with the given CPU and fabric
+    /// cost models.
+    pub fn new(service: Arc<dyn RpcService>, cpu: ServerCpu, cost: CostModel) -> Arc<RpcServer> {
+        Arc::new(RpcServer {
+            service,
+            cpu,
+            cost,
+            queue: Mutex::new((0, 0)),
+            next_free_ns: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            exec: Mutex::new(()),
+        })
+    }
+
+    /// Creates a server with default CPU and cost models.
+    pub fn with_defaults(service: Arc<dyn RpcService>) -> Arc<RpcServer> {
+        RpcServer::new(service, ServerCpu::DEFAULT, CostModel::DEFAULT)
+    }
+
+    /// Server-side counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            next_free_ns: self.next_free_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Admits a request arriving at `arrival_ns` needing `service_ns`,
+    /// returning its completion time on the serial CPU (a work-conserving
+    /// virtual queue, matching the memory nodes' interface model).
+    fn occupy(&self, arrival_ns: u64, service_ns: u64) -> u64 {
+        self.busy_ns.fetch_add(service_ns, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.queue.lock();
+        if arrival_ns > q.1 {
+            let idle = arrival_ns - q.1;
+            q.0 = q.0.saturating_sub(idle);
+            q.1 = arrival_ns;
+        }
+        let wait = q.0;
+        q.0 += service_ns;
+        let finish = arrival_ns + wait + service_ns;
+        self.next_free_ns.store(finish, Ordering::Relaxed);
+        finish
+    }
+}
+
+/// Per-client RPC counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RpcStats {
+    /// Calls issued (each is exactly one fabric round trip).
+    pub calls: u64,
+    /// Request bytes sent.
+    pub bytes_sent: u64,
+    /// Response bytes received.
+    pub bytes_received: u64,
+}
+
+impl RpcStats {
+    /// Component-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &RpcStats) -> RpcStats {
+        RpcStats {
+            calls: self.calls - earlier.calls,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            bytes_received: self.bytes_received - earlier.bytes_received,
+        }
+    }
+}
+
+/// A compute-node RPC endpoint bound to one or more server shards.
+pub struct RpcClient {
+    servers: Vec<Arc<RpcServer>>,
+    clock: SimClock,
+    stats: RpcStats,
+}
+
+impl RpcClient {
+    /// Creates a client talking to a single server.
+    pub fn new(server: Arc<RpcServer>) -> RpcClient {
+        RpcClient::sharded(vec![server])
+    }
+
+    /// Creates a client over several server shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty (a configuration error).
+    pub fn sharded(servers: Vec<Arc<RpcServer>>) -> RpcClient {
+        assert!(!servers.is_empty(), "an RPC client needs at least one server");
+        RpcClient { servers, clock: SimClock::new(), stats: RpcStats::default() }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Current virtual time at this client.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Advances this client's clock by `ns` of local compute time.
+    pub fn advance_time(&mut self, ns: u64) {
+        self.clock.advance(ns);
+    }
+
+    /// Per-client counters.
+    pub fn stats(&self) -> RpcStats {
+        self.stats
+    }
+
+    /// Calls shard 0. One fabric round trip plus server queueing.
+    pub fn call(&mut self, req: &[u8]) -> Vec<u8> {
+        self.call_shard(0, req)
+    }
+
+    /// Calls the given shard. One fabric round trip plus server queueing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn call_shard(&mut self, shard: usize, req: &[u8]) -> Vec<u8> {
+        let server = &self.servers[shard];
+        let cost = server.cost;
+        let arrival = self.clock.now() + cost.one_way_ns() + cost.bytes_ns(req.len() as u64);
+        let resp = {
+            // The modelled CPU is serial; execute under the server lock so
+            // concurrent test threads also serialize for real.
+            let _cpu = server.exec.lock();
+            server.service.handle(req)
+        };
+        let service = server.cpu.service_ns(req.len() as u64 + resp.len() as u64);
+        let finish = server.occupy(arrival, service);
+        self.clock
+            .advance_to(finish + cost.one_way_ns() + cost.bytes_ns(resp.len() as u64));
+        self.stats.calls += 1;
+        self.stats.bytes_sent += req.len() as u64;
+        self.stats.bytes_received += resp.len() as u64;
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> Arc<RpcServer> {
+        RpcServer::with_defaults(Arc::new(|req: &[u8]| req.to_vec()))
+    }
+
+    #[test]
+    fn call_round_trips_payload() {
+        let s = echo_server();
+        let mut c = RpcClient::new(s.clone());
+        assert_eq!(c.call(b"hello"), b"hello");
+        assert_eq!(c.stats().calls, 1);
+        assert_eq!(c.stats().bytes_sent, 5);
+        assert_eq!(s.stats().requests, 1);
+    }
+
+    #[test]
+    fn latency_is_one_rtt_plus_service() {
+        let s = echo_server();
+        let mut c = RpcClient::new(s);
+        let t0 = c.now_ns();
+        c.call(&[0u8; 8]);
+        let elapsed = c.now_ns() - t0;
+        // RTT (2 µs) + base service (500 ns) + small byte costs.
+        assert!(elapsed >= 2_500, "elapsed {elapsed}");
+        assert!(elapsed < 4_000, "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn stateful_service_works() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = counter.clone();
+        let s = RpcServer::with_defaults(Arc::new(move |_req: &[u8]| {
+            let v = c2.fetch_add(1, Ordering::Relaxed) + 1;
+            v.to_le_bytes().to_vec()
+        }));
+        let mut c = RpcClient::new(s);
+        assert_eq!(c.call(b""), 1u64.to_le_bytes());
+        assert_eq!(c.call(b""), 2u64.to_le_bytes());
+    }
+
+    #[test]
+    fn sharded_client_routes_by_shard() {
+        let s0 = RpcServer::with_defaults(Arc::new(|_: &[u8]| vec![0]));
+        let s1 = RpcServer::with_defaults(Arc::new(|_: &[u8]| vec![1]));
+        let mut c = RpcClient::sharded(vec![s0.clone(), s1.clone()]);
+        assert_eq!(c.call_shard(0, b""), vec![0]);
+        assert_eq!(c.call_shard(1, b""), vec![1]);
+        assert_eq!(s0.stats().requests, 1);
+        assert_eq!(s1.stats().requests, 1);
+    }
+
+    #[test]
+    fn queueing_delay_grows_with_contention() {
+        // Two interleaved clients: the second queues behind the first's
+        // service time.
+        let s = RpcServer::new(
+            Arc::new(|_: &[u8]| Vec::new()),
+            ServerCpu { base_ns: 10_000, per_byte_ns_x1024: 0 },
+            CostModel::DEFAULT,
+        );
+        let mut a = RpcClient::new(s.clone());
+        let mut b = RpcClient::new(s.clone());
+        a.call(b"");
+        b.call(b"");
+        // b arrived while a was in service, so b's completion is pushed
+        // past two service times.
+        assert!(b.now_ns() >= 20_000, "b finished at {}", b.now_ns());
+        assert_eq!(s.stats().busy_ns, 20_000);
+    }
+
+    #[test]
+    fn busy_time_accumulates_per_request() {
+        let s = echo_server();
+        let mut c = RpcClient::new(s.clone());
+        for _ in 0..10 {
+            c.call(&[0u8; 16]);
+        }
+        let st = s.stats();
+        assert_eq!(st.requests, 10);
+        assert_eq!(st.busy_ns, 10 * (500 + 32 * 256 / 1024));
+    }
+}

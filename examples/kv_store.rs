@@ -1,0 +1,86 @@
+//! A far-memory key-value store three ways: the HT-tree (§5.2) against a
+//! traditional one-sided chained hash table and an RPC server — the
+//! paper's central comparison, on a YCSB-C-style workload.
+//!
+//! Run with: `cargo run --release --example kv_store`
+
+use farmem::baselines::{ChainedHash, RpcKv};
+use farmem::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const KEYS: u64 = 50_000;
+const OPS: u64 = 20_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fabric = FabricConfig { nodes: 4, node_capacity: 256 << 20, ..FabricConfig::default() }
+        .build();
+    let alloc = FarAlloc::new(fabric.clone());
+    let mut rng = StdRng::seed_from_u64(99);
+    let keys: Vec<u64> = (0..OPS).map(|_| rng.gen_range(0..KEYS)).collect();
+
+    // --- HT-tree ---
+    let mut c = fabric.client();
+    let cfg = HtTreeConfig { initial_buckets: 4096, ..HtTreeConfig::default() };
+    let map = HtTree::create(&mut c, &alloc, cfg)?;
+    let mut h = map.attach(&mut c, &alloc, cfg)?;
+    for k in 0..KEYS {
+        h.put(&mut c, k, k + 1)?;
+    }
+    let before = c.stats();
+    let t0 = c.now_ns();
+    for &k in &keys {
+        assert_eq!(h.get(&mut c, k)?, Some(k + 1));
+    }
+    let d = c.stats().since(&before);
+    println!(
+        "HT-tree      : {:.2} far accesses/lookup, {:>5.0} ns/op, {:>3} B/op, \
+         client cache {} KiB",
+        d.round_trips as f64 / OPS as f64,
+        (c.now_ns() - t0) as f64 / OPS as f64,
+        d.bytes_read / OPS,
+        h.cache_bytes() / 1024,
+    );
+
+    // --- traditional one-sided chained hash table ---
+    let mut c = fabric.client();
+    let mut table = ChainedHash::create(&mut c, &alloc, 65_536, false)?;
+    for k in 0..KEYS {
+        table.insert(&mut c, k, k + 1)?;
+    }
+    let before = c.stats();
+    let t0 = c.now_ns();
+    for &k in &keys {
+        assert_eq!(table.get(&mut c, k)?, Some(k + 1));
+    }
+    let d = c.stats().since(&before);
+    println!(
+        "chained hash : {:.2} far accesses/lookup, {:>5.0} ns/op, {:>3} B/op",
+        d.round_trips as f64 / OPS as f64,
+        (c.now_ns() - t0) as f64 / OPS as f64,
+        d.bytes_read / OPS,
+    );
+
+    // --- RPC server ---
+    let server = RpcKv::serve(ServerCpu::DEFAULT, *fabric.cost());
+    let mut kv = RpcKv::connect(vec![server]);
+    for k in 0..KEYS {
+        kv.put(k, k + 1);
+    }
+    let calls0 = kv.rpc().stats().calls;
+    let t0 = kv.now_ns();
+    for &k in &keys {
+        assert_eq!(kv.get(k), Some(k + 1));
+    }
+    println!(
+        "RPC store    : {:.2} round trips/lookup,  {:>5.0} ns/op (server CPU serialized)",
+        (kv.rpc().stats().calls - calls0) as f64 / OPS as f64,
+        (kv.now_ns() - t0) as f64 / OPS as f64,
+    );
+
+    println!(
+        "\nThe HT-tree matches RPC's single round trip without consuming a \
+         memory-side CPU;\nthe traditional one-sided table pays double."
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! A distributed-ML parameter server on refreshable vectors (§5.4).
+//!
+//! A trainer writes model parameters into far memory; workers keep cached
+//! copies with bounded staleness, refreshing between mini-batches. As the
+//! "training" converges and updates slow down, the readers' dynamic
+//! policy shifts from version polling to notifications — watch the mode
+//! switch and the refresh cost collapse.
+//!
+//! Run with: `cargo run --example parameter_server`
+
+use farmem::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fabric = FabricConfig { nodes: 4, node_capacity: 64 << 20, ..FabricConfig::default() }
+        .build();
+    let alloc = FarAlloc::new(fabric.clone());
+
+    // A model of 16Ki parameters in groups of 64.
+    let dim = 16 * 1024;
+    let mut trainer = fabric.client();
+    let model = RefreshableVec::create(&mut trainer, &alloc, dim, 64, AllocHint::Striped)?;
+    let writer = VecWriter::new(model);
+
+    let mut worker_client = fabric.client();
+    let mut worker = VecReader::new(&mut worker_client, model, RefreshPolicy::default())?;
+
+    let mut rng = StdRng::seed_from_u64(11);
+    // Simulated training: the number of parameters touched per step decays
+    // as gradients shrink.
+    let mut updates_per_step = 512.0f64;
+    for step in 0..40u64 {
+        let k = updates_per_step.round() as u64;
+        let updates: Vec<(u64, u64)> = (0..k)
+            .map(|_| (rng.gen_range(0..dim), rng.gen_range(0..1000)))
+            .collect();
+        if !updates.is_empty() {
+            writer.write_batch(&mut trainer, &updates)?;
+        }
+        updates_per_step *= 0.75;
+
+        // The worker refreshes before its mini-batch.
+        let before = worker_client.stats();
+        let changed = worker.refresh(&mut worker_client)?;
+        let cost = worker_client.stats().since(&before);
+        // "Read" some parameters — zero far accesses against the cache.
+        let mut acc = 0u64;
+        for i in (0..dim).step_by(97) {
+            acc = acc.wrapping_add(worker.get(&mut worker_client, i)?);
+        }
+        if step % 5 == 0 || changed == 0 {
+            println!(
+                "step {step:>2}: {:>4} params written, {changed:>3} groups refreshed, \
+                 {} far access(es), mode {:?}, checksum {acc:>8}",
+                k,
+                cost.round_trips,
+                worker.mode()
+            );
+        }
+    }
+    let stats = worker.stats();
+    println!(
+        "\nworker totals: {} refreshes, {} groups refetched, {} version polls, \
+         {} mode switches",
+        stats.refreshes, stats.groups_refreshed, stats.version_polls, stats.mode_switches
+    );
+    assert!(stats.mode_switches >= 1, "the dynamic policy kicked in");
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Quickstart: build a fabric, share data structures between clients, and
+//! watch the far-access accounting that the paper's argument rests on.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use farmem::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A far-memory pool of 4 nodes × 64 MiB, page-striped for bandwidth,
+    // with the paper's default latency regime (~2 µs far round trips).
+    let fabric = FabricConfig {
+        nodes: 4,
+        node_capacity: 64 << 20,
+        striping: Striping::Striped { stripe: 64 << 10 },
+        ..FabricConfig::default()
+    }
+    .build();
+    let alloc = FarAlloc::new(fabric.clone());
+
+    // Two independent compute nodes.
+    let mut a = fabric.client();
+    let mut b = fabric.client();
+
+    // --- A shared counter (§5.1): every op is one far access. ---
+    let counter = FarCounter::create(&mut a, &alloc, 0, AllocHint::Spread)?;
+    counter.increment(&mut a)?;
+    counter.add(&mut b, 10)?;
+    println!("counter = {}", counter.get(&mut a)?);
+
+    // --- The HT-tree map (§5.2): 1-far-access lookups. ---
+    let cfg = HtTreeConfig { initial_buckets: 4096, ..HtTreeConfig::default() };
+    let map = HtTree::create(&mut a, &alloc, cfg)?;
+    let mut ha = map.attach(&mut a, &alloc, cfg)?;
+    for k in 0..1000u64 {
+        ha.put(&mut a, k, k * k)?;
+    }
+    // Attach b after the load so its cached tree is fresh.
+    let mut hb = map.attach(&mut b, &alloc, cfg)?;
+    let before = b.stats();
+    for k in 0..1000u64 {
+        assert_eq!(hb.get(&mut b, k)?, Some(k * k));
+    }
+    let delta = b.stats().since(&before);
+    let per_op = delta.round_trips as f64 / 1000.0;
+    println!(
+        "map: 1000 lookups cost {:.3} far accesses each ({} bytes total)",
+        per_op, delta.bytes_read
+    );
+    assert!(per_op < 1.25, "HT-tree lookups are ~ONE far access");
+
+    // --- A far queue (§5.3): lock-free 1-far-access enqueue/dequeue. ---
+    let q = FarQueue::create(&mut a, &alloc, QueueConfig::new(1024, 8))?;
+    let mut qa = FarQueue::attach(&mut a, q.hdr())?;
+    let mut qb = FarQueue::attach(&mut b, q.hdr())?;
+    for item in [3u64, 1, 4, 1, 5] {
+        qa.enqueue(&mut a, item)?;
+    }
+    print!("queue drains:");
+    while let Ok(v) = qb.dequeue(&mut b) {
+        print!(" {v}");
+    }
+    println!();
+
+    // --- Notifications (§4.3): learn about changes without polling. ---
+    let cell = FarCounter::create(&mut a, &alloc, 0, AllocHint::Spread)?;
+    cell.watch_equal(&mut b, 3)?;
+    for _ in 0..3 {
+        cell.increment(&mut a)?;
+    }
+    let events = b.recv_events();
+    println!("b was notified: {events:?}");
+
+    // Final accounting.
+    let (sa, sb) = (a.stats(), b.stats());
+    println!(
+        "\nclient a: {} far round trips, {} messages, {} bytes moved",
+        sa.round_trips,
+        sa.messages,
+        sa.bytes_total()
+    );
+    println!(
+        "client b: {} far round trips, {} notifications, virtual time {:.1} µs",
+        sb.round_trips,
+        sb.notifications,
+        b.now_ns() as f64 / 1000.0
+    );
+    Ok(())
+}

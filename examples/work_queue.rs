@@ -1,0 +1,103 @@
+//! A multi-producer multi-consumer work queue on the §5.3 far queue,
+//! driven by real OS threads, with the lock-based design alongside for
+//! contrast.
+//!
+//! Run with: `cargo run --release --example work_queue`
+
+use farmem::baselines::LockQueue;
+use farmem::prelude::*;
+
+const PRODUCERS: usize = 3;
+const CONSUMERS: usize = 3;
+const PER_PRODUCER: u64 = 2_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fabric = FabricConfig { nodes: 2, node_capacity: 64 << 20, ..FabricConfig::default() }
+        .build();
+    let alloc = FarAlloc::new(fabric.clone());
+    let mut c0 = fabric.client();
+
+    // --- the paper's saai/faai queue ---
+    let q = FarQueue::create(
+        &mut c0,
+        &alloc,
+        QueueConfig::new(1 << 14, (PRODUCERS + CONSUMERS) as u64),
+    )?;
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let total = (PRODUCERS as u64) * PER_PRODUCER;
+    let mut threads = Vec::new();
+    for p in 0..PRODUCERS {
+        let fabric = fabric.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut c = fabric.client();
+            let mut h = FarQueue::attach(&mut c, q.hdr()).expect("attach");
+            for i in 0..PER_PRODUCER {
+                h.enqueue_wait(&mut c, (p as u64) << 32 | i, 10_000).expect("enqueue");
+            }
+            (c.stats(), h.stats())
+        }));
+    }
+    let mut consumers = Vec::new();
+    for _ in 0..CONSUMERS {
+        let fabric = fabric.clone();
+        let done = done.clone();
+        consumers.push(std::thread::spawn(move || {
+            let mut c = fabric.client();
+            let mut h = FarQueue::attach(&mut c, q.hdr()).expect("attach");
+            let mut sum = 0u64;
+            loop {
+                if done.load(std::sync::atomic::Ordering::Relaxed) >= total {
+                    break;
+                }
+                match h.dequeue(&mut c) {
+                    Ok(v) => {
+                        sum = sum.wrapping_add(v);
+                        done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    Err(CoreError::QueueEmpty) => std::thread::yield_now(),
+                    Err(e) => panic!("dequeue failed: {e}"),
+                }
+            }
+            (c.stats(), h.stats(), sum)
+        }));
+    }
+    let mut prod_rts = 0u64;
+    let mut prod_ops = 0u64;
+    for t in threads {
+        let (stats, qstats) = t.join().expect("producer");
+        prod_rts += stats.round_trips;
+        prod_ops += qstats.enq_fast;
+    }
+    let mut cons_rts = 0u64;
+    let mut cons_ops = 0u64;
+    for t in consumers {
+        let (stats, qstats, _) = t.join().expect("consumer");
+        cons_rts += stats.round_trips;
+        cons_ops += qstats.deq_fast;
+    }
+    println!("far queue (saai/faai, §5.3):");
+    println!(
+        "  {} items through {} producers / {} consumers",
+        total, PRODUCERS, CONSUMERS
+    );
+    println!(
+        "  producers: {:.2} far accesses/op   consumers: {:.2} far accesses/op",
+        prod_rts as f64 / prod_ops.max(1) as f64,
+        cons_rts as f64 / cons_ops.max(1) as f64
+    );
+
+    // --- the lock-based comparator, single-threaded for its op count ---
+    let mut c = fabric.client();
+    let lq = LockQueue::create(&mut c, &alloc, 1 << 14)?;
+    let before = c.stats();
+    for i in 0..1000u64 {
+        lq.enqueue(&mut c, i)?;
+    }
+    for _ in 0..1000u64 {
+        lq.dequeue(&mut c)?;
+    }
+    let d = c.stats().since(&before);
+    println!("\nlock-based queue (comparator):");
+    println!("  {:.2} far accesses/op, uncontended", d.round_trips as f64 / 2000.0);
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! # farmem — far memory data structures, outside the box
+//!
+//! A production-quality reproduction of *Designing Far Memory Data
+//! Structures: Think Outside the Box* (Aguilera, Keeton, Novakovic,
+//! Singhal — HotOS '19), built on a simulated far-memory fabric.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`fabric`] — the far-memory fabric simulator with the paper's
+//!   extended hardware primitives (indirect addressing, scatter-gather,
+//!   notifications — Fig. 1);
+//! * [`alloc`] — far-memory allocation with §7.1 locality hints;
+//! * [`core`] — the far memory data structures themselves (§5): counters,
+//!   vectors, mutexes, barriers, the HT-tree map, the `saai`/`faai`
+//!   queue, and refreshable vectors;
+//! * [`rpc`] — the two-sided RPC substrate the paper compares against;
+//! * [`baselines`] — traditional one-sided and RPC-based comparators;
+//! * [`monitor`] — the §6 monitoring case study.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use farmem::prelude::*;
+//!
+//! // A fabric of 4 memory nodes, 16 MiB each.
+//! let fabric = FabricConfig {
+//!     nodes: 4,
+//!     node_capacity: 16 << 20,
+//!     ..FabricConfig::default()
+//! }
+//! .build();
+//! let alloc = FarAlloc::new(fabric.clone());
+//!
+//! // Client A creates a map; client B uses it concurrently.
+//! let mut a = fabric.client();
+//! let mut b = fabric.client();
+//! let map = HtTree::create(&mut a, &alloc, HtTreeConfig::default()).unwrap();
+//! let mut ha = map.attach(&mut a, &alloc, HtTreeConfig::default()).unwrap();
+//! let mut hb = map.attach(&mut b, &alloc, HtTreeConfig::default()).unwrap();
+//!
+//! ha.put(&mut a, 7, 700).unwrap();
+//! assert_eq!(hb.get(&mut b, 7).unwrap(), Some(700));
+//!
+//! // The far-access accounting that the paper's argument rests on:
+//! let before = b.stats();
+//! hb.get(&mut b, 7).unwrap();
+//! assert_eq!(b.stats().since(&before).round_trips, 1); // ONE far access
+//! ```
+
+pub use farmem_alloc as alloc;
+pub use farmem_baselines as baselines;
+pub use farmem_core as core;
+pub use farmem_fabric as fabric;
+pub use farmem_monitor as monitor;
+pub use farmem_rpc as rpc;
+
+/// The most commonly used items, in one import.
+pub mod prelude {
+    pub use farmem_alloc::{AllocHint, Arena, FarAlloc};
+    pub use farmem_baselines::{
+        CasQueue, ChainedHash, HopscotchHash, LockQueue, OneSidedBTree, OneSidedList,
+        OneSidedSkipList, RpcKv,
+    };
+    pub use farmem_core::{
+        CacheMode, CachedFarVec, CoreError, FarBarrier, FarBlobMap, FarCounter,
+        FarEpochBarrier, FarMutex, FarQueue, FarRwLock, FarVec, HtTree, HtTreeConfig,
+        QueueConfig, RefreshMode, RefreshPolicy, RefreshableVec, VecReader, VecWriter,
+        WriteCombiner,
+    };
+    pub use farmem_fabric::{
+        AccessStats, BatchOp, CostModel, DeliveryPolicy, Event, Fabric, FabricClient,
+        FabricConfig, FarAddr, FarIov, IndirectionMode, NodeId, Striping, SubId,
+    };
+    pub use farmem_monitor::{AlarmSpec, HistogramMonitor, NaiveMonitor, Severity};
+    pub use farmem_rpc::{RpcClient, RpcServer, ServerCpu};
+}

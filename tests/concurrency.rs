@@ -1,0 +1,205 @@
+//! Heavy multithreaded stress across the whole structure set: real OS
+//! threads, real atomics on the simulated fabric, cross-checked against
+//! sequential models at the end.
+
+use farmem::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn queue_under_tiny_capacity_and_many_threads_loses_nothing() {
+    // A brutally small queue: wraps, full-hits and empty-overshoots fire
+    // constantly; the guarded fast path plus the repair protocol must
+    // neither lose nor duplicate an item.
+    let f = FabricConfig::single_node(16 << 20).build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut c0 = f.client();
+    let producers = 3u64;
+    let consumers = 3u64;
+    let per_producer = 300u64;
+    let q = FarQueue::create(
+        &mut c0,
+        &alloc,
+        QueueConfig::new(4 * (producers + consumers) + 8, producers + consumers),
+    )
+    .unwrap();
+    let taken = Arc::new(AtomicU64::new(0));
+    let total = producers * per_producer;
+    let mut handles = Vec::new();
+    for pid in 0..producers {
+        let f = f.clone();
+        handles.push(std::thread::spawn(move || -> Vec<u64> {
+            let mut c = f.client();
+            let mut h = FarQueue::attach(&mut c, q.hdr()).unwrap();
+            for i in 0..per_producer {
+                h.enqueue_wait(&mut c, pid * 10_000 + i, 1_000_000).unwrap();
+            }
+            Vec::new()
+        }));
+    }
+    for _ in 0..consumers {
+        let f = f.clone();
+        let taken = taken.clone();
+        handles.push(std::thread::spawn(move || -> Vec<u64> {
+            let mut c = f.client();
+            let mut h = FarQueue::attach(&mut c, q.hdr()).unwrap();
+            let mut got = Vec::new();
+            while taken.load(Ordering::Relaxed) < total {
+                match h.dequeue(&mut c) {
+                    Ok(v) => {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                        got.push(v);
+                    }
+                    Err(CoreError::QueueEmpty) => std::thread::yield_now(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            got
+        }));
+    }
+    let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    all.sort_unstable();
+    let mut want: Vec<u64> = (0..producers)
+        .flat_map(|p| (0..per_producer).map(move |i| p * 10_000 + i))
+        .collect();
+    want.sort_unstable();
+    assert_eq!(all, want, "every item exactly once, through wraps and repairs");
+}
+
+#[test]
+fn httree_blob_and_counters_hammered_together() {
+    let f = FabricConfig::single_node(512 << 20).build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut c0 = f.client();
+    let cfg = HtTreeConfig {
+        initial_buckets: 8,
+        split_check_interval: 16,
+        ..HtTreeConfig::default()
+    };
+    let tree = HtTree::create(&mut c0, &alloc, cfg).unwrap();
+    let ops_done = FarCounter::create(&mut c0, &alloc, 0, AllocHint::Spread).unwrap();
+    let threads = 4u64;
+    let per = 200u64;
+    let mut handles = Vec::new();
+    for tid in 0..threads {
+        let f = f.clone();
+        let alloc = alloc.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut c = f.client();
+            let mut blobs = FarBlobMap::attach(&mut c, &alloc, tree, cfg).unwrap();
+            for i in 0..per {
+                let key = tid * 1_000_000 + i;
+                blobs
+                    .put_bytes(&mut c, key, format!("t{tid}-i{i}").as_bytes())
+                    .unwrap();
+                ops_done.increment(&mut c).unwrap();
+                // Read something another thread probably wrote.
+                let other = ((tid + 1) % threads) * 1_000_000 + i / 2;
+                let _ = blobs.get_bytes(&mut c, other).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(ops_done.get(&mut c0).unwrap(), threads * per);
+    let mut blobs = FarBlobMap::attach(&mut c0, &alloc, tree, cfg).unwrap();
+    for tid in 0..threads {
+        for i in 0..per {
+            let key = tid * 1_000_000 + i;
+            assert_eq!(
+                blobs.get_bytes(&mut c0, key).unwrap().unwrap(),
+                format!("t{tid}-i{i}").as_bytes(),
+                "key {key}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rwlock_protects_a_multiword_invariant() {
+    let f = FabricConfig::single_node(16 << 20).build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut c0 = f.client();
+    let lock = FarRwLock::create(&mut c0, &alloc, AllocHint::Spread).unwrap();
+    // Invariant: the two far words always sum to 1000.
+    let a = alloc.alloc(8, AllocHint::Spread).unwrap();
+    let b = alloc.alloc(8, AllocHint::Spread).unwrap();
+    c0.write_u64(a, 400).unwrap();
+    c0.write_u64(b, 600).unwrap();
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let f = f.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut c = f.client();
+            let lock = FarRwLock::attach(lock.addr());
+            for step in 0..150u64 {
+                lock.write_lock(&mut c, 1_000_000).unwrap();
+                // Move value back and forth so neither word can underflow.
+                let delta = 1 + step % 7;
+                let (src, dst) = if step % 2 == 0 { (a, b) } else { (b, a) };
+                let vs = c.read_u64(src).unwrap();
+                c.write_u64(src, vs - delta).unwrap();
+                let vd = c.read_u64(dst).unwrap();
+                c.write_u64(dst, vd + delta).unwrap();
+                lock.write_unlock(&mut c).unwrap();
+            }
+        }));
+    }
+    for _ in 0..2 {
+        let f = f.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut c = f.client();
+            let lock = FarRwLock::attach(lock.addr());
+            for _ in 0..300u64 {
+                lock.read_lock(&mut c, 1_000_000).unwrap();
+                let sum = c.read_u64(a).unwrap() + c.read_u64(b).unwrap();
+                assert_eq!(sum, 1000, "invariant held under readers");
+                lock.read_unlock(&mut c).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(c0.read_u64(a).unwrap() + c0.read_u64(b).unwrap(), 1000);
+}
+
+#[test]
+fn epoch_barrier_orders_phases_across_structures() {
+    // Phase 0: every thread enqueues; barrier; phase 1: every thread
+    // dequeues. If the barrier leaked anyone early, a dequeue would hit
+    // an empty queue.
+    let f = FabricConfig::single_node(16 << 20).build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut c0 = f.client();
+    let parties = 4u64;
+    let per = 50u64;
+    let q = FarQueue::create(&mut c0, &alloc, QueueConfig::new(1024, parties)).unwrap();
+    let bar = FarEpochBarrier::create(&mut c0, &alloc, parties, AllocHint::Spread).unwrap();
+    let mut handles = Vec::new();
+    for _ in 0..parties {
+        let f = f.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut c = f.client();
+            let mut h = FarQueue::attach(&mut c, q.hdr()).unwrap();
+            let bar = FarEpochBarrier::attach(bar.addr(), parties);
+            for round in 0..5u64 {
+                for i in 0..per {
+                    h.enqueue(&mut c, round * 1000 + i).unwrap();
+                }
+                bar.arrive_and_wait(&mut c, std::time::Duration::from_secs(30)).unwrap();
+                for _ in 0..per {
+                    let v = h
+                        .dequeue_wait(&mut c, 1_000_000)
+                        .expect("barrier guaranteed items exist");
+                    assert_eq!(v / 1000, round, "no cross-round leakage");
+                }
+                bar.arrive_and_wait(&mut c, std::time::Duration::from_secs(30)).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}

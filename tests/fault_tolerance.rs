@@ -1,0 +1,159 @@
+//! Fault-domain tests: far memory survives client crashes (§2's separate
+//! fault domains), node failures surface as errors and recover, and lossy
+//! notification delivery degrades gracefully (§7.2).
+
+use farmem::prelude::*;
+
+#[test]
+fn client_crash_loses_only_its_caches() {
+    // A client's caches are "discarded when clients terminate" (§3); the
+    // far data must survive and a fresh client must see everything.
+    let f = FabricConfig::count_only(64 << 20).build();
+    let alloc = FarAlloc::new(f.clone());
+    let tree;
+    {
+        let mut doomed = f.client();
+        let cfg = HtTreeConfig::default();
+        tree = HtTree::create(&mut doomed, &alloc, cfg).unwrap();
+        let mut h = tree.attach(&mut doomed, &alloc, cfg).unwrap();
+        for k in 0..500u64 {
+            h.put(&mut doomed, k, k + 1).unwrap();
+        }
+        // `doomed` (and its cached tree) drops here: the crash.
+    }
+    let mut fresh = f.client();
+    let mut h = tree.attach(&mut fresh, &alloc, HtTreeConfig::default()).unwrap();
+    for k in 0..500u64 {
+        assert_eq!(h.get(&mut fresh, k).unwrap(), Some(k + 1));
+    }
+}
+
+#[test]
+fn queue_survives_consumer_crash() {
+    let f = FabricConfig::count_only(32 << 20).build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut producer = f.client();
+    let q = FarQueue::create(&mut producer, &alloc, QueueConfig::new(128, 4)).unwrap();
+    let mut hp = FarQueue::attach(&mut producer, q.hdr()).unwrap();
+    for v in 0..10u64 {
+        hp.enqueue(&mut producer, v).unwrap();
+    }
+    {
+        let mut doomed = f.client();
+        let mut hc = FarQueue::attach(&mut doomed, q.hdr()).unwrap();
+        assert_eq!(hc.dequeue(&mut doomed).unwrap(), 0);
+        assert_eq!(hc.dequeue(&mut doomed).unwrap(), 1);
+        // Crash after consuming two items.
+    }
+    let mut fresh = f.client();
+    let mut hc = FarQueue::attach(&mut fresh, q.hdr()).unwrap();
+    for v in 2..10u64 {
+        assert_eq!(hc.dequeue(&mut fresh).unwrap(), v);
+    }
+}
+
+#[test]
+fn node_failure_is_surfaced_and_recoverable() {
+    let f = FabricConfig {
+        nodes: 2,
+        node_capacity: 16 << 20,
+        cost: CostModel::COUNT_ONLY,
+        ..FabricConfig::default()
+    }
+    .build();
+    let mut c = f.client();
+    // Data on both nodes (blocked mapping: low = node 0, high = node 1).
+    let lo = FarAddr(4096);
+    let hi = FarAddr((16 << 20) + 4096);
+    c.write_u64(lo, 1).unwrap();
+    c.write_u64(hi, 2).unwrap();
+    f.node(NodeId(1)).fail();
+    // Node 0 data remains reachable; node 1 errors.
+    assert_eq!(c.read_u64(lo).unwrap(), 1);
+    assert!(matches!(
+        c.read_u64(hi),
+        Err(farmem::fabric::FabricError::NodeFailed(NodeId(1)))
+    ));
+    f.node(NodeId(1)).recover();
+    assert_eq!(c.read_u64(hi).unwrap(), 2, "data intact after recovery");
+}
+
+#[test]
+fn structures_error_cleanly_when_their_node_fails() {
+    let f = FabricConfig::count_only(16 << 20).build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut c = f.client();
+    let ctr = FarCounter::create(&mut c, &alloc, 0, AllocHint::Spread).unwrap();
+    ctr.increment(&mut c).unwrap();
+    f.node(NodeId(0)).fail();
+    assert!(ctr.increment(&mut c).is_err());
+    f.node(NodeId(0)).recover();
+    assert_eq!(ctr.get(&mut c).unwrap(), 1);
+}
+
+#[test]
+fn lossy_notifications_never_lose_data_only_freshness() {
+    // Best-effort delivery with heavy silent drops: the refreshable
+    // vector's safety poll still converges to the writer's state.
+    let f = FabricConfig {
+        cost: CostModel::COUNT_ONLY,
+        delivery: DeliveryPolicy { drop_ppm: 400_000, coalesce: false, max_queue: 1 << 20 },
+        ..FabricConfig::single_node(32 << 20)
+    }
+    .build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut w = f.client();
+    let mut r = f.client();
+    let v = RefreshableVec::create(&mut w, &alloc, 256, 8, AllocHint::Spread).unwrap();
+    let writer = VecWriter::new(v);
+    let policy = RefreshPolicy {
+        initial: RefreshMode::Notify,
+        dynamic: false,
+        safety_poll_every: 4,
+        ..RefreshPolicy::default()
+    };
+    let mut reader = VecReader::new(&mut r, v, policy).unwrap();
+    for round in 0..40u64 {
+        writer.write(&mut w, round % 256, round + 1).unwrap();
+        reader.refresh(&mut r).unwrap();
+    }
+    // Force the safety poll to have happened and converge fully.
+    for _ in 0..5 {
+        reader.refresh(&mut r).unwrap();
+    }
+    for round in 0..40u64 {
+        assert_eq!(
+            reader.get(&mut r, round % 256).unwrap(),
+            round + 1,
+            "index {}",
+            round % 256
+        );
+    }
+}
+
+#[test]
+fn spike_dropped_monitor_notifications_degrade_to_checks() {
+    use farmem::monitor::{AlarmSpec, HistogramMonitor, Severity};
+    // A tiny consumer queue: an alarm storm overflows it; the Lost
+    // warning makes the consumer check every window, so no alarm is
+    // missed.
+    let f = FabricConfig {
+        cost: CostModel::COUNT_ONLY,
+        delivery: DeliveryPolicy { drop_ppm: 0, coalesce: false, max_queue: 2 },
+        ..FabricConfig::single_node(64 << 20)
+    }
+    .build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut pc = f.client();
+    let spec = AlarmSpec { warning: 70, critical: 85, failure: 95, duration: 3 };
+    let m = HistogramMonitor::create(&mut pc, &alloc, 101, 100, 4, spec).unwrap();
+    let mut p = m.producer(&mut pc);
+    let mut cc = f.client();
+    let mut cons = m.consumer(&mut cc, Severity::Warning).unwrap();
+    for _ in 0..50 {
+        p.record(&mut pc, 90).unwrap();
+    }
+    let alarms = cons.poll(&mut cc).unwrap();
+    assert!(!alarms.is_empty(), "alarm raised despite dropped notifications");
+    assert_eq!(alarms[0].severity, Severity::Critical);
+}

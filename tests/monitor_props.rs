@@ -1,0 +1,85 @@
+//! Property tests of the §6 monitoring case study: the histogram design
+//! must raise exactly the alarms a direct model of the sample stream
+//! predicts, window by window.
+
+use farmem::monitor::{AlarmSpec, HistogramMonitor, Severity};
+use farmem::prelude::*;
+use proptest::prelude::*;
+
+fn model_severity(samples: &[u64], spec: &AlarmSpec) -> Option<Severity> {
+    // The strongest severity whose duration rule holds for the window.
+    for (sev, threshold) in [
+        (Severity::Failure, spec.failure),
+        (Severity::Critical, spec.critical),
+        (Severity::Warning, spec.warning),
+    ] {
+        if samples.iter().filter(|&&s| s >= threshold).count() as u64 >= spec.duration {
+            return Some(sev);
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn alarms_match_the_sample_stream_model(
+        windows in prop::collection::vec(
+            prop::collection::vec(0u64..=100, 1..80),
+            1..4,
+        ),
+        duration in 1u64..6,
+    ) {
+        let f = FabricConfig::count_only(64 << 20).build();
+        let alloc = FarAlloc::new(f.clone());
+        let spec = AlarmSpec { warning: 70, critical: 85, failure: 95, duration };
+        let mut pc = f.client();
+        let m = HistogramMonitor::create(&mut pc, &alloc, 101, 100, 6, spec).unwrap();
+        let mut p = m.producer(&mut pc);
+        let mut cc = f.client();
+        let mut cons = m.consumer(&mut cc, Severity::Warning).unwrap();
+
+        for (w, samples) in windows.iter().enumerate() {
+            let mut strongest: Option<Severity> = None;
+            for &s in samples {
+                p.record(&mut pc, s).unwrap();
+                for alarm in cons.poll(&mut cc).unwrap() {
+                    strongest = strongest.max(Some(alarm.severity));
+                }
+            }
+            for alarm in cons.poll(&mut cc).unwrap() {
+                strongest = strongest.max(Some(alarm.severity));
+            }
+            let expected = model_severity(samples, &spec);
+            prop_assert_eq!(
+                strongest, expected,
+                "window {}: samples {:?}", w, samples
+            );
+            p.end_window(&mut pc).unwrap();
+            cons.poll(&mut cc).unwrap();
+        }
+    }
+
+    #[test]
+    fn below_threshold_streams_never_notify(
+        samples in prop::collection::vec(0u64..70, 1..300),
+    ) {
+        let f = FabricConfig::count_only(64 << 20).build();
+        let alloc = FarAlloc::new(f.clone());
+        let spec = AlarmSpec { warning: 70, critical: 85, failure: 95, duration: 1 };
+        let mut pc = f.client();
+        let m = HistogramMonitor::create(&mut pc, &alloc, 101, 100, 4, spec).unwrap();
+        let mut p = m.producer(&mut pc);
+        let mut cc = f.client();
+        let mut cons = m.consumer(&mut cc, Severity::Warning).unwrap();
+        let before = cc.stats();
+        for &s in &samples {
+            p.record(&mut pc, s).unwrap();
+        }
+        prop_assert!(cons.poll(&mut cc).unwrap().is_empty());
+        prop_assert_eq!(cons.notifications_seen(), 0);
+        prop_assert_eq!(cc.stats().since(&before).round_trips, 0,
+            "normal-range samples cost the consumer nothing");
+    }
+}

@@ -1,0 +1,179 @@
+//! Cross-crate notification workflows: brokers feeding data structures,
+//! equality watches driving synchronization, and the §7.2 policies
+//! composing with §5 structures.
+
+use farmem::fabric::Broker;
+use farmem::prelude::*;
+
+#[test]
+fn broker_feeds_many_dashboards_from_one_hw_subscriber() {
+    let f = FabricConfig { cost: CostModel::COUNT_ONLY, ..FabricConfig::single_node(64 << 20) }
+        .build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut producer = f.client();
+    let metrics = FarVec::create(&mut producer, &alloc, 64, AllocHint::Spread).unwrap();
+    let base = metrics.base(&mut producer).unwrap();
+
+    let mut broker = Broker::new(f.client(), true);
+    // 50 dashboards, each watching a disjoint pair of metric slots.
+    let sinks: Vec<_> = (0..50u64)
+        .map(|i| {
+            let sink = broker.make_subscriber_sink(i);
+            broker
+                .subscribe(base.offset((i % 32) * 16), 16, sink.clone())
+                .unwrap();
+            sink
+        })
+        .collect();
+    assert!(
+        broker.hw_subscriptions() <= 2,
+        "coarsening keeps hardware subscriptions per page, got {}",
+        broker.hw_subscriptions()
+    );
+    // Touch metric slot 6 (watched by dashboards with i % 32 == 3).
+    metrics.set(&mut producer, 6, 99).unwrap();
+    broker.pump();
+    for (i, sink) in sinks.iter().enumerate() {
+        let expect = i as u64 % 32 == 3;
+        assert_eq!(
+            sink.try_recv().is_some(),
+            expect,
+            "dashboard {i} routing (trigger-filtered)"
+        );
+    }
+}
+
+#[test]
+fn equality_watch_coordinates_a_countdown() {
+    let f = FabricConfig::count_only(16 << 20).build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut leader = f.client();
+    let remaining = FarCounter::create(&mut leader, &alloc, 5, AllocHint::Spread).unwrap();
+    let mut watchers: Vec<_> = (0..3).map(|_| f.client()).collect();
+    for w in watchers.iter_mut() {
+        remaining.watch_equal(w, 0).unwrap();
+    }
+    for _ in 0..5 {
+        remaining.decrement(&mut leader).unwrap();
+    }
+    for (i, w) in watchers.iter_mut().enumerate() {
+        let events = w.recv_events();
+        assert!(
+            events.iter().any(|e| matches!(e, Event::Equal { value: 0, .. })),
+            "watcher {i} saw the zero crossing: {events:?}"
+        );
+    }
+}
+
+#[test]
+fn notifye_only_fires_at_the_exact_value() {
+    let f = FabricConfig::count_only(16 << 20).build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut w = f.client();
+    let mut watcher = f.client();
+    let c = FarCounter::create(&mut w, &alloc, 0, AllocHint::Spread).unwrap();
+    c.watch_equal(&mut watcher, 3).unwrap();
+    c.set(&mut w, 10).unwrap();
+    c.set(&mut w, 2).unwrap();
+    assert!(watcher.recv_events().is_empty(), "no fire on non-matching values");
+    c.set(&mut w, 3).unwrap();
+    assert_eq!(watcher.recv_events().len(), 1);
+    // Setting it to 3 again (no change in value, but a write) fires again:
+    // the primitive is write-triggered, value-filtered.
+    c.set(&mut w, 3).unwrap();
+    assert_eq!(watcher.recv_events().len(), 1);
+}
+
+#[test]
+fn subscriptions_are_isolated_per_range() {
+    let f = FabricConfig::count_only(16 << 20).build();
+    let mut writer = f.client();
+    let mut a = f.client();
+    let mut b = f.client();
+    a.notify0(FarAddr(4096), 64).unwrap();
+    b.notify0(FarAddr(8192), 64).unwrap();
+    writer.write_u64(FarAddr(4096), 1).unwrap();
+    assert_eq!(a.recv_events().len(), 1);
+    assert!(b.recv_events().is_empty());
+    writer.write_u64(FarAddr(8192 + 56), 1).unwrap();
+    assert!(a.recv_events().is_empty());
+    assert_eq!(b.recv_events().len(), 1);
+}
+
+#[test]
+fn lost_warnings_reach_the_refreshable_vector_through_a_shared_client() {
+    // One client holds BOTH a queue handle and a vec reader; a Lost
+    // warning must reach whichever consumer claims it first without
+    // breaking the other.
+    let f = FabricConfig {
+        cost: CostModel::COUNT_ONLY,
+        delivery: DeliveryPolicy { drop_ppm: 0, coalesce: false, max_queue: 8 },
+        ..FabricConfig::single_node(64 << 20)
+    }
+    .build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut w = f.client();
+    let mut user = f.client();
+    let v = RefreshableVec::create(&mut w, &alloc, 256, 8, AllocHint::Spread).unwrap();
+    let writer = VecWriter::new(v);
+    let mut reader = VecReader::new(
+        &mut user,
+        v,
+        RefreshPolicy { initial: RefreshMode::Notify, dynamic: false, ..RefreshPolicy::default() },
+    )
+    .unwrap();
+    let q = FarQueue::create(&mut w, &alloc, QueueConfig::new(64, 4)).unwrap();
+    let mut qh = FarQueue::attach(&mut user, q.hdr()).unwrap();
+    // Storm the version array to overflow the tiny queue.
+    for i in 0..200u64 {
+        writer.write(&mut w, i % 256, i + 1).unwrap();
+    }
+    reader.refresh(&mut user).unwrap();
+    // Converge fully (safety poll path) and verify every write landed.
+    for _ in 0..70 {
+        reader.refresh(&mut user).unwrap();
+    }
+    for i in 0..200u64 {
+        assert_eq!(reader.get(&mut user, i).unwrap(), i + 1, "element {i}");
+    }
+    // The queue still works on the same client.
+    let mut wq = FarQueue::attach(&mut w, q.hdr()).unwrap();
+    wq.enqueue(&mut w, 7).unwrap();
+    assert_eq!(qh.dequeue(&mut user).unwrap(), 7);
+}
+
+#[test]
+fn monitor_and_refvec_share_a_consumer_client() {
+    use farmem::monitor::{AlarmSpec, HistogramMonitor};
+    let f = FabricConfig::count_only(128 << 20).build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut producer = f.client();
+    let mut consumer = f.client();
+
+    let spec = AlarmSpec { warning: 70, critical: 85, failure: 95, duration: 2 };
+    let m = HistogramMonitor::create(&mut producer, &alloc, 101, 100, 4, spec).unwrap();
+    let mut p = m.producer(&mut producer);
+    let mut cons = m.consumer(&mut consumer, Severity::Warning).unwrap();
+
+    let v = RefreshableVec::create(&mut producer, &alloc, 128, 8, AllocHint::Spread).unwrap();
+    let writer = VecWriter::new(v);
+    let mut reader = VecReader::new(
+        &mut consumer,
+        v,
+        RefreshPolicy { initial: RefreshMode::Notify, dynamic: false, ..RefreshPolicy::default() },
+    )
+    .unwrap();
+    reader.refresh(&mut consumer).unwrap();
+
+    // Interleave activity on both structures.
+    writer.write(&mut producer, 10, 111).unwrap();
+    p.record(&mut producer, 90).unwrap();
+    p.record(&mut producer, 92).unwrap();
+    writer.write(&mut producer, 20, 222).unwrap();
+
+    let alarms = cons.poll(&mut consumer).unwrap();
+    assert_eq!(alarms.len(), 1, "critical alarm with duration 2");
+    reader.refresh(&mut consumer).unwrap();
+    assert_eq!(reader.get(&mut consumer, 10).unwrap(), 111);
+    assert_eq!(reader.get(&mut consumer, 20).unwrap(), 222);
+}

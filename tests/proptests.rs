@@ -1,0 +1,218 @@
+//! Property-based tests on the core invariants, using proptest.
+//!
+//! Each property drives a far-memory structure with an arbitrary operation
+//! sequence and compares against the obvious in-memory model; shrinking
+//! then produces minimal counterexamples if an invariant ever breaks.
+
+use farmem::prelude::*;
+use proptest::prelude::*;
+use std::collections::{HashMap, VecDeque};
+
+fn small_fabric() -> std::sync::Arc<Fabric> {
+    FabricConfig::count_only(32 << 20).build()
+}
+
+fn striped_fabric() -> std::sync::Arc<Fabric> {
+    FabricConfig {
+        nodes: 3,
+        node_capacity: 16 << 20,
+        striping: Striping::Striped { stripe: 4096 },
+        cost: CostModel::COUNT_ONLY,
+        ..FabricConfig::default()
+    }
+    .build()
+}
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Put(u64, u64),
+    Get(u64),
+    Remove(u64),
+}
+
+fn map_ops(max_key: u64) -> impl Strategy<Value = Vec<MapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..max_key, any::<u64>()).prop_map(|(k, v)| MapOp::Put(k, v)),
+            (0..max_key).prop_map(MapOp::Get),
+            (0..max_key).prop_map(MapOp::Remove),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn httree_matches_hashmap(ops in map_ops(64)) {
+        let f = striped_fabric();
+        let alloc = FarAlloc::new(f.clone());
+        let mut c = f.client();
+        let cfg = HtTreeConfig {
+            initial_buckets: 4,
+            split_check_interval: 4,
+            ..HtTreeConfig::default()
+        };
+        let tree = HtTree::create(&mut c, &alloc, cfg).unwrap();
+        let mut h = tree.attach(&mut c, &alloc, cfg).unwrap();
+        let mut model = HashMap::new();
+        for op in ops {
+            match op {
+                MapOp::Put(k, v) => {
+                    h.put(&mut c, k, v).unwrap();
+                    model.insert(k, v);
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(h.get(&mut c, k).unwrap(), model.get(&k).copied());
+                }
+                MapOp::Remove(k) => {
+                    h.remove(&mut c, k).unwrap();
+                    model.remove(&k);
+                }
+            }
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(h.get(&mut c, *k).unwrap(), Some(*v));
+        }
+    }
+
+    #[test]
+    fn queue_matches_vecdeque(ops in prop::collection::vec(
+        prop_oneof![
+            (0u64..1_000_000).prop_map(Some),
+            Just(None),
+        ],
+        1..300,
+    )) {
+        // Tiny queue so wrap repairs fire constantly under shrinking.
+        let f = small_fabric();
+        let alloc = FarAlloc::new(f.clone());
+        let mut c = f.client();
+        let q = FarQueue::create(&mut c, &alloc, QueueConfig::new(12, 2)).unwrap();
+        let mut h = FarQueue::attach(&mut c, q.hdr()).unwrap();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => match h.enqueue(&mut c, v) {
+                    Ok(()) => model.push_back(v),
+                    Err(CoreError::QueueFull) => {
+                        // The far queue's usable capacity is n_slots - 2n.
+                        prop_assert!(model.len() >= 8, "spurious full at {}", model.len());
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                },
+                None => match h.dequeue(&mut c) {
+                    Ok(v) => prop_assert_eq!(Some(v), model.pop_front()),
+                    Err(CoreError::QueueEmpty) => prop_assert!(model.is_empty()),
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                },
+            }
+        }
+        // Drain and compare the tail.
+        loop {
+            match h.dequeue(&mut c) {
+                Ok(v) => prop_assert_eq!(Some(v), model.pop_front()),
+                Err(CoreError::QueueEmpty) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            }
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    #[test]
+    fn refreshable_vec_converges_to_writer_state(
+        writes in prop::collection::vec((0u64..128, any::<u64>()), 1..100),
+        group in 1u64..16,
+    ) {
+        let f = small_fabric();
+        let alloc = FarAlloc::new(f.clone());
+        let mut w = f.client();
+        let mut r = f.client();
+        let v = RefreshableVec::create(&mut w, &alloc, 128, group, AllocHint::Spread).unwrap();
+        let writer = VecWriter::new(v);
+        let mut reader = VecReader::new(
+            &mut r,
+            v,
+            RefreshPolicy { dynamic: false, ..RefreshPolicy::default() },
+        ).unwrap();
+        let mut model = vec![0u64; 128];
+        for (i, val) in writes {
+            writer.write(&mut w, i, val).unwrap();
+            model[i as usize] = val;
+        }
+        reader.refresh(&mut r).unwrap();
+        for i in 0..128u64 {
+            prop_assert_eq!(reader.get(&mut r, i).unwrap(), model[i as usize]);
+        }
+    }
+
+    #[test]
+    fn fabric_byte_ranges_round_trip(
+        offset in 8u64..5000,
+        data in prop::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let f = small_fabric();
+        let mut c = f.client();
+        c.write(FarAddr(offset), &data).unwrap();
+        prop_assert_eq!(c.read(FarAddr(offset), data.len() as u64).unwrap(), data);
+    }
+
+    #[test]
+    fn striped_fabric_byte_ranges_round_trip(
+        offset in 8u64..100_000,
+        data in prop::collection::vec(any::<u8>(), 1..9000),
+    ) {
+        // Ranges crossing stripe (and therefore node) boundaries.
+        let f = striped_fabric();
+        let mut c = f.client();
+        c.write(FarAddr(offset), &data).unwrap();
+        prop_assert_eq!(c.read(FarAddr(offset), data.len() as u64).unwrap(), data);
+    }
+
+    #[test]
+    fn allocator_never_hands_out_overlaps(
+        sizes in prop::collection::vec(1u64..6000, 1..60),
+    ) {
+        let f = striped_fabric();
+        let alloc = FarAlloc::new(f.clone());
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for (i, len) in sizes.iter().enumerate() {
+            let hint = match i % 4 {
+                0 => AllocHint::Spread,
+                1 => AllocHint::Localize(NodeId((i % 3) as u32)),
+                2 => AllocHint::Striped,
+                _ => AllocHint::AntiLocal(NodeId(0)),
+            };
+            let addr = alloc.alloc(*len, hint).unwrap();
+            // Compare against every prior span.
+            for &(a, l) in &spans {
+                let overlap = addr.0 < a + l && a < addr.0 + *len;
+                prop_assert!(!overlap, "[{},{}) overlaps [{},{})", addr.0, addr.0 + len, a, a + l);
+            }
+            spans.push((addr.0, *len));
+        }
+    }
+
+    #[test]
+    fn scatter_gather_is_equivalent_to_loops(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 8..64), 2..8),
+    ) {
+        let f = small_fabric();
+        let alloc = FarAlloc::new(f.clone());
+        let mut c = f.client();
+        // Scatter chunks to disjoint far buffers, then gather them back.
+        let iov: Vec<FarIov> = chunks
+            .iter()
+            .map(|ch| FarIov::new(alloc.alloc(ch.len() as u64, AllocHint::Spread).unwrap(), ch.len() as u64))
+            .collect();
+        let flat: Vec<u8> = chunks.concat();
+        c.wscatter(&iov, &flat).unwrap();
+        let back = c.rgather(&iov).unwrap();
+        prop_assert_eq!(&back, &flat);
+        // And piecewise reads agree.
+        for (e, ch) in iov.iter().zip(&chunks) {
+            prop_assert_eq!(&c.read(e.addr, e.len).unwrap(), ch);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Second property-test battery: the extended structure set against
+//! in-memory models.
+
+use farmem::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn fabric() -> std::sync::Arc<Fabric> {
+    FabricConfig::count_only(128 << 20).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn blob_map_matches_model(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (0u64..48, prop::collection::vec(any::<u8>(), 0..600))
+                    .prop_map(|(k, v)| (0u8, k, v)),
+                (0u64..48).prop_map(|k| (1u8, k, Vec::new())),
+                (0u64..48).prop_map(|k| (2u8, k, Vec::new())),
+            ],
+            1..60,
+        ),
+    ) {
+        let f = fabric();
+        let alloc = FarAlloc::new(f.clone());
+        let mut c = f.client();
+        let cfg = HtTreeConfig { initial_buckets: 4, split_check_interval: 8, ..HtTreeConfig::default() };
+        let mut m = FarBlobMap::create(&mut c, &alloc, cfg).unwrap();
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        for (op, k, v) in ops {
+            match op {
+                0 => {
+                    m.put_bytes(&mut c, k, &v).unwrap();
+                    model.insert(k, v);
+                }
+                1 => {
+                    m.remove(&mut c, k).unwrap();
+                    model.remove(&k);
+                }
+                _ => {
+                    prop_assert_eq!(m.get_bytes(&mut c, k).unwrap(), model.get(&k).cloned());
+                }
+            }
+        }
+        for (k, v) in &model {
+            let got = m.get_bytes(&mut c, *k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+    }
+
+    #[test]
+    fn write_combiner_equals_direct_writes(
+        writes in prop::collection::vec((1u64..400, any::<u64>()), 1..80),
+        capacity in 1usize..32,
+    ) {
+        let f = fabric();
+        let mut c = f.client();
+        let mut wc = WriteCombiner::new(capacity);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for &(slot, v) in &writes {
+            let addr = FarAddr(4096 + slot * 8);
+            if wc.write(&mut c, addr, v).unwrap() {
+                wc.flush(&mut c).unwrap();
+            }
+            model.insert(addr.0, v);
+        }
+        wc.flush(&mut c).unwrap();
+        for (&a, &v) in &model {
+            prop_assert_eq!(c.read_u64(FarAddr(a)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn cached_vec_update_mode_tracks_writes(
+        writes in prop::collection::vec((0u64..64, any::<u64>()), 1..100),
+    ) {
+        let f = fabric();
+        let alloc = FarAlloc::new(f.clone());
+        let mut w = f.client();
+        let mut r = f.client();
+        let v = FarVec::create(&mut w, &alloc, 64, AllocHint::Spread).unwrap();
+        let mut cached = CachedFarVec::with_mode(&mut r, v, CacheMode::Update).unwrap();
+        let mut model = vec![0u64; 64];
+        for &(i, val) in &writes {
+            v.set(&mut w, i, val).unwrap();
+            model[i as usize] = val;
+            // Interleave reads: the cache must track every write through
+            // event payloads alone.
+            prop_assert_eq!(cached.get(&mut r, i).unwrap(), val);
+        }
+        let before = r.stats();
+        for i in 0..64u64 {
+            prop_assert_eq!(cached.get(&mut r, i).unwrap(), model[i as usize]);
+        }
+        prop_assert_eq!(r.stats().since(&before).round_trips, 0);
+    }
+
+    #[test]
+    fn hopscotch_matches_model_when_it_accepts(
+        keys in prop::collection::vec(0u64..10_000, 1..120),
+    ) {
+        let f = fabric();
+        let alloc = FarAlloc::new(f.clone());
+        let mut c = f.client();
+        let mut t = HopscotchHash::create(&mut c, &alloc, 512).unwrap();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            match t.insert(&mut c, k, i as u64) {
+                Ok(()) => {
+                    model.insert(k, i as u64);
+                }
+                Err(farmem::baselines::BaselineError::TableFull) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            }
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(t.get(&mut c, *k).unwrap(), Some(*v));
+        }
+    }
+
+    #[test]
+    fn btree_lookup_matches_btreemap(
+        mut keys in prop::collection::vec(0u64..100_000, 2..300),
+        probes in prop::collection::vec(0u64..100_000, 1..64),
+    ) {
+        keys.sort_unstable();
+        keys.dedup();
+        let items: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k * 3)).collect();
+        let model: std::collections::BTreeMap<u64, u64> = items.iter().copied().collect();
+        let f = fabric();
+        let alloc = FarAlloc::new(f.clone());
+        let mut c = f.client();
+        let t = OneSidedBTree::build(&mut c, &alloc, &items, 0).unwrap();
+        for p in probes {
+            prop_assert_eq!(t.get(&mut c, p).unwrap(), model.get(&p).copied());
+        }
+    }
+
+    #[test]
+    fn skiplist_matches_btreemap(
+        pairs in prop::collection::vec((0u64..500, any::<u64>()), 1..150),
+        probes in prop::collection::vec(0u64..500, 1..64),
+    ) {
+        let f = fabric();
+        let alloc = FarAlloc::new(f.clone());
+        let mut c = f.client();
+        let mut s = OneSidedSkipList::create(&mut c, &alloc).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for &(k, v) in &pairs {
+            s.insert(&mut c, k, v).unwrap();
+            model.insert(k, v);
+        }
+        for p in probes {
+            prop_assert_eq!(s.get(&mut c, p).unwrap(), model.get(&p).copied());
+        }
+    }
+
+    #[test]
+    fn guarded_faai_never_applies_on_mismatch(
+        guard_value in any::<u64>(),
+        expect in any::<u64>(),
+        delta in 1u64..1000,
+    ) {
+        let f = fabric();
+        let mut c = f.client();
+        let ptr = FarAddr(64);
+        let guard = FarAddr(72);
+        c.write_u64(ptr, 4096).unwrap();
+        c.write_u64(guard, guard_value).unwrap();
+        c.write_u64(FarAddr(4096), 7).unwrap();
+        let r = c.faai_guarded(ptr, delta, 8, guard, expect);
+        if guard_value == expect {
+            let (old, data) = r.unwrap();
+            prop_assert_eq!(old, 4096);
+            prop_assert_eq!(data, 7u64.to_le_bytes().to_vec());
+            prop_assert_eq!(c.read_u64(ptr).unwrap(), 4096 + delta);
+        } else {
+            let mismatch = matches!(
+                r,
+                Err(farmem::fabric::FabricError::GuardMismatch { observed }) if observed == guard_value
+            );
+            prop_assert!(mismatch);
+            prop_assert_eq!(c.read_u64(ptr).unwrap(), 4096);
+        }
+    }
+}

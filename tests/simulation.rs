@@ -1,0 +1,215 @@
+//! Tests of the virtual-time performance model itself: the latency
+//! regime, work-conserving queueing, saturation behaviour, and the
+//! accounting rules every experiment depends on.
+
+use farmem::prelude::*;
+
+#[test]
+fn latency_regime_matches_the_paper() {
+    let f = FabricConfig::single_node(64 << 20).build();
+    let mut c = f.client();
+    // 8-byte far read ≈ one RTT; ~20× a near access.
+    let t0 = c.now_ns();
+    c.read_u64(FarAddr(4096)).unwrap();
+    let far = c.now_ns() - t0;
+    assert!((2_000..2_300).contains(&far), "far {far}");
+    let t0 = c.now_ns();
+    c.near_access();
+    assert_eq!(c.now_ns() - t0, 100);
+    // 1 KiB in ~1 µs of payload on top of the RTT (§2).
+    let t0 = c.now_ns();
+    c.read(FarAddr(4096), 1024).unwrap();
+    let kib = c.now_ns() - t0;
+    assert!((3_000..3_300).contains(&kib), "1 KiB read {kib}");
+}
+
+#[test]
+fn node_interface_is_work_conserving() {
+    // A client that leaves gaps between ops must never queue behind its
+    // own past: the pending work drains during the idle time.
+    let f = FabricConfig::single_node(16 << 20).build();
+    let mut a = f.client();
+    let mut b = f.client();
+    // b floods the node "early" in virtual time.
+    for _ in 0..1000 {
+        b.read_u64(FarAddr(8)).unwrap();
+    }
+    // a arrives much later than b's flood began but after it drained:
+    // a's op must cost base latency, not queue behind b's history.
+    a.advance_time(b.now_ns());
+    let t0 = a.now_ns();
+    a.read_u64(FarAddr(8)).unwrap();
+    let lat = a.now_ns() - t0;
+    assert!(lat < 2_500, "no standing queue from drained history: {lat}");
+}
+
+#[test]
+fn single_serial_resource_saturates_closed_loop() {
+    // k clients hammering ONE RPC server: throughput caps at the CPU's
+    // service rate and latency grows ≈ linearly with k past saturation.
+    let cost = CostModel::DEFAULT;
+    let server = farmem::baselines::RpcKv::serve(ServerCpu::DEFAULT, cost);
+    let service_ns = 500 + (9 + 9) * 256 / 1024; // base + bytes
+    let mut results = Vec::new();
+    for k in [1usize, 4, 16, 64] {
+        let mut kvs: Vec<_> = (0..k)
+            .map(|_| farmem::baselines::RpcKv::connect(vec![server.clone()]))
+            .collect();
+        kvs[0].put(1, 1);
+        let t0 = kvs[0].now_ns();
+        for (i, kv) in kvs.iter_mut().enumerate() {
+            kv.rpc_advance(t0 + i as u64 * 37);
+        }
+        let ops = 500u64;
+        // Warm up so the closed loop reaches steady state before measuring.
+        for _ in 0..ops / 2 {
+            for kv in kvs.iter_mut() {
+                kv.get(1);
+            }
+        }
+        let starts: Vec<u64> = kvs.iter().map(|kv| kv.now_ns()).collect();
+        for _ in 0..ops {
+            for kv in kvs.iter_mut() {
+                kv.get(1);
+            }
+        }
+        let makespan = kvs
+            .iter()
+            .enumerate()
+            .map(|(i, kv)| kv.now_ns() - starts[i])
+            .max()
+            .unwrap();
+        results.push((k, (k as u64 * ops) as f64 / makespan as f64 * 1e3));
+    }
+    // Throughput grows with k while unsaturated...
+    assert!(results[1].1 > results[0].1 * 2.0, "{results:?}");
+    // ...and caps near the service rate once saturated.
+    let cap = 1e3 / service_ns as f64;
+    let at64 = results[3].1;
+    assert!(
+        (at64 - cap).abs() / cap < 0.15,
+        "saturated throughput {at64:.2} ≈ cap {cap:.2}"
+    );
+}
+
+#[test]
+fn fabric_nodes_saturate_with_parallel_capacity() {
+    // The same closed loop against 4 memory nodes' interfaces scales ~4×
+    // a single node's message rate.
+    let run = |nodes: u32| {
+        let f = FabricConfig {
+            nodes,
+            node_capacity: 64 << 20,
+            striping: if nodes > 1 {
+                Striping::Striped { stripe: 4096 }
+            } else {
+                Striping::Blocked
+            },
+            cost: CostModel { far_rtt_ns: 200, ..CostModel::DEFAULT },
+            ..FabricConfig::default()
+        }
+        .build();
+        let k = 64;
+        let mut clients: Vec<_> = (0..k)
+            .map(|i| {
+                let mut c = f.client();
+                c.advance_time(i * 3);
+                c
+            })
+            .collect();
+        let ops = 500u64;
+        // Spread addresses over many pages so striping distributes them.
+        let addrs: Vec<FarAddr> = (0..256u64).map(|i| FarAddr(4096 * (i + 1))).collect();
+        let starts: Vec<u64> = clients.iter().map(|c| c.now_ns()).collect();
+        for round in 0..ops {
+            for (i, c) in clients.iter_mut().enumerate() {
+                // 4 KiB reads keep the byte cost dominant.
+                c.read(addrs[(round as usize * 7 + i) % addrs.len()], 4096).unwrap();
+            }
+        }
+        let makespan = clients
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.now_ns() - starts[i])
+            .max()
+            .unwrap();
+        (64 * ops) as f64 / makespan as f64 * 1e3
+    };
+    let one = run(1);
+    let four = run(4);
+    assert!(
+        four / one > 3.0 && four / one < 5.0,
+        "4 nodes ≈ 4× one node's bandwidth: {one:.2} vs {four:.2}"
+    );
+}
+
+#[test]
+fn batches_cost_one_round_trip_but_count_every_message() {
+    let f = FabricConfig::single_node(16 << 20).build();
+    let mut c = f.client();
+    let data = [1u8; 8];
+    let before = c.stats();
+    let t0 = c.now_ns();
+    c.batch(&[
+        BatchOp::Write { addr: FarAddr(4096), data: &data },
+        BatchOp::Write { addr: FarAddr(8192), data: &data },
+        BatchOp::Faa { addr: FarAddr(12288), delta: 1 },
+        BatchOp::Read { addr: FarAddr(4096), len: 8 },
+    ])
+    .unwrap();
+    let elapsed = c.now_ns() - t0;
+    let d = c.stats().since(&before);
+    assert_eq!(d.round_trips, 1);
+    assert_eq!(d.messages, 4);
+    assert!(elapsed < 2 * 2_200, "a batch is one round trip of latency: {elapsed}");
+}
+
+#[test]
+fn virtual_time_is_deterministic_across_runs() {
+    let run = || {
+        let f = FabricConfig::single_node(64 << 20).build();
+        let alloc = FarAlloc::new(f.clone());
+        let mut c = f.client();
+        let cfg = HtTreeConfig::default();
+        let tree = HtTree::create(&mut c, &alloc, cfg).unwrap();
+        let mut h = tree.attach(&mut c, &alloc, cfg).unwrap();
+        for k in 0..2000u64 {
+            h.put(&mut c, k * 7, k).unwrap();
+        }
+        for k in 0..2000u64 {
+            h.get(&mut c, k * 7).unwrap();
+        }
+        (c.now_ns(), c.stats())
+    };
+    let (t1, s1) = run();
+    let (t2, s2) = run();
+    assert_eq!(t1, t2, "virtual time is exactly reproducible");
+    assert_eq!(s1, s2, "and so is every counter");
+}
+
+#[test]
+fn forwarding_charges_hop_latency_without_blocking_the_node() {
+    let f = FabricConfig {
+        nodes: 2,
+        node_capacity: 16 << 20,
+        striping: Striping::Blocked,
+        cost: CostModel::DEFAULT,
+        ..FabricConfig::default()
+    }
+    .build();
+    let mut c = f.client();
+    let ptr_local = FarAddr(64);
+    let ptr_remote = FarAddr(128);
+    c.write_u64(ptr_local, 4096).unwrap(); // target on node 0
+    c.write_u64(ptr_remote, (16 << 20) + 4096).unwrap(); // target on node 1
+    let t0 = c.now_ns();
+    c.load0(ptr_local, 8).unwrap();
+    let local = c.now_ns() - t0;
+    let t0 = c.now_ns();
+    c.load0(ptr_remote, 8).unwrap();
+    let remote = c.now_ns() - t0;
+    assert!(
+        remote >= local + 400 && remote <= local + 700,
+        "forwarded indirection costs ~one 500 ns hop more: {local} vs {remote}"
+    );
+}
