@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use farmem_fabric::{Fabric, FarAddr, NodeId, PAGE};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::{AllocError, AllocHint, Result};
 
@@ -139,7 +139,7 @@ impl FarAlloc {
 
     /// Current counters.
     pub fn stats(&self) -> AllocStats {
-        self.state.lock().stats
+        self.state.lock().unwrap().stats
     }
 
     fn pick_node(&self, state: &mut State, hint: AllocHint) -> NodeId {
@@ -174,7 +174,7 @@ impl FarAlloc {
         if len == 0 {
             return Err(AllocError::ZeroSize);
         }
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().unwrap();
         if matches!(hint, AllocHint::Striped) || len > MAX_CLASS {
             return self.alloc_pages(&mut state, len, hint);
         }
@@ -281,7 +281,7 @@ impl FarAlloc {
         if len == 0 || addr.is_null() {
             return Err(AllocError::BadFree { addr });
         }
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().unwrap();
         if len > MAX_CLASS {
             let pages = len.div_ceil(PAGE);
             state.striped_free.entry(pages).or_default().push(addr);

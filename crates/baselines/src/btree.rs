@@ -45,7 +45,7 @@ fn decode(bytes: &[u8]) -> Node {
 }
 
 fn encode(node: &Node) -> Vec<u8> {
-    let mut w = vec![0u64; NODE_WORDS];
+    let mut w = [0u64; NODE_WORDS];
     w[0] = u64::from(node.is_leaf);
     w[1] = node.keys.len() as u64;
     w[2..2 + node.keys.len()].copy_from_slice(&node.keys);

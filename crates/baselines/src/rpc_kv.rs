@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use farmem_rpc::{RpcClient, RpcServer, RpcService, ServerCpu};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Request opcodes of the tiny wire protocol.
 const OP_GET: u8 = 1;
@@ -34,12 +34,12 @@ impl KvService {
 
     /// Number of stored keys (test/diagnostic helper).
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.map.lock().unwrap().len()
     }
 
     /// Returns `true` if the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.lock().is_empty()
+        self.map.lock().unwrap().is_empty()
     }
 }
 
@@ -50,7 +50,7 @@ impl RpcService for KvService {
         }
         let op = req[0];
         let key = u64::from_le_bytes(req[1..9].try_into().expect("key"));
-        let mut map = self.map.lock();
+        let mut map = self.map.lock().unwrap();
         let mut resp = vec![0u8; 9];
         match op {
             OP_GET => {

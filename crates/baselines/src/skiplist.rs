@@ -58,7 +58,7 @@ impl OneSidedSkipList {
     /// Creates an empty skip list.
     pub fn create(client: &mut FabricClient, alloc: &Arc<FarAlloc>) -> Result<OneSidedSkipList> {
         let head = alloc.alloc(MAX_LEVEL as u64 * WORD, AllocHint::Spread)?;
-        client.write(head, &vec![0u8; MAX_LEVEL * 8])?;
+        client.write(head, &[0u8; MAX_LEVEL * 8])?;
         Ok(OneSidedSkipList { head, arena: Arena::new(alloc.clone(), 4096, AllocHint::Spread) })
     }
 
@@ -122,8 +122,8 @@ impl OneSidedSkipList {
         }
         client.write(addr, &bytes)?;
         // Splice: update each predecessor's forward pointer.
-        for l in 0..level {
-            match &preds[l] {
+        for (l, pred) in preds.iter().enumerate().take(level) {
+            match pred {
                 None => client.write_u64(self.head.offset(l as u64 * WORD), addr.0)?,
                 Some((pred_addr, _)) => {
                     client

@@ -27,6 +27,11 @@ pub enum CoreError {
     Corrupted(&'static str),
     /// A mutex acquisition timed out.
     LockTimeout,
+    /// The caller's lease on a lock expired and another client took it
+    /// over; the caller must not touch the protected data. Surfaced by
+    /// unlock when the lock word no longer carries the caller's fencing
+    /// tag.
+    LeaseLost,
 }
 
 impl From<FabricError> for CoreError {
@@ -53,6 +58,9 @@ impl core::fmt::Display for CoreError {
             CoreError::Contended => write!(f, "operation lost too many races; retry"),
             CoreError::Corrupted(s) => write!(f, "far data corrupted: {s}"),
             CoreError::LockTimeout => write!(f, "far mutex acquisition timed out"),
+            CoreError::LeaseLost => {
+                write!(f, "lock lease expired and was taken over by another client")
+            }
         }
     }
 }

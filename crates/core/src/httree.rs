@@ -527,10 +527,13 @@ impl HtTreeHandle {
                 self.stats.cas_retries += 1;
                 continue;
             }
-            // Background bookkeeping, off the critical path.
-            client.post_faa_u64(entry.table_hdr.offset(H_ITEMS), 1)?;
+            // Background bookkeeping, off the critical path. The counters
+            // are advisory (they only steer split heuristics), so a failed
+            // post after the committed CAS must not turn a successful put
+            // into an error.
+            let _ = client.post_faa_u64(entry.table_hdr.offset(H_ITEMS), 1);
             if old_head != 0 {
-                client.post_faa_u64(entry.table_hdr.offset(H_COLLISIONS), 1)?;
+                let _ = client.post_faa_u64(entry.table_hdr.offset(H_COLLISIONS), 1);
             }
             self.puts_since_check += 1;
             return Ok(());

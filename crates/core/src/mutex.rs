@@ -1,9 +1,29 @@
-//! Far mutexes (§5.1).
+//! Far mutexes (§5.1), hardened with leases and fencing tags.
 //!
 //! A far mutex is a far-memory word initialized to 0 (free). Clients
 //! acquire it with a fabric CAS; when the CAS fails, an equality
 //! notification against 0 (`notifye`) tells the waiter when the mutex is
 //! released — no far-memory polling.
+//!
+//! # Leases and fencing
+//!
+//! A plain CAS lock wedges forever if its holder crashes. Instead, the
+//! lock word encodes `owner_tag << 48 | lease_expiry`, where the expiry
+//! is the holder's virtual-time deadline ([`LEASE_NS`] after
+//! acquisition). A contender that observes the *same* held word across
+//! enough of its own waiting time to out-wait the lease concludes the
+//! holder is dead and CAS-steals the word. The tag doubles as a fencing
+//! token: a holder whose lease was stolen gets [`CoreError::LeaseLost`]
+//! from [`FarMutex::unlock`] instead of silently "releasing" a lock that
+//! now belongs to someone else.
+//!
+//! Waiters only charge waiting time against a lease while the observed
+//! word stays bit-identical — a live lock that cycles through holders
+//! writes a fresh expiry on every acquisition, so contenders never
+//! accumulate enough waited time to steal from a live holder (that would
+//! require one holder to sit in a single critical section for the whole
+//! [`LEASE_NS`], which is ~5 orders of magnitude longer than the far
+//! accesses a critical section performs).
 
 use farmem_alloc::{AllocHint, FarAlloc};
 use farmem_fabric::{FabricClient, FarAddr, WORD};
@@ -13,11 +33,33 @@ use crate::error::{CoreError, Result};
 /// Value of a free mutex word.
 const FREE: u64 = 0;
 
+/// Virtual-time length of a lock lease. 100ms of virtual time dwarfs any
+/// critical section (far accesses cost ~2µs each), so live holders are
+/// never stolen from, while a crashed holder delays contenders by a
+/// bounded — and simulated, not wall-clock — 100ms.
+pub const LEASE_NS: u64 = 100_000_000;
+
+/// Bit position of the owner tag inside the lock word.
+const TAG_SHIFT: u32 = 48;
+
+/// Low 48 bits hold the lease expiry (virtual ns, wraps after ~78h).
+const EXPIRY_MASK: u64 = (1 << TAG_SHIFT) - 1;
+
+/// Wall-clock granularity of one contended wait. Short enough that
+/// out-waiting a dead holder's lease finishes in ~a hundred ms.
+const WAIT_SLICE: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// Virtual time charged per timed-out wait slice, exponentially grown
+/// per attempt while the held word stays unchanged. Capped so a single
+/// slice never leaps a meaningful fraction of a lease.
+const WAIT_BASE_NS: u64 = 1_000;
+const WAIT_CAP_NS: u64 = 1_000_000;
+
 /// A mutual-exclusion lock in far memory.
 ///
 /// The handle carries no client state; any client can contend on the same
 /// address. Lock owners are identified by `client.id() + 1` so a free lock
-/// (0) is never a valid owner.
+/// (0) is never a valid owner; the tag must fit in 16 bits.
 ///
 /// # Examples
 ///
@@ -61,44 +103,91 @@ impl FarMutex {
         client.id() as u64 + 1
     }
 
-    /// Attempts to acquire the mutex with one CAS. One far access;
-    /// returns `true` on success.
-    pub fn try_lock(&self, client: &mut FabricClient) -> Result<bool> {
+    /// The word this client would own the lock with, leased from `now`.
+    fn lease_word(client: &FabricClient) -> u64 {
         let tag = Self::owner_tag(client);
-        Ok(client.cas(self.addr, FREE, tag)? == FREE)
+        debug_assert!(tag < (1 << 16), "client id overflows the fencing tag");
+        (tag << TAG_SHIFT) | (client.now_ns().wrapping_add(LEASE_NS) & EXPIRY_MASK)
+    }
+
+    /// The fencing tag encoded in a held lock word.
+    fn tag_of(word: u64) -> u64 {
+        word >> TAG_SHIFT
+    }
+
+    /// Attempts to acquire the mutex with one CAS. One far access;
+    /// returns `true` on success. Does not steal expired leases — use
+    /// [`FarMutex::lock`] (or [`FarMutex::try_steal`]) for that.
+    pub fn try_lock(&self, client: &mut FabricClient) -> Result<bool> {
+        let word = Self::lease_word(client);
+        Ok(client.cas(self.addr, FREE, word)? == FREE)
+    }
+
+    /// Attempts to take over the lock from a holder whose lease — as
+    /// last observed in `held` — has expired by this client's virtual
+    /// clock. One far access; returns `true` if the steal won.
+    ///
+    /// The CAS is against the exact observed word, so a holder that is
+    /// alive after all (it re-acquired, refreshing the expiry) is never
+    /// clobbered, and at most one contender wins the steal.
+    pub fn try_steal(&self, client: &mut FabricClient, held: u64) -> Result<bool> {
+        if held == FREE || client.now_ns() < (held & EXPIRY_MASK) {
+            return Ok(false);
+        }
+        let word = Self::lease_word(client);
+        Ok(client.cas(self.addr, held, word)? == held)
     }
 
     /// Acquires the mutex, using an equality notification to wait for
     /// release instead of polling far memory (§5.1).
     ///
     /// `max_attempts` bounds CAS retries (each retry happens only after a
-    /// release notification or an initial failure), after which
+    /// release notification or a timed-out wait slice), after which
     /// [`CoreError::LockTimeout`] is returned. The fast path is one far
-    /// access.
+    /// access. If the holder dies, waiting charges virtual time against
+    /// its lease and the lock is eventually stolen (see module docs).
     pub fn lock(&self, client: &mut FabricClient, max_attempts: u32) -> Result<()> {
         if self.try_lock(client)? {
             return Ok(());
         }
-        // Contended: subscribe once, then re-CAS only when notified free.
+        // Contended: subscribe once, then re-CAS only when notified free
+        // or when a wait slice times out (the holder may be dead).
         let sub = client.notifye(self.addr, FREE)?;
         let mut attempts = 1;
+        // Lease accounting: the expiry we are out-waiting and the virtual
+        // backoff to charge on the next timed-out slice. Both reset
+        // whenever the observed word changes — only an unchanging holder
+        // (a dead one) accumulates waited time against its lease.
+        let mut watched = FREE;
+        let mut backoff = WAIT_BASE_NS;
         let result = loop {
             if attempts >= max_attempts {
                 break Err(CoreError::LockTimeout);
             }
             // A release may have raced the subscription; check once
-            // immediately, then only on events.
-            if self.try_lock(client)? {
+            // immediately, then only on events or timeouts.
+            let my_word = Self::lease_word(client);
+            let seen = client.cas(self.addr, FREE, my_word)?;
+            if seen == FREE {
+                break Ok(());
+            }
+            if seen != watched {
+                watched = seen;
+                backoff = WAIT_BASE_NS;
+            } else if self.try_steal(client, watched)? {
                 break Ok(());
             }
             attempts += 1;
             // Wait for a release notification. In single-threaded virtual
             // time the event is already queued; in threaded use, park
-            // until one is pending, then claim it.
-            if client.take_events(|e| e.sub() == Some(sub)).is_empty() {
-                client
-                    .sink()
-                    .wait_pending(std::time::Duration::from_millis(50));
+            // until one is pending, then claim it. A timed-out slice
+            // charges virtual waiting time toward the watched lease.
+            if client.take_events(|e| e.sub() == Some(sub)).is_empty()
+                && !client.sink().wait_pending(WAIT_SLICE)
+            {
+                client.advance_time(backoff);
+                backoff = backoff.saturating_mul(2).min(WAIT_CAP_NS);
+            } else {
                 let _ = client.take_events(|e| e.sub() == Some(sub));
             }
         };
@@ -106,16 +195,26 @@ impl FarMutex {
         result
     }
 
-    /// Releases the mutex. One far access.
+    /// Releases the mutex. Two far accesses (read, then fenced CAS).
     ///
-    /// Returns [`CoreError::Corrupted`] if the word did not hold this
-    /// client's tag — unlocking a mutex one does not own is a logic error
-    /// worth surfacing loudly.
+    /// Returns [`CoreError::LeaseLost`] if the word no longer carries
+    /// this client's fencing tag — the lease expired and another client
+    /// stole the lock, so this client must treat its critical section as
+    /// having been forfeited. Returns [`CoreError::Corrupted`] if the
+    /// word holds a *free* lock, which no lease semantics can produce
+    /// from a correct caller.
     pub fn unlock(&self, client: &mut FabricClient) -> Result<()> {
         let tag = Self::owner_tag(client);
-        let prev = client.cas(self.addr, tag, FREE)?;
-        if prev != tag {
-            return Err(CoreError::Corrupted("unlock of a mutex not held by this client"));
+        let word = client.read_u64(self.addr)?;
+        if word == FREE {
+            return Err(CoreError::Corrupted("unlock of a mutex not held by any client"));
+        }
+        if Self::tag_of(word) != tag {
+            return Err(CoreError::LeaseLost);
+        }
+        if client.cas(self.addr, word, FREE)? != word {
+            // Stolen between the read and the CAS.
+            return Err(CoreError::LeaseLost);
         }
         Ok(())
     }
@@ -172,6 +271,7 @@ mod tests {
         assert!(!m.try_lock(&mut c2).unwrap());
         m.unlock(&mut c1).unwrap();
         assert!(m.try_lock(&mut c2).unwrap());
+        m.unlock(&mut c2).unwrap();
     }
 
     #[test]
@@ -196,8 +296,40 @@ mod tests {
         let mut c2 = f.client();
         let m = FarMutex::create(&mut c1, &a, AllocHint::Spread).unwrap();
         assert!(m.try_lock(&mut c1).unwrap());
-        assert!(matches!(m.unlock(&mut c2), Err(CoreError::Corrupted(_))));
+        assert!(matches!(m.unlock(&mut c2), Err(CoreError::LeaseLost)));
         m.unlock(&mut c1).unwrap();
+    }
+
+    #[test]
+    fn expired_lease_is_stolen_and_late_unlock_fenced_off() {
+        let (f, a) = setup();
+        let mut dead = f.client();
+        let mut b = f.client();
+        let m = FarMutex::create(&mut dead, &a, AllocHint::Spread).unwrap();
+        assert!(m.try_lock(&mut dead).unwrap());
+        // `dead` crashes without unlocking. B out-waits the lease in
+        // virtual time and takes the lock over.
+        assert!(!m.try_lock(&mut b).unwrap());
+        b.advance_time(LEASE_NS + 1);
+        m.lock(&mut b, 1_000).unwrap();
+        // The late unlock from the presumed-dead holder is rejected by
+        // the fencing tag, so it cannot free B's lock out from under it.
+        assert!(matches!(m.unlock(&mut dead), Err(CoreError::LeaseLost)));
+        m.unlock(&mut b).unwrap();
+    }
+
+    #[test]
+    fn lock_outwaits_dead_holder_without_explicit_clock_help() {
+        let (f, a) = setup();
+        let mut dead = f.client();
+        let mut b = f.client();
+        let m = FarMutex::create(&mut dead, &a, AllocHint::Spread).unwrap();
+        assert!(m.try_lock(&mut dead).unwrap());
+        // No advance_time: lock() itself charges timed-out wait slices
+        // against the unchanged lease until it can steal.
+        m.lock(&mut b, 10_000).unwrap();
+        assert!(b.now_ns() >= LEASE_NS, "steal must out-wait the lease in virtual time");
+        m.unlock(&mut b).unwrap();
     }
 
     #[test]

@@ -506,9 +506,13 @@ impl QueueHandle {
         let lock = FarMutex::attach(self.q.hdr.offset(OFF_LOCK));
         lock.lock(client, 1_000_000)?;
         let result = self.repair_locked(client);
-        lock.unlock(client)?;
+        // Release even if the repair failed; the repair error is the one
+        // worth surfacing (an unlock failure on top of a successful
+        // repair — e.g. a lost lease — still propagates).
+        let rel = lock.unlock(client);
         self.stats.repairs += 1;
-        result
+        result?;
+        rel
     }
 
     fn repair_locked(&mut self, client: &mut FabricClient) -> Result<()> {
@@ -526,9 +530,34 @@ impl QueueHandle {
         // Quiesce: odd epoch tells every attached client (via its local
         // notification queue) to hold off and re-sync.
         client.faa(self.q.hdr.offset(OFF_EPOCH), 1)?;
+        let rebuilt = self.rebuild_under_odd_epoch(client, (head, tail));
+        // Publish the even epoch no matter how the rebuild went — an
+        // error path that leaves the epoch odd wedges every attached
+        // client, which is worse than whatever the rebuild hit.
+        let reeven = client.faa(self.q.hdr.offset(OFF_EPOCH), 1);
+        let (new_head, new_tail) = rebuilt?;
+        self.epoch_val = reeven? + 1;
+        self.head_est = new_head;
+        self.tail_est = new_tail;
+        // Drop our own epoch events.
+        self.epoch_pending = false;
+        let mine = self.epoch_sub;
+        let _ = client.take_events(|e| e.sub() == Some(mine));
+        Ok(())
+    }
+
+    /// The fallible middle of a wrap repair, run while the epoch is odd:
+    /// waits for in-flight fast-path ops to drain, relocates the single
+    /// live item run to the start of the slot array, and rewrites the
+    /// pointers. Returns the rebuilt `(head, tail)`; the caller re-evens
+    /// the epoch whether this succeeds or not.
+    fn rebuild_under_odd_epoch(
+        &self,
+        client: &mut FabricClient,
+        mut prev: (u64, u64),
+    ) -> Result<(u64, u64)> {
         // We will receive our own epoch notifications; ignore them.
         // Wait for stragglers: pointers must be stable across two reads.
-        let mut prev = (head, tail);
         loop {
             let h = client.read_u64(self.q.hdr.offset(OFF_HEAD))?;
             let t = client.read_u64(self.q.hdr.offset(OFF_TAIL))?;
@@ -554,7 +583,6 @@ impl QueueHandle {
                 }
                 // All live items must form a single run.
                 if words[l..].iter().any(|&w| w != EMPTY) {
-                    client.faa(self.q.hdr.offset(OFF_EPOCH), 1)?;
                     return Err(CoreError::Corrupted(
                         "queue slots hold more than one item run",
                     ));
@@ -580,16 +608,7 @@ impl QueueHandle {
                 data: &new_tail.to_le_bytes(),
             },
         ])?;
-        // Publish the even epoch: everyone may resume.
-        let prev = client.faa(self.q.hdr.offset(OFF_EPOCH), 1)?;
-        self.epoch_val = prev + 1;
-        self.head_est = new_head;
-        self.tail_est = new_tail;
-        // Drop our own epoch events.
-        self.epoch_pending = false;
-        let mine = self.epoch_sub;
-        let _ = client.take_events(|e| e.sub() == Some(mine));
-        Ok(())
+        Ok((new_head, new_tail))
     }
 
     /// Detaches, cancelling the epoch subscription.
@@ -767,7 +786,7 @@ mod tests {
                 0u64
             }));
         }
-        let consumed = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let consumed = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let total = producers as u64 * per_producer;
         let taken = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         for _ in 0..consumers {
@@ -791,14 +810,14 @@ mod tests {
                         Err(e) => panic!("unexpected {e:?}"),
                     }
                 }
-                consumed.lock().extend(got);
+                consumed.lock().unwrap().extend(got);
                 0u64
             }));
         }
         for h in handles {
             h.join().unwrap();
         }
-        let mut got = consumed.lock().clone();
+        let mut got = consumed.lock().unwrap().clone();
         got.sort_unstable();
         let mut want: Vec<u64> = (0..producers as u64)
             .flat_map(|p| (0..per_producer).map(move |i| p * 1_000_000 + i))

@@ -429,9 +429,9 @@ impl VecReader {
             RefreshMode::Polling => true,
             _ => {
                 self.process_events(client);
-                let forced = self.need_full_poll
-                    || self.refreshes_since_poll >= self.policy.safety_poll_every;
-                forced
+                
+                self.need_full_poll
+                    || self.refreshes_since_poll >= self.policy.safety_poll_every
             }
         };
         if poll {

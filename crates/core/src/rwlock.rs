@@ -1,17 +1,62 @@
 //! Far reader-writer locks: a natural extension of the §5.1 mutex.
 //!
-//! The lock is one far word: the writer bit plus a reader count. The fast
-//! paths are single fabric atomics — **one far access** to enter or leave
-//! a read section — and contended paths wait on notifications instead of
-//! polling far memory, like the mutex.
+//! The lock is one far word: writer bit, writer fencing tag, writer
+//! lease expiry, and a reader count. The fast paths are single fabric
+//! atomics — **one far access** to enter or leave a read section — and
+//! contended paths wait on notifications instead of polling far memory,
+//! like the mutex.
+//!
+//! # Word layout and leases
+//!
+//! ```text
+//! bit 63    bits 48..63   bits 16..48        bits 0..16
+//! WRITER    owner tag     lease expiry (µs)  reader count
+//! ```
+//!
+//! The writer side is leased and fenced exactly like [`crate::FarMutex`]:
+//! a crashed writer's lock is CAS-stolen (or cleared by a waiting
+//! reader) once contenders have out-waited its lease in virtual time,
+//! and the dead writer's late `write_unlock` is rejected via the tag
+//! ([`CoreError::LeaseLost`]). The expiry is stored in *microseconds* so
+//! it fits beside the reader count; readers optimistically increment the
+//! low 16 bits, which never carries into the expiry until 65 535 readers
+//! pile up (`debug_assert`ed).
+//!
+//! Reader sections are anonymous — a count cannot carry per-owner
+//! leases — so a crashed *reader* still wedges writers. That is the
+//! documented trade-off of count-based read locks; fencing readers needs
+//! per-reader words and a far scan on write acquisition.
 
 use farmem_alloc::{AllocHint, FarAlloc};
 use farmem_fabric::{FabricClient, FarAddr, WORD};
 
 use crate::error::{CoreError, Result};
+use crate::mutex::LEASE_NS;
 
-/// Writer-held flag (the reader count occupies the low bits).
+/// Writer-held flag.
 const WRITER: u64 = 1 << 63;
+
+/// Reader count: low 16 bits.
+const COUNT_MASK: u64 = 0xFFFF;
+
+/// Writer lease expiry (virtual µs): 32 bits above the count.
+const EXPIRY_SHIFT: u32 = 16;
+const EXPIRY_MASK: u64 = 0xFFFF_FFFF;
+
+/// Writer fencing tag: 15 bits under the WRITER flag.
+const TAG_SHIFT: u32 = 48;
+const TAG_MASK: u64 = 0x7FFF;
+
+/// Writer lease length in virtual µs (same lease as the mutex).
+const LEASE_US: u64 = LEASE_NS / 1_000;
+
+/// Wall-clock granularity of one contended wait (see `FarMutex`).
+const WAIT_SLICE: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// Virtual backoff charged per timed-out wait slice, exponential while
+/// the observed word is unchanged, capped (ns).
+const WAIT_BASE_NS: u64 = 1_000;
+const WAIT_CAP_NS: u64 = 1_000_000;
 
 /// A reader-writer lock in far memory.
 ///
@@ -58,12 +103,35 @@ impl FarRwLock {
         self.addr
     }
 
+    fn owner_tag(client: &FabricClient) -> u64 {
+        let tag = client.id() as u64 + 1;
+        debug_assert!(tag <= TAG_MASK, "client id overflows the fencing tag");
+        tag & TAG_MASK
+    }
+
+    /// The word this client would hold the write lock with, leased from
+    /// now, preserving `readers` transient low bits.
+    fn writer_word(client: &FabricClient, readers: u64) -> u64 {
+        let expiry_us = (client.now_ns() / 1_000).wrapping_add(LEASE_US) & EXPIRY_MASK;
+        WRITER | (Self::owner_tag(client) << TAG_SHIFT) | (expiry_us << EXPIRY_SHIFT) | readers
+    }
+
+    /// Whether the writer lease in `word` has expired by this client's
+    /// virtual clock. Wrapping 32-bit µs comparison: valid while clock
+    /// skew between clients stays under ~35 virtual minutes.
+    fn writer_expired(client: &FabricClient, word: u64) -> bool {
+        let expiry_us = (word >> EXPIRY_SHIFT) & EXPIRY_MASK;
+        let now_us = (client.now_ns() / 1_000) & EXPIRY_MASK;
+        now_us.wrapping_sub(expiry_us) & EXPIRY_MASK < (1 << 31)
+    }
+
     /// Attempts to enter a read section: one fetch-and-add — **one far
     /// access** when no writer holds the lock. On writer conflict the
     /// optimistic increment is rolled back (one more access) and `false`
     /// is returned.
     pub fn try_read_lock(&self, client: &mut FabricClient) -> Result<bool> {
         let old = client.faa(self.addr, 1)?;
+        debug_assert!(old & COUNT_MASK < COUNT_MASK, "reader count overflow");
         if old & WRITER != 0 {
             client.faa(self.addr, u64::MAX)?; // roll back
             return Ok(false);
@@ -72,19 +140,37 @@ impl FarRwLock {
     }
 
     /// Enters a read section, parking on a change notification while a
-    /// writer holds the lock. `max_attempts` bounds the retries.
+    /// writer holds the lock. `max_attempts` bounds the retries. A dead
+    /// writer's word is cleared (readers preserved) once its lease has
+    /// been out-waited, so crashed writers do not wedge readers.
     pub fn read_lock(&self, client: &mut FabricClient, max_attempts: u32) -> Result<()> {
         if self.try_read_lock(client)? {
             return Ok(());
         }
         let sub = client.notify0(self.addr, WORD)?;
+        let mut watched = 0u64;
+        let mut backoff = WAIT_BASE_NS;
         let result = (|| {
             for _ in 1..max_attempts {
                 if self.try_read_lock(client)? {
                     return Ok(());
                 }
-                if client.take_events(|e| e.sub() == Some(sub)).is_empty() {
-                    client.sink().wait_pending(std::time::Duration::from_millis(20));
+                let seen = client.read_u64(self.addr)?;
+                if seen != watched {
+                    watched = seen;
+                    backoff = WAIT_BASE_NS;
+                } else if seen & WRITER != 0 && Self::writer_expired(client, seen) {
+                    // Dead writer: clear it on its behalf, keeping the
+                    // transient reader bits, then race for the read lock.
+                    let _ = client.cas(self.addr, seen, seen & COUNT_MASK)?;
+                    continue;
+                }
+                if client.take_events(|e| e.sub() == Some(sub)).is_empty()
+                    && !client.sink().wait_pending(WAIT_SLICE)
+                {
+                    client.advance_time(backoff);
+                    backoff = backoff.saturating_mul(2).min(WAIT_CAP_NS);
+                } else {
                     let _ = client.take_events(|e| e.sub() == Some(sub));
                 }
             }
@@ -97,32 +183,57 @@ impl FarRwLock {
     /// Leaves a read section. One far access.
     pub fn read_unlock(&self, client: &mut FabricClient) -> Result<()> {
         let old = client.faa(self.addr, u64::MAX)?;
-        if old == 0 || old & WRITER != 0 && old & !WRITER == 0 {
+        if old & COUNT_MASK == 0 {
+            // The decrement borrowed into the expiry bits; undo it.
+            client.faa(self.addr, 1)?;
             return Err(CoreError::Corrupted("read_unlock without a read lock"));
         }
         Ok(())
     }
 
-    /// Attempts to take the write lock: one CAS (free → writer).
+    /// Attempts to take the write lock: one CAS (free → leased writer).
     /// **One far access**; fails if any reader or writer is inside.
     pub fn try_write_lock(&self, client: &mut FabricClient) -> Result<bool> {
-        Ok(client.cas(self.addr, 0, WRITER)? == 0)
+        let word = Self::writer_word(client, 0);
+        Ok(client.cas(self.addr, 0, word)? == 0)
     }
 
     /// Takes the write lock, parking on change notifications while the
-    /// lock is busy.
+    /// lock is busy. A dead writer is CAS-stolen once its lease has been
+    /// out-waited in virtual time (crashed *readers* still block — see
+    /// module docs).
     pub fn write_lock(&self, client: &mut FabricClient, max_attempts: u32) -> Result<()> {
         if self.try_write_lock(client)? {
             return Ok(());
         }
         let sub = client.notifye(self.addr, 0)?;
+        let mut watched = 0u64;
+        let mut backoff = WAIT_BASE_NS;
         let result = (|| {
             for _ in 1..max_attempts {
                 if self.try_write_lock(client)? {
                     return Ok(());
                 }
-                if client.take_events(|e| e.sub() == Some(sub)).is_empty() {
-                    client.sink().wait_pending(std::time::Duration::from_millis(20));
+                let seen = client.read_u64(self.addr)?;
+                if seen != watched {
+                    watched = seen;
+                    backoff = WAIT_BASE_NS;
+                } else if seen & WRITER != 0 && Self::writer_expired(client, seen) {
+                    // Steal the dead writer's lease, preserving transient
+                    // reader bits; the exact-word CAS fences live racers.
+                    let next = Self::writer_word(client, seen & COUNT_MASK);
+                    if client.cas(self.addr, seen, next)? == seen {
+                        return Ok(());
+                    }
+                    watched = 0;
+                    continue;
+                }
+                if client.take_events(|e| e.sub() == Some(sub)).is_empty()
+                    && !client.sink().wait_pending(WAIT_SLICE)
+                {
+                    client.advance_time(backoff);
+                    backoff = backoff.saturating_mul(2).min(WAIT_CAP_NS);
+                } else {
                     let _ = client.take_events(|e| e.sub() == Some(sub));
                 }
             }
@@ -132,12 +243,34 @@ impl FarRwLock {
         result
     }
 
-    /// Releases the write lock. One far access.
+    /// Releases the write lock. Two far accesses on the quiet path
+    /// (read, then fenced CAS); a few more if optimistic readers keep
+    /// perturbing the low bits between the read and the CAS.
+    ///
+    /// Returns [`CoreError::LeaseLost`] if the word no longer carries
+    /// this client's tag (the lease expired and the lock was stolen) and
+    /// [`CoreError::Corrupted`] if no writer holds the lock at all.
     pub fn write_unlock(&self, client: &mut FabricClient) -> Result<()> {
-        if client.cas(self.addr, WRITER, 0)? != WRITER {
-            return Err(CoreError::Corrupted("write_unlock without the write lock"));
+        let tag = Self::owner_tag(client);
+        // Optimistic readers may FAA the low bits between our read and
+        // CAS; re-read and retry a bounded number of times. Each transient
+        // perturbation is rolled back by its reader within two of its far
+        // accesses, so the word settles quickly.
+        for _ in 0..1024 {
+            let word = client.read_u64(self.addr)?;
+            if word & WRITER == 0 {
+                return Err(CoreError::Corrupted("write_unlock without the write lock"));
+            }
+            if (word >> TAG_SHIFT) & TAG_MASK != tag {
+                return Err(CoreError::LeaseLost);
+            }
+            // Release, preserving in-flight reader increments (their
+            // owners saw WRITER and will decrement them right back).
+            if client.cas(self.addr, word, word & COUNT_MASK)? == word {
+                return Ok(());
+            }
         }
-        Ok(())
+        Err(CoreError::Contended)
     }
 }
 
@@ -191,6 +324,30 @@ mod tests {
         let l = FarRwLock::create(&mut c, &a, AllocHint::Spread).unwrap();
         assert!(matches!(l.read_unlock(&mut c), Err(CoreError::Corrupted(_))));
         assert!(matches!(l.write_unlock(&mut c), Err(CoreError::Corrupted(_))));
+    }
+
+    #[test]
+    fn dead_writer_is_stolen_and_fenced() {
+        let (f, a) = setup();
+        let mut dead = f.client();
+        let mut w = f.client();
+        let mut r = f.client();
+        let l = FarRwLock::create(&mut dead, &a, AllocHint::Spread).unwrap();
+        assert!(l.try_write_lock(&mut dead).unwrap());
+        // A second writer out-waits the lease and steals the lock.
+        w.advance_time(LEASE_NS + 1_000);
+        l.write_lock(&mut w, 1_000).unwrap();
+        // The dead writer's late unlock is fenced off by the tag.
+        assert!(matches!(l.write_unlock(&mut dead), Err(CoreError::LeaseLost)));
+        l.write_unlock(&mut w).unwrap();
+        // Same story with a reader doing the cleanup.
+        assert!(l.try_write_lock(&mut dead).unwrap());
+        r.advance_time(LEASE_NS + 1_000);
+        l.read_lock(&mut r, 1_000).unwrap();
+        // The reader *cleared* the dead writer's word rather than taking
+        // it over, so the late unlock sees a writer-free lock.
+        assert!(l.write_unlock(&mut dead).is_err());
+        l.read_unlock(&mut r).unwrap();
     }
 
     #[test]

@@ -50,7 +50,7 @@ impl FarAddr {
     /// Returns `true` if the address is aligned to `align` bytes.
     #[inline]
     pub fn is_aligned(self, align: u64) -> bool {
-        self.0 % align == 0
+        self.0.is_multiple_of(align)
     }
 }
 
@@ -114,7 +114,7 @@ impl AddressMap {
     pub fn new(nodes: u32, node_capacity: u64, striping: Striping) -> AddressMap {
         assert!(nodes > 0, "fabric needs at least one memory node");
         assert!(
-            node_capacity > 0 && node_capacity % PAGE == 0,
+            node_capacity > 0 && node_capacity.is_multiple_of(PAGE),
             "node capacity must be a positive multiple of the page size"
         );
         if let Striping::Striped { stripe } = striping {
@@ -123,7 +123,7 @@ impl AddressMap {
                 "stripe must be a positive multiple of the page size"
             );
             assert!(
-                node_capacity % stripe == 0,
+                node_capacity.is_multiple_of(stripe),
                 "node capacity must be a whole number of stripes"
             );
         }

@@ -21,6 +21,7 @@ use crate::addr::{FarAddr, WORD};
 use crate::cost::SimClock;
 use crate::error::{FabricError, Result};
 use crate::fabric::Fabric;
+use crate::fault::{FaultPlan, FaultRng, RetryPolicy};
 use crate::notify::{Event, EventSink, SubId, SubKind};
 use crate::stats::AccessStats;
 
@@ -35,6 +36,13 @@ pub struct FabricClient {
     /// lets several data structures share one client without stealing each
     /// other's notifications (see [`FabricClient::take_events`]).
     pending: Vec<Event>,
+    /// Fault plan copied from the config (the plan is evaluated per verb
+    /// attempt by [`FabricClient::begin_attempt`]).
+    faults: FaultPlan,
+    /// Retry policy copied from the config.
+    retry: RetryPolicy,
+    /// Per-client deterministic fault/jitter stream.
+    rng: FaultRng,
 }
 
 /// One verb inside a fenced batch.
@@ -112,10 +120,11 @@ impl BatchOut {
 
 impl FabricClient {
     pub(crate) fn new(fabric: Arc<Fabric>, id: u32) -> FabricClient {
-        let policy = fabric.config().delivery;
-        let seed =
-            fabric.config().seed ^ (id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        let sink = EventSink::new(policy, seed);
+        let config = *fabric.config();
+        let seed = config.seed ^ (id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let sink = EventSink::new(config.delivery, seed);
+        let fault_seed =
+            config.faults.seed ^ (id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         FabricClient {
             fabric,
             id,
@@ -123,6 +132,9 @@ impl FabricClient {
             stats: AccessStats::new(),
             sink,
             pending: Vec::new(),
+            faults: config.faults,
+            retry: config.retry,
+            rng: FaultRng::new(fault_seed),
         }
     }
 
@@ -188,6 +200,82 @@ impl FabricClient {
         &mut self.stats
     }
 
+    // ----- fault injection and transparent retry (crate::fault) -----
+
+    /// Rolls the fault plan for one verb attempt. Called at the top of
+    /// every attempt, so a retried verb re-rolls. Injected failures happen
+    /// *before* any node-side execution (fail-before-execution), which is
+    /// what makes blind retry safe even for atomics.
+    pub(crate) fn begin_attempt(&mut self) -> Result<()> {
+        if !self.faults.enabled() {
+            return Ok(());
+        }
+        let fail_ppm = (self.faults.transient_ppm + self.faults.timeout_ppm) as u64;
+        if fail_ppm > 0 {
+            let roll = self.rng.roll_ppm();
+            if roll < self.faults.transient_ppm as u64 {
+                // A NACKed/dropped request still burned a wire round trip
+                // before the client learned of the failure; charge it so
+                // fault sweeps show the retry cost in far accesses too.
+                self.stats.faults_injected += 1;
+                self.stats.messages += 1;
+                self.stats.round_trips += 1;
+                self.clock.advance(self.fabric.cost().far_rtt_ns);
+                return Err(FabricError::Transient);
+            }
+            if roll < fail_ppm {
+                // A timeout burns a round trip and virtual time before the
+                // client notices.
+                self.stats.faults_injected += 1;
+                self.stats.messages += 1;
+                self.stats.round_trips += 1;
+                self.clock.advance(self.faults.timeout_ns);
+                return Err(FabricError::Timeout);
+            }
+        }
+        if self.faults.spike_ppm > 0 && self.rng.roll_ppm() < self.faults.spike_ppm as u64 {
+            // A latency spike: the verb succeeds but costs extra.
+            self.stats.faults_injected += 1;
+            self.clock.advance(self.faults.spike_ns);
+        }
+        Ok(())
+    }
+
+    /// Runs `op` under the client's retry policy: transient errors
+    /// ([`FabricError::is_transient`]) are retried with exponential backoff
+    /// and seeded jitter, all charged to the *virtual* clock (the advancing
+    /// clock is also what heals timed node crash windows and expires stale
+    /// lock leases in `farmem-core`).
+    pub(crate) fn retrying<T>(
+        &mut self,
+        mut op: impl FnMut(&mut FabricClient) -> Result<T>,
+    ) -> Result<T> {
+        let policy = self.retry;
+        let mut backoff = policy.base_backoff_ns;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match op(self) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                    self.stats.retries += 1;
+                    let mut delay = backoff;
+                    if policy.jitter && delay > 1 {
+                        delay += self.rng.next() % (delay / 2 + 1);
+                    }
+                    self.clock.advance(delay);
+                    backoff = backoff.saturating_mul(2).min(policy.max_backoff_ns);
+                }
+                Err(e) => {
+                    if e.is_transient() {
+                        self.stats.giveups += 1;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
     /// Executes a read of `[addr, addr+len)` arriving at `arrival`,
     /// returning `(bytes, node_finish)`. Counts messages/bytes, not RTs.
     pub(crate) fn exec_read(
@@ -203,7 +291,7 @@ impl FabricClient {
         let mut done = 0usize;
         for seg in &segs {
             let node = self.fabric.node(seg.node);
-            node.check_alive()?;
+            node.check_alive_at(arrival)?;
             let service = cost.node_msg_ns + cost.bytes_ns(seg.len);
             let f = node.occupy(arrival, service);
             node.read_bytes(seg.offset, &mut buf[done..done + seg.len as usize])?;
@@ -225,7 +313,7 @@ impl FabricClient {
         let mut done = 0usize;
         for seg in &segs {
             let node = self.fabric.node(seg.node);
-            node.check_alive()?;
+            node.check_alive_at(arrival)?;
             let service = cost.node_msg_ns + cost.bytes_ns(seg.len);
             let f = node.occupy(arrival, service);
             node.write_bytes(seg.offset, &data[done..done + seg.len as usize])?;
@@ -253,7 +341,7 @@ impl FabricClient {
         let cost = *self.fabric.cost();
         let (nid, off) = self.word_home(addr)?;
         let node = self.fabric.node(nid);
-        node.check_alive()?;
+        node.check_alive_at(arrival)?;
         let f = node.occupy(arrival, cost.node_msg_ns + cost.bytes_ns(WORD));
         let v = node.read_u64(off)?;
         self.stats.messages += 1;
@@ -266,7 +354,7 @@ impl FabricClient {
         let cost = *self.fabric.cost();
         let (nid, off) = self.word_home(addr)?;
         let node = self.fabric.node(nid);
-        node.check_alive()?;
+        node.check_alive_at(arrival)?;
         let f = node.occupy(arrival, cost.node_msg_ns + cost.bytes_ns(WORD));
         node.write_u64(off, value)?;
         self.fabric.fire(nid, off, WORD, f);
@@ -286,7 +374,7 @@ impl FabricClient {
         let cost = *self.fabric.cost();
         let (nid, off) = self.word_home(addr)?;
         let node = self.fabric.node(nid);
-        node.check_alive()?;
+        node.check_alive_at(arrival)?;
         let f = node.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
         let prev = node.cas_u64(off, expected, new)?;
         if prev == expected {
@@ -308,7 +396,7 @@ impl FabricClient {
         let cost = *self.fabric.cost();
         let (nid, off) = self.word_home(addr)?;
         let node = self.fabric.node(nid);
-        node.check_alive()?;
+        node.check_alive_at(arrival)?;
         let f = node.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
         let prev = node.faa_u64(off, delta)?;
         self.fabric.fire(nid, off, WORD, f);
@@ -321,88 +409,123 @@ impl FabricClient {
 
     /// One-sided read of `len` bytes at `addr`. One far access.
     pub fn read(&mut self, addr: FarAddr, len: u64) -> Result<Vec<u8>> {
-        let arrival = self.arrival();
-        let (buf, finish) = self.exec_read(addr, len, arrival)?;
-        self.finish_rt(finish);
-        Ok(buf)
+        self.retrying(|c| {
+            c.begin_attempt()?;
+            let arrival = c.arrival();
+            let (buf, finish) = c.exec_read(addr, len, arrival)?;
+            c.finish_rt(finish);
+            Ok(buf)
+        })
     }
 
     /// One-sided write of `data` at `addr`. One far access.
     pub fn write(&mut self, addr: FarAddr, data: &[u8]) -> Result<()> {
-        let arrival = self.arrival();
-        let finish = self.exec_write(addr, data, arrival)?;
-        self.finish_rt(finish);
-        Ok(())
+        self.retrying(|c| {
+            c.begin_attempt()?;
+            let arrival = c.arrival();
+            let finish = c.exec_write(addr, data, arrival)?;
+            c.finish_rt(finish);
+            Ok(())
+        })
     }
 
     /// One-sided read of the aligned word at `addr`. One far access.
     pub fn read_u64(&mut self, addr: FarAddr) -> Result<u64> {
-        let arrival = self.arrival();
-        let (v, finish) = self.exec_read_u64(addr, arrival)?;
-        self.finish_rt(finish);
-        Ok(v)
+        self.retrying(|c| {
+            c.begin_attempt()?;
+            let arrival = c.arrival();
+            let (v, finish) = c.exec_read_u64(addr, arrival)?;
+            c.finish_rt(finish);
+            Ok(v)
+        })
     }
 
     /// One-sided write of the aligned word at `addr`. One far access.
     pub fn write_u64(&mut self, addr: FarAddr, value: u64) -> Result<()> {
-        let arrival = self.arrival();
-        let finish = self.exec_write_u64(addr, value, arrival)?;
-        self.finish_rt(finish);
-        Ok(())
+        self.retrying(|c| {
+            c.begin_attempt()?;
+            let arrival = c.arrival();
+            let finish = c.exec_write_u64(addr, value, arrival)?;
+            c.finish_rt(finish);
+            Ok(())
+        })
     }
 
     /// Fabric-level compare-and-swap (§2); returns the previous value.
     /// One far access.
     pub fn cas(&mut self, addr: FarAddr, expected: u64, new: u64) -> Result<u64> {
-        let arrival = self.arrival();
-        let (prev, finish) = self.exec_cas(addr, expected, new, arrival)?;
-        self.finish_rt(finish);
-        Ok(prev)
+        self.retrying(|c| {
+            c.begin_attempt()?;
+            let arrival = c.arrival();
+            let (prev, finish) = c.exec_cas(addr, expected, new, arrival)?;
+            c.finish_rt(finish);
+            Ok(prev)
+        })
     }
 
     /// Fabric-level fetch-and-add (§2); returns the previous value.
     /// One far access.
     pub fn faa(&mut self, addr: FarAddr, delta: u64) -> Result<u64> {
-        let arrival = self.arrival();
-        let (prev, finish) = self.exec_faa(addr, delta, arrival)?;
-        self.finish_rt(finish);
-        Ok(prev)
+        self.retrying(|c| {
+            c.begin_attempt()?;
+            let arrival = c.arrival();
+            let (prev, finish) = c.exec_faa(addr, delta, arrival)?;
+            c.finish_rt(finish);
+            Ok(prev)
+        })
     }
 
     /// Issues a fenced batch: the verbs are applied in order (the fabric's
     /// completion queue enforces the barrier, §2) and the whole batch costs
     /// one dependent round trip.
     pub fn batch(&mut self, ops: &[BatchOp<'_>]) -> Result<Vec<BatchOut>> {
-        let arrival = self.arrival();
-        let mut out = Vec::with_capacity(ops.len());
-        let mut finish = arrival;
-        for op in ops {
-            let f = match op {
-                BatchOp::Read { addr, len } => {
-                    let (buf, f) = self.exec_read(*addr, *len, arrival)?;
-                    out.push(BatchOut::Bytes(buf));
-                    f
+        self.retrying(|c| {
+            c.begin_attempt()?;
+            let arrival = c.arrival();
+            // Pre-flight every target node before executing any op: a batch
+            // must fail atomically for retry to be safe — if op k failed on
+            // a crashed node after op k-1 executed, a blind retry would
+            // apply op k-1 twice.
+            for op in ops {
+                let (addr, len) = match op {
+                    BatchOp::Read { addr, len } => (*addr, *len),
+                    BatchOp::Write { addr, data } => (*addr, data.len() as u64),
+                    BatchOp::Cas { addr, .. } | BatchOp::Faa { addr, .. } => (*addr, WORD),
+                };
+                for seg in c.fabric.segments(addr, len)? {
+                    c.fabric.node(seg.node).check_alive_at(arrival)?;
                 }
-                BatchOp::Write { addr, data } => {
-                    let f = self.exec_write(*addr, data, arrival)?;
-                    out.push(BatchOut::Done);
-                    f
-                }
-                BatchOp::Cas { addr, expected, new } => {
-                    let (prev, f) = self.exec_cas(*addr, *expected, *new, arrival)?;
-                    out.push(BatchOut::Value(prev));
-                    f
-                }
-                BatchOp::Faa { addr, delta } => {
-                    let (prev, f) = self.exec_faa(*addr, *delta, arrival)?;
-                    out.push(BatchOut::Value(prev));
-                    f
-                }
-            };
-            finish = finish.max(f);
-        }
-        self.finish_rt(finish);
-        Ok(out)
+            }
+            let mut out = Vec::with_capacity(ops.len());
+            let mut finish = arrival;
+            for op in ops {
+                let f = match op {
+                    BatchOp::Read { addr, len } => {
+                        let (buf, f) = c.exec_read(*addr, *len, arrival)?;
+                        out.push(BatchOut::Bytes(buf));
+                        f
+                    }
+                    BatchOp::Write { addr, data } => {
+                        let f = c.exec_write(*addr, data, arrival)?;
+                        out.push(BatchOut::Done);
+                        f
+                    }
+                    BatchOp::Cas { addr, expected, new } => {
+                        let (prev, f) = c.exec_cas(*addr, *expected, *new, arrival)?;
+                        out.push(BatchOut::Value(prev));
+                        f
+                    }
+                    BatchOp::Faa { addr, delta } => {
+                        let (prev, f) = c.exec_faa(*addr, *delta, arrival)?;
+                        out.push(BatchOut::Value(prev));
+                        f
+                    }
+                };
+                finish = finish.max(f);
+            }
+            c.finish_rt(finish);
+            Ok(out)
+        })
     }
 
     /// Posts an *unsignaled* word write: the message is issued and the
@@ -415,60 +538,69 @@ impl FabricClient {
     /// returns, which over-approximates real visibility: a posted write is
     /// visible no later than the client's next fenced operation.
     pub fn post_write_u64(&mut self, addr: FarAddr, value: u64) -> Result<()> {
-        let cost = *self.fabric.cost();
-        let arrival = self.arrival();
-        let (nid, off) = self.word_home(addr)?;
-        let node = self.fabric.node(nid);
-        node.check_alive()?;
-        let f = node.occupy(arrival, cost.node_msg_ns + cost.bytes_ns(WORD));
-        node.write_u64(off, value)?;
-        self.fabric.fire(nid, off, WORD, f);
-        self.stats.messages += 1;
-        self.stats.posted_messages += 1;
-        self.stats.bytes_written += WORD;
-        // Issue overhead only: the client does not wait for the completion.
-        self.clock.advance(cost.near_ns);
-        Ok(())
+        self.retrying(|c| {
+            c.begin_attempt()?;
+            let cost = *c.fabric.cost();
+            let arrival = c.arrival();
+            let (nid, off) = c.word_home(addr)?;
+            let node = c.fabric.node(nid);
+            node.check_alive_at(arrival)?;
+            let f = node.occupy(arrival, cost.node_msg_ns + cost.bytes_ns(WORD));
+            node.write_u64(off, value)?;
+            c.fabric.fire(nid, off, WORD, f);
+            c.stats.messages += 1;
+            c.stats.posted_messages += 1;
+            c.stats.bytes_written += WORD;
+            // Issue overhead only: the client does not wait for completion.
+            c.clock.advance(cost.near_ns);
+            Ok(())
+        })
     }
 
     /// Posts an *unsignaled* fetch-and-add (result discarded): used for
     /// background statistics counters (e.g. the HT-tree's collision and
     /// item counts, §5.2) that must not cost a dependent round trip.
     pub fn post_faa_u64(&mut self, addr: FarAddr, delta: u64) -> Result<()> {
-        let cost = *self.fabric.cost();
-        let arrival = self.arrival();
-        let (nid, off) = self.word_home(addr)?;
-        let node = self.fabric.node(nid);
-        node.check_alive()?;
-        let f = node.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
-        node.faa_u64(off, delta)?;
-        self.fabric.fire(nid, off, WORD, f);
-        self.stats.messages += 1;
-        self.stats.posted_messages += 1;
-        self.stats.atomics += 1;
-        self.clock.advance(cost.near_ns);
-        Ok(())
+        self.retrying(|c| {
+            c.begin_attempt()?;
+            let cost = *c.fabric.cost();
+            let arrival = c.arrival();
+            let (nid, off) = c.word_home(addr)?;
+            let node = c.fabric.node(nid);
+            node.check_alive_at(arrival)?;
+            let f = node.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
+            node.faa_u64(off, delta)?;
+            c.fabric.fire(nid, off, WORD, f);
+            c.stats.messages += 1;
+            c.stats.posted_messages += 1;
+            c.stats.atomics += 1;
+            c.clock.advance(cost.near_ns);
+            Ok(())
+        })
     }
 
     // ----- notification verbs (Fig. 1, §4.3) -----
 
     fn subscribe(&mut self, addr: FarAddr, len: u64, kind: SubKind) -> Result<SubId> {
         crate::notify::SubscriptionTable::validate_range(addr, len)?;
-        let segs = self.fabric.segments(addr, len)?;
-        debug_assert_eq!(segs.len(), 1, "a page never spans nodes");
-        let seg = segs[0];
-        let node = self.fabric.node(seg.node);
-        node.check_alive()?;
-        let arrival = self.arrival();
-        let cost = *self.fabric.cost();
-        let finish = node.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
-        let id = node
-            .subs
-            .register(addr, seg.offset, len, kind, self.sink.clone())?;
-        self.fabric.register_sub(id, seg.node);
-        self.stats.messages += 1;
-        self.finish_rt(finish);
-        Ok(id)
+        self.retrying(|c| {
+            c.begin_attempt()?;
+            let segs = c.fabric.segments(addr, len)?;
+            debug_assert_eq!(segs.len(), 1, "a page never spans nodes");
+            let seg = segs[0];
+            let node = c.fabric.node(seg.node);
+            let arrival = c.arrival();
+            node.check_alive_at(arrival)?;
+            let cost = *c.fabric.cost();
+            let finish = node.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
+            let id = node
+                .subs
+                .register(addr, seg.offset, len, kind, c.sink.clone())?;
+            c.fabric.register_sub(id, seg.node);
+            c.stats.messages += 1;
+            c.finish_rt(finish);
+            Ok(id)
+        })
     }
 
     /// `notify0(ad, ℓ)`: signal any change in `[ad, ad+ℓ)` (Fig. 1).
@@ -491,11 +623,14 @@ impl FabricClient {
 
     /// Cancels a subscription created by this or any other client.
     pub fn unsubscribe(&mut self, id: SubId) -> Result<()> {
-        let arrival = self.arrival();
-        self.fabric.unregister_sub(id)?;
-        self.stats.messages += 1;
-        self.finish_rt(arrival);
-        Ok(())
+        self.retrying(|c| {
+            c.begin_attempt()?;
+            let arrival = c.arrival();
+            c.fabric.unregister_sub(id)?;
+            c.stats.messages += 1;
+            c.finish_rt(arrival);
+            Ok(())
+        })
     }
 
     /// Moves newly delivered events from the sink into the local pending
@@ -658,6 +793,32 @@ mod tests {
         ));
         f.node(crate::addr::NodeId(0)).recover();
         assert!(c.read_u64(FarAddr(8)).is_ok());
+    }
+
+    #[test]
+    fn transient_faults_are_retried_transparently() {
+        let f = FabricConfig {
+            faults: crate::fault::FaultPlan::transient(200_000), // 20 % per attempt
+            ..FabricConfig::count_only(1 << 20)
+        }
+        .build();
+        let mut c = f.client();
+        for i in 0..200u64 {
+            c.write_u64(FarAddr(8 * (i + 1)), i).unwrap();
+            assert_eq!(c.read_u64(FarAddr(8 * (i + 1))).unwrap(), i);
+        }
+        let s = c.stats();
+        assert!(s.faults_injected > 0, "plan must have injected faults");
+        assert!(s.retries > 0, "faults must have been retried");
+        assert_eq!(s.giveups, 0, "20 % faults with 8 attempts should never give up");
+    }
+
+    #[test]
+    fn fault_free_config_rolls_nothing() {
+        let mut c = client();
+        c.write_u64(FarAddr(8), 1).unwrap();
+        let s = c.stats();
+        assert_eq!((s.retries, s.giveups, s.faults_injected), (0, 0, 0));
     }
 
     #[test]

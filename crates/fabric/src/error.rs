@@ -65,6 +65,34 @@ pub enum FabricError {
         /// The value the guard word actually held.
         observed: u64,
     },
+    /// The request was dropped by a transient fabric fault before the node
+    /// executed it (injected by a [`FaultPlan`](crate::fault::FaultPlan)).
+    /// Retry-safe: no side effect happened.
+    Transient,
+    /// The request timed out before the node executed it. Like
+    /// [`Transient`](FabricError::Transient) but the client burned the
+    /// plan's timeout budget of virtual time first. Retry-safe.
+    Timeout,
+}
+
+impl FabricError {
+    /// Whether a retry of the same verb may succeed.
+    ///
+    /// [`Transient`](FabricError::Transient) and
+    /// [`Timeout`](FabricError::Timeout) faults drop the request *before*
+    /// execution, so retrying is always safe.
+    /// [`NodeFailed`](FabricError::NodeFailed) is also classified
+    /// transient: timed crash windows
+    /// ([`schedule_crash`](crate::node::MemoryNode::schedule_crash)) heal
+    /// as the retry backoff advances virtual time, and a permanently failed
+    /// node simply exhausts the retry budget before surfacing. Addressing
+    /// and validation errors are deterministic and never retried.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            FabricError::Transient | FabricError::Timeout | FabricError::NodeFailed(_)
+        )
+    }
 }
 
 impl core::fmt::Display for FabricError {
@@ -94,6 +122,8 @@ impl core::fmt::Display for FabricError {
             FabricError::GuardMismatch { observed } => {
                 write!(f, "guard word mismatch (observed {observed})")
             }
+            FabricError::Transient => write!(f, "transient fabric fault (request dropped)"),
+            FabricError::Timeout => write!(f, "fabric request timed out"),
         }
     }
 }

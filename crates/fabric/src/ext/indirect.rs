@@ -56,6 +56,7 @@ enum PtrRead {
 }
 
 /// What the verb does at the dereferenced target.
+#[derive(Clone, Copy)]
 enum TargetAccess<'a> {
     /// Read `len` bytes.
     Read(u64),
@@ -89,6 +90,21 @@ impl FabricClient {
         index: u64,
         access: TargetAccess<'_>,
     ) -> Result<(u64, Option<Vec<u8>>)> {
+        self.retrying(|c| {
+            c.begin_attempt()?;
+            c.indirect_once(ptr_addr, ptr_read, index, access)
+        })
+    }
+
+    /// One attempt of an indirect verb (see [`indirect`](Self::indirect)
+    /// for the retry wrapper).
+    fn indirect_once(
+        &mut self,
+        ptr_addr: FarAddr,
+        ptr_read: PtrRead,
+        index: u64,
+        access: TargetAccess<'_>,
+    ) -> Result<(u64, Option<Vec<u8>>)> {
         let cost = *self.fabric().cost();
         let mode = self.fabric().config().indirection;
         let arrival = self.arrival();
@@ -97,15 +113,35 @@ impl FabricClient {
         let (home_id, ptr_off) = self.word_home(ptr_addr)?;
         let fabric = self.fabric().clone();
         let home = fabric.node(home_id);
-        home.check_alive()?;
-        let home_finish = home.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
-        self.stats_mut().messages += 1;
+        home.check_alive_at(arrival)?;
 
         let len = match &access {
             TargetAccess::Read(l) => *l,
             TargetAccess::Write(d) => d.len() as u64,
             TargetAccess::Add(_) | TargetAccess::Swap(_) => WORD,
         };
+
+        // Pre-flight for destructive pointer reads: peek the pointer and
+        // check the dereferenced target's nodes *before* the atomic bump,
+        // so a crashed target fails the attempt with the pointer untouched
+        // and a retry cannot bump it twice. (The peek is node-internal:
+        // no message or round trip is charged.)
+        if matches!(
+            ptr_read,
+            PtrRead::FetchAdd(_) | PtrRead::GuardedFetchAdd { .. }
+        ) {
+            let peek = home.read_u64(ptr_off)?;
+            if peek != 0 {
+                if let Ok(segs) = fabric.segments(FarAddr(peek + index), len) {
+                    for seg in &segs {
+                        fabric.node(seg.node).check_alive_at(arrival)?;
+                    }
+                }
+            }
+        }
+
+        let home_finish = home.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
+        self.stats_mut().messages += 1;
 
         // The guarded flavour: one atomic unit at the home node.
         if let PtrRead::GuardedFetchAdd { delta, guard, expect } = ptr_read {
@@ -263,6 +299,7 @@ impl FabricClient {
     /// segments. Segments on `home_id` (the pointer's node) extend the
     /// home service chain; remote segments are forwarded with one
     /// memory-side hop (§7.1).
+    #[allow(clippy::too_many_arguments)] // internal plumbing of one verb's pre-computed state
     fn finish_at_target(
         &mut self,
         ptr: u64,
@@ -285,7 +322,7 @@ impl FabricClient {
         let mut done = 0usize;
         for seg in &segs {
             let node = fabric.node(seg.node);
-            node.check_alive()?;
+            node.check_alive_at(arrival)?;
             // Remote targets occupy their node's interface from the
             // arrival time (the interface is work-conserving); the
             // memory-side hop latency is added to the completion.

@@ -62,14 +62,18 @@ impl FabricClient {
             return Err(FabricError::BadIovec { reason: "iovec must be non-empty" });
         }
         let total: u64 = into.iter().map(|b| b.len() as u64).sum();
-        let arrival = self.arrival();
-        let (data, finish) = self.exec_read(ad, total, arrival)?;
+        let data = self.retrying(|c| {
+            c.begin_attempt()?;
+            let arrival = c.arrival();
+            let (data, finish) = c.exec_read(ad, total, arrival)?;
+            c.finish_rt(finish);
+            Ok(data)
+        })?;
         let mut done = 0usize;
         for buf in into.iter_mut() {
             buf.copy_from_slice(&data[done..done + buf.len()]);
             done += buf.len();
         }
-        self.finish_rt(finish);
         Ok(())
     }
 
@@ -78,16 +82,19 @@ impl FabricClient {
     /// per-buffer messages are issued concurrently: one far access.
     pub fn rgather(&mut self, iov: &[FarIov]) -> Result<Vec<u8>> {
         let total = check_iov(iov)?;
-        let arrival = self.arrival();
-        let mut out = Vec::with_capacity(total as usize);
-        let mut finish = arrival;
-        for e in iov {
-            let (part, f) = self.exec_read(e.addr, e.len, arrival)?;
-            out.extend_from_slice(&part);
-            finish = finish.max(f);
-        }
-        self.finish_rt(finish);
-        Ok(out)
+        self.retrying(|c| {
+            c.begin_attempt()?;
+            let arrival = c.arrival();
+            let mut out = Vec::with_capacity(total as usize);
+            let mut finish = arrival;
+            for e in iov {
+                let (part, f) = c.exec_read(e.addr, e.len, arrival)?;
+                out.extend_from_slice(&part);
+                finish = finish.max(f);
+            }
+            c.finish_rt(finish);
+            Ok(out)
+        })
     }
 
     /// `wscatter(ad, ℓ, iovec)`: scatter one local range `src` across the
@@ -100,16 +107,19 @@ impl FabricClient {
                 reason: "iovec total length must equal the source length",
             });
         }
-        let arrival = self.arrival();
-        let mut finish = arrival;
-        let mut done = 0usize;
-        for e in iov {
-            let f = self.exec_write(e.addr, &src[done..done + e.len as usize], arrival)?;
-            done += e.len as usize;
-            finish = finish.max(f);
-        }
-        self.finish_rt(finish);
-        Ok(())
+        self.retrying(|c| {
+            c.begin_attempt()?;
+            let arrival = c.arrival();
+            let mut finish = arrival;
+            let mut done = 0usize;
+            for e in iov {
+                let f = c.exec_write(e.addr, &src[done..done + e.len as usize], arrival)?;
+                done += e.len as usize;
+                finish = finish.max(f);
+            }
+            c.finish_rt(finish);
+            Ok(())
+        })
     }
 
     /// `wgather(iovec, ad, ℓ)`: gather local disjoint buffers `from` into
@@ -123,10 +133,13 @@ impl FabricClient {
         for b in from {
             data.extend_from_slice(b);
         }
-        let arrival = self.arrival();
-        let finish = self.exec_write(ad, &data, arrival)?;
-        self.finish_rt(finish);
-        Ok(())
+        self.retrying(|c| {
+            c.begin_attempt()?;
+            let arrival = c.arrival();
+            let finish = c.exec_write(ad, &data, arrival)?;
+            c.finish_rt(finish);
+            Ok(())
+        })
     }
 }
 

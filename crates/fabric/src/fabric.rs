@@ -6,14 +6,14 @@
 //! processor ever mediates access to far memory (§2).
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
 
 use crate::addr::{AddressMap, FarAddr, NodeId, Segment, Striping};
 use crate::cost::CostModel;
 use crate::error::{FabricError, Result};
+use crate::fault::{FaultPlan, RetryPolicy};
 use crate::node::MemoryNode;
 use crate::notify::{DeliveryPolicy, SubId};
 
@@ -48,6 +48,10 @@ pub struct FabricConfig {
     pub carry_trigger: bool,
     /// Seed for deterministic best-effort notification drops.
     pub seed: u64,
+    /// Deterministic fault-injection plan (defaults to no faults).
+    pub faults: FaultPlan,
+    /// Client-side retry policy for transient verb failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for FabricConfig {
@@ -61,6 +65,8 @@ impl Default for FabricConfig {
             delivery: DeliveryPolicy::COALESCING,
             carry_trigger: true,
             seed: 0x5eed,
+            faults: FaultPlan::NONE,
+            retry: RetryPolicy::DEFAULT,
         }
     }
 }
@@ -168,13 +174,14 @@ impl Fabric {
     }
 
     pub(crate) fn register_sub(&self, id: SubId, node: NodeId) {
-        self.subs.lock().insert(id, node);
+        self.subs.lock().unwrap().insert(id, node);
     }
 
     pub(crate) fn unregister_sub(&self, id: SubId) -> Result<()> {
         let node = self
             .subs
             .lock()
+            .unwrap()
             .remove(&id)
             .ok_or(FabricError::NoSuchSubscription)?;
         self.node(node).subs.unregister(id)

@@ -54,6 +54,7 @@ pub mod cost;
 pub mod error;
 pub mod ext;
 pub mod fabric;
+pub mod fault;
 pub mod node;
 pub mod notify;
 pub mod stats;
@@ -65,6 +66,7 @@ pub use cost::{CostModel, SimClock};
 pub use error::{FabricError, Result};
 pub use ext::sg::FarIov;
 pub use fabric::{Fabric, FabricConfig, IndirectionMode};
+pub use fault::{FaultPlan, RetryPolicy};
 pub use node::MemoryNode;
 pub use notify::{DeliveryPolicy, Event, EventSink, SinkStats, SubId, SubKind};
 pub use stats::AccessStats;

@@ -8,8 +8,7 @@
 //! version/CAS discipline — the simulator does not paper over races.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::addr::{NodeId, WORD};
 use crate::error::{FabricError, Result};
@@ -38,6 +37,10 @@ pub struct MemoryNode {
     /// Total service time ever booked (diagnostics: utilization checks).
     busy_ns: AtomicU64,
     failed: AtomicBool,
+    /// Virtual-time crash→recover windows scheduled by fault injection;
+    /// kept off the hot path behind `has_crash_windows`.
+    crash_windows: Mutex<Vec<(u64, u64)>>,
+    has_crash_windows: AtomicBool,
     /// Notification subscriptions associated with this node's pages (§4.3).
     pub(crate) subs: SubscriptionTable,
 }
@@ -51,7 +54,7 @@ impl MemoryNode {
     /// the [`AddressMap`](crate::addr::AddressMap) constructor enforces a
     /// stricter page multiple before any node is built.
     pub fn new(id: NodeId, capacity: u64) -> MemoryNode {
-        assert!(capacity > 0 && capacity % WORD == 0);
+        assert!(capacity > 0 && capacity.is_multiple_of(WORD));
         let mut words = Vec::with_capacity((capacity / WORD) as usize);
         words.resize_with((capacity / WORD) as usize, || AtomicU64::new(0));
         MemoryNode {
@@ -61,6 +64,8 @@ impl MemoryNode {
             guard_lock: Mutex::new(()),
             busy_ns: AtomicU64::new(0),
             failed: AtomicBool::new(false),
+            crash_windows: Mutex::new(Vec::new()),
+            has_crash_windows: AtomicBool::new(false),
             subs: SubscriptionTable::new(capacity),
         }
     }
@@ -82,9 +87,28 @@ impl MemoryNode {
         self.failed.store(true, Ordering::SeqCst);
     }
 
-    /// Clears an injected failure.
+    /// Clears an injected permanent failure (timed crash windows are
+    /// unaffected: they clear themselves as virtual time passes them).
     pub fn recover(&self) {
         self.failed.store(false, Ordering::SeqCst);
+    }
+
+    /// Schedules a timed crash window `[from_ns, until_ns)` in virtual
+    /// time: any verb whose arrival falls inside the window fails with
+    /// [`FabricError::NodeFailed`], and the node is alive again at
+    /// `until_ns` — the crash→recover cycle of a rebooting memory node,
+    /// without the test having to call [`fail`](MemoryNode::fail) /
+    /// [`recover`](MemoryNode::recover) at the right moment itself.
+    pub fn schedule_crash(&self, from_ns: u64, until_ns: u64) {
+        assert!(from_ns < until_ns, "empty crash window");
+        self.crash_windows.lock().unwrap().push((from_ns, until_ns));
+        self.has_crash_windows.store(true, Ordering::SeqCst);
+    }
+
+    /// Removes all scheduled crash windows.
+    pub fn clear_crash_schedule(&self) {
+        self.crash_windows.lock().unwrap().clear();
+        self.has_crash_windows.store(false, Ordering::SeqCst);
     }
 
     /// Total service time ever booked on this node's interface.
@@ -92,14 +116,36 @@ impl MemoryNode {
         self.busy_ns.load(Ordering::Relaxed)
     }
 
-    /// Returns an error if the node is currently failed.
+    /// Returns an error if the node is currently (permanently) failed.
+    ///
+    /// Loads `failed` with `SeqCst` to pair with the `SeqCst` stores in
+    /// [`fail`](MemoryNode::fail) / [`recover`](MemoryNode::recover): a
+    /// test that fails a node and then issues a verb from another thread
+    /// must observe the failure immediately, with no reordering against
+    /// the data words (which are themselves `SeqCst`). The previous
+    /// `Relaxed` load was formally allowed to float past those accesses.
     #[inline]
     pub fn check_alive(&self) -> Result<()> {
-        if self.failed.load(Ordering::Relaxed) {
+        if self.failed.load(Ordering::SeqCst) {
             Err(FabricError::NodeFailed(self.id))
         } else {
             Ok(())
         }
+    }
+
+    /// Like [`check_alive`](MemoryNode::check_alive), but also honours
+    /// timed crash windows: fails if `now_ns` falls inside any scheduled
+    /// `[from, until)` window.
+    #[inline]
+    pub fn check_alive_at(&self, now_ns: u64) -> Result<()> {
+        self.check_alive()?;
+        if self.has_crash_windows.load(Ordering::SeqCst) {
+            let windows = self.crash_windows.lock().unwrap();
+            if windows.iter().any(|&(from, until)| from <= now_ns && now_ns < until) {
+                return Err(FabricError::NodeFailed(self.id));
+            }
+        }
+        Ok(())
     }
 
     /// Occupies the node's serial fabric interface: a message arriving at
@@ -115,7 +161,7 @@ impl MemoryNode {
     /// queues — while an underloaded node adds no delay.
     pub fn occupy(&self, arrival_ns: u64, service_ns: u64) -> u64 {
         self.busy_ns.fetch_add(service_ns, Ordering::Relaxed);
-        let mut q = self.queue.lock();
+        let mut q = self.queue.lock().unwrap();
         if arrival_ns > q.last_arrival_ns {
             // The interface drained for the interval since the previous
             // arrival.
@@ -130,7 +176,7 @@ impl MemoryNode {
 
     #[inline]
     fn word_index(&self, offset: u64, align: u64) -> Result<usize> {
-        if offset % align != 0 {
+        if !offset.is_multiple_of(align) {
             return Err(FabricError::Unaligned {
                 addr: crate::addr::FarAddr(offset),
                 required: align,
@@ -155,7 +201,7 @@ impl MemoryNode {
     /// Atomically writes the aligned word at node-local `offset`.
     pub fn write_u64(&self, offset: u64, value: u64) -> Result<()> {
         let i = self.word_index(offset, WORD)?;
-        let _g = self.guard_lock.lock();
+        let _g = self.guard_lock.lock().unwrap();
         self.words[i].store(value, Ordering::SeqCst);
         Ok(())
     }
@@ -164,7 +210,7 @@ impl MemoryNode {
     /// returns the previous value (§2).
     pub fn cas_u64(&self, offset: u64, expected: u64, new: u64) -> Result<u64> {
         let i = self.word_index(offset, WORD)?;
-        let _g = self.guard_lock.lock();
+        let _g = self.guard_lock.lock().unwrap();
         match self.words[i].compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst) {
             Ok(prev) => Ok(prev),
             Err(prev) => Ok(prev),
@@ -175,7 +221,7 @@ impl MemoryNode {
     /// the previous value.
     pub fn faa_u64(&self, offset: u64, delta: u64) -> Result<u64> {
         let i = self.word_index(offset, WORD)?;
-        let _g = self.guard_lock.lock();
+        let _g = self.guard_lock.lock().unwrap();
         Ok(self.words[i].fetch_add(delta, Ordering::SeqCst))
     }
 
@@ -183,7 +229,7 @@ impl MemoryNode {
     /// value.
     pub fn swap_u64(&self, offset: u64, value: u64) -> Result<u64> {
         let i = self.word_index(offset, WORD)?;
-        let _g = self.guard_lock.lock();
+        let _g = self.guard_lock.lock().unwrap();
         Ok(self.words[i].swap(value, Ordering::SeqCst))
     }
 
@@ -225,7 +271,7 @@ impl MemoryNode {
         body: impl FnOnce(&Self) -> Result<R>,
     ) -> Result<R> {
         let g = self.word_index(guard_offset, WORD)?;
-        let _lock = self.guard_lock.lock();
+        let _lock = self.guard_lock.lock().unwrap();
         let observed = self.words[g].load(Ordering::SeqCst);
         if observed != expect {
             return Err(FabricError::GuardMismatch { observed });

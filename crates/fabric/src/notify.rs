@@ -20,9 +20,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::addr::{FarAddr, PAGE, WORD};
 use crate::error::{FabricError, Result};
@@ -234,7 +232,7 @@ impl EventSink {
 
     /// Enqueues an event subject to the sink's delivery policy.
     pub(crate) fn deliver(&self, event: Event) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         if self.policy.drop_ppm > 0 {
             let roll = g.next_rng() % 1_000_000;
             if roll < self.policy.drop_ppm as u64 {
@@ -295,7 +293,7 @@ impl EventSink {
     /// If events were dropped by a spike since the last call, an
     /// [`Event::Lost`] warning is returned first.
     pub fn try_recv(&self) -> Option<Event> {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         if g.spike_dropped > 0 {
             let count = g.spike_dropped;
             g.spike_dropped = 0;
@@ -324,11 +322,17 @@ impl EventSink {
             if let Some(e) = self.try_recv() {
                 return Some(e);
             }
-            let mut g = self.inner.lock();
+            let g = self.inner.lock().unwrap();
             if !g.order.is_empty() || g.spike_dropped > 0 {
                 continue;
             }
-            if self.cv.wait_until(&mut g, deadline).timed_out() {
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now())
+            else {
+                drop(g);
+                return self.try_recv();
+            };
+            let (g, timed_out) = self.cv.wait_timeout(g, remaining).unwrap();
+            if timed_out.timed_out() {
                 drop(g);
                 return self.try_recv();
             }
@@ -341,12 +345,18 @@ impl EventSink {
     /// accounting in one place).
     pub fn wait_pending(&self, timeout: std::time::Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         loop {
             if !g.order.is_empty() || g.spike_dropped > 0 {
                 return true;
             }
-            if self.cv.wait_until(&mut g, deadline).timed_out() {
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now())
+            else {
+                return false;
+            };
+            let (guard, timed_out) = self.cv.wait_timeout(g, remaining).unwrap();
+            g = guard;
+            if timed_out.timed_out() {
                 return !g.order.is_empty() || g.spike_dropped > 0;
             }
         }
@@ -354,13 +364,13 @@ impl EventSink {
 
     /// Number of currently pending events.
     pub fn pending(&self) -> usize {
-        let g = self.inner.lock();
+        let g = self.inner.lock().unwrap();
         g.order.len() + usize::from(g.spike_dropped > 0)
     }
 
     /// Delivery counters for this sink.
     pub fn stats(&self) -> SinkStats {
-        let g = self.inner.lock();
+        let g = self.inner.lock().unwrap();
         SinkStats {
             delivered: g.delivered,
             coalesced: g.coalesced,
@@ -417,7 +427,7 @@ impl SubscriptionTable {
 
     /// Validates §4.3's range rules: word alignment, non-empty, single page.
     pub(crate) fn validate_range(addr: FarAddr, len: u64) -> Result<()> {
-        if !addr.is_aligned(WORD) || len % WORD != 0 {
+        if !addr.is_aligned(WORD) || !len.is_multiple_of(WORD) {
             return Err(FabricError::BadSubscription {
                 addr,
                 len,
@@ -463,14 +473,14 @@ impl SubscriptionTable {
         let id = fresh_sub_id();
         let sub = Subscription { id, offset, len, addr, kind, sink };
         let page = offset / PAGE;
-        self.pages.lock().entry(page).or_default().push(sub);
+        self.pages.lock().unwrap().entry(page).or_default().push(sub);
         self.count.fetch_add(1, Ordering::Relaxed);
         Ok(id)
     }
 
     /// Removes a subscription; returns an error if it does not exist.
     pub(crate) fn unregister(&self, id: SubId) -> Result<()> {
-        let mut pages = self.pages.lock();
+        let mut pages = self.pages.lock().unwrap();
         for subs in pages.values_mut() {
             if let Some(pos) = subs.iter().position(|s| s.id == id) {
                 subs.remove(pos);
@@ -500,7 +510,7 @@ impl SubscriptionTable {
         let carry = self.carry_trigger.load(Ordering::Relaxed) != 0;
         let first_page = offset / PAGE;
         let last_page = (offset + len - 1) / PAGE;
-        let pages = self.pages.lock();
+        let pages = self.pages.lock().unwrap();
         for page in first_page..=last_page {
             let Some(subs) = pages.get(&page) else { continue };
             for s in subs {

@@ -5,8 +5,6 @@
 //! verb it issues, so experiments can report exact per-operation access
 //! counts instead of noisy timings.
 
-use serde::Serialize;
-
 /// Counters accumulated by one client.
 ///
 /// `round_trips` counts *dependent* round trips on the critical path: a
@@ -14,7 +12,7 @@ use serde::Serialize;
 /// is counted once, while each constituent fabric message still increments
 /// `messages`. Reporting both keeps the "one far access" claims auditable
 /// (see DESIGN.md §2).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AccessStats {
     /// Dependent far round trips (the paper's "far accesses").
     pub round_trips: u64,
@@ -42,6 +40,13 @@ pub struct AccessStats {
     pub notifications_lost: u64,
     /// Near (client-local cache) accesses — cheap, shown for contrast.
     pub near_accesses: u64,
+    /// Verb attempts reissued after a transient fault (retry policy).
+    pub retries: u64,
+    /// Verbs abandoned after exhausting the retry budget.
+    pub giveups: u64,
+    /// Faults injected into this client's verbs (transient failures,
+    /// timeouts and latency spikes; see [`FaultPlan`](crate::fault::FaultPlan)).
+    pub faults_injected: u64,
 }
 
 impl AccessStats {
@@ -73,6 +78,9 @@ impl AccessStats {
                 - earlier.notifications_coalesced,
             notifications_lost: self.notifications_lost - earlier.notifications_lost,
             near_accesses: self.near_accesses - earlier.near_accesses,
+            retries: self.retries - earlier.retries,
+            giveups: self.giveups - earlier.giveups,
+            faults_injected: self.faults_injected - earlier.faults_injected,
         }
     }
 
@@ -90,6 +98,9 @@ impl AccessStats {
         self.notifications_coalesced += other.notifications_coalesced;
         self.notifications_lost += other.notifications_lost;
         self.near_accesses += other.near_accesses;
+        self.retries += other.retries;
+        self.giveups += other.giveups;
+        self.faults_injected += other.faults_injected;
     }
 }
 

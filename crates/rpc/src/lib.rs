@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use farmem_fabric::{CostModel, SimClock};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// A request handler running on the memory-side processor.
 ///
@@ -133,7 +133,7 @@ impl RpcServer {
     fn occupy(&self, arrival_ns: u64, service_ns: u64) -> u64 {
         self.busy_ns.fetch_add(service_ns, Ordering::Relaxed);
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let mut q = self.queue.lock();
+        let mut q = self.queue.lock().unwrap();
         if arrival_ns > q.1 {
             let idle = arrival_ns - q.1;
             q.0 = q.0.saturating_sub(idle);
@@ -229,7 +229,7 @@ impl RpcClient {
         let resp = {
             // The modelled CPU is serial; execute under the server lock so
             // concurrent test threads also serialize for real.
-            let _cpu = server.exec.lock();
+            let _cpu = server.exec.lock().unwrap();
             server.service.handle(req)
         };
         let service = server.cpu.service_ns(req.len() as u64 + resp.len() as u64);

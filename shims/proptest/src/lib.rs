@@ -1,0 +1,433 @@
+//! Offline shim of the `proptest` API subset used by this workspace.
+//!
+//! The repository builds with no network access, so this path dependency
+//! replaces the real proptest crate with a deterministic property runner:
+//! the [`proptest!`] macro expands each property to a plain `#[test]` that
+//! samples every strategy `cases` times from a seeded xorshift64* stream
+//! (the seed mixes in the property's name, so every property sees a
+//! different but reproducible stream).
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports the sampled inputs via the
+//!   panic message's case index; re-running reproduces it exactly;
+//! * strategies are samplers only ([`Strategy::sample`]), covering the
+//!   combinators this repo uses: integer ranges, `any`, tuples, `Just`,
+//!   `prop_map`, `prop_oneof!` and `prop::collection::vec`.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic generator feeding every strategy.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a stream from a seed (zero is remapped).
+    pub fn seeded(seed: u64) -> TestRng {
+        TestRng { state: seed | 1 }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Strategy combinators and implementations.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A value generator (sampling-only subset of proptest's `Strategy`).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi.wrapping_sub(lo) as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range: every value is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// Produces any value of `T` (see [`super::arbitrary`]).
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: super::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+
+    /// Object-safe sampling, for heterogeneous unions ([`union`]).
+    pub trait DynStrategy<V> {
+        /// Draws one value.
+        fn sample_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn DynStrategy<V>>>,
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].sample_dyn(rng)
+        }
+    }
+
+    /// Builds a [`Union`]; used by the `prop_oneof!` expansion.
+    pub fn union<V>(arms: Vec<Box<dyn DynStrategy<V>>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    /// Boxes one `prop_oneof!` arm, pinning the value type to the
+    /// strategy's own `Value` (an `as _` cast here would let inference
+    /// wander into unsized types).
+    pub fn boxed<S>(s: S) -> Box<dyn DynStrategy<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `prop::collection` namespace.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Generates `Vec`s of `elem` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.hi - self.lo).max(1) as u64;
+            let n = self.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, lo: len.start, hi: len.end }
+    }
+}
+
+/// Runner configuration (subset of proptest's `ProptestConfig`).
+pub mod test_runner {
+    /// Failure carried out of a property body via `return Err(...)`.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// An explicit failure with a message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// How many sampled cases each property runs.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases per property.
+        pub cases: u32,
+        /// Accepted for source compatibility; shrinking is not implemented,
+        /// so this knob has no effect.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64, max_shrink_iters: 0 }
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The strategy producing any value of `T`.
+    pub fn any<T: crate::arbitrary::Arbitrary>() -> crate::strategy::Any<T> {
+        crate::strategy::Any(std::marker::PhantomData)
+    }
+
+    /// `prop::` namespace alias as re-exported by real proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Seeds a property's stream from its name: deterministic, distinct
+/// per property. (FNV-1a over the name bytes.)
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Declares deterministic property tests (see the crate docs for the
+/// semantics relative to real proptest).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one plain `#[test]` per property.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;) => {};
+    (
+        cfg = $cfg:expr;
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config = $cfg;
+            let base = $crate::seed_for(stringify!($name));
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::TestRng::seeded(
+                    base ^ (case + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                // Like real proptest, the body may bail early with
+                // `return Err(TestCaseError::fail(..))`; a body that runs
+                // to completion falls through to the trailing Ok.
+                let run =
+                    || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                if let Err(e) = run() {
+                    panic!(
+                        "property {} failed at case {case}: {e}",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// `assert!` under a property-test-flavoured name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a property-test-flavoured name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a property-test-flavoured name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_sample_in_bounds() {
+        let mut rng = crate::TestRng::seeded(5);
+        use crate::strategy::Strategy;
+        for _ in 0..200 {
+            let v = (3u64..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let xs = prop::collection::vec(0u8..10, 1..5).sample(&mut rng);
+            assert!(!xs.is_empty() && xs.len() < 5);
+            assert!(xs.iter().all(|x| *x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+        #[test]
+        fn macro_runs_and_binds(x in 0u64..100, (a, b) in (0u8..4, any::<u64>())) {
+            prop_assert!(x < 100);
+            prop_assert!(a < 4);
+            prop_assert_eq!(b, b);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            op in prop_oneof![
+                (0u64..10).prop_map(Some),
+                Just(None),
+            ]
+        ) {
+            if let Some(v) = op {
+                prop_assert!(v < 10);
+            }
+        }
+    }
+}

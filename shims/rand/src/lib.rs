@@ -1,0 +1,170 @@
+//! Offline shim of the `rand` 0.8 API subset used by this workspace.
+//!
+//! The repository builds with no network access, so instead of the real
+//! `rand` crate this path dependency provides the handful of items the
+//! workloads and tests actually call: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::{gen, gen_range, gen_bool}`.
+//! The generator is xorshift64* — deterministic, seedable and plenty for
+//! workload synthesis (the experiments never rely on cryptographic or
+//! statistical-suite quality). Distributions match rand's semantics where
+//! it matters: `gen_range` is uniform over `[start, end)` and
+//! `gen::<f64>()` is uniform over `[0, 1)`.
+
+#![forbid(unsafe_code)]
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Uniform sample in `[low, high)` using `bits` as entropy source.
+    fn sample_from(bits: u64, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(bits: u64, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range requires low < high");
+                let span = (high as u128).wrapping_sub(low as u128) as u128;
+                low.wrapping_add((bits as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(bits: u64, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range requires low < high");
+                let span = (high as i128 - low as i128) as u128;
+                (low as i128 + (bits as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard {
+    /// Converts 64 raw bits into a sample.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        // 53 significant bits, uniform in [0, 1).
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn from_bits(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+/// The random-generator interface (subset of rand 0.8's `Rng`).
+pub trait Rng {
+    /// Next 64 raw bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` (e.g. `f64` uniform in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Uniform sample in the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_from(self.next_u64(), range.start, range.end)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+/// Seedable construction (subset of rand 0.8's `SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    /// Deterministic xorshift64* generator standing in for rand's `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // Avoid the all-zero fixed point; splitmix-style seed scramble.
+            let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            s ^= s >> 30;
+            StdRng { state: s }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let i = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits {hits}");
+    }
+}

@@ -69,7 +69,8 @@ pub mod prelude {
     };
     pub use farmem_fabric::{
         AccessStats, BatchOp, CostModel, DeliveryPolicy, Event, Fabric, FabricClient,
-        FabricConfig, FarAddr, FarIov, IndirectionMode, NodeId, Striping, SubId,
+        FabricConfig, FarAddr, FarIov, FaultPlan, IndirectionMode, NodeId, RetryPolicy,
+        Striping, SubId,
     };
     pub use farmem_monitor::{AlarmSpec, HistogramMonitor, NaiveMonitor, Severity};
     pub use farmem_rpc::{RpcClient, RpcServer, ServerCpu};

@@ -157,3 +157,64 @@ fn spike_dropped_monitor_notifications_degrade_to_checks() {
     assert!(!alarms.is_empty(), "alarm raised despite dropped notifications");
     assert_eq!(alarms[0].severity, Severity::Critical);
 }
+
+#[test]
+fn timed_crash_window_heals_through_retries() {
+    // A node crashes mid-workload and recovers on a virtual-time
+    // schedule; the client's transparent retry/backoff layer outlasts
+    // the window, so the workload completes with no errors and no data
+    // loss. The window (30µs) sits inside the default retry budget
+    // (~127µs of exponential backoff across 8 attempts).
+    let f = FabricConfig::count_only(32 << 20).build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut c = f.client();
+    let q = FarQueue::create(&mut c, &alloc, QueueConfig::new(64, 4)).unwrap();
+    let mut h = FarQueue::attach(&mut c, q.hdr()).unwrap();
+    for v in 1..=10u64 {
+        h.enqueue(&mut c, v).unwrap();
+    }
+    // Crash the (only) node from the client's current virtual instant.
+    // In count-only mode the clock advances only through retry backoff,
+    // so every verb lands inside the window until retries wait it out.
+    let now = c.now_ns();
+    f.node(NodeId(0)).schedule_crash(now, now + 30_000);
+    let before = c.stats();
+    let mut drained = Vec::new();
+    for _ in 0..10 {
+        drained.push(h.dequeue(&mut c).unwrap());
+    }
+    for v in 11..=15u64 {
+        h.enqueue(&mut c, v).unwrap();
+        drained.push(h.dequeue(&mut c).unwrap());
+    }
+    assert_eq!(drained, (1..=15u64).collect::<Vec<_>>(), "exactly-once, in order");
+    let d = c.stats().since(&before);
+    assert!(d.retries > 0, "the crash window must have forced retries");
+    assert!(c.now_ns() >= now + 30_000, "retries waited out the window in virtual time");
+}
+
+#[test]
+fn expired_lock_lease_is_stolen_and_late_unlock_fenced() {
+    // Client A takes a far mutex and crashes. Client B out-waits A's
+    // lease in virtual time and steals the lock; A's late unlock is
+    // rejected by the fencing tag, so it cannot release B's lock.
+    let f = FabricConfig::count_only(1 << 20).build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut a = f.client();
+    let mut b = f.client();
+    let m = FarMutex::create(&mut a, &alloc, AllocHint::Spread).unwrap();
+    assert!(m.try_lock(&mut a).unwrap());
+    // A crashes here (never unlocks). B contends: lock() itself charges
+    // timed-out waits against the unchanged lease until it can steal.
+    m.lock(&mut b, 10_000).unwrap();
+    assert!(
+        b.now_ns() >= farmem::core::mutex::LEASE_NS,
+        "steal only after out-waiting the lease"
+    );
+    // A comes back from the dead and tries to unlock: fenced off.
+    assert!(matches!(m.unlock(&mut a), Err(CoreError::LeaseLost)));
+    // B still owns the lock and releases it cleanly.
+    m.unlock(&mut b).unwrap();
+    assert!(m.try_lock(&mut a).unwrap(), "lock usable again after the full cycle");
+    m.unlock(&mut a).unwrap();
+}
