@@ -8,22 +8,29 @@
 //! # Leases and fencing
 //!
 //! A plain CAS lock wedges forever if its holder crashes. Instead, the
-//! lock word encodes `owner_tag << 48 | lease_expiry`, where the expiry
-//! is the holder's virtual-time deadline ([`LEASE_NS`] after
-//! acquisition). A contender that observes the *same* held word across
-//! enough of its own waiting time to out-wait the lease concludes the
-//! holder is dead and CAS-steals the word. The tag doubles as a fencing
-//! token: a holder whose lease was stolen gets [`CoreError::LeaseLost`]
-//! from [`FarMutex::unlock`] instead of silently "releasing" a lock that
-//! now belongs to someone else.
+//! lock word encodes `owner_tag << 48 | acquisition_stamp`. A contender
+//! that observes the *same* held word across [`LEASE_NS`] of its **own
+//! accumulated waiting time** concludes the holder is dead and
+//! CAS-steals the word. The tag doubles as a fencing token: a holder
+//! whose lease was stolen gets [`CoreError::LeaseLost`] from
+//! [`FarMutex::unlock`] instead of silently "releasing" a lock that now
+//! belongs to someone else.
 //!
-//! Waiters only charge waiting time against a lease while the observed
-//! word stays bit-identical — a live lock that cycles through holders
-//! writes a fresh expiry on every acquisition, so contenders never
-//! accumulate enough waited time to steal from a live holder (that would
-//! require one holder to sit in a single critical section for the whole
-//! [`LEASE_NS`], which is ~5 orders of magnitude longer than the far
-//! accesses a critical section performs).
+//! The steal decision deliberately never compares the contender's clock
+//! against the stamp in the word: per-client virtual clocks are
+//! unsynchronized (each starts at 0 and advances with its own activity),
+//! so a cross-client absolute-time comparison would let a fast-clock
+//! contender steal a freshly acquired, live lock. Only time the
+//! contender itself spent waiting — charged by its timed-out wait
+//! slices — counts against the lease, and only while the observed word
+//! stays bit-identical. The stamp's job is uniqueness: every
+//! acquisition ticks the acquirer's clock and embeds it, so two
+//! acquisitions never produce the same word and "bit-identical" always
+//! means "same holder, same acquisition". A live lock that cycles
+//! through holders therefore resets every contender's accounting,
+//! and stealing from a live holder would require that holder to sit in
+//! one critical section for the whole [`LEASE_NS`] — ~5 orders of
+//! magnitude longer than the far accesses a critical section performs.
 
 use farmem_alloc::{AllocHint, FarAlloc};
 use farmem_fabric::{FabricClient, FarAddr, WORD};
@@ -42,8 +49,11 @@ pub const LEASE_NS: u64 = 100_000_000;
 /// Bit position of the owner tag inside the lock word.
 const TAG_SHIFT: u32 = 48;
 
-/// Low 48 bits hold the lease expiry (virtual ns, wraps after ~78h).
-const EXPIRY_MASK: u64 = (1 << TAG_SHIFT) - 1;
+/// Low 48 bits hold the acquisition stamp (the holder's virtual clock at
+/// acquisition plus [`LEASE_NS`], truncated). The stamp is never compared
+/// against another client's clock — it only makes each acquisition's word
+/// unique (see module docs), so truncation wrap is harmless.
+const STAMP_MASK: u64 = (1 << TAG_SHIFT) - 1;
 
 /// Wall-clock granularity of one contended wait. Short enough that
 /// out-waiting a dead holder's lease finishes in ~a hundred ms.
@@ -103,11 +113,15 @@ impl FarMutex {
         client.id() as u64 + 1
     }
 
-    /// The word this client would own the lock with, leased from `now`.
-    fn lease_word(client: &FabricClient) -> u64 {
+    /// The word this client would own the lock with. Ticks the client's
+    /// clock by 1 ns so that even under a zero-cost model two acquisitions
+    /// by the same client never stamp identical words — contenders rely on
+    /// word changes to detect a live, cycling lock.
+    fn lease_word(client: &mut FabricClient) -> u64 {
         let tag = Self::owner_tag(client);
         debug_assert!(tag < (1 << 16), "client id overflows the fencing tag");
-        (tag << TAG_SHIFT) | (client.now_ns().wrapping_add(LEASE_NS) & EXPIRY_MASK)
+        client.advance_time(1);
+        (tag << TAG_SHIFT) | (client.now_ns().wrapping_add(LEASE_NS) & STAMP_MASK)
     }
 
     /// The fencing tag encoded in a held lock word.
@@ -123,15 +137,19 @@ impl FarMutex {
         Ok(client.cas(self.addr, FREE, word)? == FREE)
     }
 
-    /// Attempts to take over the lock from a holder whose lease — as
-    /// last observed in `held` — has expired by this client's virtual
-    /// clock. One far access; returns `true` if the steal won.
+    /// Attempts to take over the lock from a holder presumed dead:
+    /// `held` is the word the caller has observed *unchanged* for
+    /// `waited_ns` of its own accumulated waiting time. Refuses unless
+    /// that waited time has out-lasted [`LEASE_NS`] — clocks of
+    /// different clients are unsynchronized, so the stamp inside `held`
+    /// is never consulted. One far access; returns `true` if the steal
+    /// won.
     ///
     /// The CAS is against the exact observed word, so a holder that is
-    /// alive after all (it re-acquired, refreshing the expiry) is never
+    /// alive after all (it re-acquired, stamping a fresh word) is never
     /// clobbered, and at most one contender wins the steal.
-    pub fn try_steal(&self, client: &mut FabricClient, held: u64) -> Result<bool> {
-        if held == FREE || client.now_ns() < (held & EXPIRY_MASK) {
+    pub fn try_steal(&self, client: &mut FabricClient, held: u64, waited_ns: u64) -> Result<bool> {
+        if held == FREE || waited_ns < LEASE_NS {
             return Ok(false);
         }
         let word = Self::lease_word(client);
@@ -154,11 +172,13 @@ impl FarMutex {
         // or when a wait slice times out (the holder may be dead).
         let sub = client.notifye(self.addr, FREE)?;
         let mut attempts = 1;
-        // Lease accounting: the expiry we are out-waiting and the virtual
-        // backoff to charge on the next timed-out slice. Both reset
-        // whenever the observed word changes — only an unchanging holder
-        // (a dead one) accumulates waited time against its lease.
+        // Lease accounting: the held word we are out-waiting, the waiting
+        // time accumulated against it, and the virtual backoff to charge
+        // on the next timed-out slice. All reset whenever the observed
+        // word changes — only an unchanging holder (a dead one)
+        // accumulates waited time against its lease.
         let mut watched = FREE;
+        let mut waited = 0u64;
         let mut backoff = WAIT_BASE_NS;
         let result = loop {
             if attempts >= max_attempts {
@@ -173,8 +193,9 @@ impl FarMutex {
             }
             if seen != watched {
                 watched = seen;
+                waited = 0;
                 backoff = WAIT_BASE_NS;
-            } else if self.try_steal(client, watched)? {
+            } else if self.try_steal(client, watched, waited)? {
                 break Ok(());
             }
             attempts += 1;
@@ -186,6 +207,7 @@ impl FarMutex {
                 && !client.sink().wait_pending(WAIT_SLICE)
             {
                 client.advance_time(backoff);
+                waited = waited.saturating_add(backoff);
                 backoff = backoff.saturating_mul(2).min(WAIT_CAP_NS);
             } else {
                 let _ = client.take_events(|e| e.sub() == Some(sub));
@@ -307,15 +329,38 @@ mod tests {
         let mut b = f.client();
         let m = FarMutex::create(&mut dead, &a, AllocHint::Spread).unwrap();
         assert!(m.try_lock(&mut dead).unwrap());
-        // `dead` crashes without unlocking. B out-waits the lease in
-        // virtual time and takes the lock over.
+        // `dead` crashes without unlocking. B's lock() accumulates
+        // timed-out wait slices against the unchanging word until it has
+        // out-waited the lease, then steals.
         assert!(!m.try_lock(&mut b).unwrap());
-        b.advance_time(LEASE_NS + 1);
         m.lock(&mut b, 1_000).unwrap();
         // The late unlock from the presumed-dead holder is rejected by
         // the fencing tag, so it cannot free B's lock out from under it.
         assert!(matches!(m.unlock(&mut dead), Err(CoreError::LeaseLost)));
         m.unlock(&mut b).unwrap();
+    }
+
+    #[test]
+    fn skewed_clock_never_steals_a_live_lock() {
+        // Per-client virtual clocks are unsynchronized: a contender whose
+        // clock runs far ahead of the holder's must NOT mistake a freshly
+        // acquired lock for an expired one. Only its own waited time —
+        // not its absolute clock — may count against the lease.
+        let (f, a) = setup();
+        let mut holder = f.client();
+        let mut fast = f.client();
+        let m = FarMutex::create(&mut holder, &a, AllocHint::Spread).unwrap();
+        assert!(m.try_lock(&mut holder).unwrap());
+        fast.advance_time(10 * LEASE_NS);
+        let held = fast.read_u64(m.addr()).unwrap();
+        assert!(
+            !m.try_steal(&mut fast, held, 0).unwrap(),
+            "no waited time, no steal — regardless of clock skew"
+        );
+        // A bounded lock() accrues far less than LEASE_NS of waiting and
+        // must time out rather than steal the live holder's lock.
+        assert!(matches!(m.lock(&mut fast, 5), Err(CoreError::LockTimeout)));
+        m.unlock(&mut holder).unwrap();
     }
 
     #[test]

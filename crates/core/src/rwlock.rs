@@ -9,18 +9,29 @@
 //! # Word layout and leases
 //!
 //! ```text
-//! bit 63    bits 48..63   bits 16..48        bits 0..16
-//! WRITER    owner tag     lease expiry (µs)  reader count
+//! bit 63    bits 49..63   bits 17..49         bit 16   bits 0..16
+//! WRITER    owner tag     acq. stamp (µs)     GUARD    reader count
 //! ```
 //!
 //! The writer side is leased and fenced exactly like [`crate::FarMutex`]:
 //! a crashed writer's lock is CAS-stolen (or cleared by a waiting
-//! reader) once contenders have out-waited its lease in virtual time,
-//! and the dead writer's late `write_unlock` is rejected via the tag
-//! ([`CoreError::LeaseLost`]). The expiry is stored in *microseconds* so
-//! it fits beside the reader count; readers optimistically increment the
-//! low 16 bits, which never carries into the expiry until 65 535 readers
-//! pile up (`debug_assert`ed).
+//! reader) once a contender has observed the *same* word for
+//! [`LEASE_NS`] of its **own accumulated waiting time**, and the dead
+//! writer's late `write_unlock` is rejected via the tag
+//! ([`CoreError::LeaseLost`]). As in the mutex, the acquisition stamp is
+//! never compared against another client's (unsynchronized) clock — it
+//! only makes every acquisition's word unique so that "unchanged word"
+//! reliably means "same holder, same acquisition". It is stored in
+//! *microseconds* so it fits beside the reader count.
+//!
+//! Readers optimistically increment the low 16 bits. The `GUARD` bit —
+//! set in every valid word — sits just above the count so that an
+//! erroneous `read_unlock` with a zero count borrows into `GUARD`
+//! instead of rippling into the stamp and tag: the word other clients
+//! base fencing and steal decisions on is never corrupted, and the
+//! compensating increment (whether ours or a racing reader's carry)
+//! restores the bit. Counts never reach the 65 535 ceiling
+//! (`debug_assert`ed).
 //!
 //! Reader sections are anonymous — a count cannot carry per-owner
 //! leases — so a crashed *reader* still wedges writers. That is the
@@ -39,16 +50,24 @@ const WRITER: u64 = 1 << 63;
 /// Reader count: low 16 bits.
 const COUNT_MASK: u64 = 0xFFFF;
 
-/// Writer lease expiry (virtual µs): 32 bits above the count.
-const EXPIRY_SHIFT: u32 = 16;
-const EXPIRY_MASK: u64 = 0xFFFF_FFFF;
+/// Underflow guard, set in every valid word: absorbs the borrow of an
+/// erroneous zero-count decrement so the stamp/tag bits stay intact
+/// (see module docs).
+const GUARD: u64 = 1 << 16;
 
-/// Writer fencing tag: 15 bits under the WRITER flag.
-const TAG_SHIFT: u32 = 48;
-const TAG_MASK: u64 = 0x7FFF;
+/// Writer acquisition stamp (virtual µs): 32 bits above the guard.
+const STAMP_SHIFT: u32 = 17;
+const STAMP_MASK: u64 = 0xFFFF_FFFF;
 
-/// Writer lease length in virtual µs (same lease as the mutex).
-const LEASE_US: u64 = LEASE_NS / 1_000;
+/// Writer fencing tag: 14 bits under the WRITER flag.
+const TAG_SHIFT: u32 = 49;
+const TAG_MASK: u64 = 0x3FFF;
+
+/// Value of a free lock word: no writer, no readers, guard set.
+const FREE: u64 = GUARD;
+
+/// Stamp granularity conversion (the stamp is stored in µs).
+const STAMP_NS_PER_UNIT: u64 = 1_000;
 
 /// Wall-clock granularity of one contended wait (see `FarMutex`).
 const WAIT_SLICE: std::time::Duration = std::time::Duration::from_millis(1);
@@ -89,7 +108,7 @@ impl FarRwLock {
     /// Allocates a free lock. One far access.
     pub fn create(client: &mut FabricClient, alloc: &FarAlloc, hint: AllocHint) -> Result<FarRwLock> {
         let addr = alloc.alloc(WORD, hint)?;
-        client.write_u64(addr, 0)?;
+        client.write_u64(addr, FREE)?;
         Ok(FarRwLock { addr })
     }
 
@@ -109,20 +128,19 @@ impl FarRwLock {
         tag & TAG_MASK
     }
 
-    /// The word this client would hold the write lock with, leased from
-    /// now, preserving `readers` transient low bits.
-    fn writer_word(client: &FabricClient, readers: u64) -> u64 {
-        let expiry_us = (client.now_ns() / 1_000).wrapping_add(LEASE_US) & EXPIRY_MASK;
-        WRITER | (Self::owner_tag(client) << TAG_SHIFT) | (expiry_us << EXPIRY_SHIFT) | readers
-    }
-
-    /// Whether the writer lease in `word` has expired by this client's
-    /// virtual clock. Wrapping 32-bit µs comparison: valid while clock
-    /// skew between clients stays under ~35 virtual minutes.
-    fn writer_expired(client: &FabricClient, word: u64) -> bool {
-        let expiry_us = (word >> EXPIRY_SHIFT) & EXPIRY_MASK;
-        let now_us = (client.now_ns() / 1_000) & EXPIRY_MASK;
-        now_us.wrapping_sub(expiry_us) & EXPIRY_MASK < (1 << 31)
+    /// The word this client would hold the write lock with, preserving
+    /// `readers` transient low count bits. Ticks the client's clock by
+    /// one stamp unit (1 µs) so that even under a zero-cost model two
+    /// acquisitions never stamp identical words — contenders detect live
+    /// holders by word changes.
+    fn writer_word(client: &mut FabricClient, readers: u64) -> u64 {
+        client.advance_time(STAMP_NS_PER_UNIT);
+        let stamp = (client.now_ns() / STAMP_NS_PER_UNIT) & STAMP_MASK;
+        WRITER
+            | (Self::owner_tag(client) << TAG_SHIFT)
+            | (stamp << STAMP_SHIFT)
+            | GUARD
+            | (readers & COUNT_MASK)
     }
 
     /// Attempts to enter a read section: one fetch-and-add — **one far
@@ -141,34 +159,58 @@ impl FarRwLock {
 
     /// Enters a read section, parking on a change notification while a
     /// writer holds the lock. `max_attempts` bounds the retries. A dead
-    /// writer's word is cleared (readers preserved) once its lease has
-    /// been out-waited, so crashed writers do not wedge readers.
+    /// writer's word is cleared (readers preserved) once this reader has
+    /// observed it unchanged for [`LEASE_NS`] of its own waiting time,
+    /// so crashed writers do not wedge readers.
     pub fn read_lock(&self, client: &mut FabricClient, max_attempts: u32) -> Result<()> {
         if self.try_read_lock(client)? {
             return Ok(());
         }
         let sub = client.notify0(self.addr, WORD)?;
+        // Lease accounting as in `FarMutex::lock`: waited time counts
+        // against the writer's lease only while the word stays
+        // bit-identical (the stamp makes every acquisition unique).
         let mut watched = 0u64;
+        let mut waited = 0u64;
         let mut backoff = WAIT_BASE_NS;
         let result = (|| {
             for _ in 1..max_attempts {
-                if self.try_read_lock(client)? {
-                    return Ok(());
-                }
+                // Probe with a plain read while a writer is visible: the
+                // optimistic FAA of `try_read_lock` perturbs the word and
+                // fires change notifications, which would reset every
+                // waiter's lease accounting on each probe. Only attempt
+                // the increment once no writer bit shows.
                 let seen = client.read_u64(self.addr)?;
+                if seen & WRITER == 0 {
+                    if self.try_read_lock(client)? {
+                        return Ok(());
+                    }
+                    // A writer slipped in between the read and the FAA.
+                    watched = 0;
+                    waited = 0;
+                    backoff = WAIT_BASE_NS;
+                    continue;
+                }
                 if seen != watched {
                     watched = seen;
+                    waited = 0;
                     backoff = WAIT_BASE_NS;
-                } else if seen & WRITER != 0 && Self::writer_expired(client, seen) {
+                } else if waited >= LEASE_NS {
                     // Dead writer: clear it on its behalf, keeping the
-                    // transient reader bits, then race for the read lock.
-                    let _ = client.cas(self.addr, seen, seen & COUNT_MASK)?;
+                    // transient reader bits (and the guard), then race
+                    // for the read lock. The out-waited lease is gone
+                    // either way — restart the accounting.
+                    let _ = client.cas(self.addr, seen, (seen & COUNT_MASK) | GUARD)?;
+                    watched = 0;
+                    waited = 0;
+                    backoff = WAIT_BASE_NS;
                     continue;
                 }
                 if client.take_events(|e| e.sub() == Some(sub)).is_empty()
                     && !client.sink().wait_pending(WAIT_SLICE)
                 {
                     client.advance_time(backoff);
+                    waited = waited.saturating_add(backoff);
                     backoff = backoff.saturating_mul(2).min(WAIT_CAP_NS);
                 } else {
                     let _ = client.take_events(|e| e.sub() == Some(sub));
@@ -184,7 +226,11 @@ impl FarRwLock {
     pub fn read_unlock(&self, client: &mut FabricClient) -> Result<()> {
         let old = client.faa(self.addr, u64::MAX)?;
         if old & COUNT_MASK == 0 {
-            // The decrement borrowed into the expiry bits; undo it.
+            // Erroneous unlock (caller bug): the decrement's borrow was
+            // absorbed by the GUARD bit, so the stamp and tag other
+            // clients act on were never perturbed; the compensating
+            // increment restores the guard (or a racing reader's carry
+            // already has — FAAs commute, so the pair always nets out).
             client.faa(self.addr, 1)?;
             return Err(CoreError::Corrupted("read_unlock without a read lock"));
         }
@@ -195,19 +241,20 @@ impl FarRwLock {
     /// **One far access**; fails if any reader or writer is inside.
     pub fn try_write_lock(&self, client: &mut FabricClient) -> Result<bool> {
         let word = Self::writer_word(client, 0);
-        Ok(client.cas(self.addr, 0, word)? == 0)
+        Ok(client.cas(self.addr, FREE, word)? == FREE)
     }
 
     /// Takes the write lock, parking on change notifications while the
-    /// lock is busy. A dead writer is CAS-stolen once its lease has been
-    /// out-waited in virtual time (crashed *readers* still block — see
-    /// module docs).
+    /// lock is busy. A dead writer is CAS-stolen once this contender has
+    /// observed its word unchanged for [`LEASE_NS`] of its own waiting
+    /// time (crashed *readers* still block — see module docs).
     pub fn write_lock(&self, client: &mut FabricClient, max_attempts: u32) -> Result<()> {
         if self.try_write_lock(client)? {
             return Ok(());
         }
-        let sub = client.notifye(self.addr, 0)?;
+        let sub = client.notifye(self.addr, FREE)?;
         let mut watched = 0u64;
+        let mut waited = 0u64;
         let mut backoff = WAIT_BASE_NS;
         let result = (|| {
             for _ in 1..max_attempts {
@@ -217,8 +264,9 @@ impl FarRwLock {
                 let seen = client.read_u64(self.addr)?;
                 if seen != watched {
                     watched = seen;
+                    waited = 0;
                     backoff = WAIT_BASE_NS;
-                } else if seen & WRITER != 0 && Self::writer_expired(client, seen) {
+                } else if seen & WRITER != 0 && waited >= LEASE_NS {
                     // Steal the dead writer's lease, preserving transient
                     // reader bits; the exact-word CAS fences live racers.
                     let next = Self::writer_word(client, seen & COUNT_MASK);
@@ -226,12 +274,15 @@ impl FarRwLock {
                         return Ok(());
                     }
                     watched = 0;
+                    waited = 0;
+                    backoff = WAIT_BASE_NS;
                     continue;
                 }
                 if client.take_events(|e| e.sub() == Some(sub)).is_empty()
                     && !client.sink().wait_pending(WAIT_SLICE)
                 {
                     client.advance_time(backoff);
+                    waited = waited.saturating_add(backoff);
                     backoff = backoff.saturating_mul(2).min(WAIT_CAP_NS);
                 } else {
                     let _ = client.take_events(|e| e.sub() == Some(sub));
@@ -265,8 +316,9 @@ impl FarRwLock {
                 return Err(CoreError::LeaseLost);
             }
             // Release, preserving in-flight reader increments (their
-            // owners saw WRITER and will decrement them right back).
-            if client.cas(self.addr, word, word & COUNT_MASK)? == word {
+            // owners saw WRITER and will decrement them right back) and
+            // the underflow guard.
+            if client.cas(self.addr, word, (word & COUNT_MASK) | GUARD)? == word {
                 return Ok(());
             }
         }
@@ -334,20 +386,52 @@ mod tests {
         let mut r = f.client();
         let l = FarRwLock::create(&mut dead, &a, AllocHint::Spread).unwrap();
         assert!(l.try_write_lock(&mut dead).unwrap());
-        // A second writer out-waits the lease and steals the lock.
-        w.advance_time(LEASE_NS + 1_000);
+        // A second writer accumulates timed-out waits against the
+        // unchanging word until it has out-waited the lease, then steals.
         l.write_lock(&mut w, 1_000).unwrap();
         // The dead writer's late unlock is fenced off by the tag.
         assert!(matches!(l.write_unlock(&mut dead), Err(CoreError::LeaseLost)));
         l.write_unlock(&mut w).unwrap();
         // Same story with a reader doing the cleanup.
         assert!(l.try_write_lock(&mut dead).unwrap());
-        r.advance_time(LEASE_NS + 1_000);
         l.read_lock(&mut r, 1_000).unwrap();
         // The reader *cleared* the dead writer's word rather than taking
         // it over, so the late unlock sees a writer-free lock.
         assert!(l.write_unlock(&mut dead).is_err());
         l.read_unlock(&mut r).unwrap();
+    }
+
+    #[test]
+    fn skewed_clock_never_steals_a_live_writer() {
+        // Clocks are per-client and unsynchronized: a contender whose
+        // clock runs far ahead must not treat a freshly taken write lock
+        // as expired. Only its own waited time counts against the lease.
+        let (f, a) = setup();
+        let mut holder = f.client();
+        let mut fast = f.client();
+        let l = FarRwLock::create(&mut holder, &a, AllocHint::Spread).unwrap();
+        assert!(l.try_write_lock(&mut holder).unwrap());
+        fast.advance_time(10 * LEASE_NS);
+        // Bounded attempts accrue far less than LEASE_NS of waiting, so
+        // both sides must time out rather than steal or clear the lock.
+        assert!(matches!(l.write_lock(&mut fast, 5), Err(CoreError::LockTimeout)));
+        assert!(matches!(l.read_lock(&mut fast, 5), Err(CoreError::LockTimeout)));
+        l.write_unlock(&mut holder).unwrap();
+    }
+
+    #[test]
+    fn erroneous_read_unlock_never_perturbs_writer_metadata() {
+        // A buggy zero-count read_unlock borrows into the GUARD bit only:
+        // the writer's tag survives and its unlock still succeeds.
+        let (f, a) = setup();
+        let mut w = f.client();
+        let mut buggy = f.client();
+        let l = FarRwLock::create(&mut w, &a, AllocHint::Spread).unwrap();
+        assert!(l.try_write_lock(&mut w).unwrap());
+        assert!(matches!(l.read_unlock(&mut buggy), Err(CoreError::Corrupted(_))));
+        l.write_unlock(&mut w).unwrap();
+        assert!(l.try_read_lock(&mut buggy).unwrap(), "lock fully usable afterwards");
+        l.read_unlock(&mut buggy).unwrap();
     }
 
     #[test]

@@ -483,9 +483,12 @@ impl FabricClient {
             c.begin_attempt()?;
             let arrival = c.arrival();
             // Pre-flight every target node before executing any op: a batch
-            // must fail atomically for retry to be safe — if op k failed on
-            // a crashed node after op k-1 executed, a blind retry would
-            // apply op k-1 twice.
+            // should fail atomically for blind retry to be safe. The timed
+            // crash windows are evaluated against the same `arrival` here
+            // and during execution, so they can never tear a batch; only a
+            // concurrent `MemoryNode::fail` landing between this pre-flight
+            // and a later op can — that case is caught below and surfaced
+            // as the non-retryable `BatchTorn`.
             for op in ops {
                 let (addr, len) = match op {
                     BatchOp::Read { addr, len } => (*addr, *len),
@@ -498,29 +501,45 @@ impl FabricClient {
             }
             let mut out = Vec::with_capacity(ops.len());
             let mut finish = arrival;
+            // Whether any side-effecting verb has executed in *this*
+            // attempt. Once it has, a mid-batch node failure must not be
+            // blindly retried: the retry would duplicate the FAA / flip an
+            // already-won CAS to "failed". Reads and not-yet-applied writes
+            // leave the batch safely retryable.
+            let mut mutated = false;
             for op in ops {
-                let f = match op {
-                    BatchOp::Read { addr, len } => {
-                        let (buf, f) = c.exec_read(*addr, *len, arrival)?;
-                        out.push(BatchOut::Bytes(buf));
-                        f
+                let step = (|| -> Result<u64> {
+                    Ok(match op {
+                        BatchOp::Read { addr, len } => {
+                            let (buf, f) = c.exec_read(*addr, *len, arrival)?;
+                            out.push(BatchOut::Bytes(buf));
+                            f
+                        }
+                        BatchOp::Write { addr, data } => {
+                            let f = c.exec_write(*addr, data, arrival)?;
+                            out.push(BatchOut::Done);
+                            f
+                        }
+                        BatchOp::Cas { addr, expected, new } => {
+                            let (prev, f) = c.exec_cas(*addr, *expected, *new, arrival)?;
+                            out.push(BatchOut::Value(prev));
+                            f
+                        }
+                        BatchOp::Faa { addr, delta } => {
+                            let (prev, f) = c.exec_faa(*addr, *delta, arrival)?;
+                            out.push(BatchOut::Value(prev));
+                            f
+                        }
+                    })
+                })();
+                let f = match step {
+                    Ok(f) => f,
+                    Err(FabricError::NodeFailed(node)) if mutated => {
+                        return Err(FabricError::BatchTorn { node, executed: out.len() });
                     }
-                    BatchOp::Write { addr, data } => {
-                        let f = c.exec_write(*addr, data, arrival)?;
-                        out.push(BatchOut::Done);
-                        f
-                    }
-                    BatchOp::Cas { addr, expected, new } => {
-                        let (prev, f) = c.exec_cas(*addr, *expected, *new, arrival)?;
-                        out.push(BatchOut::Value(prev));
-                        f
-                    }
-                    BatchOp::Faa { addr, delta } => {
-                        let (prev, f) = c.exec_faa(*addr, *delta, arrival)?;
-                        out.push(BatchOut::Value(prev));
-                        f
-                    }
+                    Err(e) => return Err(e),
                 };
+                mutated |= !matches!(op, BatchOp::Read { .. });
                 finish = finish.max(f);
             }
             c.finish_rt(finish);
@@ -819,6 +838,61 @@ mod tests {
         c.write_u64(FarAddr(8), 1).unwrap();
         let s = c.stats();
         assert_eq!((s.retries, s.giveups, s.faults_injected), (0, 0, 0));
+    }
+
+    #[test]
+    fn torn_batches_are_never_blindly_retried() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        // A node failing *during* a batch (after its FAA executed) must
+        // surface as the non-transient BatchTorn rather than being
+        // retried — a blind retry would apply the FAA twice. The flipper
+        // thread races fail()/recover() against a client issuing
+        // [Faa, Write] batches; exactly-once holds in every interleaving:
+        // Ok and BatchTorn{executed>=1} mean the FAA applied once,
+        // NodeFailed means it never applied.
+        let f = FabricConfig::count_only(1 << 20).build();
+        let fp = f.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let flipper = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                fp.node(crate::addr::NodeId(0)).fail();
+                std::thread::yield_now();
+                fp.node(crate::addr::NodeId(0)).recover();
+                std::thread::yield_now();
+            }
+        });
+        let mut c = f.client();
+        let ctr = FarAddr(64);
+        let mut applied = 0u64;
+        for i in 0..2000u64 {
+            let payload = i.to_le_bytes();
+            // A long read tail after the FAA stretches batch execution so
+            // a racing fail() has a realistic chance of landing between
+            // the FAA and a later op's liveness check (the torn window).
+            let mut ops = vec![BatchOp::Faa { addr: ctr, delta: 1 }];
+            for _ in 0..64 {
+                ops.push(BatchOp::Read { addr: FarAddr(4096), len: 4096 });
+            }
+            ops.push(BatchOp::Write { addr: FarAddr(128), data: &payload });
+            match c.batch(&ops) {
+                Ok(_) => applied += 1,
+                Err(FabricError::BatchTorn { executed, .. }) => {
+                    assert!(executed >= 1, "a torn batch executed its prefix");
+                    applied += 1; // op 0 (the FAA) landed before the tear
+                }
+                Err(FabricError::NodeFailed(_)) => {} // nothing executed
+                Err(e) => panic!("unexpected batch error: {e}"),
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        flipper.join().unwrap();
+        f.node(crate::addr::NodeId(0)).recover();
+        assert_eq!(
+            c.read_u64(ctr).unwrap(),
+            applied,
+            "every batch applied its FAA exactly once or not at all"
+        );
     }
 
     #[test]

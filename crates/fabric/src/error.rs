@@ -73,6 +73,18 @@ pub enum FabricError {
     /// [`Transient`](FabricError::Transient) but the client burned the
     /// plan's timeout budget of virtual time first. Retry-safe.
     Timeout,
+    /// A fenced batch was interrupted by a node failure *after* one or
+    /// more of its side-effecting verbs had already executed. Never
+    /// classified transient: blindly re-issuing the batch would apply
+    /// those verbs twice (duplicating FAAs, mis-reporting an
+    /// already-won CAS as failed). The caller must recover at its own
+    /// level, knowing the batch's prefix may have been applied.
+    BatchTorn {
+        /// The node whose failure interrupted the batch.
+        node: NodeId,
+        /// Number of leading ops that fully executed before the failure.
+        executed: usize,
+    },
 }
 
 impl FabricError {
@@ -86,7 +98,10 @@ impl FabricError {
     /// ([`schedule_crash`](crate::node::MemoryNode::schedule_crash)) heal
     /// as the retry backoff advances virtual time, and a permanently failed
     /// node simply exhausts the retry budget before surfacing. Addressing
-    /// and validation errors are deterministic and never retried.
+    /// and validation errors are deterministic and never retried, and
+    /// [`BatchTorn`](FabricError::BatchTorn) is deliberately
+    /// non-transient: a torn batch already applied side effects that a
+    /// blind retry would duplicate.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
@@ -124,6 +139,10 @@ impl core::fmt::Display for FabricError {
             }
             FabricError::Transient => write!(f, "transient fabric fault (request dropped)"),
             FabricError::Timeout => write!(f, "fabric request timed out"),
+            FabricError::BatchTorn { node, executed } => write!(
+                f,
+                "node {node:?} failed mid-batch after {executed} ops executed (not retried)"
+            ),
         }
     }
 }
