@@ -361,7 +361,7 @@ mod tests {
         let nodes: std::collections::HashSet<_> =
             (0..4).map(|_| ()).collect();
         let _ = nodes;
-        assert!(seen.len() >= 1);
+        assert!(!seen.is_empty());
     }
 
     #[test]

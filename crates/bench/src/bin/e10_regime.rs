@@ -9,10 +9,11 @@
 //!
 //! Run: `cargo run --release -p farmem-bench --bin e10_regime`
 
-use farmem_bench::Table;
+use farmem_bench::{Report, Table};
 use farmem_fabric::{CostModel, FabricConfig, FarAddr};
 
 fn main() {
+    let mut report = Report::new("e10_regime");
     let f = FabricConfig::single_node(256 << 20).build();
     let mut c = f.client();
     let model = CostModel::DEFAULT;
@@ -38,7 +39,7 @@ fn main() {
             format!("×{:.0}", rd as f64 / model.near_ns as f64),
         ]);
     }
-    t.print();
+    report.add(t);
     println!(
         "1 KiB moves in ~{} ns (§2 quotes 1 KB/µs on InfiniBand FDR 4×); the\n\
          8 B far/near ratio is ~{}× — the paper's \"order of magnitude\".",
@@ -51,7 +52,7 @@ fn main() {
         &["design", "far accesses", "virtual ns", "vs 1-RT design"],
     );
     // The same logical lookup done with 1, 2, and 5 dependent accesses.
-    let one = 1u64 * model.far_rtt_ns;
+    let one = model.far_rtt_ns;
     for &(name, accesses) in
         &[("1 far access (HT-tree style)", 1u64), ("2 (bucket then item)", 2), ("5 (tree walk)", 5)]
     {
@@ -63,10 +64,11 @@ fn main() {
             format!("×{:.1}", ns as f64 / one as f64),
         ]);
     }
-    t.print();
+    report.add(t);
     println!(
         "Every extra dependent far access adds a full ~2 µs round trip that no\n\
          cache can hide — which is why §3.1 demands O(1) far accesses with a\n\
          constant of 1."
     );
+    report.save();
 }

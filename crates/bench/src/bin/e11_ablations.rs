@@ -8,7 +8,7 @@
 
 use farmem_alloc::{AllocHint, FarAlloc};
 use farmem_baselines::RpcKv;
-use farmem_bench::{KeyDist, Table};
+use farmem_bench::{KeyDist, Report, Table};
 use farmem_core::{
     CacheMode, CachedFarVec, FarVec, HtTree, HtTreeConfig, RefreshMode, RefreshPolicy,
     RefreshableVec, VecReader, VecWriter,
@@ -29,7 +29,7 @@ fn count_fabric() -> std::sync::Arc<farmem_fabric::Fabric> {
 
 /// A1: tree-change notifications vs stale-cache versioning (§5.2 offers
 /// both; we implement both).
-fn a1_notify_dir() {
+fn a1_notify_dir(report: &mut Report) {
     let mut t = Table::new(
         "A1: HT-tree cache coherence under split churn — notifications vs versioning",
         &["mode", "lookups", "stale refreshes", "far RT/lookup", "notifications"],
@@ -71,7 +71,7 @@ fn a1_notify_dir() {
             d.notifications.to_string(),
         ]);
     }
-    t.print();
+    report.add(t);
     println!(
         "Both §5.2 coherence options work; notifications trade a subscription and\n\
          pushed events for the wasted far access each stale first-touch costs."
@@ -79,7 +79,7 @@ fn a1_notify_dir() {
 }
 
 /// A2: cached vector — invalidate (notify0) vs update (notify0d).
-fn a2_cache_modes() {
+fn a2_cache_modes(report: &mut Report) {
     let mut t = Table::new(
         "A2: CachedFarVec coherence — invalidate (notify0) vs update (notify0d)",
         &["mode", "reads", "far RT re-fetched", "far bytes re-read"],
@@ -112,7 +112,7 @@ fn a2_cache_modes() {
             d.bytes_read.to_string(),
         ]);
     }
-    t.print();
+    report.add(t);
     println!(
         "Update mode eliminates the re-fetch round trips entirely — the §5.1\n\
          \"caches can be updated using notifications\" variant — at the price of\n\
@@ -121,7 +121,7 @@ fn a2_cache_modes() {
 }
 
 /// A3: trigger information on/off for notification-driven refresh.
-fn a3_trigger_info() {
+fn a3_trigger_info(report: &mut Report) {
     let mut t = Table::new(
         "A3: refreshable vector in Notify mode — trigger info on vs off",
         &["carry_trigger", "refreshes", "groups refetched", "bytes read"],
@@ -160,7 +160,7 @@ fn a3_trigger_info() {
             d.bytes_read.to_string(),
         ]);
     }
-    t.print();
+    report.add(t);
     println!(
         "Without trigger information a notification only says \"the page changed\",\n\
          so the reader must refetch every group on the page — §7.2's false-positive\n\
@@ -169,7 +169,7 @@ fn a3_trigger_info() {
 }
 
 /// A4: notification coalescing on/off for the §6 monitor.
-fn a4_coalescing() {
+fn a4_coalescing(report: &mut Report) {
     use farmem_monitor::{AlarmSpec, HistogramMonitor, Severity};
     let mut t = Table::new(
         "A4: monitor consumer under an alarm storm — coalescing on vs off",
@@ -205,7 +205,7 @@ fn a4_coalescing() {
             sink.coalesced.to_string(),
         ]);
     }
-    t.print();
+    report.add(t);
     println!(
         "Coalescing (temporal batching, §7.2) bounds consumer traffic at one pending\n\
          event per subscription regardless of the update storm."
@@ -213,7 +213,7 @@ fn a4_coalescing() {
 }
 
 /// A5: can RPC scale too? Sharded servers vs the HT-tree at k = 64.
-fn a5_rpc_shards() {
+fn a5_rpc_shards(report: &mut Report) {
     let mut t = Table::new(
         "A5: sharded RPC vs HT-tree at k = 64 clients (Zipf 0.99, 100k keys)",
         &["design", "memory-side CPUs", "ns/op", "Mops/s"],
@@ -319,7 +319,7 @@ fn a5_rpc_shards() {
             format!("{:.2}", total / makespan as f64 * 1000.0),
         ]);
     }
-    t.print();
+    report.add(t);
     println!(
         "Sharding lets RPC buy throughput with memory-side CPUs (~2 Mops/s per\n\
          core); the one-sided HT-tree gets there with zero — the ship-computation\n\
@@ -328,9 +328,11 @@ fn a5_rpc_shards() {
 }
 
 fn main() {
-    a1_notify_dir();
-    a2_cache_modes();
-    a3_trigger_info();
-    a4_coalescing();
-    a5_rpc_shards();
+    let mut report = Report::new("e11_ablations");
+    a1_notify_dir(&mut report);
+    a2_cache_modes(&mut report);
+    a3_trigger_info(&mut report);
+    a4_coalescing(&mut report);
+    a5_rpc_shards(&mut report);
+    report.save();
 }

@@ -141,8 +141,10 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
+type StructureRunner = fn(u32) -> Cell;
+
 fn main() {
-    let structures: [(&str, fn(u32) -> Cell); 3] =
+    let structures: [(&str, StructureRunner); 3] =
         [("httree", run_httree), ("queue", run_queue), ("refvec", run_refvec)];
 
     let mut curves = Vec::new();
@@ -212,7 +214,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\"experiment\":\"e12_faults\",\"cost_model\":\"count_only\",\"seed\":{SEED},\
+        "{{\"schema_version\":1,\"experiment\":\"e12_faults\",\"cost_model\":\"count_only\",\"seed\":{SEED},\
          \"retry_policy\":{{\"max_attempts\":{},\"base_backoff_ns\":{},\"max_backoff_ns\":{}}},\
          \"fault_ppm_sweep\":[{}],\"curves\":[{}]}}\n",
         RetryPolicy::DEFAULT.max_attempts,

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p farmem-bench --bin e1_primitives`
 
-use farmem_bench::Table;
+use farmem_bench::{Report, Table};
 use farmem_fabric::{FabricClient, FabricConfig, FarAddr, FarIov};
 
 fn measure(
@@ -22,6 +22,7 @@ fn measure(
 }
 
 fn main() {
+    let mut report = Report::new("e1_primitives");
     let fabric = FabricConfig::single_node(64 << 20).build();
     let mut c = fabric.client();
 
@@ -151,7 +152,7 @@ fn main() {
             c.faa(FarAddr(p + 24), 1).unwrap();
         },
     );
-    t.print();
+    report.add(t);
 
     // Scatter-gather: one round trip regardless of k.
     let mut t = Table::new(
@@ -179,7 +180,7 @@ fn main() {
             format!("×{:.1}", lns as f64 / gns as f64),
         ]);
     }
-    t.print();
+    report.add(t);
 
     // Notifications vs polling: messages to observe one change that
     // happens after `w` polling intervals.
@@ -191,9 +192,10 @@ fn main() {
         // Polling: w reads see no change, one more sees it.
         t.row(vec![w.to_string(), (w + 1).to_string(), "1 (sub) + 1 (event)".into()]);
     }
-    t.print();
+    report.add(t);
     println!(
         "\nEvery indirect verb runs in ONE far access vs two emulated; gather/scatter\n\
          collapse k dependent round trips into one; notifications replace O(w) polls."
     );
+    report.save();
 }

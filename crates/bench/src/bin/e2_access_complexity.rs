@@ -9,13 +9,14 @@
 
 use farmem_alloc::FarAlloc;
 use farmem_baselines::{OneSidedBTree, OneSidedList, OneSidedSkipList};
-use farmem_bench::{KeyDist, Table};
+use farmem_bench::{KeyDist, Report, Table};
 use farmem_core::{HtTree, HtTreeConfig};
 use farmem_fabric::FabricConfig;
 
 const PROBES: u64 = 200;
 
 fn main() {
+    let mut report = Report::new("e2_access_complexity");
     let mut t = Table::new(
         "E2: average far accesses per lookup vs number of items",
         &["n", "linked list", "skip list", "B-tree", "HT-tree"],
@@ -89,9 +90,10 @@ fn main() {
             format!("{ht_cost:.2}"),
         ]);
     }
-    t.print();
+    report.add(t);
     println!(
         "\nShape check: the list grows linearly, skip list and B-tree logarithmically,\n\
          and the HT-tree stays at ~1 far access regardless of n (§3.1's requirement)."
     );
+    report.save();
 }

@@ -13,7 +13,7 @@
 
 use farmem_alloc::FarAlloc;
 use farmem_baselines::{ChainedHash, HopscotchHash, RpcKv};
-use farmem_bench::{KeyDist, Table};
+use farmem_bench::{KeyDist, Report, Table};
 use farmem_core::{HtTree, HtTreeConfig};
 use farmem_fabric::{CostModel, FabricConfig, Striping};
 use farmem_rpc::ServerCpu;
@@ -86,6 +86,7 @@ fn run_onesided(
 }
 
 fn main() {
+    let mut report = Report::new("e3_rpc_vs_onesided");
     let mut table = Table::new(
         "E3: KV lookups, Zipf(0.99) keys — latency (virtual ns/op) and throughput (Mops/s) vs clients",
         &[
@@ -250,7 +251,7 @@ fn main() {
             ]);
         }
     }
-    table.print();
+    report.add(table);
     println!(
         "\nShape check (paper's argument):\n\
          * at low k, RPC (~1 RT + CPU) beats the 2+-RT chained table — the refs [24,25] result;\n\
@@ -258,4 +259,5 @@ fn main() {
          * as k grows, the RPC server CPU saturates (ns/op climbs, Mops/s caps at ~2)\n\
            while one-sided designs scale with the fabric."
     );
+    report.save();
 }

@@ -14,11 +14,12 @@
 //! Run: `cargo run --release -p farmem-bench --bin e4_httree`
 
 use farmem_alloc::FarAlloc;
-use farmem_bench::Table;
+use farmem_bench::{Report, Table};
 use farmem_core::{HtTree, HtTreeConfig};
 use farmem_fabric::{CostModel, FabricConfig, Striping};
 
 fn main() {
+    let mut report = Report::new("e4_httree");
     let fabric = FabricConfig {
         nodes: 4,
         node_capacity: 1 << 30,
@@ -84,7 +85,7 @@ fn main() {
     row("lookup (miss)", misses, probes);
     row("store (update)", stores, probes);
     row("store (amortized load, incl. splits)", load, n);
-    t.print();
+    report.add(t);
     println!(
         "paper: lookups 1 far access; stores 2 (version check gathers with the bucket\n\
          read; the item write rides the fenced CAS batch); splits amortize away."
@@ -126,7 +127,7 @@ fn main() {
         format!("{paper_leaf:.0}"),
         "extrapolated @ paper leaf size".into(),
     ]);
-    t.print();
+    report.add(t);
     println!(
         "paper: 10^12 items ⇒ ~10M tree nodes, 100s of MB of client cache. Our leaves\n\
          hold ~{items_per_leaf:.0} items ({}-bucket tables at 75% load), so the ratio lands in the\n\
@@ -163,9 +164,10 @@ fn main() {
         "of 1000 random lookups, forced cache refreshes".into(),
         refreshes.to_string(),
     ]);
-    t.print();
+    report.add(t);
     println!(
         "Only lookups landing on the split range pay the refresh; the rest of the\n\
          tree keeps serving at one far access."
     );
+    report.save();
 }

@@ -12,7 +12,7 @@
 
 use farmem_alloc::FarAlloc;
 use farmem_baselines::{CasQueue, LockQueue};
-use farmem_bench::Table;
+use farmem_bench::{Report, Table};
 use farmem_core::{CoreError, FarQueue, QueueConfig};
 use farmem_fabric::{CostModel, FabricConfig};
 
@@ -21,6 +21,7 @@ fn fabric() -> std::sync::Arc<farmem_fabric::Fabric> {
 }
 
 fn main() {
+    let mut report = Report::new("e5_queue");
     // E5a: per-op far accesses, single client, steady state.
     let mut t = Table::new(
         "E5a: far accesses per queue operation (uncontended steady state)",
@@ -109,7 +110,7 @@ fn main() {
             format!("{:.0}", (c.now_ns() - t0) as f64 / 10000.0),
         ]);
     }
-    t.print();
+    report.add(t);
 
     // E5b: contention sweep — interleaved producers and consumers.
     let mut t = Table::new(
@@ -244,7 +245,7 @@ fn main() {
             format!("{lock_mops:.2}"),
         ]);
     }
-    t.print();
+    report.add(t);
 
     // E5c: slow-path frequency vs capacity (wrap rate).
     let mut t = Table::new(
@@ -269,14 +270,15 @@ fn main() {
             n_slots.to_string(),
             ops.to_string(),
             repairs.to_string(),
-            if repairs > 0 { (ops / repairs).to_string() } else { "∞".into() },
+            ops.checked_div(repairs).map_or_else(|| "∞".into(), |r| r.to_string()),
             format!("{:.3}", d.round_trips as f64 / ops as f64),
         ]);
     }
-    t.print();
+    report.add(t);
     println!(
         "\nShape check: the far queue runs at ~1 far access/op vs 3.5–5.5 for the\n\
          comparators, scales with producers/consumers, and its slow path amortizes\n\
          as ~capacity ops pass between wrap repairs."
     );
+    report.save();
 }

@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p farmem-bench --bin e6_refvec`
 
 use farmem_alloc::{AllocHint, FarAlloc};
-use farmem_bench::{DecayingRate, Table};
+use farmem_bench::{DecayingRate, Report, Table};
 use farmem_core::{RefreshMode, RefreshPolicy, RefreshableVec, VecReader, VecWriter};
 use farmem_fabric::{CostModel, FabricConfig};
 use rand::rngs::StdRng;
@@ -42,7 +42,7 @@ fn run(policy: RefreshPolicy, label: &str, table: &mut Table) {
             let updates: Vec<(u64, u64)> = (0..k)
                 .map(|_| (rng.gen_range(0..N), rng.gen_range(1..u64::MAX)))
                 .collect();
-            for chunk in updates.chunks(64.max(1)) {
+            for chunk in updates.chunks(64) {
                 writer.write_batch(&mut w, chunk).unwrap();
             }
             for &(i, val) in &updates {
@@ -79,6 +79,7 @@ fn run(policy: RefreshPolicy, label: &str, table: &mut Table) {
 }
 
 fn main() {
+    let mut report = Report::new("e6_refvec");
     let mut t = Table::new(
         "E6a: refresh cost per interval as the update rate decays (20 intervals per phase)",
         &["policy/phase", "far RT/refresh", "bytes/refresh", "groups/refresh", "final mode"],
@@ -94,7 +95,7 @@ fn main() {
         &mut t,
     );
     run(RefreshPolicy::default(), "dynamic", &mut t);
-    t.print();
+    report.add(t);
     println!(
         "phase 0 = hot (100s of updates/interval), phase 2 = converged (~0). The\n\
          dynamic policy pays the version poll while hot and drops to zero-cost\n\
@@ -136,9 +137,10 @@ fn main() {
             format!("×{:.0}", full as f64 / d.bytes_read.max(1) as f64),
         ]);
     }
-    t.print();
+    report.add(t);
     println!(
         "A refresh costs at most two far accesses (version read + one gather of the\n\
          changed groups) regardless of vector size — never a full re-read."
     );
+    report.save();
 }

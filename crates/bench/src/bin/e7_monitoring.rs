@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p farmem-bench --bin e7_monitoring`
 
 use farmem_alloc::FarAlloc;
-use farmem_bench::Table;
+use farmem_bench::{Report, Table};
 use farmem_fabric::{CostModel, FabricConfig};
 use farmem_monitor::{AlarmSpec, HistogramMonitor, NaiveMonitor, Severity};
 use rand::rngs::StdRng;
@@ -22,6 +22,7 @@ const N_PER_WINDOW: u64 = 100_000;
 const WINDOWS: u64 = 3;
 
 fn main() {
+    let mut report = Report::new("e7_monitoring");
     let mut t = Table::new(
         "E7: far-memory transfers, naive vs histogram design (N = 300000 samples over 3 windows)",
         &[
@@ -128,10 +129,11 @@ fn main() {
             ]);
         }
     }
-    t.print();
+    report.add(t);
     println!(
         "\nShape check: naive traffic ≈ (k+1)·N and grows with consumers; the\n\
          histogram design stays at ≈ N producer accesses plus m ≪ N notifications,\n\
          with m tracking the alarm rate, independent of k in the normal case."
     );
+    report.save();
 }

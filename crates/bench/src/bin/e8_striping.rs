@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p farmem-bench --bin e8_striping`
 
 use farmem_alloc::{AllocHint, FarAlloc};
-use farmem_bench::Table;
+use farmem_bench::{Report, Table};
 use farmem_fabric::{
     CostModel, FabricConfig, FarAddr, IndirectionMode, NodeId, Striping, WORD,
 };
@@ -39,6 +39,7 @@ fn build(
 }
 
 fn main() {
+    let mut report = Report::new("e8_striping");
     let mut t = Table::new(
         "E8a: cross-node indirection — forwarding vs error-return vs locality hints",
         &[
@@ -84,7 +85,7 @@ fn main() {
             }
         }
     }
-    t.print();
+    report.add(t);
     println!(
         "Without hints, a fraction ≈ (nodes−1)/nodes of dereferences land remote:\n\
          forwarding keeps them at one client round trip (+0.5 µs memory-side hop),\n\
@@ -141,9 +142,10 @@ fn main() {
             format!("{:.2}", len as f64 / ns as f64),
         ]);
     }
-    t.print();
+    report.add(t);
     println!(
         "Striping spreads the transfer across all nodes' interfaces (§7.1's\n\
          bandwidth argument); a single node serializes it."
     );
+    report.save();
 }

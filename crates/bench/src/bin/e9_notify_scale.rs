@@ -11,7 +11,7 @@
 //!
 //! Run: `cargo run --release -p farmem-bench --bin e9_notify_scale`
 
-use farmem_bench::Table;
+use farmem_bench::{Report, Table};
 use farmem_fabric::{
     Broker, CostModel, DeliveryPolicy, EventSink, FabricConfig, FarAddr, PAGE, WORD,
 };
@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    let mut report = Report::new("e9_notify_scale");
     // E9a: coarsening — hardware subscriptions vs false positives.
     let mut t = Table::new(
         "E9a: range coarsening — hardware subscriptions vs false positives (10k soft subs)",
@@ -71,7 +72,7 @@ fn main() {
             st.unverified_deliveries.to_string(),
         ]);
     }
-    t.print();
+    report.add(t);
     println!(
         "Coarsening cuts hardware subscriptions 8×. With trigger information the\n\
          software layer filters the false positives exactly (§7.2's alternative);\n\
@@ -117,7 +118,7 @@ fn main() {
             u64::from(lost > 0).to_string(),
         ]);
     }
-    t.print();
+    report.add(t);
     println!(
         "Coalescing collapses the burst into one pending event; a bounded queue\n\
          drops the excess but replaces it with a Lost warning the data structure\n\
@@ -156,9 +157,10 @@ fn main() {
             format!("×{}", delivered / broker.stats().hw_events.max(1)),
         ]);
     }
-    t.print();
+    report.add(t);
     println!(
         "The hardware sees ONE subscriber regardless of s; the software broker\n\
          multiplies deliveries off the fabric's critical path (§7.2's pub-sub tier)."
     );
+    report.save();
 }

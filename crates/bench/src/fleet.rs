@@ -70,6 +70,8 @@ impl<T> Fleet<T> {
         ops_per_client: u64,
         mut step: impl FnMut(&mut FabricClient, &mut T, usize),
     ) {
+        let _spans: Vec<_> =
+            self.members.iter_mut().map(|(c, _)| c.span("fleet.warmup")).collect();
         let total = ops_per_client * self.members.len() as u64;
         for _ in 0..total {
             let i = self.min_clock_member();
@@ -85,6 +87,8 @@ impl<T> Fleet<T> {
         ops_per_client: u64,
         mut step: impl FnMut(&mut FabricClient, &mut T, usize),
     ) -> FleetOutcome {
+        let _spans: Vec<_> =
+            self.members.iter_mut().map(|(c, _)| c.span("fleet.run")).collect();
         let starts: Vec<u64> = self.members.iter().map(|(c, _)| c.now_ns()).collect();
         let before: Vec<_> = self.members.iter().map(|(c, _)| c.stats()).collect();
         let mut counts = vec![0u64; self.members.len()];

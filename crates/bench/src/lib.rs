@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 
 pub mod fleet;
+pub mod json;
 pub mod report;
 pub mod workload;
 
 pub use fleet::{Fleet, FleetOutcome};
-pub use report::Table;
+pub use json::Json;
+pub use report::{Report, Table};
 pub use workload::{DecayingRate, KeyDist, Zipf};

@@ -27,25 +27,37 @@ impl Table {
         self.rows.push(cells);
     }
 
-    /// Renders the table.
+    /// Renders the table. Numeric columns (every body cell a number,
+    /// `×`-ratio or `∞`) are right-aligned; label columns left-aligned.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| Self::display_width(h)).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
+                widths[i] = widths[i].max(Self::display_width(c));
             }
         }
+        let numeric: Vec<bool> = (0..self.headers.len())
+            .map(|i| {
+                !self.rows.is_empty()
+                    && self.rows.iter().all(|r| Self::cell_is_numeric(&r[i]))
+            })
+            .collect();
         let mut out = String::new();
         out.push_str(&format!("\n## {}\n\n", self.title));
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let fmt_row = |cells: &[String]| -> String {
             let mut line = String::from("| ");
             for (i, c) in cells.iter().enumerate() {
-                line.push_str(&format!("{:>width$} | ", c, width = widths[i]));
+                let fill = " ".repeat(widths[i].saturating_sub(Self::display_width(c)));
+                if numeric[i] {
+                    line.push_str(&format!("{fill}{c} | "));
+                } else {
+                    line.push_str(&format!("{c}{fill} | "));
+                }
             }
             line.push('\n');
             line
         };
-        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push_str(&fmt_row(&self.headers));
         let mut sep = String::from("|");
         for w in &widths {
             sep.push_str(&format!("{:-<width$}|", "", width = w + 2));
@@ -53,15 +65,124 @@ impl Table {
         sep.push('\n');
         out.push_str(&sep);
         for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
+            out.push_str(&fmt_row(row));
         }
         out
+    }
+
+    fn display_width(s: &str) -> usize {
+        s.chars().count()
+    }
+
+    fn cell_is_numeric(c: &str) -> bool {
+        let c = c.trim();
+        if c.is_empty() || c == "∞" || c == "-" {
+            return true;
+        }
+        let c = c.strip_prefix('×').unwrap_or(c);
+        let c = c.strip_suffix('%').unwrap_or(c);
+        c.replace(',', "").parse::<f64>().is_ok()
     }
 
     /// Renders and prints to stdout.
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// Serialises the table as a schema-versioned JSON object:
+    /// `{"schema_version": 1, "title", "headers", "rows"}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema_version\": 1,\n");
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str("  \"headers\": [");
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(h));
+        }
+        out.push_str("],\n  \"rows\": [\n");
+        for (r, row) in self.rows.iter().enumerate() {
+            out.push_str("    [");
+            for (i, c) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_str(c));
+            }
+            out.push(']');
+            if r + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+}
+
+/// Collects a driver's tables: prints each as it is added, then
+/// [`save`](Report::save) writes them all as one schema-versioned JSON
+/// document to `results/<experiment>.json`.
+pub struct Report {
+    experiment: String,
+    tables: Vec<Table>,
+}
+
+impl Report {
+    /// Creates a report for the named experiment (e.g. `"e4_httree"`).
+    pub fn new(experiment: &str) -> Report {
+        Report { experiment: experiment.to_string(), tables: Vec::new() }
+    }
+
+    /// Prints the table to stdout and keeps it for [`save`](Report::save).
+    pub fn add(&mut self, table: Table) {
+        table.print();
+        self.tables.push(table);
+    }
+
+    /// The JSON document: `{"schema_version", "experiment", "tables"}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n\"schema_version\": 1,\n");
+        out.push_str(&format!("\"experiment\": {},\n\"tables\": [\n", json_str(&self.experiment)));
+        for (i, t) in self.tables.iter().enumerate() {
+            out.push_str(&t.to_json());
+            if i + 1 < self.tables.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Writes the JSON document to `results/<experiment>.json`.
+    pub fn save(&self) {
+        std::fs::create_dir_all("results").expect("create results/");
+        let path = format!("results/{}.json", self.experiment);
+        std::fs::write(&path, self.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Formats a float with 2 decimals.
@@ -98,6 +219,36 @@ mod tests {
     fn arity_is_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn string_columns_left_align_and_numeric_right_align() {
+        let mut t = Table::new("Align", &["span", "RT/op"]);
+        t.row(vec!["httree.get".into(), "2.00".into()]);
+        t.row(vec!["q".into(), "11.50".into()]);
+        let s = t.render();
+        assert!(s.contains("| httree.get |  2.00 |"), "got:\n{s}");
+        assert!(s.contains("| q          | 11.50 |"), "got:\n{s}");
+    }
+
+    #[test]
+    fn ratio_and_infinity_cells_count_as_numeric() {
+        let mut t = Table::new("R", &["who", "speedup"]);
+        t.row(vec!["a".into(), "×5.0".into()]);
+        t.row(vec!["bb".into(), "∞".into()]);
+        let s = t.render();
+        assert!(s.contains("| a   |    ×5.0 |"), "got:\n{s}");
+        assert!(s.contains("| bb  |       ∞ |"), "got:\n{s}");
+    }
+
+    #[test]
+    fn to_json_is_schema_versioned_and_escaped() {
+        let mut t = Table::new("T \"q\"", &["a"]);
+        t.row(vec!["x\ny".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\\\"q\\\""));
+        assert!(j.contains("x\\ny"));
     }
 
     #[test]

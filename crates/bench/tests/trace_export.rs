@@ -1,0 +1,70 @@
+//! The Chrome trace-event export must be JSON a real viewer can load:
+//! this test drives a small traced workload and parses the export with
+//! the crate's own parser, checking the trace-event schema Perfetto
+//! expects (`traceEvents` array of `ph: "X"` slices with µs timestamps).
+
+use farmem_bench::Json;
+use farmem_fabric::{FabricConfig, FarAddr, TraceConfig};
+
+#[test]
+fn chrome_trace_export_is_valid_trace_event_json() {
+    let f = FabricConfig::single_node(1 << 20).build();
+    let mut c = f.client();
+    let tracer = c.enable_tracing(TraceConfig::default());
+    {
+        let _s = c.span("test.outer");
+        c.write_u64(FarAddr(64), 7).unwrap();
+        {
+            let _inner = c.span("test.inner \"quoted\"");
+            c.read_u64(FarAddr(64)).unwrap();
+            c.faa(FarAddr(72), 1).unwrap();
+        }
+        c.read(FarAddr(64), 16).unwrap();
+    }
+
+    let doc = Json::parse(&tracer.chrome_trace()).expect("chrome trace parses");
+    assert_eq!(doc.get("displayTimeUnit").unwrap().as_str(), Some("ns"));
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    assert!(!events.is_empty());
+
+    let mut span_slices = 0;
+    let mut verb_slices = 0;
+    for e in events {
+        assert_eq!(e.get("ph").unwrap().as_str(), Some("X"), "complete events only");
+        assert!(e.get("name").unwrap().as_str().is_some());
+        assert!(e.get("pid").unwrap().as_u64().is_some());
+        assert!(e.get("tid").unwrap().as_u64().is_some());
+        // ts/dur are µs with sub-µs precision carried as strings or
+        // numbers; either way they must be present and non-negative.
+        let ts = e.get("ts").expect("ts present");
+        assert!(
+            ts.as_f64().map(|x| x >= 0.0).unwrap_or(false)
+                || ts.as_str().map(|s| s.parse::<f64>().is_ok()).unwrap_or(false),
+            "ts must be a non-negative number: {ts:?}"
+        );
+        match e.get("cat").unwrap().as_str().unwrap() {
+            "span" => span_slices += 1,
+            "verb" => verb_slices += 1,
+            other => panic!("unexpected category {other}"),
+        }
+    }
+    assert!(span_slices >= 2, "both spans exported");
+    assert!(verb_slices >= 4, "all four verbs exported");
+
+    // The quoted span name survives escaping and parses back verbatim.
+    assert!(events.iter().any(|e| {
+        e.get("name").unwrap().as_str() == Some("test.inner \"quoted\"")
+    }));
+
+    // The JSONL export is one valid JSON object per line.
+    let jsonl = tracer.jsonl();
+    let mut lines = 0;
+    for line in jsonl.lines() {
+        let obj = Json::parse(line).expect("each JSONL line parses");
+        let ty = obj.get("type").unwrap().as_str().unwrap();
+        assert!(ty == "span" || ty == "verb", "unexpected type {ty}");
+        assert!(obj.get("stats").is_some());
+        lines += 1;
+    }
+    assert!(lines >= 4);
+}

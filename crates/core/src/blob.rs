@@ -74,6 +74,7 @@ impl FarBlobMap {
     /// Stores `value` under `key`: one record publish + the map's two far
     /// accesses (three total, the first two independent).
     pub fn put_bytes(&mut self, client: &mut FabricClient, key: u64, value: &[u8]) -> Result<()> {
+        let _span = client.span("blob.put_bytes");
         if value.len() as u64 > u32::MAX as u64 {
             return Err(CoreError::BadConfig("blob too large"));
         }
@@ -88,6 +89,7 @@ impl FarBlobMap {
     /// Fetches the blob under `key`: the map's one far access plus one
     /// (sometimes two, for blobs past the prefetch) record reads.
     pub fn get_bytes(&mut self, client: &mut FabricClient, key: u64) -> Result<Option<Vec<u8>>> {
+        let _span = client.span("blob.get_bytes");
         let Some(ptr) = self.inner.get(client, key)? else {
             return Ok(None);
         };
@@ -106,6 +108,7 @@ impl FarBlobMap {
 
     /// Removes `key` (the record itself is quarantined with the arena).
     pub fn remove(&mut self, client: &mut FabricClient, key: u64) -> Result<()> {
+        let _span = client.span("blob.remove");
         self.inner.remove(client, key)
     }
 

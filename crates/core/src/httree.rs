@@ -425,6 +425,7 @@ impl HtTreeHandle {
     /// bucket is collision-free; each chain hop adds one access; a stale
     /// cache adds a directory refresh and a retry.
     pub fn get(&mut self, client: &mut FabricClient, key: u64) -> Result<Option<u64>> {
+        let _span = client.span("httree.get");
         self.stats.gets += 1;
         self.sync_directory(client)?;
         for attempt in 0..self.cfg.retry_budget {
@@ -470,6 +471,7 @@ impl HtTreeHandle {
     /// cache is fresh: a gather (bucket pointer + table version) and a
     /// fenced batch (item publish + bucket CAS).
     pub fn put(&mut self, client: &mut FabricClient, key: u64, value: u64) -> Result<()> {
+        let _span = client.span("httree.put");
         self.stats.puts += 1;
         self.put_record(client, key, value, false)?;
         self.maybe_split(client, key)
@@ -478,6 +480,7 @@ impl HtTreeHandle {
     /// Removes `key` by publishing a tombstone record (same cost as
     /// [`put`](Self::put)).
     pub fn remove(&mut self, client: &mut FabricClient, key: u64) -> Result<()> {
+        let _span = client.span("httree.remove");
         self.stats.removes += 1;
         self.put_record(client, key, 0, true)
     }
@@ -566,6 +569,7 @@ impl HtTreeHandle {
     /// maintained with posted (unsignaled) atomics, so the estimate can
     /// trail in-flight operations slightly.
     pub fn len_estimate(&mut self, client: &mut FabricClient) -> Result<u64> {
+        let _span = client.span("httree.len_estimate");
         let iov: Vec<FarIov> = self
             .entries
             .iter()
@@ -592,6 +596,7 @@ impl HtTreeHandle {
         lo: u64,
         hi: u64,
     ) -> Result<Vec<(u64, u64)>> {
+        let _span = client.span("httree.scan");
         if lo > hi {
             return Ok(Vec::new());
         }
@@ -647,6 +652,7 @@ impl HtTreeHandle {
     /// Splits (or grows) the table covering `start_key`. Serialized by the
     /// tree's far mutex; other tables are unaffected (§5.2).
     pub fn split(&mut self, client: &mut FabricClient, start_key: u64) -> Result<()> {
+        let _span = client.span("httree.split");
         let lock = FarMutex::attach(self.tree.anchor.offset(A_LOCK));
         lock.lock(client, 1_000_000)?;
         let result = self.split_locked(client, start_key);

@@ -165,6 +165,7 @@ impl FarMutex {
     /// access. If the holder dies, waiting charges virtual time against
     /// its lease and the lock is eventually stolen (see module docs).
     pub fn lock(&self, client: &mut FabricClient, max_attempts: u32) -> Result<()> {
+        let _span = client.span("mutex.lock");
         if self.try_lock(client)? {
             return Ok(());
         }
@@ -226,6 +227,7 @@ impl FarMutex {
     /// word holds a *free* lock, which no lease semantics can produce
     /// from a correct caller.
     pub fn unlock(&self, client: &mut FabricClient) -> Result<()> {
+        let _span = client.span("mutex.unlock");
         let tag = Self::owner_tag(client);
         let word = client.read_u64(self.addr)?;
         if word == FREE {

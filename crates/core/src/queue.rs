@@ -313,6 +313,7 @@ impl QueueHandle {
     /// (confirmed against a fresh head), and [`CoreError::ValueOutOfRange`]
     /// for `u64::MAX`, which cannot be encoded.
     pub fn enqueue(&mut self, client: &mut FabricClient, value: u64) -> Result<()> {
+        let _span = client.span("queue.enqueue");
         if value == u64::MAX {
             return Err(CoreError::ValueOutOfRange);
         }
@@ -379,6 +380,7 @@ impl QueueHandle {
     ///
     /// Returns [`CoreError::QueueEmpty`] when no item is available.
     pub fn dequeue(&mut self, client: &mut FabricClient) -> Result<u64> {
+        let _span = client.span("queue.dequeue");
         for _ in 0..64 {
             match self.dequeue_once(client) {
                 Err(CoreError::Contended) => continue,
@@ -472,6 +474,7 @@ impl QueueHandle {
     /// Dequeues, retrying on [`CoreError::QueueEmpty`] after waiting for a
     /// tail-pointer change notification. `max_retries` bounds the wait.
     pub fn dequeue_wait(&mut self, client: &mut FabricClient, max_retries: u32) -> Result<u64> {
+        let _span = client.span("queue.dequeue_wait");
         let mut sub = None;
         let mut result = Err(CoreError::QueueEmpty);
         for _ in 0..max_retries.max(1) {

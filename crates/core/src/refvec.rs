@@ -229,6 +229,7 @@ impl VecWriter {
     /// Writes `value` at index `i` and bumps the group version.
     /// One far access.
     pub fn write(&self, client: &mut FabricClient, i: u64, value: u64) -> Result<()> {
+        let _span = client.span("refvec.write");
         if i >= self.vec.n {
             return Err(CoreError::BadConfig("index out of bounds"));
         }
@@ -246,6 +247,7 @@ impl VecWriter {
     /// Writes several `(index, value)` pairs in one far access, bumping
     /// each touched group's version once.
     pub fn write_batch(&self, client: &mut FabricClient, updates: &[(u64, u64)]) -> Result<()> {
+        let _span = client.span("refvec.write_batch");
         if updates.is_empty() {
             return Ok(());
         }
@@ -330,6 +332,7 @@ impl VecReader {
     /// Reads element `i` from the cache — zero far accesses; staleness is
     /// bounded by the caller's refresh cadence.
     pub fn get(&mut self, client: &mut FabricClient, i: u64) -> Result<u64> {
+        let _span = client.span("refvec.get");
         if i >= self.vec.n {
             return Err(CoreError::BadConfig("index out of bounds"));
         }
@@ -421,6 +424,7 @@ impl VecReader {
     ///
     /// Returns the number of groups re-fetched.
     pub fn refresh(&mut self, client: &mut FabricClient) -> Result<u64> {
+        let _span = client.span("refvec.refresh");
         self.stats.refreshes += 1;
         self.refreshes_since_poll += 1;
 

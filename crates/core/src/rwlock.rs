@@ -163,6 +163,7 @@ impl FarRwLock {
     /// observed it unchanged for [`LEASE_NS`] of its own waiting time,
     /// so crashed writers do not wedge readers.
     pub fn read_lock(&self, client: &mut FabricClient, max_attempts: u32) -> Result<()> {
+        let _span = client.span("rwlock.read_lock");
         if self.try_read_lock(client)? {
             return Ok(());
         }
@@ -224,6 +225,7 @@ impl FarRwLock {
 
     /// Leaves a read section. One far access.
     pub fn read_unlock(&self, client: &mut FabricClient) -> Result<()> {
+        let _span = client.span("rwlock.read_unlock");
         let old = client.faa(self.addr, u64::MAX)?;
         if old & COUNT_MASK == 0 {
             // Erroneous unlock (caller bug): the decrement's borrow was
@@ -249,6 +251,7 @@ impl FarRwLock {
     /// observed its word unchanged for [`LEASE_NS`] of its own waiting
     /// time (crashed *readers* still block — see module docs).
     pub fn write_lock(&self, client: &mut FabricClient, max_attempts: u32) -> Result<()> {
+        let _span = client.span("rwlock.write_lock");
         if self.try_write_lock(client)? {
             return Ok(());
         }
@@ -302,6 +305,7 @@ impl FarRwLock {
     /// this client's tag (the lease expired and the lock was stolen) and
     /// [`CoreError::Corrupted`] if no writer holds the lock at all.
     pub fn write_unlock(&self, client: &mut FabricClient) -> Result<()> {
+        let _span = client.span("rwlock.write_unlock");
         let tag = Self::owner_tag(client);
         // Optimistic readers may FAA the low bits between our read and
         // CAS; re-read and retry a bounded number of times. Each transient

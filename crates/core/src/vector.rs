@@ -283,6 +283,7 @@ impl CachedFarVec {
     /// Reads element `i`: zero far accesses when the cached copy is clean,
     /// one when it must be re-fetched.
     pub fn get(&mut self, client: &mut FabricClient, i: u64) -> Result<u64> {
+        let _span = client.span("vector.get");
         self.vec.check_index(i)?;
         self.process_events(client);
         if self.all_dirty {
@@ -372,7 +373,7 @@ mod tests {
         let v = FarVec::create(&mut c, &a, 8, AllocHint::Spread).unwrap();
         v.set(&mut c, 0, 1).unwrap();
         let fresh = a.alloc(8 * WORD, AllocHint::Spread).unwrap();
-        c.write(fresh, &vec![0u8; 64]).unwrap();
+        c.write(fresh, &[0u8; 64]).unwrap();
         let old = v.swap_base(&mut c, fresh).unwrap();
         assert_eq!(v.get(&mut c, 0).unwrap(), 0, "reads go to the new array");
         assert_eq!(c.read_u64(old).unwrap(), 1, "old array still intact");

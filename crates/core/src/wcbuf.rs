@@ -72,6 +72,7 @@ impl WriteCombiner {
     /// Stages a word write (a near access — zero far cost). Returns `true`
     /// when the buffer is at capacity and should be flushed.
     pub fn write(&mut self, client: &mut FabricClient, addr: FarAddr, value: u64) -> Result<bool> {
+        let _span = client.span("wcbuf.write");
         if !addr.is_aligned(WORD) {
             return Err(CoreError::BadConfig("write combiner stages aligned words"));
         }
@@ -97,6 +98,7 @@ impl WriteCombiner {
     /// merge into contiguous runs, and all runs go out in a single
     /// `wscatter`.
     pub fn flush(&mut self, client: &mut FabricClient) -> Result<usize> {
+        let _span = client.span("wcbuf.flush");
         if self.pending.is_empty() {
             return Ok(0);
         }

@@ -24,6 +24,7 @@ use crate::fabric::Fabric;
 use crate::fault::{FaultPlan, FaultRng, RetryPolicy};
 use crate::notify::{Event, EventSink, SubId, SubKind};
 use crate::stats::AccessStats;
+use crate::trace::{SpanGuard, TraceConfig, TraceReport, Tracer, VerbKind};
 
 /// One compute node's far-memory adapter.
 pub struct FabricClient {
@@ -43,6 +44,17 @@ pub struct FabricClient {
     retry: RetryPolicy,
     /// Per-client deterministic fault/jitter stream.
     rng: FaultRng,
+    /// Trace sink, when enabled ([`FabricClient::enable_tracing`]). A
+    /// disabled tracer is a single `Option` branch per verb and adds zero
+    /// fabric accesses either way.
+    trace: Option<Tracer>,
+    /// Reentrancy depth of [`FabricClient::traced`]: composite verbs
+    /// (`load0_auto` → `load0`, retries) record only at the outermost
+    /// wrapper, so counter deltas are never attributed twice.
+    trace_depth: u32,
+    /// Sink-side coalesced count already folded into
+    /// `stats.notifications_coalesced` (the sink counts cumulatively).
+    seen_coalesced: u64,
 }
 
 /// One verb inside a fenced batch.
@@ -135,6 +147,9 @@ impl FabricClient {
             faults: config.faults,
             retry: config.retry,
             rng: FaultRng::new(fault_seed),
+            trace: None,
+            trace_depth: 0,
+            seen_coalesced: 0,
         }
     }
 
@@ -171,14 +186,90 @@ impl FabricClient {
     /// Charges one near (client-local) access — a cache hit.
     #[inline]
     pub fn near_access(&mut self) {
-        self.stats.near_accesses += 1;
-        self.clock.advance(self.fabric.cost().near_ns);
+        self.near_accesses(1);
     }
 
     /// Charges `n` near accesses at once.
     pub fn near_accesses(&mut self, n: u64) {
         self.stats.near_accesses += n;
         self.clock.advance(self.fabric.cost().near_ns * n);
+        if self.trace_depth == 0 {
+            if let Some(t) = &self.trace {
+                let mut delta = AccessStats::new();
+                delta.near_accesses = n;
+                t.charge(delta, self.clock.now());
+            }
+        }
+    }
+
+    // ----- tracing (farmem-trace; see `crate::trace`) -----
+
+    /// Enables span-attributed tracing on this client and returns the
+    /// tracer handle (also reachable via [`FabricClient::tracer`]). The
+    /// report baseline is the current counters.
+    pub fn enable_tracing(&mut self, cfg: TraceConfig) -> Tracer {
+        let t = Tracer::new(cfg, self.id, self.stats, self.clock.now());
+        self.trace = Some(t.clone());
+        t
+    }
+
+    /// Disables tracing, returning the tracer (whose buffers stay
+    /// readable).
+    pub fn disable_tracing(&mut self) -> Option<Tracer> {
+        self.trace.take()
+    }
+
+    /// The active tracer, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.trace.as_ref()
+    }
+
+    /// Opens a named operation span; every verb issued while the returned
+    /// guard is the innermost live span is attributed to it. With tracing
+    /// disabled this returns an inert guard and costs one branch.
+    pub fn span(&mut self, name: &'static str) -> SpanGuard {
+        match &self.trace {
+            Some(t) => {
+                let id = t.open_span(name, self.clock.now());
+                SpanGuard::new(t.clone(), id)
+            }
+            None => SpanGuard::disabled(),
+        }
+    }
+
+    /// Builds the attribution report against this client's live counters
+    /// (`None` if tracing was never enabled).
+    pub fn trace_report(&self) -> Option<TraceReport> {
+        self.trace.as_ref().map(|t| t.report(self.stats))
+    }
+
+    /// Runs one public verb under the tracer: captures the exact counter
+    /// delta and virtual start/end times of the *outermost* wrapper only
+    /// (composite verbs such as `load0_auto` re-enter for their inner
+    /// legs, which must not double-record).
+    #[inline]
+    pub(crate) fn traced<T>(
+        &mut self,
+        kind: VerbKind,
+        f: impl FnOnce(&mut FabricClient) -> Result<T>,
+    ) -> Result<T> {
+        let Some(tracer) = self.trace.clone() else { return f(self) };
+        if self.trace_depth > 0 {
+            return f(self);
+        }
+        self.trace_depth = 1;
+        let start = self.clock.now();
+        let before = self.stats;
+        let out = f(self);
+        self.trace_depth = 0;
+        tracer.record_verb(
+            kind,
+            start,
+            self.clock.now(),
+            self.stats.since(&before),
+            out.is_ok(),
+        );
+        out
     }
 
     // ----- internal timing helpers (shared with `crate::ext`) -----
@@ -409,6 +500,10 @@ impl FabricClient {
 
     /// One-sided read of `len` bytes at `addr`. One far access.
     pub fn read(&mut self, addr: FarAddr, len: u64) -> Result<Vec<u8>> {
+        self.traced(VerbKind::Read, |c| c.read_inner(addr, len))
+    }
+
+    fn read_inner(&mut self, addr: FarAddr, len: u64) -> Result<Vec<u8>> {
         self.retrying(|c| {
             c.begin_attempt()?;
             let arrival = c.arrival();
@@ -420,6 +515,10 @@ impl FabricClient {
 
     /// One-sided write of `data` at `addr`. One far access.
     pub fn write(&mut self, addr: FarAddr, data: &[u8]) -> Result<()> {
+        self.traced(VerbKind::Write, |c| c.write_inner(addr, data))
+    }
+
+    fn write_inner(&mut self, addr: FarAddr, data: &[u8]) -> Result<()> {
         self.retrying(|c| {
             c.begin_attempt()?;
             let arrival = c.arrival();
@@ -431,6 +530,10 @@ impl FabricClient {
 
     /// One-sided read of the aligned word at `addr`. One far access.
     pub fn read_u64(&mut self, addr: FarAddr) -> Result<u64> {
+        self.traced(VerbKind::Read, |c| c.read_u64_inner(addr))
+    }
+
+    fn read_u64_inner(&mut self, addr: FarAddr) -> Result<u64> {
         self.retrying(|c| {
             c.begin_attempt()?;
             let arrival = c.arrival();
@@ -442,6 +545,10 @@ impl FabricClient {
 
     /// One-sided write of the aligned word at `addr`. One far access.
     pub fn write_u64(&mut self, addr: FarAddr, value: u64) -> Result<()> {
+        self.traced(VerbKind::Write, |c| c.write_u64_inner(addr, value))
+    }
+
+    fn write_u64_inner(&mut self, addr: FarAddr, value: u64) -> Result<()> {
         self.retrying(|c| {
             c.begin_attempt()?;
             let arrival = c.arrival();
@@ -454,6 +561,10 @@ impl FabricClient {
     /// Fabric-level compare-and-swap (§2); returns the previous value.
     /// One far access.
     pub fn cas(&mut self, addr: FarAddr, expected: u64, new: u64) -> Result<u64> {
+        self.traced(VerbKind::Atomic, |c| c.cas_inner(addr, expected, new))
+    }
+
+    fn cas_inner(&mut self, addr: FarAddr, expected: u64, new: u64) -> Result<u64> {
         self.retrying(|c| {
             c.begin_attempt()?;
             let arrival = c.arrival();
@@ -466,6 +577,10 @@ impl FabricClient {
     /// Fabric-level fetch-and-add (§2); returns the previous value.
     /// One far access.
     pub fn faa(&mut self, addr: FarAddr, delta: u64) -> Result<u64> {
+        self.traced(VerbKind::Atomic, |c| c.faa_inner(addr, delta))
+    }
+
+    fn faa_inner(&mut self, addr: FarAddr, delta: u64) -> Result<u64> {
         self.retrying(|c| {
             c.begin_attempt()?;
             let arrival = c.arrival();
@@ -479,6 +594,10 @@ impl FabricClient {
     /// completion queue enforces the barrier, §2) and the whole batch costs
     /// one dependent round trip.
     pub fn batch(&mut self, ops: &[BatchOp<'_>]) -> Result<Vec<BatchOut>> {
+        self.traced(VerbKind::Batch, |c| c.batch_inner(ops))
+    }
+
+    fn batch_inner(&mut self, ops: &[BatchOp<'_>]) -> Result<Vec<BatchOut>> {
         self.retrying(|c| {
             c.begin_attempt()?;
             let arrival = c.arrival();
@@ -557,6 +676,10 @@ impl FabricClient {
     /// returns, which over-approximates real visibility: a posted write is
     /// visible no later than the client's next fenced operation.
     pub fn post_write_u64(&mut self, addr: FarAddr, value: u64) -> Result<()> {
+        self.traced(VerbKind::Posted, |c| c.post_write_u64_inner(addr, value))
+    }
+
+    fn post_write_u64_inner(&mut self, addr: FarAddr, value: u64) -> Result<()> {
         self.retrying(|c| {
             c.begin_attempt()?;
             let cost = *c.fabric.cost();
@@ -580,6 +703,10 @@ impl FabricClient {
     /// background statistics counters (e.g. the HT-tree's collision and
     /// item counts, §5.2) that must not cost a dependent round trip.
     pub fn post_faa_u64(&mut self, addr: FarAddr, delta: u64) -> Result<()> {
+        self.traced(VerbKind::Posted, |c| c.post_faa_u64_inner(addr, delta))
+    }
+
+    fn post_faa_u64_inner(&mut self, addr: FarAddr, delta: u64) -> Result<()> {
         self.retrying(|c| {
             c.begin_attempt()?;
             let cost = *c.fabric.cost();
@@ -601,6 +728,10 @@ impl FabricClient {
     // ----- notification verbs (Fig. 1, §4.3) -----
 
     fn subscribe(&mut self, addr: FarAddr, len: u64, kind: SubKind) -> Result<SubId> {
+        self.traced(VerbKind::Notify, |c| c.subscribe_inner(addr, len, kind))
+    }
+
+    fn subscribe_inner(&mut self, addr: FarAddr, len: u64, kind: SubKind) -> Result<SubId> {
         crate::notify::SubscriptionTable::validate_range(addr, len)?;
         self.retrying(|c| {
             c.begin_attempt()?;
@@ -642,6 +773,10 @@ impl FabricClient {
 
     /// Cancels a subscription created by this or any other client.
     pub fn unsubscribe(&mut self, id: SubId) -> Result<()> {
+        self.traced(VerbKind::Notify, |c| c.unsubscribe_inner(id))
+    }
+
+    fn unsubscribe_inner(&mut self, id: SubId) -> Result<()> {
         self.retrying(|c| {
             c.begin_attempt()?;
             let arrival = c.arrival();
@@ -657,13 +792,28 @@ impl FabricClient {
     fn pump_events(&mut self) {
         let events = self.sink.drain();
         let one_way = self.fabric.cost().one_way_ns();
+        let mut delta = AccessStats::new();
         for e in &events {
             match e {
-                Event::Lost { count } => self.stats.notifications_lost += count,
+                Event::Lost { count } => delta.notifications_lost += count,
                 _ => {
-                    self.stats.notifications += 1;
+                    delta.notifications += 1;
                     self.clock.advance_to(e.fired_at_ns() + one_way);
                 }
+            }
+        }
+        // The sink counts coalesced merges cumulatively; fold the unseen
+        // portion into the client's books so `notifications +
+        // notifications_coalesced` matches the number of times the fabric
+        // fired at this subscriber (cross-checked in tests against
+        // `SinkStats`).
+        let coalesced = self.sink.stats().coalesced;
+        delta.notifications_coalesced = coalesced - self.seen_coalesced;
+        self.seen_coalesced = coalesced;
+        self.stats.merge(&delta);
+        if delta != AccessStats::new() && self.trace_depth == 0 {
+            if let Some(t) = &self.trace {
+                t.charge(delta, self.clock.now());
             }
         }
         self.pending.extend(events);
@@ -893,6 +1043,159 @@ mod tests {
             applied,
             "every batch applied its FAA exactly once or not at all"
         );
+    }
+
+    #[test]
+    fn tracing_adds_zero_fabric_accesses_and_identical_time() {
+        // The same workload with and without tracing must produce
+        // byte-identical counters and virtual clocks: observability is
+        // pure observation.
+        let run = |traced: bool| -> (AccessStats, u64) {
+            let f = FabricConfig {
+                faults: crate::fault::FaultPlan::transient(50_000),
+                ..FabricConfig::single_node(1 << 20)
+            }
+            .build();
+            let mut c = f.client();
+            if traced {
+                c.enable_tracing(crate::trace::TraceConfig::default());
+            }
+            let _outer = if traced { Some(c.span("workload")) } else { None };
+            for i in 0..50u64 {
+                c.write_u64(FarAddr(8 * (i + 1)), i).unwrap();
+                c.read_u64(FarAddr(8 * (i + 1))).unwrap();
+            }
+            c.write_u64(FarAddr(64), 4096).unwrap();
+            c.load0(FarAddr(64), 8).unwrap();
+            c.batch(&[
+                BatchOp::Faa { addr: FarAddr(8), delta: 1 },
+                BatchOp::Read { addr: FarAddr(8), len: 8 },
+            ])
+            .unwrap();
+            c.near_accesses(3);
+            (c.stats(), c.now_ns())
+        };
+        let (plain, plain_ns) = run(false);
+        let (traced, traced_ns) = run(true);
+        assert_eq!(plain, traced, "tracing must not perturb any counter");
+        assert_eq!(plain_ns, traced_ns, "tracing must not perturb the clock");
+    }
+
+    #[test]
+    fn trace_report_reconciles_exactly_and_attributes_spans() {
+        let f = FabricConfig {
+            faults: crate::fault::FaultPlan::transient(100_000),
+            ..FabricConfig::single_node(1 << 20)
+        }
+        .build();
+        let mut c = f.client();
+        c.write_u64(FarAddr(64), 4096).unwrap(); // before enable: not counted
+        c.enable_tracing(crate::trace::TraceConfig::default());
+        {
+            let _s = c.span("phase.write");
+            for i in 0..20u64 {
+                c.write_u64(FarAddr(4096 + 8 * i), i).unwrap();
+            }
+        }
+        {
+            let _s = c.span("phase.read");
+            for i in 0..20u64 {
+                c.read_u64(FarAddr(4096 + 8 * i)).unwrap();
+            }
+            let _inner = c.span("phase.read.indirect");
+            c.load0(FarAddr(64), 8).unwrap();
+        }
+        c.faa(FarAddr(8), 1).unwrap(); // outside any span
+        let r = c.trace_report().unwrap();
+        assert_eq!(r.open_spans, 0);
+        r.reconcile().unwrap_or_else(|field| {
+            panic!("span sums diverge from flat stats on `{field}`: {r:?}")
+        });
+        assert!(r.attribution_ratio() > 0.9, "ratio {}", r.attribution_ratio());
+        assert_eq!(r.unattributed.atomics, 1, "the bare faa is unattributed");
+        let names: Vec<_> = r.spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"phase.write") && names.contains(&"phase.read.indirect"));
+        // Retries from injected faults are attributed too.
+        assert_eq!(
+            r.attributed().retries + r.unattributed.retries + r.open_stats.retries,
+            r.total.retries
+        );
+        // Virtual-time latencies are present for the verbs we issued.
+        assert!(r.verbs.iter().any(|v| v.kind == crate::trace::VerbKind::Read
+            && v.count == 20
+            && v.mean_ns >= 2_000));
+        // Exports parse-ably mention the spans.
+        let t = c.tracer().unwrap();
+        assert!(t.jsonl().contains("phase.read.indirect"));
+        assert!(t.chrome_trace().contains("\"name\":\"phase.write\""));
+    }
+
+    #[test]
+    fn pump_events_books_coalesced_notifications() {
+        let f = FabricConfig {
+            delivery: crate::notify::DeliveryPolicy::COALESCING,
+            ..FabricConfig::single_node(1 << 20)
+        }
+        .build();
+        let mut writer = f.client();
+        let mut watcher = f.client();
+        watcher.notify0(FarAddr(4096), 8).unwrap();
+        for i in 0..10u64 {
+            writer.write_u64(FarAddr(4096), i).unwrap();
+        }
+        // All ten fires merged into one pending event + nine coalesces.
+        let events = watcher.recv_events();
+        assert_eq!(events.len(), 1);
+        let s = watcher.stats();
+        assert_eq!(s.notifications, 1);
+        assert_eq!(s.notifications_coalesced, 9);
+        let sink = watcher.sink().stats();
+        assert_eq!(s.notifications, sink.delivered);
+        assert_eq!(s.notifications_coalesced, sink.coalesced);
+    }
+
+    #[test]
+    fn pump_events_books_spike_suppressed_notifications() {
+        // Uncoalesced delivery with a 4-deep queue: a 12-write burst to
+        // distinct subscribed words overflows it, so the sink suppresses
+        // the excess and surfaces one Lost warning carrying the count.
+        let f = FabricConfig {
+            delivery: crate::notify::DeliveryPolicy {
+                drop_ppm: 0,
+                coalesce: false,
+                max_queue: 4,
+            },
+            ..FabricConfig::single_node(1 << 20)
+        }
+        .build();
+        let mut writer = f.client();
+        let mut watcher = f.client();
+        for i in 0..12u64 {
+            watcher.notify0(FarAddr(4096 + i * 8), 8).unwrap();
+        }
+        for i in 0..12u64 {
+            writer.write_u64(FarAddr(4096 + i * 8), i + 1).unwrap();
+        }
+        let events = watcher.recv_events();
+        let lost: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Lost { count } => Some(*count),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(lost, 8, "12 fires into a 4-deep queue drop 8");
+        let s = watcher.stats();
+        assert_eq!(s.notifications, 4);
+        assert_eq!(s.notifications_lost, 8);
+        assert_eq!(s.notifications_coalesced, 0);
+        // Client books reconcile with the sink's own counters: every fire
+        // is either delivered or spike-suppressed, none coalesced.
+        let sink = watcher.sink().stats();
+        assert_eq!(s.notifications, sink.delivered);
+        assert_eq!(sink.coalesced, 0);
+        assert_eq!(sink.silent_dropped, 0);
+        assert_eq!(s.notifications + s.notifications_lost, 12);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::addr::{FarAddr, NodeId, WORD};
 use crate::client::FabricClient;
 use crate::error::{FabricError, Result};
 use crate::fabric::IndirectionMode;
+use crate::trace::VerbKind;
 
 /// How an indirect verb reads its pointer word.
 #[derive(Clone, Copy, Debug)]
@@ -90,9 +91,15 @@ impl FabricClient {
         index: u64,
         access: TargetAccess<'_>,
     ) -> Result<(u64, Option<Vec<u8>>)> {
-        self.retrying(|c| {
-            c.begin_attempt()?;
-            c.indirect_once(ptr_addr, ptr_read, index, access)
+        // Every Fig. 1 indirect verb funnels through here, so one traced()
+        // wrapper covers the whole family; `*_auto` completions re-enter
+        // via the traced `read`/`write`/`cas` verbs and record their own
+        // events.
+        self.traced(VerbKind::Indirect, |cl| {
+            cl.retrying(|c| {
+                c.begin_attempt()?;
+                c.indirect_once(ptr_addr, ptr_read, index, access)
+            })
         })
     }
 

@@ -22,6 +22,7 @@
 use crate::addr::FarAddr;
 use crate::client::FabricClient;
 use crate::error::{FabricError, Result};
+use crate::trace::VerbKind;
 
 /// One entry of a far-memory iovec: a disjoint far buffer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,12 +63,14 @@ impl FabricClient {
             return Err(FabricError::BadIovec { reason: "iovec must be non-empty" });
         }
         let total: u64 = into.iter().map(|b| b.len() as u64).sum();
-        let data = self.retrying(|c| {
-            c.begin_attempt()?;
-            let arrival = c.arrival();
-            let (data, finish) = c.exec_read(ad, total, arrival)?;
-            c.finish_rt(finish);
-            Ok(data)
+        let data = self.traced(VerbKind::ScatterGather, |c| {
+            c.retrying(|c| {
+                c.begin_attempt()?;
+                let arrival = c.arrival();
+                let (data, finish) = c.exec_read(ad, total, arrival)?;
+                c.finish_rt(finish);
+                Ok(data)
+            })
         })?;
         let mut done = 0usize;
         for buf in into.iter_mut() {
@@ -82,18 +85,20 @@ impl FabricClient {
     /// per-buffer messages are issued concurrently: one far access.
     pub fn rgather(&mut self, iov: &[FarIov]) -> Result<Vec<u8>> {
         let total = check_iov(iov)?;
-        self.retrying(|c| {
-            c.begin_attempt()?;
-            let arrival = c.arrival();
-            let mut out = Vec::with_capacity(total as usize);
-            let mut finish = arrival;
-            for e in iov {
-                let (part, f) = c.exec_read(e.addr, e.len, arrival)?;
-                out.extend_from_slice(&part);
-                finish = finish.max(f);
-            }
-            c.finish_rt(finish);
-            Ok(out)
+        self.traced(VerbKind::ScatterGather, |c| {
+            c.retrying(|c| {
+                c.begin_attempt()?;
+                let arrival = c.arrival();
+                let mut out = Vec::with_capacity(total as usize);
+                let mut finish = arrival;
+                for e in iov {
+                    let (part, f) = c.exec_read(e.addr, e.len, arrival)?;
+                    out.extend_from_slice(&part);
+                    finish = finish.max(f);
+                }
+                c.finish_rt(finish);
+                Ok(out)
+            })
         })
     }
 
@@ -107,18 +112,20 @@ impl FabricClient {
                 reason: "iovec total length must equal the source length",
             });
         }
-        self.retrying(|c| {
-            c.begin_attempt()?;
-            let arrival = c.arrival();
-            let mut finish = arrival;
-            let mut done = 0usize;
-            for e in iov {
-                let f = c.exec_write(e.addr, &src[done..done + e.len as usize], arrival)?;
-                done += e.len as usize;
-                finish = finish.max(f);
-            }
-            c.finish_rt(finish);
-            Ok(())
+        self.traced(VerbKind::ScatterGather, |c| {
+            c.retrying(|c| {
+                c.begin_attempt()?;
+                let arrival = c.arrival();
+                let mut finish = arrival;
+                let mut done = 0usize;
+                for e in iov {
+                    let f = c.exec_write(e.addr, &src[done..done + e.len as usize], arrival)?;
+                    done += e.len as usize;
+                    finish = finish.max(f);
+                }
+                c.finish_rt(finish);
+                Ok(())
+            })
         })
     }
 
@@ -133,12 +140,14 @@ impl FabricClient {
         for b in from {
             data.extend_from_slice(b);
         }
-        self.retrying(|c| {
-            c.begin_attempt()?;
-            let arrival = c.arrival();
-            let finish = c.exec_write(ad, &data, arrival)?;
-            c.finish_rt(finish);
-            Ok(())
+        self.traced(VerbKind::ScatterGather, |c| {
+            c.retrying(|c| {
+                c.begin_attempt()?;
+                let arrival = c.arrival();
+                let finish = c.exec_write(ad, &data, arrival)?;
+                c.finish_rt(finish);
+                Ok(())
+            })
         })
     }
 }

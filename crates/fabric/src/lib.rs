@@ -58,6 +58,7 @@ pub mod fault;
 pub mod node;
 pub mod notify;
 pub mod stats;
+pub mod trace;
 
 pub use addr::{AddressMap, FarAddr, NodeId, Segment, Striping, PAGE, WORD};
 pub use broker::{Broker, BrokerStats};
@@ -67,6 +68,10 @@ pub use error::{FabricError, Result};
 pub use ext::sg::FarIov;
 pub use fabric::{Fabric, FabricConfig, IndirectionMode};
 pub use fault::{FaultPlan, RetryPolicy};
-pub use node::MemoryNode;
+pub use node::{MemoryNode, NodeOccupancy};
 pub use notify::{DeliveryPolicy, Event, EventSink, SinkStats, SubId, SubKind};
 pub use stats::AccessStats;
+pub use trace::{
+    LatencyHistogram, SpanAgg, SpanGuard, SpanSummary, TraceConfig, TraceEvent, TraceReport,
+    Tracer, VerbKind, VerbSummary,
+};

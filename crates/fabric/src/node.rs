@@ -21,6 +21,36 @@ struct IfaceQueue {
     pending_ns: u64,
     /// Latest arrival observed (drain reference point).
     last_arrival_ns: u64,
+    /// Messages ever booked on this interface.
+    messages: u64,
+    /// Total queueing delay experienced by booked messages (time spent
+    /// behind earlier work, excluding own service).
+    waited_ns: u64,
+    /// Worst single-message queueing delay.
+    max_wait_ns: u64,
+}
+
+/// Occupancy summary of one node's fabric interface, derived from the
+/// FIFO booking model of [`MemoryNode::occupy`] — which node is the
+/// bottleneck, and how much of each round trip was queueing (§7
+/// contention effects, surfaced by `farmem-trace`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeOccupancy {
+    /// Messages booked on the interface.
+    pub messages: u64,
+    /// Total service time booked (utilization numerator).
+    pub busy_ns: u64,
+    /// Summed queueing delay across all messages.
+    pub waited_ns: u64,
+    /// Worst single-message queueing delay.
+    pub max_wait_ns: u64,
+}
+
+impl NodeOccupancy {
+    /// Mean queueing delay per message (0 when idle).
+    pub fn mean_wait_ns(&self) -> u64 {
+        self.waited_ns.checked_div(self.messages).unwrap_or(0)
+    }
 }
 
 /// One memory node's storage plus its fabric-interface serial resource.
@@ -171,7 +201,21 @@ impl MemoryNode {
         }
         let wait = q.pending_ns;
         q.pending_ns += service_ns;
+        q.messages += 1;
+        q.waited_ns += wait;
+        q.max_wait_ns = q.max_wait_ns.max(wait);
         arrival_ns + wait + service_ns
+    }
+
+    /// Occupancy/queueing-delay summary of this node's interface.
+    pub fn occupancy(&self) -> NodeOccupancy {
+        let q = self.queue.lock().unwrap();
+        NodeOccupancy {
+            messages: q.messages,
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            waited_ns: q.waited_ns,
+            max_wait_ns: q.max_wait_ns,
+        }
     }
 
     #[inline]

@@ -5,103 +5,120 @@
 //! verb it issues, so experiments can report exact per-operation access
 //! counts instead of noisy timings.
 
-/// Counters accumulated by one client.
-///
-/// `round_trips` counts *dependent* round trips on the critical path: a
-/// fenced batch of ops issued together costs one round trip of latency and
-/// is counted once, while each constituent fabric message still increments
-/// `messages`. Reporting both keeps the "one far access" claims auditable
-/// (see DESIGN.md §2).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct AccessStats {
+/// Defines [`AccessStats`] plus every piece of code that must enumerate
+/// its fields (`since`, `merge`, `to_array`, `from_array`, `FIELD_NAMES`)
+/// from a single field list, so a newly added counter can never be
+/// silently skipped in delta or aggregation code.
+macro_rules! access_stats {
+    ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {
+        /// Counters accumulated by one client.
+        ///
+        /// `round_trips` counts *dependent* round trips on the critical
+        /// path: a fenced batch of ops issued together costs one round trip
+        /// of latency and is counted once, while each constituent fabric
+        /// message still increments `messages`. Reporting both keeps the
+        /// "one far access" claims auditable (see DESIGN.md §2).
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct AccessStats {
+            $($(#[$doc])* pub $field: u64,)+
+        }
+
+        impl AccessStats {
+            /// Number of counters (generated from the field list).
+            pub const COUNT: usize = [$(stringify!($field)),+].len();
+
+            /// Field names, in declaration order (for generic reporting).
+            pub const FIELD_NAMES: [&'static str; Self::COUNT] =
+                [$(stringify!($field)),+];
+
+            /// A zeroed counter set.
+            pub fn new() -> AccessStats {
+                AccessStats::default()
+            }
+
+            /// Total bytes moved over the fabric in either direction.
+            #[inline]
+            pub fn bytes_total(&self) -> u64 {
+                self.bytes_read + self.bytes_written
+            }
+
+            /// Component-wise difference `self - earlier`, for measuring
+            /// one operation or one experiment phase.
+            pub fn since(&self, earlier: &AccessStats) -> AccessStats {
+                AccessStats {
+                    $($field: self.$field - earlier.$field,)+
+                }
+            }
+
+            /// Component-wise sum, for aggregating over clients.
+            pub fn merge(&mut self, other: &AccessStats) {
+                $(self.$field += other.$field;)+
+            }
+
+            /// All counters, in [`FIELD_NAMES`](Self::FIELD_NAMES) order.
+            pub fn to_array(&self) -> [u64; Self::COUNT] {
+                [$(self.$field),+]
+            }
+
+            /// Builds a counter set from [`to_array`](Self::to_array)'s
+            /// layout.
+            pub fn from_array(values: [u64; Self::COUNT]) -> AccessStats {
+                let mut it = values.into_iter();
+                AccessStats {
+                    $($field: it.next().expect("array length matches"),)+
+                }
+            }
+
+            /// `(name, value)` pairs in declaration order, for generic
+            /// serialization (JSON emitters, trace exports).
+            pub fn fields(&self) -> [(&'static str, u64); Self::COUNT] {
+                let mut out = [("", 0u64); Self::COUNT];
+                let values = self.to_array();
+                let mut i = 0;
+                while i < Self::COUNT {
+                    out[i] = (Self::FIELD_NAMES[i], values[i]);
+                    i += 1;
+                }
+                out
+            }
+        }
+    };
+}
+
+access_stats! {
     /// Dependent far round trips (the paper's "far accesses").
-    pub round_trips: u64,
+    round_trips,
     /// Individual fabric messages issued (≥ `round_trips`).
-    pub messages: u64,
+    messages,
     /// Unsignaled posted writes: issued without waiting for completion
     /// (not a dependent round trip; e.g. the queue's background slot
     /// zeroing, §5.3).
-    pub posted_messages: u64,
+    posted_messages,
     /// Payload bytes read from far memory.
-    pub bytes_read: u64,
+    bytes_read,
     /// Payload bytes written to far memory.
-    pub bytes_written: u64,
+    bytes_written,
     /// Atomic fabric operations (CAS / fetch-add and indirect variants).
-    pub atomics: u64,
+    atomics,
     /// Memory-side forwarding hops for cross-node indirections (§7.1).
-    pub forward_hops: u64,
+    forward_hops,
     /// Client re-issues after `IndirectRemote` errors (§7.1 error mode).
-    pub reissues: u64,
+    reissues,
     /// Notifications received (including coalesced representatives).
-    pub notifications: u64,
+    notifications,
     /// Notifications that were coalesced into an already-pending event.
-    pub notifications_coalesced: u64,
+    notifications_coalesced,
     /// Notifications dropped by best-effort delivery or spike suppression.
-    pub notifications_lost: u64,
+    notifications_lost,
     /// Near (client-local cache) accesses — cheap, shown for contrast.
-    pub near_accesses: u64,
+    near_accesses,
     /// Verb attempts reissued after a transient fault (retry policy).
-    pub retries: u64,
+    retries,
     /// Verbs abandoned after exhausting the retry budget.
-    pub giveups: u64,
+    giveups,
     /// Faults injected into this client's verbs (transient failures,
     /// timeouts and latency spikes; see [`FaultPlan`](crate::fault::FaultPlan)).
-    pub faults_injected: u64,
-}
-
-impl AccessStats {
-    /// A zeroed counter set.
-    pub fn new() -> AccessStats {
-        AccessStats::default()
-    }
-
-    /// Total bytes moved over the fabric in either direction.
-    #[inline]
-    pub fn bytes_total(&self) -> u64 {
-        self.bytes_read + self.bytes_written
-    }
-
-    /// Component-wise difference `self - earlier`, for measuring one
-    /// operation or one experiment phase.
-    pub fn since(&self, earlier: &AccessStats) -> AccessStats {
-        AccessStats {
-            round_trips: self.round_trips - earlier.round_trips,
-            messages: self.messages - earlier.messages,
-            posted_messages: self.posted_messages - earlier.posted_messages,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            bytes_written: self.bytes_written - earlier.bytes_written,
-            atomics: self.atomics - earlier.atomics,
-            forward_hops: self.forward_hops - earlier.forward_hops,
-            reissues: self.reissues - earlier.reissues,
-            notifications: self.notifications - earlier.notifications,
-            notifications_coalesced: self.notifications_coalesced
-                - earlier.notifications_coalesced,
-            notifications_lost: self.notifications_lost - earlier.notifications_lost,
-            near_accesses: self.near_accesses - earlier.near_accesses,
-            retries: self.retries - earlier.retries,
-            giveups: self.giveups - earlier.giveups,
-            faults_injected: self.faults_injected - earlier.faults_injected,
-        }
-    }
-
-    /// Component-wise sum, for aggregating over clients.
-    pub fn merge(&mut self, other: &AccessStats) {
-        self.round_trips += other.round_trips;
-        self.messages += other.messages;
-        self.posted_messages += other.posted_messages;
-        self.bytes_read += other.bytes_read;
-        self.bytes_written += other.bytes_written;
-        self.atomics += other.atomics;
-        self.forward_hops += other.forward_hops;
-        self.reissues += other.reissues;
-        self.notifications += other.notifications;
-        self.notifications_coalesced += other.notifications_coalesced;
-        self.notifications_lost += other.notifications_lost;
-        self.near_accesses += other.near_accesses;
-        self.retries += other.retries;
-        self.giveups += other.giveups;
-        self.faults_injected += other.faults_injected;
-    }
+    faults_injected,
 }
 
 #[cfg(test)]
@@ -124,5 +141,34 @@ mod tests {
         let mut sum = a;
         sum.merge(&d);
         assert_eq!(sum, b);
+    }
+
+    /// Every field participates in `since` and `merge` — the macro makes
+    /// drift impossible, and this test proves it for the current list by
+    /// exercising each counter with a distinct value.
+    #[test]
+    fn no_field_is_skipped_in_delta_or_aggregation() {
+        let mut lo = [0u64; AccessStats::COUNT];
+        let mut hi = [0u64; AccessStats::COUNT];
+        for i in 0..AccessStats::COUNT {
+            lo[i] = (i as u64 + 1) * 3;
+            hi[i] = (i as u64 + 1) * 10;
+        }
+        let a = AccessStats::from_array(lo);
+        let b = AccessStats::from_array(hi);
+        let d = b.since(&a);
+        for (i, v) in d.to_array().into_iter().enumerate() {
+            assert_eq!(v, hi[i] - lo[i], "field {} skipped in since", AccessStats::FIELD_NAMES[i]);
+        }
+        let mut sum = a;
+        sum.merge(&d);
+        assert_eq!(sum, b, "merge must restore every field");
+        // The name list stays in sync with the struct.
+        assert_eq!(AccessStats::FIELD_NAMES.len(), AccessStats::COUNT);
+        let fields = AccessStats::new().fields();
+        assert_eq!(fields.len(), AccessStats::COUNT);
+        for (i, (name, _)) in fields.iter().enumerate() {
+            assert_eq!(*name, AccessStats::FIELD_NAMES[i]);
+        }
     }
 }

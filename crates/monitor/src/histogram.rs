@@ -181,6 +181,7 @@ impl ProducerHandle {
     /// Records one sample: **one far access** — an indexed indirect add
     /// through the current-window base pointer (§6, Fig. 1 `add2`).
     pub fn record(&mut self, client: &mut FabricClient, sample: u64) -> Result<()> {
+        let _span = client.span("monitor.record");
         let bucket = self.m.bucket_of(sample);
         client.add2_auto(self.m.anchor, 1, bucket * WORD)?;
         Ok(())
@@ -190,6 +191,7 @@ impl ProducerHandle {
     /// switches the base pointer, and bumps the sequence word (which
     /// notifies every consumer). One fenced batch — one far access.
     pub fn end_window(&mut self, client: &mut FabricClient) -> Result<u64> {
+        let _span = client.span("monitor.end_window");
         self.seq += 1;
         let next = self.m.window_base(self.seq);
         let zeros = vec![0u8; (self.m.n_buckets * WORD) as usize];
@@ -249,6 +251,7 @@ impl ConsumerHandle {
     /// Returns newly raised alarms. Consumers in the normal case receive
     /// *no* notifications and this costs *zero* far accesses.
     pub fn poll(&mut self, client: &mut FabricClient) -> Result<Vec<MonitorAlarm>> {
+        let _span = client.span("monitor.poll");
         let subs: std::collections::HashSet<SubId> =
             self.alarm_subs.iter().copied().chain([self.switch_sub]).collect();
         let events = client.take_events(|e| {

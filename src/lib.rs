@@ -70,7 +70,7 @@ pub mod prelude {
     pub use farmem_fabric::{
         AccessStats, BatchOp, CostModel, DeliveryPolicy, Event, Fabric, FabricClient,
         FabricConfig, FarAddr, FarIov, FaultPlan, IndirectionMode, NodeId, RetryPolicy,
-        Striping, SubId,
+        Striping, SubId, TraceConfig, TraceReport, Tracer,
     };
     pub use farmem_monitor::{AlarmSpec, HistogramMonitor, NaiveMonitor, Severity};
     pub use farmem_rpc::{RpcClient, RpcServer, ServerCpu};
