@@ -9,11 +9,12 @@
 //!
 //! Run: `cargo run --release -p farmem-bench --bin e10_regime`
 
-use farmem_bench::{Report, Table};
+use farmem_bench::{BenchArgs, Table};
 use farmem_fabric::{CostModel, FabricConfig, FarAddr};
 
 fn main() {
-    let mut report = Report::new("e10_regime");
+    let args = BenchArgs::parse();
+    let mut report = args.report("e10_regime");
     let f = FabricConfig::single_node(256 << 20).build();
     let mut c = f.client();
     let model = CostModel::DEFAULT;
@@ -40,12 +41,14 @@ fn main() {
         ]);
     }
     report.add(t);
-    println!(
-        "1 KiB moves in ~{} ns (§2 quotes 1 KB/µs on InfiniBand FDR 4×); the\n\
-         8 B far/near ratio is ~{}× — the paper's \"order of magnitude\".",
-        2_000 + 1_024,
-        (2_000 + 8) / 100
-    );
+    if args.verbose() {
+        println!(
+            "1 KiB moves in ~{} ns (§2 quotes 1 KB/µs on InfiniBand FDR 4×); the\n\
+             8 B far/near ratio is ~{}× — the paper's \"order of magnitude\".",
+            2_000 + 1_024,
+            (2_000 + 8) / 100
+        );
+    }
 
     let mut t = Table::new(
         "E10b: why far accesses are THE metric — one operation, three designs",
@@ -65,10 +68,12 @@ fn main() {
         ]);
     }
     report.add(t);
-    println!(
-        "Every extra dependent far access adds a full ~2 µs round trip that no\n\
-         cache can hide — which is why §3.1 demands O(1) far accesses with a\n\
-         constant of 1."
-    );
+    if args.verbose() {
+        println!(
+            "Every extra dependent far access adds a full ~2 µs round trip that no\n\
+             cache can hide — which is why §3.1 demands O(1) far accesses with a\n\
+             constant of 1."
+        );
+    }
     report.save();
 }

@@ -8,7 +8,7 @@
 
 use farmem_alloc::{AllocHint, FarAlloc};
 use farmem_baselines::RpcKv;
-use farmem_bench::{KeyDist, Report, Table};
+use farmem_bench::{BenchArgs, KeyDist, Report, Table};
 use farmem_core::{
     CacheMode, CachedFarVec, FarVec, HtTree, HtTreeConfig, RefreshMode, RefreshPolicy,
     RefreshableVec, VecReader, VecWriter,
@@ -29,7 +29,7 @@ fn count_fabric() -> std::sync::Arc<farmem_fabric::Fabric> {
 
 /// A1: tree-change notifications vs stale-cache versioning (§5.2 offers
 /// both; we implement both).
-fn a1_notify_dir(report: &mut Report) {
+fn a1_notify_dir(args: &BenchArgs, report: &mut Report) {
     let mut t = Table::new(
         "A1: HT-tree cache coherence under split churn — notifications vs versioning",
         &["mode", "lookups", "stale refreshes", "far RT/lookup", "notifications"],
@@ -72,14 +72,16 @@ fn a1_notify_dir(report: &mut Report) {
         ]);
     }
     report.add(t);
-    println!(
-        "Both §5.2 coherence options work; notifications trade a subscription and\n\
-         pushed events for the wasted far access each stale first-touch costs."
-    );
+    if args.verbose() {
+        println!(
+            "Both §5.2 coherence options work; notifications trade a subscription and\n\
+             pushed events for the wasted far access each stale first-touch costs."
+        );
+    }
 }
 
 /// A2: cached vector — invalidate (notify0) vs update (notify0d).
-fn a2_cache_modes(report: &mut Report) {
+fn a2_cache_modes(args: &BenchArgs, report: &mut Report) {
     let mut t = Table::new(
         "A2: CachedFarVec coherence — invalidate (notify0) vs update (notify0d)",
         &["mode", "reads", "far RT re-fetched", "far bytes re-read"],
@@ -113,15 +115,17 @@ fn a2_cache_modes(report: &mut Report) {
         ]);
     }
     report.add(t);
-    println!(
-        "Update mode eliminates the re-fetch round trips entirely — the §5.1\n\
-         \"caches can be updated using notifications\" variant — at the price of\n\
-         data-bearing events (reasonable while the payload is small)."
-    );
+    if args.verbose() {
+        println!(
+            "Update mode eliminates the re-fetch round trips entirely — the §5.1\n\
+             \"caches can be updated using notifications\" variant — at the price of\n\
+             data-bearing events (reasonable while the payload is small)."
+        );
+    }
 }
 
 /// A3: trigger information on/off for notification-driven refresh.
-fn a3_trigger_info(report: &mut Report) {
+fn a3_trigger_info(args: &BenchArgs, report: &mut Report) {
     let mut t = Table::new(
         "A3: refreshable vector in Notify mode — trigger info on vs off",
         &["carry_trigger", "refreshes", "groups refetched", "bytes read"],
@@ -161,15 +165,17 @@ fn a3_trigger_info(report: &mut Report) {
         ]);
     }
     report.add(t);
-    println!(
-        "Without trigger information a notification only says \"the page changed\",\n\
-         so the reader must refetch every group on the page — §7.2's false-positive\n\
-         trade, measured."
-    );
+    if args.verbose() {
+        println!(
+            "Without trigger information a notification only says \"the page changed\",\n\
+             so the reader must refetch every group on the page — §7.2's false-positive\n\
+             trade, measured."
+        );
+    }
 }
 
 /// A4: notification coalescing on/off for the §6 monitor.
-fn a4_coalescing(report: &mut Report) {
+fn a4_coalescing(args: &BenchArgs, report: &mut Report) {
     use farmem_monitor::{AlarmSpec, HistogramMonitor, Severity};
     let mut t = Table::new(
         "A4: monitor consumer under an alarm storm — coalescing on vs off",
@@ -189,7 +195,7 @@ fn a4_coalescing(report: &mut Report) {
         let mut p = m.producer(&mut pc);
         let mut cc = f.client();
         let mut cons = m.consumer(&mut cc, Severity::Warning).unwrap();
-        let n = 20_000u64;
+        let n = args.scaled(20_000, 2_000);
         for s in 0..n {
             p.record(&mut pc, 70 + (s % 30)).unwrap(); // every sample alarms
             if s % 1000 == 999 {
@@ -206,14 +212,16 @@ fn a4_coalescing(report: &mut Report) {
         ]);
     }
     report.add(t);
-    println!(
-        "Coalescing (temporal batching, §7.2) bounds consumer traffic at one pending\n\
-         event per subscription regardless of the update storm."
-    );
+    if args.verbose() {
+        println!(
+            "Coalescing (temporal batching, §7.2) bounds consumer traffic at one pending\n\
+             event per subscription regardless of the update storm."
+        );
+    }
 }
 
 /// A5: can RPC scale too? Sharded servers vs the HT-tree at k = 64.
-fn a5_rpc_shards(report: &mut Report) {
+fn a5_rpc_shards(args: &BenchArgs, report: &mut Report) {
     let mut t = Table::new(
         "A5: sharded RPC vs HT-tree at k = 64 clients (Zipf 0.99, 100k keys)",
         &["design", "memory-side CPUs", "ns/op", "Mops/s"],
@@ -320,19 +328,22 @@ fn a5_rpc_shards(report: &mut Report) {
         ]);
     }
     report.add(t);
-    println!(
-        "Sharding lets RPC buy throughput with memory-side CPUs (~2 Mops/s per\n\
-         core); the one-sided HT-tree gets there with zero — the ship-computation\n\
-         vs ship-data trade-off (§3.1) stated in CPU terms."
-    );
+    if args.verbose() {
+        println!(
+            "Sharding lets RPC buy throughput with memory-side CPUs (~2 Mops/s per\n\
+             core); the one-sided HT-tree gets there with zero — the ship-computation\n\
+             vs ship-data trade-off (§3.1) stated in CPU terms."
+        );
+    }
 }
 
 fn main() {
-    let mut report = Report::new("e11_ablations");
-    a1_notify_dir(&mut report);
-    a2_cache_modes(&mut report);
-    a3_trigger_info(&mut report);
-    a4_coalescing(&mut report);
-    a5_rpc_shards(&mut report);
+    let args = BenchArgs::parse();
+    let mut report = args.report("e11_ablations");
+    a1_notify_dir(&args, &mut report);
+    a2_cache_modes(&args, &mut report);
+    a3_trigger_info(&args, &mut report);
+    a4_coalescing(&args, &mut report);
+    a5_rpc_shards(&args, &mut report);
     report.save();
 }

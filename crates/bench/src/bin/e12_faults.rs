@@ -16,7 +16,7 @@
 //! Run: `cargo run --release -p farmem-bench --bin e12_faults`
 
 use farmem_alloc::{AllocHint, FarAlloc};
-use farmem_bench::Table;
+use farmem_bench::{BenchArgs, Table};
 use farmem_core::{
     FarQueue, HtTree, HtTreeConfig, QueueConfig, RefreshPolicy, RefreshableVec, VecReader,
     VecWriter,
@@ -29,9 +29,9 @@ const SEED: u64 = 7;
 /// Injected per-verb failure probability, in ppm.
 const PPM_SWEEP: [u32; 6] = [0, 1_000, 5_000, 10_000, 20_000, 50_000];
 
-fn fabric(ppm: u32) -> std::sync::Arc<farmem_fabric::Fabric> {
+fn fabric(ppm: u32, seed: u64) -> std::sync::Arc<farmem_fabric::Fabric> {
     FabricConfig {
-        faults: FaultPlan::transient(ppm).with_seed(SEED),
+        faults: FaultPlan::transient(ppm).with_seed(seed),
         retry: RetryPolicy::DEFAULT,
         ..FabricConfig::count_only(128 << 20)
     }
@@ -53,8 +53,8 @@ impl Cell {
     }
 }
 
-fn run_httree(ppm: u32) -> Cell {
-    let f = fabric(ppm);
+fn run_httree(ppm: u32, seed: u64) -> Cell {
+    let f = fabric(ppm, seed);
     let alloc = FarAlloc::new(f.clone());
     let mut c = f.client();
     let cfg = HtTreeConfig { initial_buckets: 16, split_check_interval: 32, ..Default::default() };
@@ -78,8 +78,8 @@ fn run_httree(ppm: u32) -> Cell {
     Cell { ops, ok, stats: c.stats().since(&before), virtual_ns: c.now_ns() - t0 }
 }
 
-fn run_queue(ppm: u32) -> Cell {
-    let f = fabric(ppm);
+fn run_queue(ppm: u32, seed: u64) -> Cell {
+    let f = fabric(ppm, seed);
     let alloc = FarAlloc::new(f.clone());
     let mut c = f.client();
     let q = FarQueue::create(&mut c, &alloc, QueueConfig::new(64, 4)).unwrap();
@@ -109,8 +109,8 @@ fn run_queue(ppm: u32) -> Cell {
     Cell { ops, ok, stats: c.stats().since(&before), virtual_ns: c.now_ns() - t0 }
 }
 
-fn run_refvec(ppm: u32) -> Cell {
-    let f = fabric(ppm);
+fn run_refvec(ppm: u32, seed: u64) -> Cell {
+    let f = fabric(ppm, seed);
     let alloc = FarAlloc::new(f.clone());
     let mut w = f.client();
     let mut r = f.client();
@@ -141,16 +141,19 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
-type StructureRunner = fn(u32) -> Cell;
+type StructureRunner = fn(u32, u64) -> Cell;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed_or(SEED);
+    let ppm_sweep: &[u32] = if args.smoke { &[0, 10_000, 50_000] } else { &PPM_SWEEP };
     let structures: [(&str, StructureRunner); 3] =
         [("httree", run_httree), ("queue", run_queue), ("refvec", run_refvec)];
 
     let mut curves = Vec::new();
     for (name, run) in structures {
         let mut t = Table::new(
-            &format!("E12: {name} under injected faults (count-only cost, seed {SEED})"),
+            &format!("E12: {name} under injected faults (count-only cost, seed {seed})"),
             &[
                 "fault ppm",
                 "ops",
@@ -164,8 +167,8 @@ fn main() {
         );
         let mut points = Vec::new();
         let mut baseline: Option<Cell> = None;
-        for ppm in PPM_SWEEP {
-            let cell = run(ppm);
+        for &ppm in ppm_sweep {
+            let cell = run(ppm, seed);
             let (base_rt, base_ns) = match &baseline {
                 Some(b) => (b.stats.round_trips as f64 / b.ops as f64, b.virtual_ns as f64 / b.ops as f64),
                 None => (0.0, 0.0),
@@ -200,30 +203,39 @@ fn main() {
                 baseline = Some(cell);
             }
         }
-        t.print();
+        if args.verbose() {
+            t.print();
+        }
         curves.push(format!(
             "{{\"structure\":\"{}\",\"points\":[{}]}}",
             json_escape_free(name),
             points.join(",")
         ));
     }
-    println!(
-        "Transient faults cost retries, not failures: the seeded backoff layer\n\
-         holds the success rate at 1.0 across the sweep while the extra round\n\
-         trips grow roughly linearly with the injected fault rate."
-    );
+    if args.verbose() {
+        println!(
+            "Transient faults cost retries, not failures: the seeded backoff layer\n\
+             holds the success rate at 1.0 across the sweep while the extra round\n\
+             trips grow roughly linearly with the injected fault rate."
+        );
+    }
 
     let json = format!(
-        "{{\"schema_version\":1,\"experiment\":\"e12_faults\",\"cost_model\":\"count_only\",\"seed\":{SEED},\
+        "{{\"schema_version\":1,\"experiment\":\"e12_faults\",\"cost_model\":\"count_only\",\"seed\":{seed},\
          \"retry_policy\":{{\"max_attempts\":{},\"base_backoff_ns\":{},\"max_backoff_ns\":{}}},\
          \"fault_ppm_sweep\":[{}],\"curves\":[{}]}}\n",
         RetryPolicy::DEFAULT.max_attempts,
         RetryPolicy::DEFAULT.base_backoff_ns,
         RetryPolicy::DEFAULT.max_backoff_ns,
-        PPM_SWEEP.map(|p| p.to_string()).join(","),
+        ppm_sweep.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(","),
         curves.join(",")
     );
     std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/e12_faults.json", json).expect("write results/e12_faults.json");
-    println!("\nwrote results/e12_faults.json");
+    std::fs::write("results/e12_faults.json", &json).expect("write results/e12_faults.json");
+    if args.verbose() {
+        println!("\nwrote results/e12_faults.json");
+    } else {
+        print!("{json}");
+        eprintln!("wrote results/e12_faults.json");
+    }
 }

@@ -24,7 +24,7 @@
 //! (`--smoke` shrinks the workload for CI).
 
 use farmem_alloc::{AllocHint, FarAlloc};
-use farmem_bench::{Json, Report, Table};
+use farmem_bench::{BenchArgs, Json, Table};
 use farmem_core::{FarMutex, FarQueue, HtTree, HtTreeConfig, QueueConfig};
 use farmem_fabric::{FabricConfig, FaultPlan, RetryPolicy, TraceConfig, TraceReport};
 
@@ -92,15 +92,15 @@ fn verb_table(rep: &TraceReport) -> Table {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let scale: u64 = if smoke { 1 } else { 10 };
+    let args = BenchArgs::parse();
+    let scale: u64 = args.scaled(10, 1);
     let puts = 400 * scale;
     let gets = 800 * scale;
     let qops = 600 * scale;
     let locks = 100 * scale;
 
     let fabric = FabricConfig {
-        faults: FaultPlan::transient(FAULT_PPM).with_seed(SEED),
+        faults: FaultPlan::transient(FAULT_PPM).with_seed(args.seed_or(SEED)),
         retry: RetryPolicy::DEFAULT,
         ..FabricConfig::single_node(256 << 20)
     }
@@ -162,7 +162,7 @@ fn main() {
     let ratio = rep.attribution_ratio();
     assert!(ratio >= 0.95, "attribution ratio {ratio:.4} < 0.95");
 
-    let mut report = Report::new("e13_trace");
+    let mut report = args.report("e13_trace");
     report.add(span_table(&rep));
     report.add(verb_table(&rep));
 
@@ -197,12 +197,14 @@ fn main() {
     }
     report.add(t);
 
-    println!(
-        "\n{:.1}% of {} round trips attributed to named spans; \
-         attribution reconciles with the flat counters field-for-field.",
-        ratio * 100.0,
-        rep.total.round_trips
-    );
+    if args.verbose() {
+        println!(
+            "\n{:.1}% of {} round trips attributed to named spans; \
+             attribution reconciles with the flat counters field-for-field.",
+            ratio * 100.0,
+            rep.total.round_trips
+        );
+    }
 
     report.save();
 
@@ -210,8 +212,8 @@ fn main() {
     Json::parse(&chrome).expect("chrome trace must be valid JSON");
     std::fs::write("results/e13_trace.perfetto.json", &chrome)
         .expect("write results/e13_trace.perfetto.json");
-    println!("wrote results/e13_trace.perfetto.json (load at https://ui.perfetto.dev)");
+    eprintln!("wrote results/e13_trace.perfetto.json (load at https://ui.perfetto.dev)");
     std::fs::write("results/e13_trace.jsonl", tracer.jsonl())
         .expect("write results/e13_trace.jsonl");
-    println!("wrote results/e13_trace.jsonl");
+    eprintln!("wrote results/e13_trace.jsonl");
 }

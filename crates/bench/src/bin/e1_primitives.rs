@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p farmem-bench --bin e1_primitives`
 
-use farmem_bench::{Report, Table};
+use farmem_bench::{BenchArgs, Table};
 use farmem_fabric::{FabricClient, FabricConfig, FarAddr, FarIov};
 
 fn measure(
@@ -22,7 +22,8 @@ fn measure(
 }
 
 fn main() {
-    let mut report = Report::new("e1_primitives");
+    let args = BenchArgs::parse();
+    let mut report = args.report("e1_primitives");
     let fabric = FabricConfig::single_node(64 << 20).build();
     let mut c = fabric.client();
 
@@ -193,9 +194,11 @@ fn main() {
         t.row(vec![w.to_string(), (w + 1).to_string(), "1 (sub) + 1 (event)".into()]);
     }
     report.add(t);
-    println!(
-        "\nEvery indirect verb runs in ONE far access vs two emulated; gather/scatter\n\
-         collapse k dependent round trips into one; notifications replace O(w) polls."
-    );
+    if args.verbose() {
+        println!(
+            "\nEvery indirect verb runs in ONE far access vs two emulated; gather/scatter\n\
+             collapse k dependent round trips into one; notifications replace O(w) polls."
+        );
+    }
     report.save();
 }

@@ -9,19 +9,23 @@
 
 use farmem_alloc::FarAlloc;
 use farmem_baselines::{OneSidedBTree, OneSidedList, OneSidedSkipList};
-use farmem_bench::{KeyDist, Report, Table};
+use farmem_bench::{BenchArgs, KeyDist, Table};
 use farmem_core::{HtTree, HtTreeConfig};
 use farmem_fabric::FabricConfig;
 
 const PROBES: u64 = 200;
 
 fn main() {
-    let mut report = Report::new("e2_access_complexity");
+    let args = BenchArgs::parse();
+    let probes = args.scaled(PROBES, 20);
+    let seed = args.seed_or(0);
+    let mut report = args.report("e2_access_complexity");
     let mut t = Table::new(
         "E2: average far accesses per lookup vs number of items",
         &["n", "linked list", "skip list", "B-tree", "HT-tree"],
     );
-    for exp in [2u32, 4, 6, 8, 10, 12, 14] {
+    let exps: &[u32] = if args.smoke { &[2, 6, 10] } else { &[2, 4, 6, 8, 10, 12, 14] };
+    for &exp in exps {
         let n = 1u64 << exp;
         let fabric = FabricConfig::count_only(1 << 30).build();
         let alloc = FarAlloc::new(fabric.clone());
@@ -33,12 +37,12 @@ fn main() {
             for k in 0..n {
                 list.insert(&mut c, k, k).unwrap();
             }
-            let mut dist = KeyDist::uniform(n, 1);
+            let mut dist = KeyDist::uniform(n, seed + 1);
             let before = c.stats();
-            for _ in 0..PROBES {
+            for _ in 0..probes {
                 list.get(&mut c, dist.next_key()).unwrap();
             }
-            format!("{:.1}", (c.stats().since(&before).round_trips) as f64 / PROBES as f64)
+            format!("{:.1}", (c.stats().since(&before).round_trips) as f64 / probes as f64)
         } else {
             "(skipped)".to_string()
         };
@@ -47,21 +51,21 @@ fn main() {
         for k in 0..n {
             skip.insert(&mut c, k, k).unwrap();
         }
-        let mut dist = KeyDist::uniform(n, 2);
+        let mut dist = KeyDist::uniform(n, seed + 2);
         let before = c.stats();
-        for _ in 0..PROBES {
+        for _ in 0..probes {
             skip.get(&mut c, dist.next_key()).unwrap();
         }
-        let skip_cost = (c.stats().since(&before).round_trips) as f64 / PROBES as f64;
+        let skip_cost = (c.stats().since(&before).round_trips) as f64 / probes as f64;
 
         let items: Vec<(u64, u64)> = (0..n).map(|k| (k, k)).collect();
         let btree = OneSidedBTree::build(&mut c, &alloc, &items, 0).unwrap();
-        let mut dist = KeyDist::uniform(n, 3);
+        let mut dist = KeyDist::uniform(n, seed + 3);
         let before = c.stats();
-        for _ in 0..PROBES {
+        for _ in 0..probes {
             btree.get(&mut c, dist.next_key()).unwrap();
         }
-        let btree_cost = (c.stats().since(&before).round_trips) as f64 / PROBES as f64;
+        let btree_cost = (c.stats().since(&before).round_trips) as f64 / probes as f64;
 
         let cfg = HtTreeConfig {
             initial_buckets: 1024,
@@ -75,12 +79,12 @@ fn main() {
         }
         // Fresh handle so the client cache reflects all splits.
         let mut h = tree.attach(&mut c, &alloc, cfg).unwrap();
-        let mut dist = KeyDist::uniform(n, 4);
+        let mut dist = KeyDist::uniform(n, seed + 4);
         let before = c.stats();
-        for _ in 0..PROBES {
+        for _ in 0..probes {
             h.get(&mut c, dist.next_key()).unwrap();
         }
-        let ht_cost = (c.stats().since(&before).round_trips) as f64 / PROBES as f64;
+        let ht_cost = (c.stats().since(&before).round_trips) as f64 / probes as f64;
 
         t.row(vec![
             n.to_string(),
@@ -91,9 +95,11 @@ fn main() {
         ]);
     }
     report.add(t);
-    println!(
-        "\nShape check: the list grows linearly, skip list and B-tree logarithmically,\n\
-         and the HT-tree stays at ~1 far access regardless of n (§3.1's requirement)."
-    );
+    if args.verbose() {
+        println!(
+            "\nShape check: the list grows linearly, skip list and B-tree logarithmically,\n\
+             and the HT-tree stays at ~1 far access regardless of n (§3.1's requirement)."
+        );
+    }
     report.save();
 }

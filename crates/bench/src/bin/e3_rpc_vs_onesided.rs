@@ -13,7 +13,7 @@
 
 use farmem_alloc::FarAlloc;
 use farmem_baselines::{ChainedHash, HopscotchHash, RpcKv};
-use farmem_bench::{KeyDist, Report, Table};
+use farmem_bench::{BenchArgs, KeyDist, Table};
 use farmem_core::{HtTree, HtTreeConfig};
 use farmem_fabric::{CostModel, FabricConfig, Striping};
 use farmem_rpc::ServerCpu;
@@ -86,7 +86,10 @@ fn run_onesided(
 }
 
 fn main() {
-    let mut report = Report::new("e3_rpc_vs_onesided");
+    let args = BenchArgs::parse();
+    let mut report = args.report("e3_rpc_vs_onesided");
+    let seed = args.seed_or(0);
+    let client_counts: &[usize] = if args.smoke { &CLIENT_COUNTS[..3] } else { &CLIENT_COUNTS };
     let mut table = Table::new(
         "E3: KV lookups, Zipf(0.99) keys — latency (virtual ns/op) and throughput (Mops/s) vs clients",
         &[
@@ -94,7 +97,7 @@ fn main() {
         ],
     );
 
-    for &k in &CLIENT_COUNTS {
+    for &k in client_counts {
         // ---- traditional one-sided chained hash (refs [24,25] strawman) ----
         {
             let f = fabric();
@@ -116,7 +119,7 @@ fn main() {
                 .map(|_| ChainedHash::attach(t.buckets_addr(), t.n_buckets(), &alloc, false))
                 .collect();
             let mut dists: Vec<_> =
-                (0..k).map(|i| KeyDist::zipf(KEYS, ZIPF_THETA, 10 + i as u64)).collect();
+                (0..k).map(|i| KeyDist::zipf(KEYS, ZIPF_THETA, seed + 10 + i as u64)).collect();
             let o = run_onesided(k, &mut clients, |i, c| {
                 handles[i].get(c, dists[i].next_key()).unwrap();
             });
@@ -150,7 +153,7 @@ fn main() {
             let handles: Vec<_> =
                 (0..k).map(|_| HopscotchHash::attach(t.slots_addr(), t.n_slots())).collect();
             let mut dists: Vec<_> =
-                (0..k).map(|i| KeyDist::zipf(KEYS, ZIPF_THETA, 20 + i as u64)).collect();
+                (0..k).map(|i| KeyDist::zipf(KEYS, ZIPF_THETA, seed + 20 + i as u64)).collect();
             let o = run_onesided(k, &mut clients, |i, c| {
                 handles[i].get(c, dists[i].next_key()).unwrap();
             });
@@ -191,7 +194,7 @@ fn main() {
                 .map(|c| tree.attach(c, &alloc, cfg).unwrap())
                 .collect();
             let mut dists: Vec<_> =
-                (0..k).map(|i| KeyDist::zipf(KEYS, ZIPF_THETA, 30 + i as u64)).collect();
+                (0..k).map(|i| KeyDist::zipf(KEYS, ZIPF_THETA, seed + 30 + i as u64)).collect();
             let o = run_onesided(k, &mut clients, |i, c| {
                 handles[i].get(c, dists[i].next_key()).unwrap();
             });
@@ -215,7 +218,7 @@ fn main() {
             // Join the others after the load finished.
             let t_load = kvs[0].now_ns();
             let mut dists: Vec<_> =
-                (0..k).map(|i| KeyDist::zipf(KEYS, ZIPF_THETA, 40 + i as u64)).collect();
+                (0..k).map(|i| KeyDist::zipf(KEYS, ZIPF_THETA, seed + 40 + i as u64)).collect();
             for (i, kv) in kvs.iter_mut().enumerate() {
                 kv.rpc_advance(t_load + i as u64 * 2_700 / k as u64);
             }
@@ -252,6 +255,13 @@ fn main() {
         }
     }
     report.add(table);
+    if args.verbose() {
+        print_shape_note();
+    }
+    report.save();
+}
+
+fn print_shape_note() {
     println!(
         "\nShape check (paper's argument):\n\
          * at low k, RPC (~1 RT + CPU) beats the 2+-RT chained table — the refs [24,25] result;\n\
@@ -259,5 +269,4 @@ fn main() {
          * as k grows, the RPC server CPU saturates (ns/op climbs, Mops/s caps at ~2)\n\
            while one-sided designs scale with the fabric."
     );
-    report.save();
 }

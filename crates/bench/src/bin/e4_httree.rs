@@ -14,12 +14,13 @@
 //! Run: `cargo run --release -p farmem-bench --bin e4_httree`
 
 use farmem_alloc::FarAlloc;
-use farmem_bench::{Report, Table};
+use farmem_bench::{BenchArgs, Table};
 use farmem_core::{HtTree, HtTreeConfig};
 use farmem_fabric::{CostModel, FabricConfig, Striping};
 
 fn main() {
-    let mut report = Report::new("e4_httree");
+    let args = BenchArgs::parse();
+    let mut report = args.report("e4_httree");
     let fabric = FabricConfig {
         nodes: 4,
         node_capacity: 1 << 30,
@@ -39,7 +40,7 @@ fn main() {
     let mut h = tree.attach(&mut c, &alloc, cfg).unwrap();
 
     // Load 1M items, measuring amortized store cost as we go.
-    let n: u64 = 1_000_000;
+    let n: u64 = args.scaled(1_000_000, 20_000);
     let before = c.stats();
     for k in 0..n {
         h.put(&mut c, k.wrapping_mul(0x9e37_79b9_7f4a_7c15), k).unwrap();
@@ -49,7 +50,7 @@ fn main() {
 
     // Fresh handle: fresh cache, then measure per-op costs.
     let mut h = tree.attach(&mut c, &alloc, cfg).unwrap();
-    let probes = 50_000u64;
+    let probes = args.scaled(50_000, 2_000);
     let before = c.stats();
     for k in 0..probes {
         let key = (k * 17 % n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -86,10 +87,12 @@ fn main() {
     row("store (update)", stores, probes);
     row("store (amortized load, incl. splits)", load, n);
     report.add(t);
-    println!(
-        "paper: lookups 1 far access; stores 2 (version check gathers with the bucket\n\
-         read; the item write rides the fenced CAS batch); splits amortize away."
-    );
+    if args.verbose() {
+        println!(
+            "paper: lookups 1 far access; stores 2 (version check gathers with the bucket\n\
+             read; the item write rides the fenced CAS batch); splits amortize away."
+        );
+    }
 
     // Cache arithmetic.
     let mut t = Table::new(
@@ -128,12 +131,14 @@ fn main() {
         "extrapolated @ paper leaf size".into(),
     ]);
     report.add(t);
-    println!(
-        "paper: 10^12 items ⇒ ~10M tree nodes, 100s of MB of client cache. Our leaves\n\
-         hold ~{items_per_leaf:.0} items ({}-bucket tables at 75% load), so the ratio lands in the\n\
-         same regime; the cache grows with the TREE, not with the data.",
-        cfg.initial_buckets
-    );
+    if args.verbose() {
+        println!(
+            "paper: 10^12 items ⇒ ~10M tree nodes, 100s of MB of client cache. Our leaves\n\
+             hold ~{items_per_leaf:.0} items ({}-bucket tables at 75% load), so the ratio lands in the\n\
+             same regime; the cache grows with the TREE, not with the data.",
+            cfg.initial_buckets
+        );
+    }
 
     // Split isolation: split one leaf, count accesses other leaves see.
     let mut t = Table::new(
@@ -165,9 +170,11 @@ fn main() {
         refreshes.to_string(),
     ]);
     report.add(t);
-    println!(
-        "Only lookups landing on the split range pay the refresh; the rest of the\n\
-         tree keeps serving at one far access."
-    );
+    if args.verbose() {
+        println!(
+            "Only lookups landing on the split range pay the refresh; the rest of the\n\
+             tree keeps serving at one far access."
+        );
+    }
     report.save();
 }

@@ -12,7 +12,7 @@
 
 use farmem_alloc::FarAlloc;
 use farmem_baselines::{CasQueue, LockQueue};
-use farmem_bench::{Report, Table};
+use farmem_bench::{BenchArgs, Table};
 use farmem_core::{CoreError, FarQueue, QueueConfig};
 use farmem_fabric::{CostModel, FabricConfig};
 
@@ -21,7 +21,8 @@ fn fabric() -> std::sync::Arc<farmem_fabric::Fabric> {
 }
 
 fn main() {
-    let mut report = Report::new("e5_queue");
+    let args = BenchArgs::parse();
+    let mut report = args.report("e5_queue");
     // E5a: per-op far accesses, single client, steady state.
     let mut t = Table::new(
         "E5a: far accesses per queue operation (uncontended steady state)",
@@ -118,7 +119,7 @@ fn main() {
         &["p", "far queue", "CAS queue", "lock queue"],
     );
     for p in [1usize, 2, 4, 8, 16] {
-        let ops_each = 2000u64;
+        let ops_each = args.scaled(2000, 200);
         // far queue
         let far_mops = {
             let f = fabric();
@@ -258,7 +259,7 @@ fn main() {
         let mut c = f.client();
         let q = FarQueue::create(&mut c, &alloc, QueueConfig::new(n_slots, 2)).unwrap();
         let mut h = FarQueue::attach(&mut c, q.hdr()).unwrap();
-        let ops = 20_000u64;
+        let ops = args.scaled(20_000, 2_000);
         let before = c.stats();
         for i in 0..ops / 2 {
             h.enqueue(&mut c, i).unwrap();
@@ -275,10 +276,12 @@ fn main() {
         ]);
     }
     report.add(t);
-    println!(
-        "\nShape check: the far queue runs at ~1 far access/op vs 3.5–5.5 for the\n\
-         comparators, scales with producers/consumers, and its slow path amortizes\n\
-         as ~capacity ops pass between wrap repairs."
-    );
+    if args.verbose() {
+        println!(
+            "\nShape check: the far queue runs at ~1 far access/op vs 3.5–5.5 for the\n\
+             comparators, scales with producers/consumers, and its slow path amortizes\n\
+             as ~capacity ops pass between wrap repairs."
+        );
+    }
     report.save();
 }

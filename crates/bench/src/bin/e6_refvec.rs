@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p farmem-bench --bin e6_refvec`
 
 use farmem_alloc::{AllocHint, FarAlloc};
-use farmem_bench::{DecayingRate, Report, Table};
+use farmem_bench::{BenchArgs, DecayingRate, Table};
 use farmem_core::{RefreshMode, RefreshPolicy, RefreshableVec, VecReader, VecWriter};
 use farmem_fabric::{CostModel, FabricConfig};
 use rand::rngs::StdRng;
@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 const N: u64 = 1 << 16;
 const GROUP: u64 = 64;
 
-fn run(policy: RefreshPolicy, label: &str, table: &mut Table) {
+fn run(policy: RefreshPolicy, label: &str, seed: u64, table: &mut Table) {
     let f = FabricConfig { cost: CostModel::COUNT_ONLY, ..FabricConfig::single_node(64 << 20) }
         .build();
     let alloc = FarAlloc::new(f.clone());
@@ -29,7 +29,7 @@ fn run(policy: RefreshPolicy, label: &str, table: &mut Table) {
     let writer = VecWriter::new(v);
     let mut r = f.client();
     let mut reader = VecReader::new(&mut r, v, policy).unwrap();
-    let mut rng = StdRng::seed_from_u64(17);
+    let mut rng = StdRng::seed_from_u64(seed);
     // Updates per refresh interval decay from ~1000 to ~0 ("convergence").
     let mut rate = DecayingRate::new(1000.0, 0.82, 0.01, 3);
     let mut shadow = vec![0u64; N as usize];
@@ -79,7 +79,9 @@ fn run(policy: RefreshPolicy, label: &str, table: &mut Table) {
 }
 
 fn main() {
-    let mut report = Report::new("e6_refvec");
+    let args = BenchArgs::parse();
+    let seed = args.seed_or(17);
+    let mut report = args.report("e6_refvec");
     let mut t = Table::new(
         "E6a: refresh cost per interval as the update rate decays (20 intervals per phase)",
         &["policy/phase", "far RT/refresh", "bytes/refresh", "groups/refresh", "final mode"],
@@ -87,20 +89,24 @@ fn main() {
     run(
         RefreshPolicy { initial: RefreshMode::Polling, dynamic: false, ..RefreshPolicy::default() },
         "poll-only",
+        seed,
         &mut t,
     );
     run(
         RefreshPolicy { initial: RefreshMode::Notify, dynamic: false, ..RefreshPolicy::default() },
         "notify-only",
+        seed,
         &mut t,
     );
-    run(RefreshPolicy::default(), "dynamic", &mut t);
+    run(RefreshPolicy::default(), "dynamic", seed, &mut t);
     report.add(t);
-    println!(
-        "phase 0 = hot (100s of updates/interval), phase 2 = converged (~0). The\n\
-         dynamic policy pays the version poll while hot and drops to zero-cost\n\
-         notification-driven refreshes once quiet (§5.4)."
-    );
+    if args.verbose() {
+        println!(
+            "phase 0 = hot (100s of updates/interval), phase 2 = converged (~0). The\n\
+             dynamic policy pays the version poll while hot and drops to zero-cost\n\
+             notification-driven refreshes once quiet (§5.4)."
+        );
+    }
 
     // E6b: against the naive alternative — re-reading the whole vector.
     let mut t = Table::new(
@@ -138,9 +144,11 @@ fn main() {
         ]);
     }
     report.add(t);
-    println!(
-        "A refresh costs at most two far accesses (version read + one gather of the\n\
-         changed groups) regardless of vector size — never a full re-read."
-    );
+    if args.verbose() {
+        println!(
+            "A refresh costs at most two far accesses (version read + one gather of the\n\
+             changed groups) regardless of vector size — never a full re-read."
+        );
+    }
     report.save();
 }

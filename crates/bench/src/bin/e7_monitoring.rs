@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p farmem-bench --bin e7_monitoring`
 
 use farmem_alloc::FarAlloc;
-use farmem_bench::{Report, Table};
+use farmem_bench::{BenchArgs, Table};
 use farmem_fabric::{CostModel, FabricConfig};
 use farmem_monitor::{AlarmSpec, HistogramMonitor, NaiveMonitor, Severity};
 use rand::rngs::StdRng;
@@ -22,7 +22,10 @@ const N_PER_WINDOW: u64 = 100_000;
 const WINDOWS: u64 = 3;
 
 fn main() {
-    let mut report = Report::new("e7_monitoring");
+    let args = BenchArgs::parse();
+    let n_per_window = args.scaled(N_PER_WINDOW, 5_000);
+    let seed = args.seed_or(7);
+    let mut report = args.report("e7_monitoring");
     let mut t = Table::new(
         "E7: far-memory transfers, naive vs histogram design (N = 300000 samples over 3 windows)",
         &[
@@ -55,10 +58,10 @@ fn main() {
             let baseline_consumer: Vec<_> =
                 consumers.iter().map(|(cc, _)| cc.stats()).collect();
             let p_before = pc.stats();
-            let mut rng = StdRng::seed_from_u64(7);
+            let mut rng = StdRng::seed_from_u64(seed);
             let mut alarms = 0usize;
             for _ in 0..WINDOWS {
-                for s in 0..N_PER_WINDOW {
+                for s in 0..n_per_window {
                     let sample: u64 = if rng.gen_bool(alarm_pct / 100.0) {
                         70 + rng.gen_range(0..31)
                     } else {
@@ -90,11 +93,11 @@ fn main() {
 
             // --- naive design ---
             let mut npc = f.client();
-            let nm = NaiveMonitor::create(&mut npc, &alloc, WINDOWS * N_PER_WINDOW).unwrap();
+            let nm = NaiveMonitor::create(&mut npc, &alloc, WINDOWS * n_per_window).unwrap();
             let mut np = nm.producer();
             let np_before = npc.stats();
-            let mut rng = StdRng::seed_from_u64(7);
-            for _ in 0..WINDOWS * N_PER_WINDOW {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..WINDOWS * n_per_window {
                 let sample: u64 = if rng.gen_bool(alarm_pct / 100.0) {
                     70 + rng.gen_range(0..31)
                 } else {
@@ -109,7 +112,7 @@ fn main() {
                 let mut cons = nm.consumer();
                 let before = cc.stats();
                 // Consumers poll on the same cadence as above.
-                for _ in 0..(WINDOWS * N_PER_WINDOW / 1000) {
+                for _ in 0..(WINDOWS * n_per_window / 1000) {
                     cons.poll(&mut cc).unwrap();
                 }
                 // Count sample words transferred, not poll messages: the
@@ -130,10 +133,12 @@ fn main() {
         }
     }
     report.add(t);
-    println!(
-        "\nShape check: naive traffic ≈ (k+1)·N and grows with consumers; the\n\
-         histogram design stays at ≈ N producer accesses plus m ≪ N notifications,\n\
-         with m tracking the alarm rate, independent of k in the normal case."
-    );
+    if args.verbose() {
+        println!(
+            "\nShape check: naive traffic ≈ (k+1)·N and grows with consumers; the\n\
+             histogram design stays at ≈ N producer accesses plus m ≪ N notifications,\n\
+             with m tracking the alarm rate, independent of k in the normal case."
+        );
+    }
     report.save();
 }

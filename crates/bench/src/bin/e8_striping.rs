@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p farmem-bench --bin e8_striping`
 
 use farmem_alloc::{AllocHint, FarAlloc};
-use farmem_bench::{Report, Table};
+use farmem_bench::{BenchArgs, Table};
 use farmem_fabric::{
     CostModel, FabricConfig, FarAddr, IndirectionMode, NodeId, Striping, WORD,
 };
@@ -39,7 +39,9 @@ fn build(
 }
 
 fn main() {
-    let mut report = Report::new("e8_striping");
+    let args = BenchArgs::parse();
+    let seed = args.seed_or(5);
+    let mut report = args.report("e8_striping");
     let mut t = Table::new(
         "E8a: cross-node indirection — forwarding vs error-return vs locality hints",
         &[
@@ -47,8 +49,9 @@ fn main() {
             "reissues/op", "ns/op",
         ],
     );
-    let ops = 20_000u64;
-    for &nodes in &[2u32, 4, 8, 16] {
+    let ops = args.scaled(20_000, 2_000);
+    let node_counts: &[u32] = if args.smoke { &[2, 8] } else { &[2, 4, 8, 16] };
+    for &nodes in node_counts {
         for &localize in &[false, true] {
             for &mode in &[IndirectionMode::Forward, IndirectionMode::Error] {
                 let f = FabricConfig {
@@ -63,7 +66,7 @@ fn main() {
                 let alloc = FarAlloc::new(f.clone());
                 let mut c = f.client();
                 let ptrs = build(&mut c, &alloc, 4096, localize);
-                let mut rng = StdRng::seed_from_u64(5);
+                let mut rng = StdRng::seed_from_u64(seed);
                 let t0 = c.now_ns();
                 let before = c.stats();
                 for _ in 0..ops {
@@ -86,12 +89,14 @@ fn main() {
         }
     }
     report.add(t);
-    println!(
-        "Without hints, a fraction ≈ (nodes−1)/nodes of dereferences land remote:\n\
-         forwarding keeps them at one client round trip (+0.5 µs memory-side hop),\n\
-         error mode pays a full second round trip. Colocation hints (§7.1\n\
-         \"localized placement\") remove the remote fraction entirely."
-    );
+    if args.verbose() {
+        println!(
+            "Without hints, a fraction ≈ (nodes−1)/nodes of dereferences land remote:\n\
+             forwarding keeps them at one client round trip (+0.5 µs memory-side hop),\n\
+             error mode pays a full second round trip. Colocation hints (§7.1\n\
+             \"localized placement\") remove the remote fraction entirely."
+        );
+    }
 
     // E8b: striped vs node-local placement for bulk bandwidth.
     let mut t = Table::new(
@@ -143,9 +148,11 @@ fn main() {
         ]);
     }
     report.add(t);
-    println!(
-        "Striping spreads the transfer across all nodes' interfaces (§7.1's\n\
-         bandwidth argument); a single node serializes it."
-    );
+    if args.verbose() {
+        println!(
+            "Striping spreads the transfer across all nodes' interfaces (§7.1's\n\
+             bandwidth argument); a single node serializes it."
+        );
+    }
     report.save();
 }

@@ -11,7 +11,7 @@
 //!
 //! Run: `cargo run --release -p farmem-bench --bin e9_notify_scale`
 
-use farmem_bench::{Report, Table};
+use farmem_bench::{BenchArgs, Table};
 use farmem_fabric::{
     Broker, CostModel, DeliveryPolicy, EventSink, FabricConfig, FarAddr, PAGE, WORD,
 };
@@ -19,7 +19,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let mut report = Report::new("e9_notify_scale");
+    let args = BenchArgs::parse();
+    let seed = args.seed_or(11);
+    let mut report = args.report("e9_notify_scale");
     // E9a: coarsening — hardware subscriptions vs false positives.
     let mut t = Table::new(
         "E9a: range coarsening — hardware subscriptions vs false positives (10k soft subs)",
@@ -50,8 +52,8 @@ fn main() {
         }
         // Uniform writes across the watched pages: 1/8 of them hit a
         // watched word (the others are false-positive bait).
-        let mut rng = StdRng::seed_from_u64(11);
-        let writes = 20_000u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let writes = args.scaled(20_000, 2_000);
         for _ in 0..writes {
             let page = rng.gen_range(0..soft / 8);
             let slot = rng.gen_range(0..512);
@@ -73,11 +75,13 @@ fn main() {
         ]);
     }
     report.add(t);
-    println!(
-        "Coarsening cuts hardware subscriptions 8×. With trigger information the\n\
-         software layer filters the false positives exactly (§7.2's alternative);\n\
-         without it, subscribers receive them and must check their own data."
-    );
+    if args.verbose() {
+        println!(
+            "Coarsening cuts hardware subscriptions 8×. With trigger information the\n\
+             software layer filters the false positives exactly (§7.2's alternative);\n\
+             without it, subscribers receive them and must check their own data."
+        );
+    }
 
     // E9b: temporal coalescing and spike drops.
     let mut t = Table::new(
@@ -119,11 +123,13 @@ fn main() {
         ]);
     }
     report.add(t);
-    println!(
-        "Coalescing collapses the burst into one pending event; a bounded queue\n\
-         drops the excess but replaces it with a Lost warning the data structure\n\
-         acts on (the refreshable vector and the monitor both fall back to polls)."
-    );
+    if args.verbose() {
+        println!(
+            "Coalescing collapses the burst into one pending event; a bounded queue\n\
+             drops the excess but replaces it with a Lost warning the data structure\n\
+             acts on (the refreshable vector and the monitor both fall back to polls)."
+        );
+    }
 
     // E9c: broker fan-out to many subscribers.
     let mut t = Table::new(
@@ -158,9 +164,11 @@ fn main() {
         ]);
     }
     report.add(t);
-    println!(
-        "The hardware sees ONE subscriber regardless of s; the software broker\n\
-         multiplies deliveries off the fabric's critical path (§7.2's pub-sub tier)."
-    );
+    if args.verbose() {
+        println!(
+            "The hardware sees ONE subscriber regardless of s; the software broker\n\
+             multiplies deliveries off the fabric's critical path (§7.2's pub-sub tier)."
+        );
+    }
     report.save();
 }

@@ -8,11 +8,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod fleet;
 pub mod json;
 pub mod report;
 pub mod workload;
 
+pub use cli::BenchArgs;
 pub use fleet::{Fleet, FleetOutcome};
 pub use json::Json;
 pub use report::{Report, Table};

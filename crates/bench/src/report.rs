@@ -128,17 +128,28 @@ impl Table {
 pub struct Report {
     experiment: String,
     tables: Vec<Table>,
+    print_tables: bool,
 }
 
 impl Report {
     /// Creates a report for the named experiment (e.g. `"e4_httree"`).
     pub fn new(experiment: &str) -> Report {
-        Report { experiment: experiment.to_string(), tables: Vec::new() }
+        Report { experiment: experiment.to_string(), tables: Vec::new(), print_tables: true }
+    }
+
+    /// Controls stdout: `true` (default) prints each table as it is
+    /// added; `false` (the drivers' `--json` mode) keeps stdout clean
+    /// and [`save`](Report::save) prints the JSON document instead.
+    pub fn with_stdout(mut self, print_tables: bool) -> Report {
+        self.print_tables = print_tables;
+        self
     }
 
     /// Prints the table to stdout and keeps it for [`save`](Report::save).
     pub fn add(&mut self, table: Table) {
-        table.print();
+        if self.print_tables {
+            table.print();
+        }
         self.tables.push(table);
     }
 
@@ -157,12 +168,19 @@ impl Report {
         out
     }
 
-    /// Writes the JSON document to `results/<experiment>.json`.
+    /// Writes the JSON document to `results/<experiment>.json`. In
+    /// `--json` mode (tables suppressed) the document is also printed
+    /// to stdout and the status line moves to stderr.
     pub fn save(&self) {
         std::fs::create_dir_all("results").expect("create results/");
         let path = format!("results/{}.json", self.experiment);
         std::fs::write(&path, self.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
-        println!("\nwrote {path}");
+        if self.print_tables {
+            println!("\nwrote {path}");
+        } else {
+            print!("{}", self.to_json());
+            eprintln!("wrote {path}");
+        }
     }
 }
 

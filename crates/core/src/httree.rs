@@ -121,6 +121,14 @@ impl Item {
     }
 }
 
+/// Outcome of walking one bucket chain.
+enum Walk {
+    /// The lookup completed (`Some(value)` or absent).
+    Done(Option<u64>),
+    /// The leaf's version no longer matches the cache: refresh and retry.
+    Stale,
+}
+
 /// One cached directory entry: a key range and its hash table.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Entry {
@@ -428,6 +436,10 @@ impl HtTreeHandle {
         let _span = client.span("httree.get");
         self.stats.gets += 1;
         self.sync_directory(client)?;
+        self.get_inner(client, key)
+    }
+
+    fn get_inner(&mut self, client: &mut FabricClient, key: u64) -> Result<Option<u64>> {
         for attempt in 0..self.cfg.retry_budget {
             let entry = self.entry_for(client, key);
             let bucket = Self::bucket_addr(&entry, key);
@@ -442,29 +454,98 @@ impl HtTreeHandle {
                 }
                 Err(e) => return Err(e.into()),
             };
-            let mut item = first;
-            loop {
-                if item.plain_version() != entry.version {
+            match self.walk_chain(client, &entry, key, first)? {
+                Walk::Done(v) => return Ok(v),
+                Walk::Stale => {
                     // Stale cache (split/retire happened): refresh, retry.
                     // A concurrent splitter may still be mid-publish; back
                     // off in host time so it can finish.
                     self.stats.stale_refreshes += 1;
                     self.refresh_directory(client)?;
                     backoff(attempt);
-                    break;
                 }
-                if item.key == key {
-                    return Ok(if item.is_tombstone() { None } else { Some(item.value) });
-                }
-                if item.next == 0 {
-                    return Ok(None);
-                }
-                // Collision: follow the chain, one far access per hop.
-                self.stats.chain_hops += 1;
-                item = Item::decode(&client.read(FarAddr(item.next), ITEM_LEN)?);
             }
         }
         Err(CoreError::Contended)
+    }
+
+    /// Follows a bucket chain starting from its (already fetched) head
+    /// item; one far access per hop.
+    fn walk_chain(
+        &mut self,
+        client: &mut FabricClient,
+        entry: &Entry,
+        key: u64,
+        first: Item,
+    ) -> Result<Walk> {
+        let mut item = first;
+        loop {
+            if item.plain_version() != entry.version {
+                return Ok(Walk::Stale);
+            }
+            if item.key == key {
+                return Ok(Walk::Done(if item.is_tombstone() {
+                    None
+                } else {
+                    Some(item.value)
+                }));
+            }
+            if item.next == 0 {
+                return Ok(Walk::Done(None));
+            }
+            // Collision: follow the chain, one far access per hop.
+            self.stats.chain_hops += 1;
+            item = Item::decode(&client.read(FarAddr(item.next), ITEM_LEN)?);
+        }
+    }
+
+    /// Looks up many keys at once, prefetching every bucket's head item
+    /// through **one pipeline doorbell** (structure-level prefetch: the
+    /// cached tree knows each key's bucket address without any far
+    /// access, so all head loads can be in flight together). Chain hops
+    /// and stale-cache retries then complete per key exactly as
+    /// [`get`](Self::get) would; far accesses are identical to one `get`
+    /// per key, only the round trips overlap.
+    pub fn get_many(
+        &mut self,
+        client: &mut FabricClient,
+        keys: &[u64],
+    ) -> Result<Vec<Option<u64>>> {
+        let _span = client.span("httree.get_many");
+        self.stats.gets += keys.len() as u64;
+        self.sync_directory(client)?;
+        let entries: Vec<Entry> = keys.iter().map(|&k| self.entry_for(client, k)).collect();
+        let mut q = client.pipeline();
+        for (i, &key) in keys.iter().enumerate() {
+            q.load0(Self::bucket_addr(&entries[i], key), ITEM_LEN);
+        }
+        let mut cq = q.commit();
+        let mut out = Vec::with_capacity(keys.len());
+        for (i, &key) in keys.iter().enumerate() {
+            let prefetched = match cq.take(i) {
+                Some(Ok(res)) => {
+                    let first = Item::decode(&res.into_bytes());
+                    match self.walk_chain(client, &entries[i], key, first)? {
+                        Walk::Done(v) => Some(v),
+                        Walk::Stale => {
+                            self.stats.stale_refreshes += 1;
+                            self.refresh_directory(client)?;
+                            None
+                        }
+                    }
+                }
+                // An empty bucket fails its descriptor with `NullDeref`
+                // (aborting the doorbell's tail): the key is absent.
+                Some(Err(farmem_fabric::FabricError::NullDeref { .. })) => Some(None),
+                // Failed or aborted descriptor: complete this key serially.
+                _ => None,
+            };
+            match prefetched {
+                Some(v) => out.push(v),
+                None => out.push(self.get_inner(client, key)?),
+            }
+        }
+        Ok(out)
     }
 
     /// Inserts or updates `key → value`. **Two far accesses** when the
@@ -606,15 +687,29 @@ impl HtTreeHandle {
                 Ok(i) => i,
                 Err(i) => i - 1,
             };
-            for idx in first..self.entries.len() {
-                let entry = self.entries[idx];
-                if entry.start_key > hi {
-                    break;
-                }
+            // Structure-level prefetch: the covered leaves' bucket arrays
+            // are fetched through one pipeline doorbell, so leaves on
+            // different nodes arrive overlapped instead of serialized.
+            let covered: Vec<Entry> = self.entries[first..]
+                .iter()
+                .take_while(|e| e.start_key <= hi)
+                .copied()
+                .collect();
+            let mut pq = client.pipeline();
+            for entry in &covered {
+                pq.read(entry.buckets, entry.n_buckets * WORD);
+            }
+            let mut bucket_cq = pq.commit();
+            for (idx, entry) in covered.iter().enumerate() {
+                let entry = *entry;
                 // Drain the leaf with batched transfers, validating the
                 // table version along the way.
-                let bucket_words =
-                    words(&client.read(entry.buckets, entry.n_buckets * WORD)?);
+                let bucket_words = match bucket_cq.take(idx) {
+                    Some(Ok(res)) => words(&res.into_bytes()),
+                    // Failed or aborted descriptor: fall back to the
+                    // serial read (hard errors propagate from it).
+                    _ => words(&client.read(entry.buckets, entry.n_buckets * WORD)?),
+                };
                 let mut seen = std::collections::HashSet::new();
                 let mut frontier: Vec<u64> =
                     bucket_words.iter().copied().filter(|&p| p != 0).collect();
@@ -922,6 +1017,32 @@ mod tests {
         assert_eq!(h.get(&mut c, 12345).unwrap(), None);
         let d = c.stats().since(&before);
         assert_eq!(d.round_trips, 1, "absent lookup is also one far access");
+    }
+
+    #[test]
+    fn get_many_prefetches_through_one_doorbell() {
+        let (f, a, t) = setup(64 << 20);
+        let mut c = f.client();
+        let cfg = HtTreeConfig { initial_buckets: 4096, ..HtTreeConfig::default() };
+        let mut h = t.attach(&mut c, &a, cfg).unwrap();
+        for k in 0..16u64 {
+            h.put(&mut c, k * 7919, k * 10).unwrap();
+        }
+        let keys: Vec<u64> = (0..16u64).map(|k| k * 7919).collect();
+        let before = c.stats();
+        let got = h.get_many(&mut c, &keys).unwrap();
+        let d = c.stats().since(&before);
+        assert_eq!(got, (0..16u64).map(|k| Some(k * 10)).collect::<Vec<_>>());
+        assert_eq!(d.round_trips, 16, "far accesses identical to 16 serial gets");
+        assert_eq!(d.doorbells, 1, "all bucket heads prefetched together");
+        assert_eq!(d.pipelined_ops, 16);
+
+        // Absent keys complete too (an empty bucket aborts the doorbell's
+        // tail, which falls back to serial lookups — data stays correct).
+        let mixed: Vec<u64> = vec![0, 1, 7919, 2, 15838];
+        let got = h.get_many(&mut c, &mixed).unwrap();
+        assert_eq!(got, vec![Some(0), None, Some(10), None, Some(20)]);
+        assert_eq!(h.get_many(&mut c, &[]).unwrap(), Vec::<Option<u64>>::new());
     }
 
     #[test]

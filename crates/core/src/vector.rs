@@ -123,6 +123,101 @@ impl FarVec {
             .collect())
     }
 
+    /// Writes elements `[first, first+values.len())` in one far access:
+    /// the whole run is coalesced into a single `store2` (the fabric fans
+    /// the contiguous byte run out across stripe segments itself), instead
+    /// of one store per element.
+    pub fn write_range(
+        &self,
+        client: &mut FabricClient,
+        first: u64,
+        values: &[u64],
+    ) -> Result<()> {
+        let count = values.len() as u64;
+        if count == 0 || first + count > self.len {
+            return Err(CoreError::BadConfig("vector range out of bounds"));
+        }
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        match client.store2(self.hdr, first * WORD, &bytes) {
+            Err(farmem_fabric::FabricError::IndirectRemote { target, .. }) => {
+                Ok(client.write(target, &bytes)?)
+            }
+            other => Ok(other?),
+        }
+    }
+
+    /// Reads several ranges through one pipeline doorbell: all `load2`
+    /// descriptors share the issue time, so the virtual clock advances to
+    /// the *slowest* range instead of the sum (far accesses and bytes are
+    /// charged exactly as [`read_range`](Self::read_range) per range).
+    ///
+    /// A range whose descriptor fails (e.g. `IndirectRemote` on an
+    /// [`Error`](farmem_fabric::IndirectionMode::Error)-mode fabric, or a
+    /// doorbell aborted mid-flight) is re-read serially.
+    pub fn read_ranges(
+        &self,
+        client: &mut FabricClient,
+        ranges: &[(u64, u64)],
+    ) -> Result<Vec<Vec<u64>>> {
+        for &(first, count) in ranges {
+            if count == 0 || first + count > self.len {
+                return Err(CoreError::BadConfig("vector range out of bounds"));
+            }
+        }
+        let mut q = client.pipeline();
+        for &(first, count) in ranges {
+            q.load2(self.hdr, first * WORD, count * WORD);
+        }
+        let mut cq = q.commit();
+        let mut out = Vec::with_capacity(ranges.len());
+        for (i, &(first, count)) in ranges.iter().enumerate() {
+            match cq.take(i) {
+                Some(Ok(res)) => out.push(
+                    res.into_bytes()
+                        .chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk")))
+                        .collect(),
+                ),
+                _ => out.push(self.read_range(client, first, count)?),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes several ranges through one pipeline doorbell (see
+    /// [`read_ranges`](Self::read_ranges) for the overlap accounting).
+    /// Ranges whose descriptors did not complete — a torn doorbell aborts
+    /// the tail — are re-written serially, which is safe because these
+    /// writes are idempotent.
+    pub fn write_ranges(
+        &self,
+        client: &mut FabricClient,
+        writes: &[(u64, Vec<u64>)],
+    ) -> Result<()> {
+        for (first, values) in writes {
+            let count = values.len() as u64;
+            if count == 0 || first + count > self.len {
+                return Err(CoreError::BadConfig("vector range out of bounds"));
+            }
+        }
+        let mut q = client.pipeline();
+        for (first, values) in writes {
+            let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+            q.store2(self.hdr, first * WORD, &bytes);
+        }
+        let mut cq = q.commit();
+        if cq.status().is_ok() {
+            return Ok(());
+        }
+        for (i, (first, values)) in writes.iter().enumerate() {
+            match cq.take(i) {
+                Some(Ok(_)) => {}
+                _ => self.write_range(client, *first, values)?,
+            }
+        }
+        Ok(())
+    }
+
     /// Current base pointer (address of element 0). One far access.
     pub fn base(&self, client: &mut FabricClient) -> Result<FarAddr> {
         Ok(FarAddr(client.read_u64(self.hdr)?))
@@ -364,6 +459,51 @@ mod tests {
         assert_eq!(c.stats().since(&before).round_trips, 1);
         assert_eq!(r[0], 80);
         assert_eq!(r[15], 230);
+    }
+
+    #[test]
+    fn range_write_is_one_access() {
+        let (f, a) = setup();
+        let mut c = f.client();
+        let v = FarVec::create(&mut c, &a, 32, AllocHint::Spread).unwrap();
+        let values: Vec<u64> = (0..16).map(|i| i * 10).collect();
+        let before = c.stats();
+        v.write_range(&mut c, 8, &values).unwrap();
+        assert_eq!(c.stats().since(&before).round_trips, 1);
+        assert_eq!(v.read_range(&mut c, 8, 16).unwrap(), values);
+        assert!(v.write_range(&mut c, 20, &values).is_err(), "out of bounds");
+        assert!(v.write_range(&mut c, 0, &[]).is_err(), "empty range");
+    }
+
+    #[test]
+    fn pipelined_ranges_charge_serial_accesses_through_one_doorbell() {
+        let (f, a) = setup();
+        let mut c = f.client();
+        let v = FarVec::create(&mut c, &a, 64, AllocHint::Spread).unwrap();
+        let before = c.stats();
+        v.write_ranges(
+            &mut c,
+            &[
+                (0, (0..16).collect()),
+                (16, (100..116).collect()),
+                (48, (200..216).collect()),
+            ],
+        )
+        .unwrap();
+        let d = c.stats().since(&before);
+        assert_eq!(d.round_trips, 3, "one far access per range");
+        assert_eq!(d.doorbells, 1, "but a single doorbell");
+        assert_eq!(d.pipelined_ops, 3);
+
+        let before = c.stats();
+        let r = v.read_ranges(&mut c, &[(0, 16), (16, 16), (48, 16)]).unwrap();
+        let d = c.stats().since(&before);
+        assert_eq!(d.round_trips, 3);
+        assert_eq!(d.doorbells, 1);
+        assert_eq!(r[0], (0..16).collect::<Vec<u64>>());
+        assert_eq!(r[1], (100..116).collect::<Vec<u64>>());
+        assert_eq!(r[2], (200..216).collect::<Vec<u64>>());
+        assert!(v.read_ranges(&mut c, &[(0, 16), (60, 16)]).is_err());
     }
 
     #[test]

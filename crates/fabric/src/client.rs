@@ -291,6 +291,13 @@ impl FabricClient {
         &mut self.stats
     }
 
+    /// Moves the clock forward to `t` (used by the pipeline doorbell,
+    /// which advances to the *max* completion across its descriptors
+    /// instead of calling [`finish_rt`](Self::finish_rt) per descriptor).
+    pub(crate) fn clock_advance_to(&mut self, t: u64) {
+        self.clock.advance_to(t);
+    }
+
     // ----- fault injection and transparent retry (crate::fault) -----
 
     /// Rolls the fault plan for one verb attempt. Called at the top of

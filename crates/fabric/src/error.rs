@@ -85,6 +85,19 @@ pub enum FabricError {
         /// Number of leading ops that fully executed before the failure.
         executed: usize,
     },
+    /// A pipelined doorbell completed only partially: one or more
+    /// descriptors ultimately failed (non-transiently, or after
+    /// exhausting their per-descriptor retry budget) while at least one
+    /// side-effecting descriptor had already executed. Never classified
+    /// transient — blindly re-ringing the doorbell would re-apply the
+    /// completed descriptors. Completed results remain drainable from the
+    /// [`CompletionQueue`](crate::pipeline::CompletionQueue).
+    PipelineTorn {
+        /// Descriptors that fully completed before the failure surfaced.
+        completed: usize,
+        /// Descriptors that ultimately failed.
+        failed: usize,
+    },
 }
 
 impl FabricError {
@@ -142,6 +155,10 @@ impl core::fmt::Display for FabricError {
             FabricError::BatchTorn { node, executed } => write!(
                 f,
                 "node {node:?} failed mid-batch after {executed} ops executed (not retried)"
+            ),
+            FabricError::PipelineTorn { completed, failed } => write!(
+                f,
+                "pipeline torn: {completed} descriptors completed, {failed} failed (not retried)"
             ),
         }
     }

@@ -57,6 +57,7 @@ pub mod fabric;
 pub mod fault;
 pub mod node;
 pub mod notify;
+pub mod pipeline;
 pub mod stats;
 pub mod trace;
 
@@ -70,6 +71,7 @@ pub use fabric::{Fabric, FabricConfig, IndirectionMode};
 pub use fault::{FaultPlan, RetryPolicy};
 pub use node::{MemoryNode, NodeOccupancy};
 pub use notify::{DeliveryPolicy, Event, EventSink, SinkStats, SubId, SubKind};
+pub use pipeline::{CompletionQueue, IssueQueue, PipeOp, PipeOut};
 pub use stats::AccessStats;
 pub use trace::{
     LatencyHistogram, SpanAgg, SpanGuard, SpanSummary, TraceConfig, TraceEvent, TraceReport,

@@ -1,0 +1,1107 @@
+//! Pipelined one-sided operations: issue/completion queues with an
+//! overlap-aware virtual clock.
+//!
+//! Real one-sided fabrics hide their ~2 µs round-trip time by keeping many
+//! operations in flight: a client posts work-queue descriptors, rings one
+//! doorbell, and later drains a completion queue (RDMA QPs, Gen-Z). The
+//! synchronous verbs of [`FabricClient`] serialize independent accesses in
+//! virtual time even when they target *different* memory nodes, so striping
+//! never shows the bandwidth parallelism it exists to provide.
+//!
+//! [`FabricClient::pipeline`] returns an [`IssueQueue`]. Descriptors are
+//! posted with the same semantics as the serial verbs (reads, writes, CAS,
+//! FAA, gathers/scatters and `load0`-style indirection), then
+//! [`IssueQueue::commit`] rings the doorbell and returns a
+//! [`CompletionQueue`] holding one result per descriptor, in issue order.
+//!
+//! # Overlap-aware accounting
+//!
+//! Counting is *serial-identical*: every descriptor books the same round
+//! trips, messages, bytes and atomics the equivalent serial verb would, so
+//! the paper's access-count metric is unchanged by pipelining. Only the
+//! *clock* differs:
+//!
+//! * all descriptors share the doorbell's issue time, so their requests
+//!   arrive at the nodes together;
+//! * chains to the **same** node stay FIFO-serialized through the node's
+//!   work-conserving interface queue ([`MemoryNode::occupy`]) — per-node
+//!   bandwidth is never double-counted;
+//! * the client clock advances to the **max** completion across
+//!   descriptors, not the sum.
+//!
+//! The difference between the serial-equivalent latency sum and the actual
+//! elapsed time is booked as [`AccessStats::overlap_saved_ns`], next to
+//! `pipelined_ops` and `doorbells`.
+//!
+//! # Faults
+//!
+//! Faults compose with the existing machinery per descriptor: a transient
+//! fault retries **that descriptor alone** under the client's
+//! [`RetryPolicy`](crate::fault::RetryPolicy), with the usual
+//! backoff/jitter charged to the virtual clock. A descriptor that
+//! ultimately fails aborts the not-yet-executed tail (the queue enters an
+//! error state, as an RDMA QP would) and the commit surfaces
+//! [`FabricError::PipelineTorn`] when at least one side-effecting
+//! descriptor had already executed — blindly re-ringing the doorbell would
+//! duplicate those effects. Completed results remain drainable from the
+//! [`CompletionQueue`].
+//!
+//! [`MemoryNode::occupy`]: crate::node::MemoryNode::occupy
+//! [`AccessStats::overlap_saved_ns`]: crate::stats::AccessStats
+
+use crate::addr::FarAddr;
+use crate::client::FabricClient;
+use crate::error::{FabricError, Result};
+use crate::ext::sg::FarIov;
+use crate::fabric::IndirectionMode;
+use crate::trace::VerbKind;
+
+/// One posted descriptor (owned, so a queue can outlive its sources).
+#[derive(Clone, Debug)]
+pub enum PipeOp {
+    /// Read `len` bytes at `addr` (serial equivalent: [`FabricClient::read`]).
+    Read {
+        /// Source far address.
+        addr: FarAddr,
+        /// Bytes to read.
+        len: u64,
+    },
+    /// Write `data` at `addr` (serial equivalent: [`FabricClient::write`]).
+    Write {
+        /// Destination far address.
+        addr: FarAddr,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Read the aligned word at `addr`.
+    ReadU64 {
+        /// Word address.
+        addr: FarAddr,
+    },
+    /// Write the aligned word at `addr`.
+    WriteU64 {
+        /// Word address.
+        addr: FarAddr,
+        /// Value to store.
+        value: u64,
+    },
+    /// Compare-and-swap the word at `addr`; completes with the previous
+    /// value.
+    Cas {
+        /// Word address.
+        addr: FarAddr,
+        /// Expected value.
+        expected: u64,
+        /// Replacement value.
+        new: u64,
+    },
+    /// Fetch-and-add on the word at `addr`; completes with the previous
+    /// value.
+    Faa {
+        /// Word address.
+        addr: FarAddr,
+        /// Added value (wrapping).
+        delta: u64,
+    },
+    /// Gather disjoint far buffers into one completion buffer, in iovec
+    /// order (serial equivalent: [`FabricClient::rgather`]).
+    Gather {
+        /// The far iovec.
+        iov: Vec<FarIov>,
+    },
+    /// Scatter one buffer across disjoint far buffers (serial equivalent:
+    /// [`FabricClient::wscatter`]; iovec total must equal `data.len()`).
+    Scatter {
+        /// The far iovec.
+        iov: Vec<FarIov>,
+        /// Source bytes.
+        data: Vec<u8>,
+    },
+    /// Dereference the pointer at `ptr`, offset the target by `index`
+    /// bytes, and read `len` bytes there (serial equivalents:
+    /// [`FabricClient::load0`] with `index == 0`,
+    /// [`FabricClient::load2`](FabricClient::load2) otherwise). A
+    /// cross-node target is forwarded under [`IndirectionMode::Forward`];
+    /// under [`IndirectionMode::Error`] the descriptor fails with
+    /// [`FabricError::IndirectRemote`].
+    Load2 {
+        /// Far address of the pointer word.
+        ptr: FarAddr,
+        /// Byte offset added to the dereferenced pointer.
+        index: u64,
+        /// Bytes to read at the target.
+        len: u64,
+    },
+    /// Dereference the pointer at `ptr`, offset the target by `index`
+    /// bytes, and write `data` there (serial equivalents:
+    /// [`FabricClient::store0`] / [`FabricClient::store2`]). Remote-target
+    /// handling as for [`PipeOp::Load2`].
+    Store2 {
+        /// Far address of the pointer word.
+        ptr: FarAddr,
+        /// Byte offset added to the dereferenced pointer.
+        index: u64,
+        /// Bytes to write at the target.
+        data: Vec<u8>,
+    },
+    /// Guarded fetch-add-and-indirect-swap (serial equivalent:
+    /// [`FabricClient::faai_swap_guarded`]): atomically bump the pointer
+    /// at `ptr` by `delta` and swap the old target word with
+    /// `replacement`, provided `guard` (same node as `ptr`) holds
+    /// `expect` — the §5.3 queue's dequeue verb. Completes with
+    /// [`PipeOut::PtrWord`].
+    FaaiSwapGuarded {
+        /// Far address of the pointer word.
+        ptr: FarAddr,
+        /// Added to the pointer (wrapping).
+        delta: u64,
+        /// Word swapped into the old target.
+        replacement: u64,
+        /// Guard word address (must share `ptr`'s node).
+        guard: FarAddr,
+        /// Required guard value.
+        expect: u64,
+    },
+}
+
+impl PipeOp {
+    /// Whether executing this descriptor mutates far memory (the batch
+    /// `mutated` notion: a completed side effect makes a blind re-commit
+    /// unsafe).
+    fn has_side_effect(&self) -> bool {
+        !matches!(
+            self,
+            PipeOp::Read { .. }
+                | PipeOp::ReadU64 { .. }
+                | PipeOp::Gather { .. }
+                | PipeOp::Load2 { .. }
+        )
+    }
+}
+
+/// Result payload of one completed descriptor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipeOut {
+    /// Bytes returned by `Read` / `Gather` / `Load0`.
+    Bytes(Vec<u8>),
+    /// Word returned by `ReadU64`, or previous value from `Cas` / `Faa`.
+    Value(u64),
+    /// A write-style descriptor completed.
+    Done,
+    /// Completion of a [`PipeOp::FaaiSwapGuarded`] descriptor.
+    PtrWord {
+        /// The pointer's value before the bump.
+        ptr: u64,
+        /// The target word's value before the swap.
+        word: u64,
+    },
+}
+
+impl PipeOut {
+    /// The word value, for `ReadU64`/`Cas`/`Faa` completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the completion is not a value; pipeline authors know the
+    /// shape of their own descriptors.
+    pub fn value(&self) -> u64 {
+        match self {
+            PipeOut::Value(v) => *v,
+            other => panic!("pipeline completion {other:?} is not a value"),
+        }
+    }
+
+    /// The returned bytes, for read-style completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the completion carries no bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            PipeOut::Bytes(b) => b,
+            other => panic!("pipeline completion {other:?} is not bytes"),
+        }
+    }
+
+    /// Consumes the completion, returning its bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the completion carries no bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            PipeOut::Bytes(b) => b,
+            other => panic!("pipeline completion {other:?} is not bytes"),
+        }
+    }
+
+    /// The `(old pointer, old target word)` pair of a
+    /// [`PipeOp::FaaiSwapGuarded`] completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other completion shape.
+    pub fn ptr_word(&self) -> (u64, u64) {
+        match self {
+            PipeOut::PtrWord { ptr, word } => (*ptr, *word),
+            other => panic!("pipeline completion {other:?} is not a pointer/word pair"),
+        }
+    }
+}
+
+/// An issue queue: descriptors posted against one client, executed together
+/// by [`commit`](IssueQueue::commit) when the doorbell rings.
+pub struct IssueQueue<'c> {
+    client: &'c mut FabricClient,
+    ops: Vec<PipeOp>,
+}
+
+/// The drained completion queue of one doorbell: per-descriptor results in
+/// issue order, plus the overall commit status.
+#[derive(Debug)]
+pub struct CompletionQueue {
+    /// One slot per descriptor; `None` means the descriptor was never
+    /// attempted (the queue aborted on an earlier failure).
+    results: Vec<Option<Result<PipeOut>>>,
+    status: Result<()>,
+}
+
+impl CompletionQueue {
+    /// Overall commit status: `Ok` when every descriptor completed;
+    /// [`FabricError::PipelineTorn`] when a failure followed completed
+    /// side effects; otherwise the failing descriptor's error.
+    pub fn status(&self) -> Result<()> {
+        self.status.clone()
+    }
+
+    /// Number of posted descriptors.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the doorbell had no descriptors.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Number of descriptors that completed successfully.
+    pub fn completed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r, Some(Ok(_))))
+            .count()
+    }
+
+    /// Number of descriptors that failed or were aborted.
+    pub fn failed(&self) -> usize {
+        self.len() - self.completed()
+    }
+
+    /// Borrows descriptor `index`'s result (`None` if it was aborted
+    /// before execution).
+    pub fn get(&self, index: usize) -> Option<&Result<PipeOut>> {
+        self.results.get(index).and_then(|r| r.as_ref())
+    }
+
+    /// Removes and returns descriptor `index`'s result.
+    pub fn take(&mut self, index: usize) -> Option<Result<PipeOut>> {
+        self.results.get_mut(index).and_then(|r| r.take())
+    }
+
+    /// All outputs in issue order, or the commit's error. The all-success
+    /// fast path for adopters that treat the doorbell as one verb.
+    pub fn into_outputs(self) -> Result<Vec<PipeOut>> {
+        self.status?;
+        Ok(self
+            .results
+            .into_iter()
+            .map(|r| r.expect("status Ok implies every descriptor completed").expect("checked"))
+            .collect())
+    }
+}
+
+impl FabricClient {
+    /// Opens an [`IssueQueue`] on this client. Post descriptors, then ring
+    /// the doorbell with [`IssueQueue::commit`].
+    pub fn pipeline(&mut self) -> IssueQueue<'_> {
+        IssueQueue { client: self, ops: Vec::new() }
+    }
+}
+
+impl<'c> IssueQueue<'c> {
+    /// Posts a descriptor; returns its index (completion slot).
+    pub fn post(&mut self, op: PipeOp) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    /// Posts a read of `len` bytes at `addr`.
+    pub fn read(&mut self, addr: FarAddr, len: u64) -> usize {
+        self.post(PipeOp::Read { addr, len })
+    }
+
+    /// Posts a write of `data` at `addr`.
+    pub fn write(&mut self, addr: FarAddr, data: &[u8]) -> usize {
+        self.post(PipeOp::Write { addr, data: data.to_vec() })
+    }
+
+    /// Posts a word read at `addr`.
+    pub fn read_u64(&mut self, addr: FarAddr) -> usize {
+        self.post(PipeOp::ReadU64 { addr })
+    }
+
+    /// Posts a word write at `addr`.
+    pub fn write_u64(&mut self, addr: FarAddr, value: u64) -> usize {
+        self.post(PipeOp::WriteU64 { addr, value })
+    }
+
+    /// Posts a compare-and-swap at `addr`.
+    pub fn cas(&mut self, addr: FarAddr, expected: u64, new: u64) -> usize {
+        self.post(PipeOp::Cas { addr, expected, new })
+    }
+
+    /// Posts a fetch-and-add at `addr`.
+    pub fn faa(&mut self, addr: FarAddr, delta: u64) -> usize {
+        self.post(PipeOp::Faa { addr, delta })
+    }
+
+    /// Posts a gather of disjoint far buffers.
+    pub fn gather(&mut self, iov: &[FarIov]) -> usize {
+        self.post(PipeOp::Gather { iov: iov.to_vec() })
+    }
+
+    /// Posts a scatter of `data` across disjoint far buffers.
+    pub fn scatter(&mut self, iov: &[FarIov], data: &[u8]) -> usize {
+        self.post(PipeOp::Scatter { iov: iov.to_vec(), data: data.to_vec() })
+    }
+
+    /// Posts a pointer-dereferencing read (`load0`).
+    pub fn load0(&mut self, ptr: FarAddr, len: u64) -> usize {
+        self.post(PipeOp::Load2 { ptr, index: 0, len })
+    }
+
+    /// Posts an offset pointer-dereferencing read (`load2`).
+    pub fn load2(&mut self, ptr: FarAddr, index: u64, len: u64) -> usize {
+        self.post(PipeOp::Load2 { ptr, index, len })
+    }
+
+    /// Posts an offset pointer-dereferencing write (`store2`).
+    pub fn store2(&mut self, ptr: FarAddr, index: u64, data: &[u8]) -> usize {
+        self.post(PipeOp::Store2 { ptr, index, data: data.to_vec() })
+    }
+
+    /// Posts a guarded fetch-add-and-indirect-swap (`faai_swap_guarded`).
+    pub fn faai_swap_guarded(
+        &mut self,
+        ptr: FarAddr,
+        delta: u64,
+        replacement: u64,
+        guard: FarAddr,
+        expect: u64,
+    ) -> usize {
+        self.post(PipeOp::FaaiSwapGuarded { ptr, delta, replacement, guard, expect })
+    }
+
+    /// Number of posted descriptors.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no descriptors have been posted.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Rings the doorbell: executes every posted descriptor with shared
+    /// issue time and overlap-aware clock accounting (see the module docs),
+    /// and returns the drained [`CompletionQueue`].
+    pub fn commit(self) -> CompletionQueue {
+        let IssueQueue { client, ops } = self;
+        if ops.is_empty() {
+            return CompletionQueue { results: Vec::new(), status: Ok(()) };
+        }
+        client
+            .traced(VerbKind::Pipeline, |c| -> Result<CompletionQueue> {
+                Ok(commit_inner(c, &ops))
+            })
+            .expect("pipeline commit itself is infallible")
+    }
+}
+
+/// Executes one doorbell's descriptors against `c`. Runs inside a single
+/// traced [`VerbKind::Pipeline`] verb.
+fn commit_inner(c: &mut FabricClient, ops: &[PipeOp]) -> CompletionQueue {
+    let one_way = c.fabric().cost().one_way_ns();
+    let start_ns = c.now_ns();
+    let mut results: Vec<Option<Result<PipeOut>>> = Vec::with_capacity(ops.len());
+    let mut max_completion = start_ns;
+    let mut serial_sum_ns = 0u64;
+    let mut completed = 0usize;
+    let mut completed_effects = 0usize;
+    let mut first_err: Option<FabricError> = None;
+
+    for op in ops {
+        if first_err.is_some() {
+            // The queue is in error state: the tail is never executed.
+            results.push(None);
+            continue;
+        }
+        // Per-descriptor transparent retry: `retrying` + `begin_attempt`
+        // give this descriptor exactly the serial verb's fault handling
+        // (fault charges, backoff, `retries`/`giveups` counters), without
+        // touching its neighbours. Fault-free descriptors all see the same
+        // `arrival()` because nothing below advances the clock.
+        let res = c.retrying(|c| {
+            c.begin_attempt()?;
+            let arrival = c.arrival();
+            let (out, finish) = exec_op(c, op, arrival)?;
+            Ok((out, finish, arrival))
+        });
+        match res {
+            Ok((out, finish, arrival)) => {
+                // Serial-identical counting: one dependent round trip per
+                // descriptor (the clock is advanced once, below, to the max
+                // completion — that is the only difference from the serial
+                // path).
+                let stats = c.stats_mut();
+                stats.round_trips += 1;
+                stats.pipelined_ops += 1;
+                let completion = finish + one_way;
+                max_completion = max_completion.max(completion);
+                serial_sum_ns += completion - (arrival - one_way);
+                completed += 1;
+                if op.has_side_effect() {
+                    completed_effects += 1;
+                }
+                results.push(Some(Ok(out)));
+            }
+            Err(e) => {
+                first_err = Some(e.clone());
+                results.push(Some(Err(e)));
+            }
+        }
+    }
+
+    c.clock_advance_to(max_completion);
+    let elapsed = c.now_ns() - start_ns;
+    let stats = c.stats_mut();
+    stats.doorbells += 1;
+    stats.overlap_saved_ns += serial_sum_ns.saturating_sub(elapsed);
+
+    let status = match first_err {
+        None => Ok(()),
+        Some(e) => {
+            if completed_effects > 0 {
+                Err(FabricError::PipelineTorn {
+                    completed,
+                    failed: ops.len() - completed,
+                })
+            } else {
+                Err(e)
+            }
+        }
+    };
+    CompletionQueue { results, status }
+}
+
+/// Executes one descriptor arriving at `arrival`, charging messages /
+/// bytes / atomics exactly as the serial verb would; returns the
+/// completion payload and the node-side finish time.
+fn exec_op(c: &mut FabricClient, op: &PipeOp, arrival: u64) -> Result<(PipeOut, u64)> {
+    match op {
+        PipeOp::Read { addr, len } => {
+            let (buf, f) = c.exec_read(*addr, *len, arrival)?;
+            Ok((PipeOut::Bytes(buf), f))
+        }
+        PipeOp::Write { addr, data } => {
+            let f = c.exec_write(*addr, data, arrival)?;
+            Ok((PipeOut::Done, f))
+        }
+        PipeOp::ReadU64 { addr } => {
+            let (v, f) = c.exec_read_u64(*addr, arrival)?;
+            Ok((PipeOut::Value(v), f))
+        }
+        PipeOp::WriteU64 { addr, value } => {
+            let f = c.exec_write_u64(*addr, *value, arrival)?;
+            Ok((PipeOut::Done, f))
+        }
+        PipeOp::Cas { addr, expected, new } => {
+            let (prev, f) = c.exec_cas(*addr, *expected, *new, arrival)?;
+            Ok((PipeOut::Value(prev), f))
+        }
+        PipeOp::Faa { addr, delta } => {
+            let (prev, f) = c.exec_faa(*addr, *delta, arrival)?;
+            Ok((PipeOut::Value(prev), f))
+        }
+        PipeOp::Gather { iov } => {
+            let total = check_iov(iov)?;
+            let mut out = Vec::with_capacity(total as usize);
+            let mut finish = arrival;
+            for e in iov {
+                let (part, f) = c.exec_read(e.addr, e.len, arrival)?;
+                out.extend_from_slice(&part);
+                finish = finish.max(f);
+            }
+            Ok((PipeOut::Bytes(out), finish))
+        }
+        PipeOp::Scatter { iov, data } => {
+            let total = check_iov(iov)?;
+            if total != data.len() as u64 {
+                return Err(FabricError::BadIovec {
+                    reason: "iovec total length must equal the source length",
+                });
+            }
+            let mut finish = arrival;
+            let mut done = 0usize;
+            for e in iov {
+                let f = c.exec_write(e.addr, &data[done..done + e.len as usize], arrival)?;
+                done += e.len as usize;
+                finish = finish.max(f);
+            }
+            Ok((PipeOut::Done, finish))
+        }
+        PipeOp::Load2 { ptr, index, len } => exec_indirect(c, *ptr, *index, None, *len, arrival),
+        PipeOp::Store2 { ptr, index, data } => {
+            exec_indirect(c, *ptr, *index, Some(data), data.len() as u64, arrival)
+        }
+        PipeOp::FaaiSwapGuarded { ptr, delta, replacement, guard, expect } => {
+            exec_faai_swap_guarded(c, *ptr, *delta, *replacement, *guard, *expect, arrival)
+        }
+    }
+}
+
+/// Pipelined guarded `faai_swap`: one atomic unit at the pointer's home
+/// node (guard check, pointer bump, target-word swap), mirroring the
+/// serial verb's charges. The descriptor retains the serial verb's
+/// atomicity, so pipelining dequeues never opens a read-then-clear window.
+fn exec_faai_swap_guarded(
+    c: &mut FabricClient,
+    ptr_addr: FarAddr,
+    delta: u64,
+    replacement: u64,
+    guard: FarAddr,
+    expect: u64,
+    arrival: u64,
+) -> Result<(PipeOut, u64)> {
+    use crate::addr::{NodeId, WORD};
+    use std::sync::atomic::Ordering;
+
+    let cost = *c.fabric().cost();
+    let mode = c.fabric().config().indirection;
+    let fabric = c.fabric().clone();
+    let (home_id, ptr_off) = c.word_home(ptr_addr)?;
+    let home = fabric.node(home_id);
+    home.check_alive_at(arrival)?;
+    let home_finish = home.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
+    c.stats_mut().messages += 1;
+    let (guard_node, guard_off) = c.word_home(guard)?;
+    if guard_node != home_id {
+        return Err(FabricError::BadIovec {
+            reason: "guard word must live on the pointer's node",
+        });
+    }
+    enum Unit {
+        Null,
+        Local { ptr: u64, old: u64, slot_off: u64 },
+        Remote { ptr: u64, target: FarAddr, node: NodeId },
+    }
+    let fabric2 = fabric.clone();
+    let unit = home.guarded_verb(guard_off, expect, |n| {
+        let ptr = n.words_raw(ptr_off)?.load(Ordering::SeqCst);
+        if ptr == 0 {
+            return Ok(Unit::Null);
+        }
+        let target = FarAddr(ptr);
+        let segs = fabric2.segments(target, WORD)?;
+        if segs.iter().any(|s| s.node != home_id) {
+            // Remote target: bump the pointer atomically; the swap happens
+            // outside the unit (forwarded, weaker atomicity — as serial).
+            n.words_raw(ptr_off)?.fetch_add(delta, Ordering::SeqCst);
+            let remote = segs.iter().find(|s| s.node != home_id).unwrap();
+            return Ok(Unit::Remote { ptr, target, node: remote.node });
+        }
+        n.words_raw(ptr_off)?.fetch_add(delta, Ordering::SeqCst);
+        let seg = segs[0];
+        if !target.is_aligned(WORD) {
+            return Err(FabricError::Unaligned { addr: target, required: WORD });
+        }
+        let old = n.words_raw(seg.offset)?.swap(replacement, Ordering::SeqCst);
+        Ok(Unit::Local { ptr, old, slot_off: seg.offset })
+    });
+    c.stats_mut().atomics += 1;
+    let service = cost.node_ext_ns + cost.bytes_ns(WORD);
+    let finish = home.occupy(home_finish, service);
+    match unit? {
+        Unit::Null => Err(FabricError::NullDeref { pointer_at: ptr_addr }),
+        Unit::Local { ptr, old, slot_off } => {
+            fabric.fire(home_id, ptr_off, WORD, finish);
+            fabric.fire(home_id, slot_off, WORD, finish);
+            c.stats_mut().bytes_read += WORD;
+            Ok((PipeOut::PtrWord { ptr, word: old }, finish))
+        }
+        Unit::Remote { ptr, target, node } => {
+            fabric.fire(home_id, ptr_off, WORD, finish);
+            if mode == IndirectionMode::Error {
+                return Err(FabricError::IndirectRemote { target, target_node: node });
+            }
+            // Forwarded completion at the remote target (§7.1).
+            let seg = fabric.segments(target, WORD)?[0];
+            let rnode = fabric.node(seg.node);
+            rnode.check_alive_at(arrival)?;
+            c.stats_mut().forward_hops += 1;
+            c.stats_mut().messages += 1;
+            let svc = cost.node_msg_ns + cost.bytes_ns(WORD);
+            let f = rnode.occupy(arrival, svc).max(finish) + cost.mem_hop_ns;
+            c.stats_mut().atomics += 1;
+            let old = rnode.swap_u64(seg.offset, replacement)?;
+            fabric.fire(seg.node, seg.offset, WORD, f);
+            c.stats_mut().bytes_read += WORD;
+            Ok((PipeOut::PtrWord { ptr, word: old }, f))
+        }
+    }
+}
+
+/// Pipelined plain-pointer indirect verb (`load0`/`load2`/`store0`/
+/// `store2`): mirrors the serial indirect verb's charges — pointer
+/// resolution at the home node, target segments extending the home service
+/// chain or forwarded with one memory-side hop (§7.1). `write` is `None`
+/// for a read of `len` bytes, `Some(data)` for a write.
+fn exec_indirect(
+    c: &mut FabricClient,
+    ptr: FarAddr,
+    index: u64,
+    write: Option<&[u8]>,
+    len: u64,
+    arrival: u64,
+) -> Result<(PipeOut, u64)> {
+    let cost = *c.fabric().cost();
+    let mode = c.fabric().config().indirection;
+    let fabric = c.fabric().clone();
+    let (home_id, ptr_off) = c.word_home(ptr)?;
+    let home = fabric.node(home_id);
+    home.check_alive_at(arrival)?;
+    let home_finish = home.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
+    c.stats_mut().messages += 1;
+    let ptr_val = home.read_u64(ptr_off)?;
+    if ptr_val == 0 {
+        return Err(FabricError::NullDeref { pointer_at: ptr });
+    }
+    let target = FarAddr(ptr_val + index);
+    let segs = fabric.segments(target, len)?;
+    if mode == IndirectionMode::Error {
+        if let Some(remote) = segs.iter().find(|s| s.node != home_id) {
+            return Err(FabricError::IndirectRemote {
+                target,
+                target_node: remote.node,
+            });
+        }
+    }
+    let mut buf = if write.is_none() { vec![0u8; len as usize] } else { Vec::new() };
+    let mut finish = home_finish;
+    let mut done = 0usize;
+    for seg in &segs {
+        let node = fabric.node(seg.node);
+        node.check_alive_at(arrival)?;
+        let service = cost.node_msg_ns + cost.bytes_ns(seg.len);
+        let f = if seg.node == home_id {
+            node.occupy(home_finish, service)
+        } else {
+            c.stats_mut().forward_hops += 1;
+            c.stats_mut().messages += 1;
+            node.occupy(arrival, service).max(home_finish) + cost.mem_hop_ns
+        };
+        match write {
+            None => node.read_bytes(seg.offset, &mut buf[done..done + seg.len as usize])?,
+            Some(data) => {
+                node.write_bytes(seg.offset, &data[done..done + seg.len as usize])?;
+                fabric.fire(seg.node, seg.offset, seg.len, f);
+            }
+        }
+        done += seg.len as usize;
+        finish = finish.max(f);
+    }
+    match write {
+        None => {
+            c.stats_mut().bytes_read += len;
+            Ok((PipeOut::Bytes(buf), finish))
+        }
+        Some(_) => {
+            c.stats_mut().bytes_written += len;
+            Ok((PipeOut::Done, finish))
+        }
+    }
+}
+
+fn check_iov(iov: &[FarIov]) -> Result<u64> {
+    if iov.is_empty() {
+        return Err(FabricError::BadIovec { reason: "iovec must be non-empty" });
+    }
+    let mut total = 0u64;
+    for e in iov {
+        if e.len == 0 {
+            return Err(FabricError::BadIovec { reason: "iovec entries must be non-empty" });
+        }
+        total += e.len;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{NodeId, Striping, PAGE, WORD};
+    use crate::cost::CostModel;
+    use crate::fabric::FabricConfig;
+    use crate::fault::FaultPlan;
+    use crate::stats::AccessStats;
+
+    fn striped(nodes: u32, cost: CostModel) -> std::sync::Arc<crate::fabric::Fabric> {
+        FabricConfig {
+            nodes,
+            node_capacity: 1 << 20,
+            striping: Striping::Striped { stripe: PAGE },
+            cost,
+            ..FabricConfig::default()
+        }
+        .build()
+    }
+
+    /// Page-aligned addresses landing on distinct nodes of a 4-node
+    /// striped map.
+    fn spread_addrs(n: u64) -> Vec<FarAddr> {
+        (0..n).map(|i| FarAddr(PAGE * (i + 1))).collect()
+    }
+
+    #[test]
+    fn pipelined_reads_match_serial_counts_but_overlap_time() {
+        let addrs = spread_addrs(8);
+        let payload = vec![0x5au8; 2048];
+
+        // Serial baseline.
+        let f1 = striped(4, CostModel::DEFAULT);
+        let mut serial = f1.client();
+        for a in &addrs {
+            serial.write(*a, &payload).unwrap();
+        }
+        let s0 = serial.stats();
+        let t0 = serial.now_ns();
+        let mut serial_data = Vec::new();
+        for a in &addrs {
+            serial_data.push(serial.read(*a, payload.len() as u64).unwrap());
+        }
+        let serial_delta = serial.stats().since(&s0);
+        let serial_ns = serial.now_ns() - t0;
+
+        // Pipelined run on an identical fresh fabric.
+        let f2 = striped(4, CostModel::DEFAULT);
+        let mut piped = f2.client();
+        for a in &addrs {
+            piped.write(*a, &payload).unwrap();
+        }
+        let p0 = piped.stats();
+        let t1 = piped.now_ns();
+        let mut q = piped.pipeline();
+        for a in &addrs {
+            q.read(*a, payload.len() as u64);
+        }
+        let cq = q.commit();
+        cq.status().unwrap();
+        let outs = cq.into_outputs().unwrap();
+        let piped_delta = piped.stats().since(&p0);
+        let piped_ns = piped.now_ns() - t1;
+
+        // Data and access counts are byte-identical to the serial path.
+        for (o, s) in outs.iter().zip(serial_data.iter()) {
+            assert_eq!(o.bytes(), &s[..]);
+        }
+        assert_eq!(piped_delta.round_trips, serial_delta.round_trips);
+        assert_eq!(piped_delta.messages, serial_delta.messages);
+        assert_eq!(piped_delta.bytes_read, serial_delta.bytes_read);
+        // Virtual time overlaps: 8 reads over 4 nodes complete well under
+        // 8 serial round trips.
+        assert!(
+            piped_ns * 2 <= serial_ns,
+            "pipelined {piped_ns} ns vs serial {serial_ns} ns"
+        );
+        assert_eq!(piped_delta.doorbells, 1);
+        assert_eq!(piped_delta.pipelined_ops, 8);
+        // The saved time is the per-descriptor completion-latency sum minus
+        // the elapsed time; sibling queueing at the nodes only inflates the
+        // per-descriptor latencies, so it bounds the true serial saving
+        // from above.
+        assert!(
+            piped_delta.overlap_saved_ns >= serial_ns - piped_ns,
+            "saved {} < serial delta {}",
+            piped_delta.overlap_saved_ns,
+            serial_ns - piped_ns
+        );
+    }
+
+    #[test]
+    fn same_node_chains_stay_fifo_serialized() {
+        // All descriptors target node 0: the interface queue serializes
+        // their service, so elapsed >= RTT + n * service.
+        let f = striped(1, CostModel::DEFAULT);
+        let mut c = f.client();
+        let len = 4096u64;
+        for i in 1..=4u64 {
+            c.write(FarAddr(PAGE * i), &vec![1u8; len as usize]).unwrap();
+        }
+        let t0 = c.now_ns();
+        let mut q = c.pipeline();
+        for i in 1..=4u64 {
+            q.read(FarAddr(PAGE * i), len);
+        }
+        q.commit().status().unwrap();
+        let elapsed = c.now_ns() - t0;
+        let cost = CostModel::DEFAULT;
+        let min = cost.far_rtt_ns + 4 * (cost.node_msg_ns + cost.bytes_ns(len));
+        assert!(elapsed >= min, "elapsed {elapsed} < FIFO bound {min}");
+    }
+
+    #[test]
+    fn mixed_ops_complete_with_serial_semantics() {
+        let f = striped(4, CostModel::COUNT_ONLY);
+        let mut c = f.client();
+        c.write_u64(FarAddr(PAGE), 10).unwrap();
+        c.write_u64(FarAddr(PAGE * 2), 4).unwrap();
+        // Pointer for load0 at PAGE*3, pointing at PAGE (value 10).
+        c.write_u64(FarAddr(PAGE * 3), PAGE).unwrap();
+        let before = c.stats();
+        let mut q = c.pipeline();
+        let i_faa = q.faa(FarAddr(PAGE), 5);
+        let i_cas = q.cas(FarAddr(PAGE * 2), 4, 9);
+        let i_w = q.write_u64(FarAddr(PAGE * 4), 77);
+        let i_g = q.gather(&[
+            FarIov::new(FarAddr(PAGE), 8),
+            FarIov::new(FarAddr(PAGE * 2), 8),
+        ]);
+        let i_l = q.load0(FarAddr(PAGE * 3), 8);
+        let mut cq = q.commit();
+        cq.status().unwrap();
+        assert_eq!(cq.take(i_faa).unwrap().unwrap().value(), 10);
+        assert_eq!(cq.take(i_cas).unwrap().unwrap().value(), 4);
+        assert_eq!(cq.take(i_w).unwrap().unwrap(), PipeOut::Done);
+        let g = cq.take(i_g).unwrap().unwrap().into_bytes();
+        assert_eq!(u64::from_le_bytes(g[0..8].try_into().unwrap()), 15);
+        assert_eq!(u64::from_le_bytes(g[8..16].try_into().unwrap()), 9);
+        // load0 sees the post-FAA value or the pre-FAA value depending on
+        // descriptor order at the node; here FAA (descriptor 0) executes
+        // first at the shared arrival, so the target holds 15.
+        let l = cq.take(i_l).unwrap().unwrap().into_bytes();
+        assert_eq!(u64::from_le_bytes(l.try_into().unwrap()), 15);
+        assert_eq!(c.read_u64(FarAddr(PAGE * 4)).unwrap(), 77);
+        let d = c.stats().since(&before);
+        // faa + cas + write + gather + load0, minus the verification read.
+        assert_eq!(d.round_trips, 5 + 1);
+        assert_eq!(d.atomics, 2);
+        assert_eq!(d.pipelined_ops, 5);
+        assert_eq!(d.doorbells, 1);
+    }
+
+    #[test]
+    fn torn_pipeline_surfaces_partial_completion() {
+        // Node 1 is permanently failed; a write that completed on node 0
+        // before the failing descriptor makes the commit torn.
+        let f = striped(2, CostModel::COUNT_ONLY);
+        let mut c = f.client();
+        f.node(NodeId(1)).fail();
+        let mut q = c.pipeline();
+        q.write_u64(FarAddr(PAGE * 2), 1); // stripe 2 -> node 0: completes
+        q.write_u64(FarAddr(PAGE), 2); // stripe 1 -> node 1: fails
+        q.write_u64(FarAddr(PAGE * 4), 3); // node 0 again: aborted
+        let mut cq = q.commit();
+        match cq.status() {
+            Err(FabricError::PipelineTorn { completed, failed }) => {
+                assert_eq!(completed, 1);
+                assert_eq!(failed, 2);
+            }
+            other => panic!("expected PipelineTorn, got {other:?}"),
+        }
+        assert!(!FabricError::PipelineTorn { completed: 1, failed: 2 }.is_transient());
+        // The completed descriptor's result stays drainable; the aborted
+        // tail was never attempted.
+        assert_eq!(cq.take(0).unwrap().unwrap(), PipeOut::Done);
+        assert!(matches!(cq.take(1), Some(Err(_))));
+        assert!(cq.take(2).is_none());
+        // The completed write really applied; the aborted one did not.
+        f.node(NodeId(1)).recover();
+        assert_eq!(c.read_u64(FarAddr(PAGE * 2)).unwrap(), 1);
+        assert_eq!(c.read_u64(FarAddr(PAGE * 4)).unwrap(), 0);
+        // Retries were spent on the failing descriptor alone.
+        assert!(c.stats().retries > 0);
+        assert_eq!(c.stats().giveups, 1);
+    }
+
+    #[test]
+    fn read_only_pipeline_failure_is_not_torn() {
+        let f = striped(2, CostModel::COUNT_ONLY);
+        let mut c = f.client();
+        f.node(NodeId(1)).fail();
+        let mut q = c.pipeline();
+        q.read_u64(FarAddr(PAGE * 2));
+        q.read_u64(FarAddr(PAGE));
+        let cq = q.commit();
+        assert!(
+            matches!(cq.status(), Err(FabricError::NodeFailed(_))),
+            "reads-only failure surfaces the plain error: {:?}",
+            cq.status()
+        );
+    }
+
+    #[test]
+    fn per_descriptor_faults_retry_transparently() {
+        let f = FabricConfig {
+            nodes: 4,
+            node_capacity: 1 << 20,
+            striping: Striping::Striped { stripe: PAGE },
+            faults: FaultPlan::transient(100_000), // 10 % per attempt
+            ..FabricConfig::count_only(1 << 20)
+        }
+        .build();
+        let mut c = f.client();
+        for round in 0..50u64 {
+            let mut q = c.pipeline();
+            for i in 0..8u64 {
+                q.write_u64(FarAddr(PAGE * (i + 1)), round * 8 + i);
+            }
+            q.commit().status().unwrap();
+            let mut q = c.pipeline();
+            for i in 0..8u64 {
+                q.read_u64(FarAddr(PAGE * (i + 1)));
+            }
+            let outs = q.commit().into_outputs().unwrap();
+            for (i, o) in outs.iter().enumerate() {
+                assert_eq!(o.value(), round * 8 + i as u64);
+            }
+        }
+        let s = c.stats();
+        assert!(s.faults_injected > 0, "plan must have injected faults");
+        assert!(s.retries > 0, "descriptors must have retried individually");
+        assert_eq!(s.giveups, 0);
+        assert_eq!(s.pipelined_ops, 800);
+        assert_eq!(s.doorbells, 100);
+    }
+
+    #[test]
+    fn tracing_attributes_pipeline_verbs_and_reconciles() {
+        let f = striped(4, CostModel::DEFAULT);
+        let mut c = f.client();
+        c.enable_tracing(crate::trace::TraceConfig::default());
+        {
+            let _s = c.span("pipeline.workload");
+            let mut q = c.pipeline();
+            for i in 0..8u64 {
+                q.write_u64(FarAddr(PAGE * (i + 1)), i);
+            }
+            q.commit().status().unwrap();
+        }
+        let r = c.trace_report().unwrap();
+        r.reconcile().unwrap_or_else(|field| {
+            panic!("pipelined stats diverge from span sums on `{field}`")
+        });
+        let span = r.spans.iter().find(|s| s.name == "pipeline.workload").unwrap();
+        assert_eq!(span.stats.doorbells, 1);
+        assert_eq!(span.stats.pipelined_ops, 8);
+        assert!(span.stats.overlap_saved_ns > 0);
+        assert!(r
+            .verbs
+            .iter()
+            .any(|v| v.kind == VerbKind::Pipeline && v.count == 1));
+    }
+
+    #[test]
+    fn tracing_is_pure_observation_for_pipelines() {
+        let run = |traced: bool| -> (AccessStats, u64) {
+            let f = FabricConfig {
+                nodes: 4,
+                node_capacity: 1 << 20,
+                striping: Striping::Striped { stripe: PAGE },
+                faults: FaultPlan::transient(50_000),
+                ..FabricConfig::default()
+            }
+            .build();
+            let mut c = f.client();
+            if traced {
+                c.enable_tracing(crate::trace::TraceConfig::default());
+            }
+            for round in 0..10u64 {
+                let mut q = c.pipeline();
+                for i in 0..8u64 {
+                    q.write_u64(FarAddr(PAGE * (i + 1)), round + i);
+                }
+                q.commit().status().unwrap();
+            }
+            (c.stats(), c.now_ns())
+        };
+        let (plain, plain_ns) = run(false);
+        let (traced, traced_ns) = run(true);
+        assert_eq!(plain, traced);
+        assert_eq!(plain_ns, traced_ns);
+    }
+
+    #[test]
+    fn empty_commit_is_free() {
+        let f = striped(2, CostModel::DEFAULT);
+        let mut c = f.client();
+        let before = c.stats();
+        let t0 = c.now_ns();
+        let cq = c.pipeline().commit();
+        assert!(cq.is_empty());
+        cq.status().unwrap();
+        assert_eq!(c.stats(), before);
+        assert_eq!(c.now_ns(), t0);
+    }
+
+    #[test]
+    fn bad_iovec_descriptors_fail_cleanly() {
+        let f = striped(2, CostModel::COUNT_ONLY);
+        let mut c = f.client();
+        let mut q = c.pipeline();
+        q.gather(&[]);
+        let cq = q.commit();
+        assert!(matches!(cq.status(), Err(FabricError::BadIovec { .. })));
+    }
+
+    /// Pipelined `load2`/`store2` descriptors book exactly the serial
+    /// indirect verb's round trips, messages and bytes — the property the
+    /// far-structure adopters (`FarVec::read_ranges` et al.) rely on.
+    #[test]
+    fn pipelined_indirect_matches_serial_charges() {
+        let serial_f = striped(2, CostModel::DEFAULT);
+        let piped_f = striped(2, CostModel::DEFAULT);
+        // Same layout on both fabrics: a pointer word on node 0 whose
+        // target spans the second page (node 1 under PAGE striping).
+        for f in [&serial_f, &piped_f] {
+            let mut c = f.client();
+            c.write_u64(FarAddr(WORD), PAGE).unwrap();
+            c.write(FarAddr(PAGE), &vec![7u8; 256]).unwrap();
+        }
+
+        let mut sc = serial_f.client();
+        let sv = sc.load2(FarAddr(WORD), 64, 128).unwrap();
+        sc.store2(FarAddr(WORD), 512, &[9u8; 64]).unwrap();
+        let serial = sc.stats();
+
+        let mut pc = piped_f.client();
+        let mut q = pc.pipeline();
+        q.load2(FarAddr(WORD), 64, 128);
+        q.store2(FarAddr(WORD), 512, &[9u8; 64]);
+        let cq = q.commit();
+        let mut cq = cq;
+        assert!(cq.status().is_ok());
+        assert_eq!(cq.take(0).unwrap().unwrap().into_bytes(), sv);
+        let piped = pc.stats();
+
+        assert_eq!(piped.round_trips, serial.round_trips);
+        assert_eq!(piped.messages, serial.messages);
+        assert_eq!(piped.bytes_read, serial.bytes_read);
+        assert_eq!(piped.bytes_written, serial.bytes_written);
+        assert_eq!(piped.forward_hops, serial.forward_hops);
+        // Both stores landed: read the target back through either client.
+        let back = sc.read(FarAddr(PAGE + 512), 64).unwrap();
+        let pback = pc.read(FarAddr(PAGE + 512), 64).unwrap();
+        assert_eq!(back, vec![9u8; 64]);
+        assert_eq!(pback, back);
+    }
+}

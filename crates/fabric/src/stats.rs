@@ -119,6 +119,14 @@ access_stats! {
     /// Faults injected into this client's verbs (transient failures,
     /// timeouts and latency spikes; see [`FaultPlan`](crate::fault::FaultPlan)).
     faults_injected,
+    /// Descriptors executed through a pipeline doorbell (each also counts
+    /// its round trips / messages / bytes exactly as the serial verb would).
+    pipelined_ops,
+    /// Pipeline doorbells rung (one per `IssueQueue::commit`).
+    doorbells,
+    /// Virtual nanoseconds saved by overlapping pipelined descriptors
+    /// across nodes, versus issuing the same verbs serially.
+    overlap_saved_ns,
 }
 
 #[cfg(test)]

@@ -53,11 +53,15 @@ pub enum VerbKind {
     /// Subscription management (`notify0`, `notifye`, `notify0d`,
     /// `unsubscribe`, §4.3).
     Notify,
+    /// Pipelined doorbells: an [`IssueQueue`](crate::pipeline::IssueQueue)
+    /// commit draining many descriptors under one overlap-aware clock
+    /// charge.
+    Pipeline,
 }
 
 impl VerbKind {
     /// Every kind, in a stable order.
-    pub const ALL: [VerbKind; 8] = [
+    pub const ALL: [VerbKind; 9] = [
         VerbKind::Read,
         VerbKind::Write,
         VerbKind::Atomic,
@@ -66,6 +70,7 @@ impl VerbKind {
         VerbKind::Indirect,
         VerbKind::ScatterGather,
         VerbKind::Notify,
+        VerbKind::Pipeline,
     ];
 
     /// Stable display name.
@@ -79,6 +84,7 @@ impl VerbKind {
             VerbKind::Indirect => "indirect",
             VerbKind::ScatterGather => "scatter_gather",
             VerbKind::Notify => "notify",
+            VerbKind::Pipeline => "pipeline",
         }
     }
 
@@ -257,8 +263,8 @@ struct TracerInner {
     agg: BTreeMap<&'static str, SpanAgg>,
     unattributed: AccessStats,
     unattributed_events: u64,
-    verb_hist: [LatencyHistogram; 8],
-    verb_count: [u64; 8],
+    verb_hist: [LatencyHistogram; 9],
+    verb_count: [u64; 9],
     /// Virtual time of the last traced activity; closes spans whose RAII
     /// guard cannot reach the client clock.
     last_activity_ns: u64,
@@ -292,7 +298,7 @@ impl Tracer {
                 unattributed: AccessStats::new(),
                 unattributed_events: 0,
                 verb_hist: Default::default(),
-                verb_count: [0; 8],
+                verb_count: [0; 9],
                 last_activity_ns: now_ns,
             })),
         }

@@ -68,9 +68,10 @@ pub mod prelude {
         WriteCombiner,
     };
     pub use farmem_fabric::{
-        AccessStats, BatchOp, CostModel, DeliveryPolicy, Event, Fabric, FabricClient,
-        FabricConfig, FarAddr, FarIov, FaultPlan, IndirectionMode, NodeId, RetryPolicy,
-        Striping, SubId, TraceConfig, TraceReport, Tracer,
+        AccessStats, BatchOp, CompletionQueue, CostModel, DeliveryPolicy, Event, Fabric,
+        FabricClient, FabricConfig, FarAddr, FarIov, FaultPlan, IndirectionMode, IssueQueue,
+        NodeId, PipeOp, PipeOut, RetryPolicy, Striping, SubId, TraceConfig, TraceReport,
+        Tracer,
     };
     pub use farmem_monitor::{AlarmSpec, HistogramMonitor, NaiveMonitor, Severity};
     pub use farmem_rpc::{RpcClient, RpcServer, ServerCpu};

@@ -218,3 +218,129 @@ fn expired_lock_lease_is_stolen_and_late_unlock_fenced() {
     assert!(m.try_lock(&mut a).unwrap(), "lock usable again after the full cycle");
     m.unlock(&mut a).unwrap();
 }
+
+#[test]
+fn pipelined_ops_retry_per_descriptor_under_faults() {
+    // 2% transient faults: every descriptor in a pipelined doorbell rides
+    // the same retry/backoff layer as a serial verb, so the whole batch
+    // completes with the right data, no give-ups, and one extra round
+    // trip per retried attempt.
+    let f = FabricConfig {
+        faults: FaultPlan::transient(20_000).with_seed(9),
+        retry: RetryPolicy::DEFAULT,
+        ..FabricConfig::count_only(32 << 20)
+    }
+    .build();
+    let mut c = f.client();
+    let n = 500u64;
+    let base = 4096u64;
+    for i in 0..n {
+        c.write_u64(FarAddr(base + i * 8), i + 1).unwrap();
+    }
+    let before = c.stats();
+    let mut got = Vec::new();
+    for chunk in (0..n).collect::<Vec<_>>().chunks(8) {
+        let mut q = c.pipeline();
+        for &i in chunk {
+            q.read_u64(FarAddr(base + i * 8));
+        }
+        let cq = q.commit();
+        assert!(cq.status().is_ok(), "transient faults must be retried away");
+        for out in cq.into_outputs().unwrap() {
+            got.push(out.value());
+        }
+    }
+    assert_eq!(got, (1..=n).collect::<Vec<_>>(), "all descriptors read through");
+    let d = c.stats().since(&before);
+    assert!(d.faults_injected > 0, "the 2% plan must fire over {n} descriptors");
+    assert_eq!(d.giveups, 0, "transient faults never exhaust the retry budget");
+    assert!(d.retries > 0 && d.retries <= d.faults_injected, "faults surface as retries");
+    assert_eq!(d.pipelined_ops, n, "every read went through the pipeline");
+    assert_eq!(
+        d.round_trips,
+        n + d.retries,
+        "per-descriptor accounting: one RT per success plus one per retried attempt"
+    );
+}
+
+#[test]
+fn pipeline_torn_reports_partial_completion() {
+    // A non-transient failure mid-batch aborts the doorbell's tail. When
+    // side-effecting descriptors have already completed, the commit must
+    // say so — `PipelineTorn { completed, failed }` — and the aborted
+    // tail must not have touched memory.
+    use farmem::fabric::FabricError;
+    let f = FabricConfig {
+        nodes: 2,
+        node_capacity: 16 << 20,
+        striping: Striping::Striped { stripe: 4096 },
+        indirection: IndirectionMode::Error,
+        cost: CostModel::COUNT_ONLY,
+        ..FabricConfig::default()
+    }
+    .build();
+    let mut c = f.client();
+    // A far pointer on node 0 aiming at a striped region that starts on
+    // node 0 too: index 0 stays on the pointer's node, index 4096 crosses
+    // to node 1, which Error-mode indirection refuses (non-transient).
+    let ptr = FarAddr(8);
+    let region = 8192u64;
+    c.write_u64(ptr, region).unwrap();
+    let mut q = c.pipeline();
+    q.store2(ptr, 0, &7u64.to_le_bytes());
+    q.store2(ptr, 4096, &8u64.to_le_bytes());
+    q.store2(ptr, 8, &9u64.to_le_bytes());
+    let mut cq = q.commit();
+    match cq.status() {
+        Err(FabricError::PipelineTorn { completed, failed }) => {
+            assert_eq!((completed, failed), (1, 2), "one landed; the refusal and the aborted tail count as failed");
+        }
+        other => panic!("expected PipelineTorn, got {other:?}"),
+    }
+    assert!(matches!(cq.take(0), Some(Ok(_))), "head descriptor completed");
+    assert!(matches!(
+        cq.take(1),
+        Some(Err(FabricError::IndirectRemote { .. }))
+    ));
+    assert!(cq.take(2).is_none(), "tail aborted, never executed");
+    // The completed write landed; the aborted one did not.
+    assert_eq!(c.read_u64(FarAddr(region)).unwrap(), 7);
+    assert_eq!(c.read_u64(FarAddr(region + 8)).unwrap(), 0, "aborted write left no trace");
+}
+
+#[test]
+fn pipelined_dequeue_batch_is_exactly_once_under_faults() {
+    // Batched dequeues claim items with pipelined guarded `faai`+swap
+    // descriptors; under 2% transient faults every item must still come
+    // out exactly once, in order, across independent fault schedules.
+    let mut total_faults = 0;
+    for seed in [1u64, 2, 3] {
+        let f = FabricConfig {
+            faults: FaultPlan::transient(20_000).with_seed(seed),
+            retry: RetryPolicy::DEFAULT,
+            ..FabricConfig::count_only(32 << 20)
+        }
+        .build();
+        let alloc = FarAlloc::new(f.clone());
+        let mut p = f.client();
+        let q = FarQueue::create(&mut p, &alloc, QueueConfig::new(256, 4)).unwrap();
+        let mut hp = FarQueue::attach(&mut p, q.hdr()).unwrap();
+        for v in 1..=100u64 {
+            hp.enqueue(&mut p, v).unwrap();
+        }
+        let mut c = f.client();
+        let mut hc = FarQueue::attach(&mut c, q.hdr()).unwrap();
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            got.extend(hc.dequeue_batch(&mut c, 7).unwrap());
+        }
+        assert_eq!(got, (1..=100u64).collect::<Vec<_>>(), "seed {seed}: exactly once, in order");
+        assert!(
+            matches!(hc.dequeue_batch(&mut c, 7), Err(CoreError::QueueEmpty)),
+            "seed {seed}: nothing left behind"
+        );
+        assert_eq!(c.stats().giveups + p.stats().giveups, 0, "seed {seed}");
+        total_faults += c.stats().faults_injected + p.stats().faults_injected;
+    }
+    assert!(total_faults > 0, "the fault plans must actually have fired");
+}

@@ -216,3 +216,131 @@ proptest! {
         }
     }
 }
+
+// --- pipelined vs serial verb equivalence -------------------------------
+
+/// One verb against a small set of word-aligned slots; ops may collide on
+/// a slot, so posting order is semantically load-bearing.
+#[derive(Debug, Clone)]
+enum VerbOp {
+    WriteWord(usize, u64),
+    ReadWord(usize),
+    Cas(usize, u64, u64),
+    Faa(usize, u64),
+    WriteBytes(usize, Vec<u8>),
+    ReadBytes(usize, u64),
+}
+
+const VERB_SLOTS: usize = 8;
+
+fn verb_ops() -> impl Strategy<Value = Vec<VerbOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            ((0..VERB_SLOTS), any::<u64>()).prop_map(|(s, v)| VerbOp::WriteWord(s, v)),
+            (0..VERB_SLOTS).prop_map(VerbOp::ReadWord),
+            ((0..VERB_SLOTS), (0u64..4), (1u64..1000)).prop_map(|(s, e, n)| VerbOp::Cas(s, e, n)),
+            ((0..VERB_SLOTS), (1u64..100)).prop_map(|(s, d)| VerbOp::Faa(s, d)),
+            ((0..VERB_SLOTS), prop::collection::vec(any::<u8>(), 8..33))
+                .prop_map(|(s, b)| VerbOp::WriteBytes(s, b)),
+            ((0..VERB_SLOTS), (8u64..33)).prop_map(|(s, l)| VerbOp::ReadBytes(s, l)),
+        ],
+        1..40,
+    )
+}
+
+/// Slot i's address: 64-byte-spaced words alternating between two stripe
+/// pages, so the sequence exercises both nodes of the striped fabric.
+fn verb_slot_addr(i: usize) -> FarAddr {
+    FarAddr(4096 * (1 + (i as u64 % 2)) + (i as u64 / 2) * 64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pipelined_ops_are_equivalent_to_serial_verbs(ops in verb_ops()) {
+        // The same op sequence through one pipelined doorbell and through
+        // serial verbs, on twin fabrics: identical memory, identical read
+        // values, identical access accounting — and the pipelined virtual
+        // time can only be shorter (overlap hides latency, never work).
+        let build = || FabricConfig {
+            nodes: 2,
+            node_capacity: 1 << 20,
+            striping: Striping::Striped { stripe: 4096 },
+            cost: CostModel::DEFAULT,
+            ..FabricConfig::default()
+        }
+        .build();
+
+        // Serial reference.
+        let f = build();
+        let mut c = f.client();
+        let before = c.stats();
+        let t0 = c.now_ns();
+        let mut serial_out: Vec<Vec<u8>> = Vec::new();
+        for op in &ops {
+            match op {
+                VerbOp::WriteWord(s, v) => c.write_u64(verb_slot_addr(*s), *v).unwrap(),
+                VerbOp::ReadWord(s) => {
+                    serial_out.push(c.read_u64(verb_slot_addr(*s)).unwrap().to_le_bytes().to_vec())
+                }
+                VerbOp::Cas(s, e, n) => {
+                    serial_out.push(c.cas(verb_slot_addr(*s), *e, *n).unwrap().to_le_bytes().to_vec())
+                }
+                VerbOp::Faa(s, d) => {
+                    serial_out.push(c.faa(verb_slot_addr(*s), *d).unwrap().to_le_bytes().to_vec())
+                }
+                VerbOp::WriteBytes(s, b) => c.write(verb_slot_addr(*s), b).unwrap(),
+                VerbOp::ReadBytes(s, l) => serial_out.push(c.read(verb_slot_addr(*s), *l).unwrap()),
+            }
+        }
+        let serial_ns = c.now_ns() - t0;
+        let serial = c.stats().since(&before);
+        let serial_mem: Vec<Vec<u8>> =
+            (0..VERB_SLOTS).map(|s| c.read(verb_slot_addr(s), 64).unwrap()).collect();
+
+        // Pipelined run: the whole sequence behind one doorbell.
+        let f = build();
+        let mut c = f.client();
+        let before = c.stats();
+        let t0 = c.now_ns();
+        let mut q = c.pipeline();
+        for op in &ops {
+            match op {
+                VerbOp::WriteWord(s, v) => { q.write_u64(verb_slot_addr(*s), *v); }
+                VerbOp::ReadWord(s) => { q.read_u64(verb_slot_addr(*s)); }
+                VerbOp::Cas(s, e, n) => { q.cas(verb_slot_addr(*s), *e, *n); }
+                VerbOp::Faa(s, d) => { q.faa(verb_slot_addr(*s), *d); }
+                VerbOp::WriteBytes(s, b) => { q.write(verb_slot_addr(*s), b); }
+                VerbOp::ReadBytes(s, l) => { q.read(verb_slot_addr(*s), *l); }
+            }
+        }
+        let cq = q.commit();
+        prop_assert!(cq.status().is_ok());
+        let mut pipe_out: Vec<Vec<u8>> = Vec::new();
+        for (op, out) in ops.iter().zip(cq.into_outputs().unwrap()) {
+            match op {
+                VerbOp::ReadWord(_) | VerbOp::Cas(..) | VerbOp::Faa(..) => {
+                    pipe_out.push(out.value().to_le_bytes().to_vec())
+                }
+                VerbOp::ReadBytes(..) => pipe_out.push(out.into_bytes()),
+                _ => {}
+            }
+        }
+        let pipe_ns = c.now_ns() - t0;
+        let pipe = c.stats().since(&before);
+        let pipe_mem: Vec<Vec<u8>> =
+            (0..VERB_SLOTS).map(|s| c.read(verb_slot_addr(s), 64).unwrap()).collect();
+
+        prop_assert_eq!(pipe_out, serial_out, "read values must match serially-executed order");
+        prop_assert_eq!(pipe_mem, serial_mem, "final far memory must be identical");
+        prop_assert_eq!(pipe.round_trips, serial.round_trips, "latency hiding is not work skipping");
+        prop_assert_eq!(pipe.messages, serial.messages);
+        prop_assert_eq!(pipe.bytes_read, serial.bytes_read);
+        prop_assert_eq!(pipe.bytes_written, serial.bytes_written);
+        prop_assert_eq!(pipe.atomics, serial.atomics);
+        prop_assert_eq!(pipe.pipelined_ops, ops.len() as u64);
+        prop_assert_eq!(pipe.doorbells, 1);
+        prop_assert!(pipe_ns <= serial_ns, "overlap can only shorten virtual time");
+    }
+}
