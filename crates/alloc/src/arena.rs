@@ -14,9 +14,18 @@ use crate::{AllocError, AllocHint, FarAlloc, Result};
 /// bumps a local cursor — zero far accesses per item, with one chunk
 /// refill every `chunk_len / item` allocations.
 ///
-/// Arena memory is only reclaimed wholesale ([`Arena::retire`]); this is
+/// Arena memory is only reclaimed wholesale — eagerly via
+/// [`Arena::retire`], or deferred behind an epoch grace period by handing
+/// [`Arena::into_parts`] to `farmem-reclaim`'s `retire_arena`. This is
 /// the usual trade-off for publish-only records whose liveness is governed
 /// by the containing data structure's epochs.
+///
+/// Simply **dropping** an arena strands its chunks: `live_bytes` stays
+/// elevated forever (asserted by the `plain_drop_strands_chunks` test).
+/// Teardown paths must call `retire`/`into_parts` explicitly — an
+/// implicit `Drop` free would be unsound, because dropping happens at
+/// unwinding/scope exit where concurrent readers may still hold
+/// references that only an epoch grace period can wait out.
 ///
 /// # Examples
 ///
@@ -39,6 +48,10 @@ pub struct Arena {
     cursor: u64,
     /// Chunks fully used, retained for `retire`.
     retired: Vec<FarAddr>,
+    /// Oversized items (> `chunk_len`) with their word-rounded lengths;
+    /// they got dedicated allocations and are freed at `retire` like the
+    /// chunks (they used to be silently leaked).
+    oversized: Vec<(FarAddr, u64)>,
     items: u64,
 }
 
@@ -57,6 +70,7 @@ impl Arena {
             chunk: FarAddr::NULL,
             cursor: 0,
             retired: Vec::new(),
+            oversized: Vec::new(),
             items: 0,
         }
     }
@@ -79,9 +93,12 @@ impl Arena {
         }
         let len = len.div_ceil(8) * 8;
         if len > self.chunk_len {
-            // Oversized item: dedicated allocation with the same hint.
+            // Oversized item: dedicated allocation with the same hint,
+            // tracked so `retire` returns it along with the chunks.
+            let addr = self.alloc.alloc(len, self.hint)?;
+            self.oversized.push((addr, len));
             self.items += 1;
-            return self.alloc.alloc(len, self.hint);
+            return Ok(addr);
         }
         if self.chunk.is_null() || self.cursor + len > self.chunk_len {
             if !self.chunk.is_null() {
@@ -96,16 +113,38 @@ impl Arena {
         Ok(addr)
     }
 
-    /// Returns every chunk this arena ever drew to the underlying
-    /// allocator. The caller asserts nothing references the items anymore.
+    /// Returns every chunk (and oversized item) this arena ever drew to
+    /// the underlying allocator. The caller asserts nothing references
+    /// the items anymore — when concurrent readers might, hand
+    /// [`Arena::into_parts`] to an epoch-based reclaimer instead.
     pub fn retire(mut self) -> Result<()> {
         if !self.chunk.is_null() {
             self.retired.push(self.chunk);
+            self.chunk = FarAddr::NULL;
         }
         for chunk in self.retired.drain(..) {
             self.alloc.free(chunk, self.chunk_len)?;
         }
+        for (addr, len) in self.oversized.drain(..) {
+            self.alloc.free(addr, len)?;
+        }
         Ok(())
+    }
+
+    /// Consumes the arena and exposes everything it drew from the
+    /// allocator: `(chunks, chunk_len, oversized)`. Deferred-reclamation
+    /// layers use this to push the pieces into a limbo list instead of
+    /// freeing them eagerly.
+    pub fn into_parts(mut self) -> (Vec<FarAddr>, u64, Vec<(FarAddr, u64)>) {
+        if !self.chunk.is_null() {
+            self.retired.push(self.chunk);
+            self.chunk = FarAddr::NULL;
+        }
+        (
+            std::mem::take(&mut self.retired),
+            self.chunk_len,
+            std::mem::take(&mut self.oversized),
+        )
     }
 }
 
@@ -161,6 +200,66 @@ mod tests {
         let live_before = alloc.stats().live_bytes;
         a.retire().unwrap();
         assert!(alloc.stats().live_bytes < live_before);
+    }
+
+    /// `retire` frees everything — including oversized dedicated
+    /// allocations, which used to be silently leaked. `live_bytes`
+    /// returns to its pre-arena baseline.
+    #[test]
+    fn retire_restores_live_bytes_baseline() {
+        let f = FabricConfig::single_node(4 << 20).build();
+        let alloc = FarAlloc::new(f);
+        let baseline = alloc.stats().live_bytes;
+        let mut a = Arena::new(alloc.clone(), 4096, AllocHint::Spread);
+        for _ in 0..200 {
+            a.alloc(64).unwrap();
+        }
+        a.alloc(10_000).unwrap(); // oversized: dedicated allocation
+        assert!(alloc.stats().live_bytes > baseline);
+        a.retire().unwrap();
+        assert_eq!(alloc.stats().live_bytes, baseline);
+    }
+
+    /// Documented behavior: plain `drop` strands the chunks (an implicit
+    /// free would be unsound under concurrent readers). Teardown must go
+    /// through `retire` or `into_parts`.
+    #[test]
+    fn plain_drop_strands_chunks() {
+        let f = FabricConfig::single_node(4 << 20).build();
+        let alloc = FarAlloc::new(f);
+        let baseline = alloc.stats().live_bytes;
+        let mut a = Arena::new(alloc.clone(), 4096, AllocHint::Spread);
+        for _ in 0..200 {
+            a.alloc(64).unwrap();
+        }
+        drop(a);
+        assert!(
+            alloc.stats().live_bytes > baseline,
+            "dropped arena chunks stay allocated (leak is deliberate)"
+        );
+    }
+
+    #[test]
+    fn into_parts_exposes_all_allocations() {
+        let f = FabricConfig::single_node(4 << 20).build();
+        let alloc = FarAlloc::new(f);
+        let baseline = alloc.stats().live_bytes;
+        let mut a = Arena::new(alloc.clone(), 4096, AllocHint::Spread);
+        for _ in 0..200 {
+            a.alloc(64).unwrap();
+        }
+        a.alloc(10_000).unwrap();
+        let (chunks, chunk_len, oversized) = a.into_parts();
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunk_len, 4096);
+        assert_eq!(oversized.len(), 1);
+        for c in chunks {
+            alloc.free(c, chunk_len).unwrap();
+        }
+        for (addr, len) in oversized {
+            alloc.free(addr, len).unwrap();
+        }
+        assert_eq!(alloc.stats().live_bytes, baseline);
     }
 
     #[test]

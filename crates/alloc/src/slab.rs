@@ -50,6 +50,12 @@ struct State {
     striped_bottom: u64,
     /// Free list for striped allocations: page count → addresses.
     striped_free: HashMap<u64, Vec<FarAddr>>,
+    /// Membership map of outstanding allocations: base address → rounded
+    /// length (size class or whole pages). A `free` that misses this map
+    /// — double free, never-allocated address, or wrong length — is
+    /// rejected as [`AllocError::BadFree`] instead of silently corrupting
+    /// the free lists and hiding a `live_bytes` underflow.
+    live: HashMap<u64, u64>,
     stats: AllocStats,
 }
 
@@ -122,6 +128,7 @@ impl FarAlloc {
                 striped_top: total,
                 striped_bottom,
                 striped_free: HashMap::new(),
+                live: HashMap::new(),
                 stats: AllocStats::default(),
             }),
         })
@@ -191,6 +198,7 @@ impl FarAlloc {
             state.stats.reused += 1;
             state.stats.live_bytes += class;
             state.stats.allocated_bytes += class;
+            state.live.insert(addr.0, class);
             return Ok(addr);
         }
         // Carve a fresh page on the chosen node into slots of this class.
@@ -210,6 +218,7 @@ impl FarAlloc {
         state.stats.pages_carved += 1;
         state.stats.live_bytes += class;
         state.stats.allocated_bytes += class;
+        state.live.insert(base.0, class);
         Ok(base)
     }
 
@@ -233,6 +242,7 @@ impl FarAlloc {
                 state.stats.reused += 1;
                 state.stats.live_bytes += pages * PAGE;
                 state.stats.allocated_bytes += pages * PAGE;
+                state.live.insert(addr.0, pages * PAGE);
                 return Ok(addr);
             }
             let need = pages * PAGE;
@@ -242,6 +252,7 @@ impl FarAlloc {
             state.striped_top -= need;
             state.stats.live_bytes += need;
             state.stats.allocated_bytes += need;
+            state.live.insert(state.striped_top, need);
             return Ok(FarAddr(state.striped_top));
         }
         // Node-bound multi-page allocation: consecutive node-local pages.
@@ -268,11 +279,21 @@ impl FarAlloc {
         state.stats.pages_carved += pages;
         state.stats.live_bytes += pages * PAGE;
         state.stats.allocated_bytes += pages * PAGE;
-        Ok(self.fabric.map().global_of(node, page_offset))
+        let base = self.fabric.map().global_of(node, page_offset);
+        state.live.insert(base.0, pages * PAGE);
+        Ok(base)
     }
 
     /// Returns `len` bytes at `addr` (a pair previously returned by
     /// [`FarAlloc::alloc`]) to the appropriate free list.
+    ///
+    /// The `(addr, len)` pair is checked against the membership map of
+    /// outstanding allocations: a double free, a never-allocated address,
+    /// or a length that rounds differently than the allocation's is
+    /// rejected with [`AllocError::BadFree`] — before this check a double
+    /// free silently pushed a duplicate onto the free list (handing the
+    /// same address to two callers on reuse) while `saturating_sub` hid
+    /// the `live_bytes` underflow.
     ///
     /// Note: node-bound multi-page allocations are node-contiguous only in
     /// *node-local* space; they are returned to the striped free list keyed
@@ -282,11 +303,22 @@ impl FarAlloc {
             return Err(AllocError::BadFree { addr });
         }
         let mut state = self.state.lock().unwrap();
+        let rounded = if len > MAX_CLASS {
+            len.div_ceil(PAGE) * PAGE
+        } else {
+            size_class(len)
+        };
+        match state.live.get(&addr.0) {
+            Some(&r) if r == rounded => {
+                state.live.remove(&addr.0);
+            }
+            _ => return Err(AllocError::BadFree { addr }),
+        }
         if len > MAX_CLASS {
             let pages = len.div_ceil(PAGE);
             state.striped_free.entry(pages).or_default().push(addr);
             state.stats.freed_bytes += pages * PAGE;
-            state.stats.live_bytes = state.stats.live_bytes.saturating_sub(pages * PAGE);
+            state.stats.live_bytes -= pages * PAGE;
             return Ok(());
         }
         let class = size_class(len);
@@ -297,7 +329,7 @@ impl FarAlloc {
             .ok_or(AllocError::BadFree { addr })?;
         pool.free.entry(class).or_default().push(addr);
         state.stats.freed_bytes += class;
-        state.stats.live_bytes = state.stats.live_bytes.saturating_sub(class);
+        state.stats.live_bytes -= class;
         Ok(())
     }
 
@@ -418,6 +450,55 @@ mod tests {
         let a = alloc4();
         assert_eq!(a.alloc(0, AllocHint::Spread), Err(AllocError::ZeroSize));
         assert!(a.free(FarAddr::NULL, 8).is_err());
+    }
+
+    /// Regression: a double free used to push a duplicate onto the free
+    /// list (same address handed out twice on reuse) while
+    /// `saturating_sub` hid the `live_bytes` underflow. The membership
+    /// map now rejects it.
+    #[test]
+    fn double_free_is_detected() {
+        let a = alloc4();
+        let addr = a.alloc(64, AllocHint::Localize(NodeId(0))).unwrap();
+        a.free(addr, 64).unwrap();
+        let live = a.stats().live_bytes;
+        assert_eq!(a.free(addr, 64), Err(AllocError::BadFree { addr }));
+        assert_eq!(a.stats().live_bytes, live, "double free books nothing");
+        // The slot can still be reused exactly once.
+        let again = a.alloc(64, AllocHint::Localize(NodeId(0))).unwrap();
+        assert_eq!(addr, again);
+        let third = a.alloc(64, AllocHint::Localize(NodeId(0))).unwrap();
+        assert_ne!(addr, third, "no duplicate free-list entry");
+    }
+
+    #[test]
+    fn free_of_never_allocated_address_is_rejected() {
+        let a = alloc4();
+        let addr = a.alloc(64, AllocHint::Spread).unwrap();
+        // A neighboring slot that was carved but never handed out.
+        assert_eq!(
+            a.free(addr.offset(64), 64),
+            Err(AllocError::BadFree { addr: addr.offset(64) })
+        );
+    }
+
+    #[test]
+    fn free_with_wrong_length_is_rejected() {
+        let a = alloc4();
+        let addr = a.alloc(64, AllocHint::Spread).unwrap();
+        assert_eq!(a.free(addr, 128), Err(AllocError::BadFree { addr }));
+        a.free(addr, 64).unwrap();
+        // Lengths within the same size class are interchangeable.
+        let b = a.alloc(100, AllocHint::Spread).unwrap();
+        a.free(b, 120).unwrap();
+    }
+
+    #[test]
+    fn double_free_of_pages_is_detected() {
+        let a = alloc4();
+        let addr = a.alloc(16 * PAGE, AllocHint::Striped).unwrap();
+        a.free(addr, 16 * PAGE).unwrap();
+        assert_eq!(a.free(addr, 16 * PAGE), Err(AllocError::BadFree { addr }));
     }
 
     #[test]

@@ -10,9 +10,19 @@
 //! a lookup is the map's one far access plus one record read — the record
 //! read prefetches [`FarBlobMap::PREFETCH`] bytes, so blobs up to
 //! `PREFETCH - 8` bytes need no second read.
+//!
+//! With [`FarBlobMap::attach_reclaimed`] the map participates in
+//! epoch-based reclamation: overwrites and removes retire the superseded
+//! record (slab-allocated in this mode) into the limbo list, at the cost
+//! of one extra lookup plus one length read per mutation of an existing
+//! key. Constraint: concurrent overwrites/removes of the **same key**
+//! from different clients can race to retire the same old record; the
+//! allocator rejects the loser's double free as `BadFree`. Keep each key
+//! single-writer (or externally serialized) in reclaim mode.
 
 use farmem_alloc::{AllocHint, Arena, FarAlloc};
 use farmem_fabric::{FabricClient, FarAddr, WORD};
+use farmem_reclaim::SharedReclaim;
 use std::sync::Arc;
 
 use crate::error::{CoreError, Result};
@@ -37,6 +47,9 @@ use crate::httree::{HtTree, HtTreeConfig, HtTreeHandle};
 pub struct FarBlobMap {
     inner: HtTreeHandle,
     arena: Arena,
+    alloc: Arc<FarAlloc>,
+    /// Epoch-based reclamation: `Some` for `attach_reclaimed` handles.
+    reclaim: Option<SharedReclaim>,
 }
 
 impl FarBlobMap {
@@ -62,7 +75,44 @@ impl FarBlobMap {
         cfg: HtTreeConfig,
     ) -> Result<FarBlobMap> {
         let inner = tree.attach(client, alloc, cfg)?;
-        Ok(FarBlobMap { inner, arena: Arena::new(alloc.clone(), 16 * 4096, AllocHint::Spread) })
+        Ok(FarBlobMap {
+            inner,
+            arena: Arena::new(alloc.clone(), 16 * 4096, AllocHint::Spread),
+            alloc: alloc.clone(),
+            reclaim: None,
+        })
+    }
+
+    /// Creates a new blob map whose handles reclaim superseded records
+    /// through `reclaim` (see the module docs for the costs and the
+    /// single-writer-per-key constraint).
+    pub fn create_reclaimed(
+        client: &mut FabricClient,
+        alloc: &Arc<FarAlloc>,
+        cfg: HtTreeConfig,
+        reclaim: SharedReclaim,
+    ) -> Result<FarBlobMap> {
+        let tree = HtTree::create(client, alloc, cfg)?;
+        FarBlobMap::attach_reclaimed(client, alloc, tree, cfg, reclaim)
+    }
+
+    /// Attaches in reclaim mode: records are slab-allocated, and every
+    /// overwrite or remove retires the record it supersedes into the
+    /// limbo list. All handles of one tree must use the same mode.
+    pub fn attach_reclaimed(
+        client: &mut FabricClient,
+        alloc: &Arc<FarAlloc>,
+        tree: HtTree,
+        cfg: HtTreeConfig,
+        reclaim: SharedReclaim,
+    ) -> Result<FarBlobMap> {
+        let inner = tree.attach_reclaimed(client, alloc, cfg, reclaim.clone())?;
+        Ok(FarBlobMap {
+            inner,
+            arena: Arena::new(alloc.clone(), 16 * 4096, AllocHint::Spread),
+            alloc: alloc.clone(),
+            reclaim: Some(reclaim),
+        })
     }
 
     /// The underlying HT-tree (to share with `u64`-value users or attach
@@ -72,18 +122,26 @@ impl FarBlobMap {
     }
 
     /// Stores `value` under `key`: one record publish + the map's two far
-    /// accesses (three total, the first two independent).
+    /// accesses (three total, the first two independent). Reclaim mode
+    /// adds one lookup plus one length read when the key already existed,
+    /// to retire the record this store supersedes.
     pub fn put_bytes(&mut self, client: &mut FabricClient, key: u64, value: &[u8]) -> Result<()> {
         let _span = client.span("blob.put_bytes");
         if value.len() as u64 > u32::MAX as u64 {
             return Err(CoreError::BadConfig("blob too large"));
         }
-        let record = self.arena.alloc(WORD + value.len() as u64)?;
+        let old = if self.reclaim.is_some() { self.inner.get(client, key)? } else { None };
+        let record = if self.reclaim.is_some() {
+            self.alloc.alloc(WORD + value.len() as u64, AllocHint::Spread)?
+        } else {
+            self.arena.alloc(WORD + value.len() as u64)?
+        };
         let mut bytes = Vec::with_capacity(8 + value.len());
         bytes.extend_from_slice(&(value.len() as u64).to_le_bytes());
         bytes.extend_from_slice(value);
         client.write(record, &bytes)?;
-        self.inner.put(client, key, record.0)
+        self.inner.put(client, key, record.0)?;
+        self.retire_old(client, old)
     }
 
     /// Fetches the blob under `key`: the map's one far access plus one
@@ -106,10 +164,27 @@ impl FarBlobMap {
         Ok(Some(out))
     }
 
-    /// Removes `key` (the record itself is quarantined with the arena).
+    /// Removes `key`. Quarantine mode strands the record with the arena;
+    /// reclaim mode retires it into the limbo list (one extra lookup plus
+    /// one length read).
     pub fn remove(&mut self, client: &mut FabricClient, key: u64) -> Result<()> {
         let _span = client.span("blob.remove");
-        self.inner.remove(client, key)
+        let old = if self.reclaim.is_some() { self.inner.get(client, key)? } else { None };
+        self.inner.remove(client, key)?;
+        self.retire_old(client, old)
+    }
+
+    /// Retires the record a mutation just unlinked: reads its length word
+    /// to recover the allocation size, then hands it to the limbo list.
+    /// The record stays readable by concurrent guards until its grace
+    /// period elapses.
+    fn retire_old(&mut self, client: &mut FabricClient, old: Option<u64>) -> Result<()> {
+        let (Some(shared), Some(ptr)) = (self.reclaim.clone(), old) else {
+            return Ok(());
+        };
+        let len = client.read_u64(FarAddr(ptr))?;
+        let mut r = shared.lock().unwrap();
+        r.retire(client, FarAddr(ptr), WORD + len).map_err(CoreError::from)
     }
 
     /// Statistics of the underlying map handle.
@@ -181,6 +256,37 @@ mod tests {
         assert_eq!(m.get_bytes(&mut c, 1).unwrap().unwrap(), b"second, longer value");
         m.remove(&mut c, 1).unwrap();
         assert_eq!(m.get_bytes(&mut c, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn reclaimed_overwrites_and_removes_return_records() {
+        let (f, a) = setup();
+        let mut c = f.client();
+        let reg = farmem_reclaim::ReclaimRegistry::create(&mut c, &a, 4).unwrap();
+        let shared = reg.attach(&mut c, &a).unwrap();
+        let cfg = HtTreeConfig {
+            initial_buckets: 4096,
+            split_check_interval: u64::MAX,
+            ..HtTreeConfig::default()
+        };
+        let mut m = FarBlobMap::create_reclaimed(&mut c, &a, cfg, shared.clone()).unwrap();
+        m.put_bytes(&mut c, 1, &[7u8; 500]).unwrap();
+        let retired_before = shared.lock().unwrap().stats().retired_bytes;
+        // Overwrite: the 500-byte record is superseded and retired.
+        m.put_bytes(&mut c, 1, b"short").unwrap();
+        let retired_mid = shared.lock().unwrap().stats().retired_bytes;
+        assert_eq!(retired_mid - retired_before, 8 + 500, "old record retired");
+        assert_eq!(m.get_bytes(&mut c, 1).unwrap().unwrap(), b"short");
+        // Remove: the replacement record is retired too.
+        m.remove(&mut c, 1).unwrap();
+        let retired_after = shared.lock().unwrap().stats().retired_bytes;
+        assert_eq!(retired_after - retired_mid, 8 + 5);
+        assert_eq!(m.get_bytes(&mut c, 1).unwrap(), None);
+        // Sole client: a seal + one grace round frees it all.
+        let mut r = shared.lock().unwrap();
+        r.seal(&mut c).unwrap();
+        let freed = r.reclaim(&mut c).unwrap();
+        assert!(freed >= 8 + 500 + 8 + 5, "records came back to the allocator");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use farmem_alloc::AllocError;
 use farmem_fabric::FabricError;
+use farmem_reclaim::ReclaimError;
 
 /// Errors surfaced by far-memory data structure operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +33,9 @@ pub enum CoreError {
     /// unlock when the lock word no longer carries the caller's fencing
     /// tag.
     LeaseLost,
+    /// The epoch-based reclamation layer failed (registry full/corrupted,
+    /// or a deferred free was rejected by the allocator).
+    Reclaim(ReclaimError),
 }
 
 impl From<FabricError> for CoreError {
@@ -43,6 +47,18 @@ impl From<FabricError> for CoreError {
 impl From<AllocError> for CoreError {
     fn from(e: AllocError) -> Self {
         CoreError::Alloc(e)
+    }
+}
+
+impl From<ReclaimError> for CoreError {
+    fn from(e: ReclaimError) -> Self {
+        // Unwrap the layers shared with this crate so callers can match
+        // on the underlying fabric/alloc cause uniformly.
+        match e {
+            ReclaimError::Fabric(f) => CoreError::Fabric(f),
+            ReclaimError::Alloc(a) => CoreError::Alloc(a),
+            other => CoreError::Reclaim(other),
+        }
     }
 }
 
@@ -61,6 +77,7 @@ impl core::fmt::Display for CoreError {
             CoreError::LeaseLost => {
                 write!(f, "lock lease expired and was taken over by another client")
             }
+            CoreError::Reclaim(e) => write!(f, "reclamation error: {e}"),
         }
     }
 }
@@ -70,6 +87,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Fabric(e) => Some(e),
             CoreError::Alloc(e) => Some(e),
+            CoreError::Reclaim(e) => Some(e),
             _ => None,
         }
     }

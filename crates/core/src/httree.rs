@@ -25,11 +25,27 @@
 //! client checks the stamp on each access. Retired tables are *poisoned*
 //! (every bucket is pointed at a version-`u64::MAX` tombstone record), so
 //! a stale client's very first far access tells it to refresh its tree.
-//! Retired tables are quarantined rather than freed — reclamation would
-//! need client epochs, which the paper does not address (see DESIGN.md).
+//!
+//! ## Reclamation
+//!
+//! A handle attached with [`HtTree::attach_reclaimed`] participates in
+//! epoch-based grace-period reclamation (`farmem-reclaim`, DESIGN.md §8):
+//! every operation pins an epoch [`Guard`], refreshing the cached tree
+//! whenever the pin observes an epoch advance; item records come from the
+//! shared slab allocator instead of a bump arena; and a split *retires*
+//! the replaced table — header, bucket array, bulk items block, every
+//! drained chain record, and the superseded directory blob — into the
+//! client's limbo list, sealing an epoch so a grace period can return the
+//! bytes to [`FarAlloc::free`]. Plain [`HtTree::attach`] handles keep the
+//! original quarantine behavior (retired tables leak; safe but unbounded
+//! under churn). **Do not mix** the two modes on one tree: quarantine-mode
+//! handles publish arena-carved records whose addresses a reclaim-mode
+//! splitter would retire individually, which the allocator's membership
+//! check rejects as [`AllocError`](farmem_alloc::AllocError)`::BadFree`.
 
 use farmem_alloc::{AllocHint, Arena, FarAlloc};
 use farmem_fabric::{BatchOp, FabricClient, FarAddr, FarIov, WORD};
+use farmem_reclaim::{pin, Guard, SharedReclaim};
 use std::sync::Arc;
 
 use crate::error::{CoreError, Result};
@@ -43,11 +59,16 @@ const A_POISON: u64 = 24;
 const ANCHOR_LEN: u64 = 32;
 
 /// Table header layout: version, buckets base, bucket count, item count,
-/// collision count — each one word.
+/// collision count, bulk-items base, bulk-items length — each one word.
+/// The last two record the contiguous record block a split laid the
+/// table's items out in, so a *later* splitter (any client) can retire
+/// that block; zero for tables whose items were published individually.
 const H_VERSION: u64 = 0;
 const H_ITEMS: u64 = 24;
 const H_COLLISIONS: u64 = 32;
-const HDR_LEN: u64 = 40;
+const H_ITEMS_BASE: u64 = 40;
+const H_ITEMS_LEN: u64 = 48;
+const HDR_LEN: u64 = 56;
 
 /// Item record layout: `{key, value, version, next}`.
 const ITEM_LEN: u64 = 32;
@@ -191,6 +212,9 @@ pub struct HtTreeStats {
     pub splits: u64,
     /// Grows (same range, more buckets) this handle performed.
     pub grows: u64,
+    /// Compactions (same range, same buckets — the drained table was
+    /// mostly superseded records, not live growth) this handle performed.
+    pub compactions: u64,
     /// Directory-change notifications consumed (`notify_dir` mode).
     pub dir_notifications: u64,
 }
@@ -269,6 +293,31 @@ impl HtTree {
         alloc: &Arc<FarAlloc>,
         cfg: HtTreeConfig,
     ) -> Result<HtTreeHandle> {
+        self.attach_inner(client, alloc, cfg, None)
+    }
+
+    /// Like [`attach`](Self::attach), but the handle participates in
+    /// epoch-based reclamation through `reclaim`: every operation pins an
+    /// epoch guard, and splits retire the replaced table into the limbo
+    /// list instead of quarantining it (see the module docs). All handles
+    /// of one tree must use the same mode.
+    pub fn attach_reclaimed(
+        &self,
+        client: &mut FabricClient,
+        alloc: &Arc<FarAlloc>,
+        cfg: HtTreeConfig,
+        reclaim: SharedReclaim,
+    ) -> Result<HtTreeHandle> {
+        self.attach_inner(client, alloc, cfg, Some(reclaim))
+    }
+
+    fn attach_inner(
+        &self,
+        client: &mut FabricClient,
+        alloc: &Arc<FarAlloc>,
+        cfg: HtTreeConfig,
+        reclaim: Option<SharedReclaim>,
+    ) -> Result<HtTreeHandle> {
         let dir_sub = if cfg.notify_dir {
             Some(client.notify0(self.anchor.offset(A_DIR_VERSION), farmem_fabric::WORD)?)
         } else {
@@ -280,12 +329,21 @@ impl HtTree {
             alloc: alloc.clone(),
             arena: Arena::new(alloc.clone(), 4096, AllocHint::Spread),
             entries: Vec::new(),
+            dir_ptr: FarAddr::NULL,
             dir_version: 0,
             poison: FarAddr::NULL,
             dir_sub,
+            reclaim,
+            seen_epoch: 0,
             stats: HtTreeStats::default(),
             puts_since_check: 0,
         };
+        if let Some(r) = &h.reclaim {
+            // Conservative: observed before the directory read, so a
+            // concurrent seal in between just causes one redundant
+            // refresh at the first pin.
+            h.seen_epoch = r.lock().unwrap().observed_epoch();
+        }
         h.refresh_directory(client)?;
         Ok(h)
     }
@@ -302,7 +360,7 @@ fn write_table(
     let hdr = alloc.alloc(HDR_LEN, AllocHint::Colocate(buckets))?;
     let zeros = vec![0u8; (n_buckets * WORD) as usize];
     let mut hdr_bytes = Vec::with_capacity(HDR_LEN as usize);
-    for w in [version, buckets.0, n_buckets, 0, 0] {
+    for w in [version, buckets.0, n_buckets, 0, 0, 0, 0] {
         hdr_bytes.extend_from_slice(&w.to_le_bytes());
     }
     client.batch(&[
@@ -339,10 +397,19 @@ pub struct HtTreeHandle {
     alloc: Arc<FarAlloc>,
     arena: Arena,
     entries: Vec<Entry>,
+    /// The directory blob the cached entries were read from; the splitter
+    /// that replaces it retires it (reclaim mode).
+    dir_ptr: FarAddr,
     dir_version: u64,
     poison: FarAddr,
     /// Directory-change subscription (`notify_dir` mode).
     dir_sub: Option<farmem_fabric::SubId>,
+    /// Epoch-based reclamation: `Some` for `attach_reclaimed` handles.
+    reclaim: Option<SharedReclaim>,
+    /// Epoch the cached directory was last validated at (reclaim mode):
+    /// a pin observing a newer epoch forces a refresh, which is what
+    /// makes freeing retired tables after a grace period sound.
+    seen_epoch: u64,
     stats: HtTreeStats,
     puts_since_check: u64,
 }
@@ -396,7 +463,23 @@ impl HtTreeHandle {
             return Err(CoreError::Corrupted("directory does not cover the key space"));
         }
         self.entries = entries;
+        self.dir_ptr = dir_ptr;
         Ok(())
+    }
+
+    /// Reclaim mode: pins an epoch guard for the duration of one
+    /// operation, refreshing the cached tree if the epoch advanced since
+    /// it was last validated (a restructure sealed in between, so cached
+    /// table pointers may name retired — soon freed — memory). Free in
+    /// the steady state; `None` for quarantine-mode handles.
+    fn pin_epoch(&mut self, client: &mut FabricClient) -> Result<Option<Guard>> {
+        let Some(shared) = self.reclaim.clone() else { return Ok(None) };
+        let guard = pin(&shared, client)?;
+        if guard.epoch() != self.seen_epoch {
+            self.refresh_directory(client)?;
+            self.seen_epoch = guard.epoch();
+        }
+        Ok(Some(guard))
     }
 
     /// In `notify_dir` mode: refreshes the directory if a change
@@ -434,6 +517,7 @@ impl HtTreeHandle {
     /// cache adds a directory refresh and a retry.
     pub fn get(&mut self, client: &mut FabricClient, key: u64) -> Result<Option<u64>> {
         let _span = client.span("httree.get");
+        let _guard = self.pin_epoch(client)?;
         self.stats.gets += 1;
         self.sync_directory(client)?;
         self.get_inner(client, key)
@@ -512,6 +596,7 @@ impl HtTreeHandle {
         keys: &[u64],
     ) -> Result<Vec<Option<u64>>> {
         let _span = client.span("httree.get_many");
+        let _guard = self.pin_epoch(client)?;
         self.stats.gets += keys.len() as u64;
         self.sync_directory(client)?;
         let entries: Vec<Entry> = keys.iter().map(|&k| self.entry_for(client, k)).collect();
@@ -553,6 +638,7 @@ impl HtTreeHandle {
     /// fenced batch (item publish + bucket CAS).
     pub fn put(&mut self, client: &mut FabricClient, key: u64, value: u64) -> Result<()> {
         let _span = client.span("httree.put");
+        let _guard = self.pin_epoch(client)?;
         self.stats.puts += 1;
         self.put_record(client, key, value, false)?;
         self.maybe_split(client, key)
@@ -562,6 +648,7 @@ impl HtTreeHandle {
     /// [`put`](Self::put)).
     pub fn remove(&mut self, client: &mut FabricClient, key: u64) -> Result<()> {
         let _span = client.span("httree.remove");
+        let _guard = self.pin_epoch(client)?;
         self.stats.removes += 1;
         self.put_record(client, key, 0, true)
     }
@@ -599,7 +686,15 @@ impl HtTreeHandle {
             }
             let version = if tombstone { entry.version | TOMB_BIT } else { entry.version };
             let record = Item { key, value, version, next: old_head }.encode();
-            let item_addr = self.arena.alloc(ITEM_LEN)?;
+            // Reclaim mode publishes records from the shared slab so a
+            // later splitter can free each one individually; quarantine
+            // mode bumps the per-client arena (its records are only ever
+            // reclaimed wholesale, which quarantine never does).
+            let item_addr = if self.reclaim.is_some() {
+                self.alloc.alloc(ITEM_LEN, AllocHint::Spread)?
+            } else {
+                self.arena.alloc(ITEM_LEN)?
+            };
             // Far access 2: publish the record and swing the bucket in one
             // fenced batch (the fabric orders the write before the CAS).
             let out = client.batch(&[
@@ -607,7 +702,13 @@ impl HtTreeHandle {
                 BatchOp::Cas { addr: bucket, expected: old_head, new: item_addr.0 },
             ])?;
             if out[1].value() != old_head {
-                // Lost the bucket race; retry from the version check.
+                // Lost the bucket race; retry from the version check. The
+                // record was never published (the CAS that would have
+                // linked it failed), so reclaim mode frees it eagerly —
+                // no grace period needed for memory nobody can reach.
+                if self.reclaim.is_some() {
+                    self.alloc.free(item_addr, ITEM_LEN)?;
+                }
                 self.stats.cas_retries += 1;
                 continue;
             }
@@ -651,6 +752,7 @@ impl HtTreeHandle {
     /// trail in-flight operations slightly.
     pub fn len_estimate(&mut self, client: &mut FabricClient) -> Result<u64> {
         let _span = client.span("httree.len_estimate");
+        let _guard = self.pin_epoch(client)?;
         let iov: Vec<FarIov> = self
             .entries
             .iter()
@@ -678,6 +780,7 @@ impl HtTreeHandle {
         hi: u64,
     ) -> Result<Vec<(u64, u64)>> {
         let _span = client.span("httree.scan");
+        let _guard = self.pin_epoch(client)?;
         if lo > hi {
             return Ok(Vec::new());
         }
@@ -748,6 +851,7 @@ impl HtTreeHandle {
     /// tree's far mutex; other tables are unaffected (§5.2).
     pub fn split(&mut self, client: &mut FabricClient, start_key: u64) -> Result<()> {
         let _span = client.span("httree.split");
+        let _guard = self.pin_epoch(client)?;
         let lock = FarMutex::attach(self.tree.anchor.offset(A_LOCK));
         lock.lock(client, 1_000_000)?;
         let result = self.split_locked(client, start_key);
@@ -769,6 +873,18 @@ impl HtTreeHandle {
             .get(idx + 1)
             .map(|e| e.start_key)
             .unwrap_or(u64::MAX);
+        // Reclaim mode retires the replaced table wholesale; remember the
+        // pieces only the far side knows: the bulk items block a previous
+        // split laid this table's records out in, and the directory blob
+        // the new one will supersede.
+        let (old_items_base, old_items_len) = if self.reclaim.is_some() {
+            let hdr = words(&client.read(entry.table_hdr, HDR_LEN)?);
+            (hdr[(H_ITEMS_BASE / 8) as usize], hdr[(H_ITEMS_LEN / 8) as usize])
+        } else {
+            (0, 0)
+        };
+        let old_dir = self.dir_ptr;
+        let old_dir_len = WORD + self.entries.len() as u64 * ENTRY_LEN;
 
         // Block writers: mark the table as splitting.
         client.write_u64(entry.table_hdr.offset(H_VERSION), SPLITTING)?;
@@ -785,9 +901,13 @@ impl HtTreeHandle {
         // a key is authoritative.
         let mut live: std::collections::HashMap<u64, Option<u64>> =
             std::collections::HashMap::new();
+        // Every chain record the drain visits (reclaim mode frees each
+        // one not covered by the bulk items block after the grace period).
+        let mut drained: std::collections::HashSet<u64> = std::collections::HashSet::new();
         let mut frontier: Vec<u64> =
             bucket_words.iter().copied().filter(|&p| p != 0).collect();
         while !frontier.is_empty() {
+            drained.extend(frontier.iter().copied());
             let iov: Vec<FarIov> =
                 frontier.iter().map(|&p| FarIov::new(FarAddr(p), ITEM_LEN)).collect();
             let bytes = client.rgather(&iov)?;
@@ -827,6 +947,7 @@ impl HtTreeHandle {
                 let mut chain = Vec::new();
                 let mut cur = head;
                 while cur != 0 {
+                    drained.insert(cur);
                     let item = Item::decode(&client.read(FarAddr(cur), ITEM_LEN)?);
                     chain.push(item);
                     cur = item.next;
@@ -855,9 +976,27 @@ impl HtTreeHandle {
         // cannot be partitioned.
         live.sort_unstable_by_key(|&(k, _)| k);
         let can_split = live.len() >= 2 && live.first().unwrap().0 != live.last().unwrap().0;
+        // The restructure trigger counts *records* (every put appends one
+        // to a chain), not live keys. When the drain shows the table was
+        // mostly superseded records — overwrite/delete churn, not growth —
+        // compact it in place at the same size instead of splitting or
+        // growing. Without this, steady churn over a fixed working set
+        // multiplies tables without bound, and no amount of record
+        // reclamation keeps the footprint flat.
+        let compact = live.len() as u64 * 100 <= entry.n_buckets * self.cfg.max_load_percent / 2;
         let new_version = entry.version + 1;
         let mut new_entries: Vec<Entry> = Vec::new();
-        if can_split {
+        if compact {
+            let same = self.build_table_sized(
+                client,
+                entry.start_key,
+                &live,
+                new_version,
+                entry.n_buckets,
+            )?;
+            new_entries.push(same);
+            self.stats.compactions += 1;
+        } else if can_split {
             let mid_key = live[live.len() / 2].0;
             // All keys strictly below mid go left; mid and above go right.
             let split_at = live.partition_point(|&(k, _)| k < mid_key);
@@ -897,7 +1036,37 @@ impl HtTreeHandle {
         ])?;
         self.entries = entries;
         self.dir_version = new_dir_version;
-        // The retired table is quarantined, not freed (see module docs).
+        self.dir_ptr = blob;
+        if let Some(shared) = self.reclaim.clone() {
+            // Retire everything the new directory just unlinked: the old
+            // table (header, buckets, bulk items block, every chain
+            // record outside that block) and the superseded directory
+            // blob. The seal stamps them with a fresh epoch; a grace
+            // period later they return to the allocator. Stale readers
+            // stay safe in between: their first far access hits poison,
+            // and their next epoch pin refreshes past the retired blocks
+            // before those can be freed.
+            let mut r = shared.lock().unwrap();
+            r.retire(client, entry.table_hdr, HDR_LEN)?;
+            r.retire(client, entry.buckets, entry.n_buckets * WORD)?;
+            if old_items_base != 0 {
+                r.retire(client, FarAddr(old_items_base), old_items_len)?;
+            }
+            let in_bulk = |a: u64| {
+                old_items_base != 0 && a >= old_items_base && a < old_items_base + old_items_len
+            };
+            let mut chain_records: Vec<u64> = drained
+                .into_iter()
+                .filter(|&a| a != self.poison.0 && !in_bulk(a))
+                .collect();
+            chain_records.sort_unstable();
+            for a in chain_records {
+                r.retire(client, FarAddr(a), ITEM_LEN)?;
+            }
+            r.retire(client, old_dir, old_dir_len)?;
+            r.seal(client)?;
+        }
+        // Quarantine mode: the retired table leaks (see module docs).
         Ok(())
     }
 
@@ -945,7 +1114,16 @@ impl HtTreeHandle {
         let bucket_bytes: Vec<u8> =
             bucket_words.iter().flat_map(|w| w.to_le_bytes()).collect();
         let mut hdr_bytes = Vec::with_capacity(HDR_LEN as usize);
-        for w in [version, buckets_addr.0, n_buckets, items.len() as u64, collisions] {
+        let items_len = items.len() as u64 * ITEM_LEN;
+        for w in [
+            version,
+            buckets_addr.0,
+            n_buckets,
+            items.len() as u64,
+            collisions,
+            items_addr.0,
+            items_len,
+        ] {
             hdr_bytes.extend_from_slice(&w.to_le_bytes());
         }
         let mut ops = vec![
@@ -1229,6 +1407,120 @@ mod tests {
         // Full-range scan matches the whole content.
         let all = h.scan(&mut c, 0, u64::MAX).unwrap();
         assert_eq!(all.len(), 1000 / 3 + 1 - 1);
+    }
+
+    #[test]
+    fn reclaimed_split_returns_the_old_table_to_the_allocator() {
+        let f = FabricConfig::count_only(256 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        let mut c = f.client();
+        let reg = farmem_reclaim::ReclaimRegistry::create(&mut c, &a, 4).unwrap();
+        let shared = reg.attach(&mut c, &a).unwrap();
+        let cfg = HtTreeConfig { initial_buckets: 8, ..HtTreeConfig::default() };
+        let t = HtTree::create(&mut c, &a, cfg).unwrap();
+        let mut h = t.attach_reclaimed(&mut c, &a, cfg, shared.clone()).unwrap();
+        for k in 0..64u64 {
+            h.put(&mut c, k, k + 1).unwrap();
+        }
+        let live_before = a.stats().live_bytes;
+        h.split(&mut c, 0).unwrap();
+        {
+            let mut r = shared.lock().unwrap();
+            assert!(r.stats().limbo_bytes() > 0, "split retired the old table");
+            // Sole client: one grace round frees everything.
+            r.reclaim(&mut c).unwrap();
+            assert_eq!(r.stats().limbo_bytes(), 0);
+        }
+        assert!(
+            a.stats().live_bytes < live_before,
+            "retired table returned to the allocator"
+        );
+        // Contents survive the restructure and the frees.
+        for k in 0..64u64 {
+            assert_eq!(h.get(&mut c, k).unwrap(), Some(k + 1), "key {k}");
+        }
+    }
+
+    #[test]
+    fn reclaimed_churn_keeps_footprint_bounded() {
+        let f = FabricConfig::count_only(256 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        let mut c = f.client();
+        let reg = farmem_reclaim::ReclaimRegistry::create(&mut c, &a, 4).unwrap();
+        let shared = reg.attach(&mut c, &a).unwrap();
+        let cfg = HtTreeConfig {
+            initial_buckets: 16,
+            split_check_interval: 32,
+            ..HtTreeConfig::default()
+        };
+        let t = HtTree::create(&mut c, &a, cfg).unwrap();
+        let mut h = t.attach_reclaimed(&mut c, &a, cfg, shared.clone()).unwrap();
+        // Sustained overwrite churn on a fixed key set: the live data
+        // size is constant, so live + limbo must stay bounded.
+        let keys = 256u64;
+        let mut peak = 0u64;
+        for round in 0..30u64 {
+            for k in 0..keys {
+                h.put(&mut c, k, round * 1000 + k).unwrap();
+            }
+            let freed_round = {
+                let mut r = shared.lock().unwrap();
+                r.reclaim(&mut c).unwrap()
+            };
+            let _ = freed_round;
+            let footprint =
+                a.stats().live_bytes + shared.lock().unwrap().stats().limbo_bytes();
+            peak = peak.max(footprint);
+        }
+        let reclaimed = shared.lock().unwrap().stats().reclaimed_bytes;
+        assert!(reclaimed > 0, "grace periods elapsed and bytes came back");
+        for k in 0..keys {
+            assert_eq!(h.get(&mut c, k).unwrap(), Some(29 * 1000 + k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn stale_reclaimed_reader_refreshes_at_its_next_pin() {
+        let f = FabricConfig::count_only(256 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        let mut c1 = f.client();
+        let mut c2 = f.client();
+        let reg = farmem_reclaim::ReclaimRegistry::create(&mut c1, &a, 4).unwrap();
+        let s1 = reg.attach(&mut c1, &a).unwrap();
+        let s2 = reg.attach(&mut c2, &a).unwrap();
+        // No auto-splits: the explicit split below must be the only
+        // restructure, so the epoch arithmetic in the asserts is exact.
+        let cfg = HtTreeConfig {
+            initial_buckets: 8,
+            split_check_interval: u64::MAX,
+            ..HtTreeConfig::default()
+        };
+        let t = HtTree::create(&mut c1, &a, cfg).unwrap();
+        let mut h1 = t.attach_reclaimed(&mut c1, &a, cfg, s1.clone()).unwrap();
+        let mut h2 = t.attach_reclaimed(&mut c2, &a, cfg, s2).unwrap();
+        for k in 0..64u64 {
+            h1.put(&mut c1, k, k + 1).unwrap();
+        }
+        // h2 reads once (pins, caches the pre-split tree).
+        assert_eq!(h2.get(&mut c2, 3).unwrap(), Some(4));
+        // h1 splits (retires + seals) and reclaims. h2's slot still lags
+        // at the pre-seal epoch, so nothing can be freed yet.
+        h1.split(&mut c1, 0).unwrap();
+        {
+            let mut r = s1.lock().unwrap();
+            assert_eq!(r.reclaim(&mut c1).unwrap(), 0, "h2's epoch blocks the free");
+        }
+        // h2's next operation pins, observes the epoch advance, and
+        // refreshes its cached tree — after which the grace period can
+        // elapse and the retired table is freed.
+        assert_eq!(h2.get(&mut c2, 3).unwrap(), Some(4));
+        {
+            let mut r = s1.lock().unwrap();
+            assert!(r.reclaim(&mut c1).unwrap() > 0, "grace period elapsed");
+        }
+        for k in 0..64u64 {
+            assert_eq!(h2.get(&mut c2, k).unwrap(), Some(k + 1), "key {k}");
+        }
     }
 
     #[test]

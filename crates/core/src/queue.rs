@@ -188,6 +188,26 @@ impl FarQueue {
         self.hdr
     }
 
+    /// Retires the queue's far memory — the slot array (including the
+    /// physical slack region) and the header — into `reclaim`'s limbo
+    /// list, and seals an epoch so a grace period can free it. The caller
+    /// asserts no *new* operations will start (all handles detached or
+    /// abandoned). The queue's own verbs do not pin epochs; clients that
+    /// may race a retire must wrap their queue operations in
+    /// `farmem_reclaim::pin` guards, which is what keeps a straggler
+    /// mid-operation safe until the grace period elapses.
+    pub fn retire(
+        self,
+        client: &mut FabricClient,
+        reclaim: &farmem_reclaim::SharedReclaim,
+    ) -> Result<()> {
+        let mut r = reclaim.lock().unwrap();
+        r.retire(client, self.slots_base, (self.n_slots + self.slack_slots) * WORD)?;
+        r.retire(client, self.hdr, HDR_LEN)?;
+        r.seal(client)?;
+        Ok(())
+    }
+
     /// Attaches a client, reading the descriptor from far memory (one far
     /// access) and subscribing to the repair-epoch word so future epoch
     /// checks are local.
@@ -758,6 +778,34 @@ mod tests {
         let mut c = f.client();
         let q = FarQueue::create(&mut c, &a, QueueConfig::new(n_slots, max_clients)).unwrap();
         (f, q)
+    }
+
+    #[test]
+    fn retire_returns_the_queue_memory_after_a_grace_period() {
+        let f = FabricConfig::count_only(16 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        let mut c = f.client();
+        let reg = farmem_reclaim::ReclaimRegistry::create(&mut c, &a, 4).unwrap();
+        let shared = reg.attach(&mut c, &a).unwrap();
+        let live_before = a.stats().live_bytes;
+        let q = FarQueue::create(&mut c, &a, QueueConfig::new(64, 2)).unwrap();
+        let mut h = FarQueue::attach(&mut c, q.hdr()).unwrap();
+        for v in 0..20u64 {
+            h.enqueue(&mut c, v).unwrap();
+        }
+        for _ in 0..20u64 {
+            h.dequeue(&mut c).unwrap();
+        }
+        assert!(a.stats().live_bytes > live_before);
+        h.detach(&mut c).unwrap();
+        q.retire(&mut c, &shared).unwrap();
+        let mut r = shared.lock().unwrap();
+        r.reclaim(&mut c).unwrap();
+        assert_eq!(
+            a.stats().live_bytes,
+            live_before,
+            "slots and header returned to the allocator"
+        );
     }
 
     #[test]

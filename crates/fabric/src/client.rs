@@ -202,6 +202,29 @@ impl FabricClient {
         }
     }
 
+    /// Books reclamation accounting (see `farmem-reclaim`): bytes handed
+    /// to a limbo list, bytes returned to the allocator after their grace
+    /// period, and grace-detection rounds run. Pure bookkeeping — charges
+    /// no far accesses and no virtual time (the registry reads/CASes that
+    /// implement reclamation are issued as ordinary verbs and count
+    /// themselves), but flows through tracing spans so
+    /// [`TraceReport::reconcile`](crate::trace::TraceReport::reconcile)
+    /// stays exact.
+    pub fn book_reclaim(&mut self, retired_bytes: u64, reclaimed_bytes: u64, rounds: u64) {
+        self.stats.retired_bytes += retired_bytes;
+        self.stats.reclaimed_bytes += reclaimed_bytes;
+        self.stats.reclaim_rounds += rounds;
+        if self.trace_depth == 0 {
+            if let Some(t) = &self.trace {
+                let mut delta = AccessStats::new();
+                delta.retired_bytes = retired_bytes;
+                delta.reclaimed_bytes = reclaimed_bytes;
+                delta.reclaim_rounds = rounds;
+                t.charge(delta, self.clock.now());
+            }
+        }
+    }
+
     // ----- tracing (farmem-trace; see `crate::trace`) -----
 
     /// Enables span-attributed tracing on this client and returns the

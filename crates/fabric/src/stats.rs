@@ -127,6 +127,15 @@ access_stats! {
     /// Virtual nanoseconds saved by overlapping pipelined descriptors
     /// across nodes, versus issuing the same verbs serially.
     overlap_saved_ns,
+    /// Bytes this client handed to a reclamation limbo (deferred frees
+    /// awaiting an epoch grace period; booked by `farmem-reclaim`).
+    retired_bytes,
+    /// Bytes actually returned to the allocator after their grace period
+    /// elapsed. `retired_bytes - reclaimed_bytes` is the limbo footprint.
+    reclaimed_bytes,
+    /// Grace-period detection rounds run (each is one scan of the epoch
+    /// registry; its round trips are also counted in `round_trips`).
+    reclaim_rounds,
 }
 
 #[cfg(test)]

@@ -10,6 +10,9 @@
 //!   extended hardware primitives (indirect addressing, scatter-gather,
 //!   notifications — Fig. 1);
 //! * [`alloc`] — far-memory allocation with §7.1 locality hints;
+//! * [`reclaim`] — epoch-based grace-period reclamation (DESIGN.md §8):
+//!   far-memory epoch registry, limbo lists, crash-evicting grace
+//!   detector, so deletes actually free far memory;
 //! * [`core`] — the far memory data structures themselves (§5): counters,
 //!   vectors, mutexes, barriers, the HT-tree map, the `saai`/`faai`
 //!   queue, and refreshable vectors;
@@ -52,6 +55,7 @@ pub use farmem_baselines as baselines;
 pub use farmem_core as core;
 pub use farmem_fabric as fabric;
 pub use farmem_monitor as monitor;
+pub use farmem_reclaim as reclaim;
 pub use farmem_rpc as rpc;
 
 /// The most commonly used items, in one import.
@@ -74,5 +78,8 @@ pub mod prelude {
         Tracer,
     };
     pub use farmem_monitor::{AlarmSpec, HistogramMonitor, NaiveMonitor, Severity};
+    pub use farmem_reclaim::{
+        pin, Guard, ReclaimError, ReclaimHandle, ReclaimRegistry, ReclaimStats, SharedReclaim,
+    };
     pub use farmem_rpc::{RpcClient, RpcServer, ServerCpu};
 }
