@@ -9,8 +9,8 @@
 //! The driver *asserts* the tracer's two contracts before reporting:
 //!
 //! * **exact reconciliation** — summed span self-stats + unattributed +
-//!   still-open stats equal the client's flat [`AccessStats`] delta,
-//!   field for field;
+//!   still-open stats equal the client's flat
+//!   [`AccessStats`](farmem_fabric::AccessStats) delta, field for field;
 //! * **≥95% attribution** — at least 95% of all round trips land in a
 //!   named span (the workload wraps setup in a span, so the residue is
 //!   only the driver's own bookkeeping reads).

@@ -98,7 +98,7 @@ fn main() {
         },
         &mut |c| {
             let p = c.read_u64(ptr).unwrap();
-            c.read(FarAddr(p + 16), 8).unwrap();
+            c.read(FarAddr(p).offset(16), 8).unwrap();
         },
     );
     row(
@@ -107,7 +107,7 @@ fn main() {
         &mut |c| c.store2(ptr, 16, &9u64.to_le_bytes()).unwrap(),
         &mut |c| {
             let p = c.read_u64(ptr).unwrap();
-            c.write_u64(FarAddr(p + 16), 9).unwrap();
+            c.write_u64(FarAddr(p).offset(16), 9).unwrap();
         },
     );
     row(
@@ -150,7 +150,7 @@ fn main() {
         &mut |c| c.add2(ptr, 1, 24).unwrap(),
         &mut |c| {
             let p = c.read_u64(ptr).unwrap();
-            c.faa(FarAddr(p + 24), 1).unwrap();
+            c.faa(FarAddr(p).offset(24), 1).unwrap();
         },
     );
     report.add(t);
@@ -162,7 +162,7 @@ fn main() {
     );
     for k in [2u64, 4, 8, 16, 32, 64] {
         let iov: Vec<FarIov> = (0..k)
-            .map(|i| FarIov::new(FarAddr(32768 + i * 4096), 64))
+            .map(|i| FarIov::new(FarAddr(32768).offset(i * 4096), 64))
             .collect();
         let (grt, _, gns) = measure(&mut c, |c| {
             c.rgather(&iov).unwrap();

@@ -45,7 +45,7 @@ fn main() {
         for i in 0..soft {
             let page = i / 8;
             let slot = i % 8;
-            let addr = FarAddr((page + 1) * PAGE + slot * 64 * WORD);
+            let addr = FarAddr(PAGE).offset(page * PAGE + slot * 64 * WORD);
             let sink = broker.make_subscriber_sink(i);
             broker.subscribe(addr, WORD, sink.clone()).unwrap();
             sinks.push(sink);
@@ -57,7 +57,7 @@ fn main() {
         for _ in 0..writes {
             let page = rng.gen_range(0..soft / 8);
             let slot = rng.gen_range(0..512);
-            writer.write_u64(FarAddr((page + 1) * PAGE + slot * WORD), 1).unwrap();
+            writer.write_u64(FarAddr(PAGE).offset(page * PAGE + slot * WORD), 1).unwrap();
             broker.pump();
         }
         let st = broker.stats();
@@ -152,7 +152,7 @@ fn main() {
             })
             .collect();
         for i in 0..100u64 {
-            writer.write_u64(FarAddr(PAGE + (i % 512) * 8), i).unwrap();
+            writer.write_u64(FarAddr(PAGE).offset((i % 512) * 8), i).unwrap();
             broker.pump();
         }
         let delivered: u64 = sinks.iter().map(|x| x.stats().delivered).sum();

@@ -1,0 +1,530 @@
+//! Mutation self-tests: deliberately broken protocol variants that the
+//! analyses must flag.
+//!
+//! Each mutant is a small program with one protocol rule removed —
+//! exactly the classes of bug the checker exists to catch. The suite
+//! runs every mutant under the same explorer and asserts that the
+//! *expected* analyses fire; a mutant slipping through fails the suite
+//! (and the `e16_check` driver, and CI). This is the evidence that a
+//! green main-suite report means something.
+//!
+//! These are **not** `#[cfg(test)]`-gated: the `e16_check` driver runs
+//! them to produce the committed mutation-coverage report, so they are
+//! ordinary (dev-tooling) code of this crate.
+//!
+//! Mutants attributed to the linearizability checker run with race
+//! detection off, so a catch cannot be credited to the wrong analysis.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use farmem_alloc::{AllocHint, FarAlloc};
+use farmem_core::FarRwLock;
+use farmem_fabric::FarAddr;
+use farmem_reclaim::{pin, ReclaimRegistry};
+
+use crate::explore::{PreparedRun, Program};
+use crate::history::{History, Op, Ret};
+use crate::linz::Model;
+use crate::programs::{plain_fabric, word};
+
+/// Which analysis is expected to flag a mutant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expect {
+    /// The happens-before race detector must report at least one race.
+    Races,
+    /// The linearizability checker must reject at least one history.
+    Lin,
+    /// A program invariant (explorer finale) must fail.
+    Invariant,
+}
+
+impl Expect {
+    /// Stable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Expect::Races => "races",
+            Expect::Lin => "linearizability",
+            Expect::Invariant => "invariant",
+        }
+    }
+}
+
+/// A mutant program plus the analyses that must flag it.
+pub struct Mutant {
+    /// The broken program.
+    pub program: Program,
+    /// Every listed analysis must fire for the mutant to count as
+    /// caught.
+    pub expect: &'static [Expect],
+}
+
+/// M1 — lock released with a blind store instead of the fenced
+/// (tag-checked) CAS. The release write races every other client's CAS
+/// on the lock word: the fencing-token check is exactly what made the
+/// release safe.
+fn mutex_unfenced_release() -> Mutant {
+    let program = Program {
+        name: "m1_mutex_unfenced_release",
+        model: Some(Model::Counter),
+        check_races: true,
+        max_steps: 250,
+        build: Box::new(|| {
+            let f = plain_fabric();
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            let lock = word(&mut c0, &alloc);
+            let ctr = word(&mut c0, &alloc);
+            let h = Arc::new(History::new());
+            let mut participants = Vec::new();
+            let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            for _ in 0..2 {
+                let mut cl = f.client();
+                let id = cl.id();
+                participants.push(id);
+                let h2 = h.clone();
+                bodies.push(Box::new(move || {
+                    let tag = id as u64 + 1;
+                    let t = h2.invoke(id, Op::CtrAdd { by: 1 });
+                    let mut held = false;
+                    for _ in 0..24 {
+                        if cl.cas(lock, 0, tag).unwrap() == 0 {
+                            held = true;
+                            break;
+                        }
+                    }
+                    if !held {
+                        h2.fail(t);
+                        return;
+                    }
+                    let old = cl.read_u64(ctr).unwrap();
+                    cl.write_u64(ctr, old + 1).unwrap();
+                    // MUTANT: blind store release — correct code CASes
+                    // `tag -> 0` so a stolen lease surfaces as LeaseLost.
+                    cl.write_u64(lock, 0).unwrap();
+                    h2.complete(t, Ret::Val(old));
+                }));
+            }
+            PreparedRun { fabric: f, participants, bodies, history: h, finale: None }
+        }),
+    };
+    Mutant { program, expect: &[Expect::Races] }
+}
+
+/// M2 — a contender that "steals" a held lock immediately with a plain
+/// store instead of waiting out the lease: two clients end up in the
+/// critical section.
+fn mutex_immediate_steal() -> Mutant {
+    let program = Program {
+        name: "m2_mutex_immediate_steal",
+        model: Some(Model::Counter),
+        check_races: true,
+        max_steps: 250,
+        build: Box::new(|| {
+            let f = plain_fabric();
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            let lock = word(&mut c0, &alloc);
+            let ctr = word(&mut c0, &alloc);
+            let h = Arc::new(History::new());
+            let mut participants = Vec::new();
+            let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            for _ in 0..2 {
+                let mut cl = f.client();
+                let id = cl.id();
+                participants.push(id);
+                let h2 = h.clone();
+                bodies.push(Box::new(move || {
+                    let tag = id as u64 + 1;
+                    let t = h2.invoke(id, Op::CtrAdd { by: 1 });
+                    if cl.cas(lock, 0, tag).unwrap() != 0 {
+                        // MUTANT: immediate steal — correct code charges
+                        // the holder's lease before taking over.
+                        cl.write_u64(lock, tag).unwrap();
+                    }
+                    let old = cl.read_u64(ctr).unwrap();
+                    cl.write_u64(ctr, old + 1).unwrap();
+                    let _ = cl.cas(lock, tag, 0).unwrap();
+                    h2.complete(t, Ret::Val(old));
+                }));
+            }
+            PreparedRun { fabric: f, participants, bodies, history: h, finale: None }
+        }),
+    };
+    Mutant { program, expect: &[Expect::Races] }
+}
+
+/// M3 — the counter protocol with the lock removed entirely:
+/// read-modify-write on a shared word with no synchronization. Both the
+/// race detector and the linearizability checker (lost update) must
+/// fire.
+fn unsync_counter() -> Mutant {
+    let program = Program {
+        name: "m3_unsync_counter",
+        model: Some(Model::Counter),
+        check_races: true,
+        max_steps: 250,
+        build: Box::new(|| {
+            let f = plain_fabric();
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            let ctr = word(&mut c0, &alloc);
+            let h = Arc::new(History::new());
+            let mut participants = Vec::new();
+            let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            for _ in 0..2 {
+                let mut cl = f.client();
+                let id = cl.id();
+                participants.push(id);
+                let h2 = h.clone();
+                bodies.push(Box::new(move || {
+                    for _ in 0..2 {
+                        let t = h2.invoke(id, Op::CtrAdd { by: 1 });
+                        // MUTANT: no lock, no FAA — a plain read/write
+                        // pair that loses updates under interleaving.
+                        let old = cl.read_u64(ctr).unwrap();
+                        cl.write_u64(ctr, old + 1).unwrap();
+                        h2.complete(t, Ret::Val(old));
+                    }
+                }));
+            }
+            PreparedRun { fabric: f, participants, bodies, history: h, finale: None }
+        }),
+    };
+    Mutant { program, expect: &[Expect::Races, Expect::Lin] }
+}
+
+/// M4 — a reader that skips `read_lock` and snapshots the pair with one
+/// multi-word read while the writer (correctly locked) updates it word
+/// by word: a torn read, visible both to the race detector and as a
+/// register value that was never written.
+fn rwlock_skip_readlock() -> Mutant {
+    let program = Program {
+        name: "m4_rwlock_skip_readlock",
+        model: Some(Model::Register { init: 0 }),
+        check_races: true,
+        max_steps: 250,
+        build: Box::new(|| {
+            let f = plain_fabric();
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            let lk = FarRwLock::create(&mut c0, &alloc, AllocHint::Spread).unwrap();
+            let pair = alloc.alloc(16, AllocHint::Spread).unwrap();
+            c0.write(pair, &[0u8; 16]).unwrap();
+            let h = Arc::new(History::new());
+            let mut writer = f.client();
+            let wid = writer.id();
+            let mut reader = f.client();
+            let rid = reader.id();
+            let participants = vec![wid, rid];
+            let hw = h.clone();
+            let lw = FarRwLock::attach(lk.addr());
+            let wbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                for i in 1..=2u64 {
+                    let t = hw.invoke(wid, Op::RegWrite { part: 0, v: vec![i, i] });
+                    if lw.write_lock(&mut writer, 24).is_err() {
+                        hw.fail(t);
+                        continue;
+                    }
+                    writer.write_u64(pair, i).unwrap();
+                    writer.write_u64(pair.offset(8), i).unwrap();
+                    let _ = lw.write_unlock(&mut writer);
+                    hw.complete(t, Ret::Unit);
+                }
+            });
+            let hr = h.clone();
+            let rbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                for _ in 0..2 {
+                    let t = hr.invoke(rid, Op::RegRead { part: 0 });
+                    // MUTANT: no read_lock around the snapshot.
+                    let b = reader.read(pair, 16).unwrap();
+                    let w0 = u64::from_le_bytes(b[0..8].try_into().unwrap());
+                    let w1 = u64::from_le_bytes(b[8..16].try_into().unwrap());
+                    hr.complete(t, Ret::Vals(vec![w0, w1]));
+                }
+            });
+            PreparedRun {
+                fabric: f,
+                participants,
+                bodies: vec![wbody, rbody],
+                history: h,
+                finale: None,
+            }
+        }),
+    };
+    Mutant { program, expect: &[Expect::Races, Expect::Lin] }
+}
+
+/// M5 — a miniature directory split that publishes the new table
+/// pointer *before* filling the table (the correct order is
+/// fill-then-CAS). Readers chasing the pointer observe uninitialised
+/// memory. Race detection is off: the catch is attributed to the
+/// linearizability checker alone.
+fn split_publish_order() -> Mutant {
+    let program = Program {
+        name: "m5_split_publish_before_fill",
+        model: Some(Model::Register { init: 1 }),
+        check_races: false,
+        max_steps: 250,
+        build: Box::new(|| {
+            let f = plain_fabric();
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            let t1 = alloc.alloc(8, AllocHint::Spread).unwrap();
+            c0.write_u64(t1, 1).unwrap();
+            let dir = alloc.alloc(8, AllocHint::Spread).unwrap();
+            c0.write_u64(dir, t1.0).unwrap();
+            let h = Arc::new(History::new());
+            h.seed(c0.id(), Op::RegWrite { part: 0, v: vec![1] }, Ret::Unit);
+            let mut cw = f.client();
+            let wid = cw.id();
+            let participants_head = wid;
+            let hw = h.clone();
+            let alloc_w = alloc.clone();
+            let wbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let t = hw.invoke(wid, Op::RegWrite { part: 0, v: vec![2] });
+                let t2 = alloc_w.alloc(8, AllocHint::Spread).unwrap();
+                // MUTANT: publish the directory entry first, fill the
+                // table after — readers can chase into zeroed memory.
+                assert_eq!(cw.cas(dir, t1.0, t2.0).unwrap(), t1.0);
+                cw.write_u64(t2, 2).unwrap();
+                hw.complete(t, Ret::Unit);
+            });
+            let mut participants = vec![participants_head];
+            let mut bodies = vec![wbody];
+            for _ in 0..2 {
+                let mut cr = f.client();
+                let rid = cr.id();
+                participants.push(rid);
+                let hr = h.clone();
+                bodies.push(Box::new(move || {
+                    let t = hr.invoke(rid, Op::RegRead { part: 0 });
+                    let p = cr.read_u64(dir).unwrap();
+                    let v = cr.read_u64(FarAddr(p)).unwrap();
+                    hr.complete(t, Ret::Vals(vec![v]));
+                }) as Box<dyn FnOnce() + Send>);
+            }
+            PreparedRun { fabric: f, participants, bodies, history: h, finale: None }
+        }),
+    };
+    Mutant { program, expect: &[Expect::Lin] }
+}
+
+/// M6 — double retire: the same block is handed to the limbo list
+/// twice, violating the "retired exactly once" contract. Grace then
+/// frees it twice — 16 bytes back from an 8-byte allocation — which the
+/// finale's conservation invariant catches. (A "retire without seal"
+/// variant is *not* a usable mutant here: `reclaim` auto-seals pending
+/// retires on entry, by design.)
+fn double_retire() -> Mutant {
+    let program = Program {
+        name: "m6_double_retire",
+        model: None,
+        check_races: true,
+        max_steps: 400,
+        build: Box::new(|| {
+            let f = plain_fabric();
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            let reg = ReclaimRegistry::create(&mut c0, &alloc, 4).unwrap();
+            let x = alloc.alloc(8, AllocHint::Spread).unwrap();
+            c0.write_u64(x, 1).unwrap();
+            let h = Arc::new(History::new());
+            let mut ca = f.client();
+            let aid = ca.id();
+            let sa = reg.attach(&mut ca, &alloc).unwrap();
+            let mut cb = f.client();
+            let bid = cb.id();
+            let sb = reg.attach(&mut cb, &alloc).unwrap();
+            let participants = vec![aid, bid];
+            let abody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                // A well-behaved peer: pins and unpins, never lags.
+                for _ in 0..2 {
+                    if let Ok(g) = pin(&sa, &mut ca) {
+                        drop(g);
+                    }
+                }
+            });
+            let freed_total = Arc::new(AtomicU64::new(0));
+            let ff = freed_total.clone();
+            let bbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                // MUTANT: the same 8-byte block is retired twice.
+                {
+                    let mut r = sb.lock().unwrap();
+                    // lint: retire-ok: mutation under test — deliberate double retire
+                    r.retire(&mut cb, x, 8).unwrap();
+                    r.retire(&mut cb, x, 8).unwrap();
+                }
+                for _ in 0..30 {
+                    // A downstream BadFree from the allocator is itself
+                    // the anomaly the invariant must surface — don't
+                    // panic, mark it.
+                    match sb.lock().unwrap().reclaim(&mut cb) {
+                        Ok(freed) => {
+                            ff.fetch_add(freed, Ordering::SeqCst);
+                        }
+                        Err(_) => {
+                            ff.store(u64::MAX, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                    if ff.load(Ordering::SeqCst) >= 8 {
+                        break;
+                    }
+                }
+            });
+            let finale: Box<dyn FnOnce() -> Option<String>> = Box::new(move || {
+                let freed = freed_total.load(Ordering::SeqCst);
+                if freed == 8 {
+                    None
+                } else if freed == u64::MAX {
+                    Some("conservation violated: duplicate retire reached the allocator".into())
+                } else {
+                    Some(format!(
+                        "conservation violated: freed {freed} bytes from one 8-byte retire"
+                    ))
+                }
+            });
+            PreparedRun {
+                fabric: f,
+                participants,
+                bodies: vec![abody, bbody],
+                history: h,
+                finale: Some(finale),
+            }
+        }),
+    };
+    Mutant { program, expect: &[Expect::Invariant] }
+}
+
+/// M7 — free before grace: the reclaimer poisons the retired block
+/// immediately after unpublishing it, without waiting for readers'
+/// epochs. A pinned reader observes the poison (linearizability) and the
+/// poison store races its read (race detector).
+fn free_before_grace() -> Mutant {
+    let program = Program {
+        name: "m7_free_before_grace",
+        model: Some(Model::Register { init: 1 }),
+        check_races: true,
+        max_steps: 250,
+        build: Box::new(|| {
+            let f = plain_fabric();
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            let reg = ReclaimRegistry::create(&mut c0, &alloc, 4).unwrap();
+            let ptr = alloc.alloc(8, AllocHint::Spread).unwrap();
+            let x = alloc.alloc(8, AllocHint::Spread).unwrap();
+            c0.write_u64(x, 1).unwrap();
+            c0.write_u64(ptr, x.0).unwrap();
+            let h = Arc::new(History::new());
+            h.seed(c0.id(), Op::RegWrite { part: 0, v: vec![1] }, Ret::Unit);
+            let mut ca = f.client();
+            let aid = ca.id();
+            let sa = reg.attach(&mut ca, &alloc).unwrap();
+            let mut cb = f.client();
+            let bid = cb.id();
+            let participants = vec![aid, bid];
+            let h2 = h.clone();
+            let abody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                for _ in 0..2 {
+                    let t = h2.invoke(aid, Op::RegRead { part: 0 });
+                    match pin(&sa, &mut ca) {
+                        Ok(g) => {
+                            let p = ca.read_u64(ptr).unwrap();
+                            let v = ca.read_u64(FarAddr(p)).unwrap();
+                            drop(g);
+                            h2.complete(t, Ret::Vals(vec![v]));
+                        }
+                        Err(_) => h2.fail(t),
+                    }
+                }
+            });
+            let h3 = h.clone();
+            let alloc_b = alloc.clone();
+            let bbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let t = h3.invoke(bid, Op::RegWrite { part: 0, v: vec![2] });
+                let y = alloc_b.alloc(8, AllocHint::Spread).unwrap();
+                cb.write_u64(y, 2).unwrap();
+                assert_eq!(cb.cas(ptr, x.0, y.0).unwrap(), x.0);
+                h3.complete(t, Ret::Unit);
+                // MUTANT: no retire/seal/grace — poison immediately, as
+                // if the block were freed and reused on the spot.
+                cb.write_u64(x, crate::programs::POISON).unwrap();
+            });
+            PreparedRun {
+                fabric: f,
+                participants,
+                bodies: vec![abody, bbody],
+                history: h,
+                finale: None,
+            }
+        }),
+    };
+    Mutant { program, expect: &[Expect::Races, Expect::Lin] }
+}
+
+/// M8 — a miniature array queue whose dequeue advances the head with a
+/// read-then-plain-write instead of an atomic claim: two consumers can
+/// dequeue the same item. Race detection off; the catch belongs to the
+/// FIFO linearizability check.
+fn queue_nonatomic_head() -> Mutant {
+    let program = Program {
+        name: "m8_queue_nonatomic_head",
+        model: Some(Model::Fifo),
+        check_races: false,
+        max_steps: 250,
+        build: Box::new(|| {
+            let f = plain_fabric();
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            // Layout: [head, tail, slot0..slot3], pre-filled with two
+            // items so the history starts `Enq 11, Enq 22`.
+            let base = alloc.alloc(8 * 6, AllocHint::Spread).unwrap();
+            c0.write_u64(base, 0).unwrap();
+            c0.write_u64(base.offset(8), 2).unwrap();
+            c0.write_u64(base.offset(16), 11).unwrap();
+            c0.write_u64(base.offset(24), 22).unwrap();
+            let h = Arc::new(History::new());
+            h.seed(c0.id(), Op::Enq { v: 11 }, Ret::Unit);
+            h.seed(c0.id(), Op::Enq { v: 22 }, Ret::Unit);
+            let mut participants = Vec::new();
+            let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            for _ in 0..2 {
+                let mut cl = f.client();
+                let id = cl.id();
+                participants.push(id);
+                let h2 = h.clone();
+                bodies.push(Box::new(move || {
+                    let t = h2.invoke(id, Op::Deq);
+                    let head = cl.read_u64(base).unwrap();
+                    let tail = cl.read_u64(base.offset(8)).unwrap();
+                    if head >= tail {
+                        h2.complete(t, Ret::OptVal(None));
+                        return;
+                    }
+                    let v = cl.read_u64(base.offset(16 + head * 8)).unwrap();
+                    // MUTANT: plain head bump — correct code claims the
+                    // slot with a CAS/FAA so each item is taken once.
+                    cl.write_u64(base, head + 1).unwrap();
+                    h2.complete(t, Ret::OptVal(Some(v)));
+                }));
+            }
+            PreparedRun { fabric: f, participants, bodies, history: h, finale: None }
+        }),
+    };
+    Mutant { program, expect: &[Expect::Lin] }
+}
+
+/// Every mutant, in stable report order.
+pub fn all_mutants() -> Vec<Mutant> {
+    vec![
+        mutex_unfenced_release(),
+        mutex_immediate_steal(),
+        unsync_counter(),
+        rwlock_skip_readlock(),
+        split_publish_order(),
+        double_retire(),
+        free_before_grace(),
+        queue_nonatomic_head(),
+    ]
+}

@@ -1,0 +1,494 @@
+//! The checked protocol programs: small concurrent workloads over the
+//! real far-memory structures, one per protocol family.
+//!
+//! Each program builds a fresh fabric and structure per run, spawns 2–3
+//! simulated clients, and records a high-level operation history. The
+//! explorer drives every fabric verb interleaving (bounded), the race
+//! detector watches every access, and the linearizability checker
+//! validates every completed history. Setup runs on a non-participant
+//! client *before* the observer is installed, so initialisation accesses
+//! are invisible to the detector by construction.
+//!
+//! Two programs run with the race detector off, deliberately:
+//!
+//! * `queue_fifo` — the queue's `saai` slot publish is a plain write the
+//!   consumer's guarded `faai_swap` races by design (the epoch guard and
+//!   slot sentinel make it safe); the FIFO *history* is the contract.
+//! * `httree_split` — gets are optimistic version-validated multi-word
+//!   reads that intentionally race bucket rewrites; the map history is
+//!   the contract.
+//!
+//! `reclaim_evict` covers the crashed-client path: a client pins an
+//! epoch and never resyncs again (a crash, as far as the registry can
+//! tell — guard drops are purely client-local), and the reclaimer must
+//! still make progress by evicting the stale slot after its lease.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use farmem_alloc::{AllocHint, FarAlloc};
+use farmem_core::{FarMutex, FarQueue, FarRwLock, HtTree, HtTreeConfig, QueueConfig};
+use farmem_fabric::{FabricClient, FabricConfig, FarAddr, FaultPlan};
+use farmem_reclaim::{pin, ReclaimRegistry};
+
+use crate::explore::{PreparedRun, Program};
+use crate::history::{History, Op, Ret};
+use crate::linz::Model;
+
+/// Bounded lock attempts: small enough that a waiter starved by the
+/// explorer can never accumulate a full (100 ms virtual) lease against a
+/// live holder — lease steal under starvation is real lease behaviour,
+/// but it is not what these programs are probing.
+const LOCK_ATTEMPTS: u32 = 24;
+
+/// Fault rate (ppm per verb attempt) for the chaos variants.
+const CHAOS_PPM: u32 = 20_000;
+
+fn fabric(chaos: bool) -> Arc<farmem_fabric::Fabric> {
+    let mut cfg = FabricConfig::count_only(64 << 20);
+    if chaos {
+        cfg.faults = FaultPlan { transient_ppm: CHAOS_PPM, ..FaultPlan::NONE };
+    }
+    cfg.build()
+}
+
+/// Two clients, two locked increments each, over [`FarMutex`].
+/// Checked: race-freedom and counter linearizability.
+pub fn mutex_counter(chaos: bool) -> Program {
+    Program {
+        name: if chaos { "mutex_counter_chaos" } else { "mutex_counter" },
+        model: Some(Model::Counter),
+        check_races: true,
+        max_steps: 150,
+        build: Box::new(move || {
+            let f = fabric(chaos);
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            let m = FarMutex::create(&mut c0, &alloc, AllocHint::Spread).unwrap();
+            let ctr = alloc.alloc(8, AllocHint::Spread).unwrap();
+            c0.write_u64(ctr, 0).unwrap();
+            let h = Arc::new(History::new());
+            let mut participants = Vec::new();
+            let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            for _ in 0..2 {
+                let mut cl = f.client();
+                let id = cl.id();
+                participants.push(id);
+                let h2 = h.clone();
+                let m2 = FarMutex::attach(m.addr());
+                bodies.push(Box::new(move || {
+                    for _ in 0..2 {
+                        let t = h2.invoke(id, Op::CtrAdd { by: 1 });
+                        if m2.lock(&mut cl, LOCK_ATTEMPTS).is_err() {
+                            h2.fail(t); // no effect: the lock was never taken
+                            continue;
+                        }
+                        let old = cl.read_u64(ctr).unwrap();
+                        cl.write_u64(ctr, old + 1).unwrap();
+                        // An unlock error after the store cannot undo the
+                        // increment; the operation still took effect.
+                        let _ = m2.unlock(&mut cl);
+                        h2.complete(t, Ret::Val(old));
+                    }
+                }));
+            }
+            PreparedRun { fabric: f, participants, bodies, history: h, finale: None }
+        }),
+    }
+}
+
+/// One writer updating a two-word pair under [`FarRwLock`], one reader
+/// taking 16-byte snapshots under the read lock. Checked: race-freedom
+/// (including torn reads) and register linearizability.
+pub fn rwlock_pair(chaos: bool) -> Program {
+    Program {
+        name: if chaos { "rwlock_pair_chaos" } else { "rwlock_pair" },
+        model: Some(Model::Register { init: 0 }),
+        check_races: true,
+        max_steps: 170,
+        build: Box::new(move || {
+            let f = fabric(chaos);
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            let lk = FarRwLock::create(&mut c0, &alloc, AllocHint::Spread).unwrap();
+            let pair = alloc.alloc(16, AllocHint::Spread).unwrap();
+            c0.write(pair, &[0u8; 16]).unwrap();
+            let h = Arc::new(History::new());
+            let mut writer = f.client();
+            let wid = writer.id();
+            let mut reader = f.client();
+            let rid = reader.id();
+            let participants = vec![wid, rid];
+            let hw = h.clone();
+            let lw = FarRwLock::attach(lk.addr());
+            let wbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                for i in 1..=2u64 {
+                    let t = hw.invoke(wid, Op::RegWrite { part: 0, v: vec![i, i] });
+                    if lw.write_lock(&mut writer, LOCK_ATTEMPTS).is_err() {
+                        hw.fail(t);
+                        continue;
+                    }
+                    writer.write_u64(pair, i).unwrap();
+                    writer.write_u64(pair.offset(8), i).unwrap();
+                    let _ = lw.write_unlock(&mut writer);
+                    hw.complete(t, Ret::Unit);
+                }
+            });
+            let hr = h.clone();
+            let lr = FarRwLock::attach(lk.addr());
+            let rbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                for _ in 0..2 {
+                    let t = hr.invoke(rid, Op::RegRead { part: 0 });
+                    if lr.read_lock(&mut reader, LOCK_ATTEMPTS).is_err() {
+                        hr.fail(t);
+                        continue;
+                    }
+                    let b = reader.read(pair, 16).unwrap();
+                    let _ = lr.read_unlock(&mut reader);
+                    let w0 = u64::from_le_bytes(b[0..8].try_into().unwrap());
+                    let w1 = u64::from_le_bytes(b[8..16].try_into().unwrap());
+                    hr.complete(t, Ret::Vals(vec![w0, w1]));
+                }
+            });
+            PreparedRun {
+                fabric: f,
+                participants,
+                bodies: vec![wbody, rbody],
+                history: h,
+                finale: None,
+            }
+        }),
+    }
+}
+
+/// One producer, one consumer over [`FarQueue`]. Checked: FIFO
+/// linearizability (race detection off — see module docs).
+pub fn queue_fifo() -> Program {
+    Program {
+        name: "queue_fifo",
+        model: Some(Model::Fifo),
+        check_races: false,
+        max_steps: 300,
+        build: Box::new(|| {
+            let f = fabric(false);
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            let q = FarQueue::create(&mut c0, &alloc, QueueConfig::new(32, 4)).unwrap();
+            let h = Arc::new(History::new());
+            let mut pc = f.client();
+            let pid = pc.id();
+            let mut qp = FarQueue::attach(&mut pc, q.hdr()).unwrap();
+            let mut cc = f.client();
+            let cid = cc.id();
+            let mut qc = FarQueue::attach(&mut cc, q.hdr()).unwrap();
+            let participants = vec![pid, cid];
+            let hp = h.clone();
+            let pbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                for v in [11u64, 22] {
+                    let t = hp.invoke(pid, Op::Enq { v });
+                    match qp.enqueue(&mut pc, v) {
+                        Ok(()) => hp.complete(t, Ret::Unit),
+                        Err(_) => hp.fail(t),
+                    }
+                }
+            });
+            let hc = h.clone();
+            let cbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let mut got = 0;
+                for _ in 0..5 {
+                    if got == 2 {
+                        break;
+                    }
+                    let t = hc.invoke(cid, Op::Deq);
+                    match qc.dequeue(&mut cc) {
+                        Ok(v) => {
+                            got += 1;
+                            hc.complete(t, Ret::OptVal(Some(v)));
+                        }
+                        Err(farmem_core::CoreError::QueueEmpty) => {
+                            hc.complete(t, Ret::OptVal(None));
+                        }
+                        Err(_) => hc.fail(t),
+                    }
+                }
+            });
+            PreparedRun {
+                fabric: f,
+                participants,
+                bodies: vec![pbody, cbody],
+                history: h,
+                finale: None,
+            }
+        }),
+    }
+}
+
+/// Two clients over an [`HtTree`] configured to split almost
+/// immediately: one drives the split with inserts, the other reads and
+/// writes across it. Checked: per-key map linearizability (race
+/// detection off — see module docs).
+pub fn httree_split() -> Program {
+    Program {
+        name: "httree_split",
+        model: Some(Model::Kv),
+        check_races: false,
+        max_steps: 700,
+        build: Box::new(|| {
+            let f = fabric(false);
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            let cfg = HtTreeConfig {
+                initial_buckets: 2,
+                max_load_percent: 100,
+                split_check_interval: 1,
+                ..HtTreeConfig::default()
+            };
+            let tree = HtTree::create(&mut c0, &alloc, cfg).unwrap();
+            let mut h0 = tree.attach(&mut c0, &alloc, cfg).unwrap();
+            let h = Arc::new(History::new());
+            for k in 0..3u64 {
+                h0.put(&mut c0, k, k + 100).unwrap();
+                h.seed(c0.id(), Op::Put { k, v: k + 100 }, Ret::Unit);
+            }
+            let mut ca = f.client();
+            let aid = ca.id();
+            let mut ha = tree.attach(&mut ca, &alloc, cfg).unwrap();
+            let mut cb = f.client();
+            let bid = cb.id();
+            let mut hb = tree.attach(&mut cb, &alloc, cfg).unwrap();
+            let participants = vec![aid, bid];
+            let h2 = h.clone();
+            let abody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                // Crosses the load threshold on the first insert: the
+                // split runs concurrently with the other client's ops.
+                for k in 3..6u64 {
+                    let t = h2.invoke(aid, Op::Put { k, v: k + 100 });
+                    match ha.put(&mut ca, k, k + 100) {
+                        Ok(()) => h2.complete(t, Ret::Unit),
+                        Err(_) => h2.fail(t),
+                    }
+                }
+            });
+            let h3 = h.clone();
+            let bbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let ops: [Op; 4] = [
+                    Op::Get { k: 1 },
+                    Op::Put { k: 40, v: 140 },
+                    Op::Get { k: 40 },
+                    Op::Get { k: 2 },
+                ];
+                for op in ops {
+                    let t = h3.invoke(bid, op.clone());
+                    let r = match op {
+                        Op::Get { k } => hb.get(&mut cb, k).map(Ret::OptVal),
+                        Op::Put { k, v } => hb.put(&mut cb, k, v).map(|_| Ret::Unit),
+                        _ => unreachable!(),
+                    };
+                    match r {
+                        Ok(ret) => h3.complete(t, ret),
+                        Err(_) => h3.fail(t),
+                    }
+                }
+            });
+            PreparedRun {
+                fabric: f,
+                participants,
+                bodies: vec![abody, bbody],
+                history: h,
+                finale: None,
+            }
+        }),
+    }
+}
+
+/// Poison value a reclaimer writes into memory it has freed, standing in
+/// for reuse by an unrelated allocation.
+pub(crate) const POISON: u64 = 0xDEAD_DEAD_DEAD_DEAD;
+
+/// Epoch-based reclamation, publish path: a reader pins and chases a
+/// CAS-published pointer while a writer republishes, retires the old
+/// object, waits out the grace period, and poisons the freed memory.
+/// Checked: race-freedom (the pin-CAS / registry-scan happens-before
+/// chain is load-bearing here) and register linearizability — the reader
+/// must never observe the poison pattern (`POISON`).
+pub fn reclaim_publish() -> Program {
+    Program {
+        name: "reclaim_publish",
+        model: Some(Model::Register { init: 1 }),
+        check_races: true,
+        max_steps: 350,
+        build: Box::new(|| {
+            let f = fabric(false);
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            let reg = ReclaimRegistry::create(&mut c0, &alloc, 4).unwrap();
+            let ptr = alloc.alloc(8, AllocHint::Spread).unwrap();
+            let x = alloc.alloc(8, AllocHint::Spread).unwrap();
+            c0.write_u64(x, 1).unwrap();
+            c0.write_u64(ptr, x.0).unwrap();
+            let h = Arc::new(History::new());
+            h.seed(c0.id(), Op::RegWrite { part: 0, v: vec![1] }, Ret::Unit);
+            let mut ca = f.client();
+            let aid = ca.id();
+            let sa = reg.attach(&mut ca, &alloc).unwrap();
+            let mut cb = f.client();
+            let bid = cb.id();
+            let sb = reg.attach(&mut cb, &alloc).unwrap();
+            let participants = vec![aid, bid];
+            let h2 = h.clone();
+            let abody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                for _ in 0..3 {
+                    let t = h2.invoke(aid, Op::RegRead { part: 0 });
+                    match pin(&sa, &mut ca) {
+                        Ok(g) => {
+                            let p = ca.read_u64(ptr).unwrap();
+                            let v = ca.read_u64(FarAddr(p)).unwrap();
+                            drop(g);
+                            h2.complete(t, Ret::Vals(vec![v]));
+                        }
+                        Err(_) => h2.fail(t),
+                    }
+                }
+            });
+            let h3 = h.clone();
+            let alloc_b = alloc.clone();
+            let bbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let t = h3.invoke(bid, Op::RegWrite { part: 0, v: vec![2] });
+                let y = alloc_b.alloc(8, AllocHint::Spread).unwrap();
+                cb.write_u64(y, 2).unwrap();
+                assert_eq!(cb.cas(ptr, x.0, y.0).unwrap(), x.0, "sole publisher");
+                h3.complete(t, Ret::Unit);
+                {
+                    let mut hh = sb.lock().unwrap();
+                    hh.retire(&mut cb, x, 8).unwrap();
+                    hh.seal(&mut cb).unwrap();
+                }
+                // Few rounds only: far too few for a lease eviction, so
+                // memory is freed exactly when every slot really advanced.
+                let mut freed = 0;
+                for _ in 0..4 {
+                    freed = sb.lock().unwrap().reclaim(&mut cb).unwrap();
+                    if freed > 0 {
+                        break;
+                    }
+                }
+                if freed > 0 {
+                    cb.write_u64(x, POISON).unwrap();
+                }
+            });
+            PreparedRun {
+                fabric: f,
+                participants,
+                bodies: vec![abody, bbody],
+                history: h,
+                finale: None,
+            }
+        }),
+    }
+}
+
+/// Epoch-based reclamation, crashed-client path: a client pins an epoch
+/// and never returns; the reclaimer must evict its stale slot after the
+/// lease and still free the retired block. Checked: race-freedom plus a
+/// per-run liveness invariant (the block is freed in every completed
+/// run).
+pub fn reclaim_evict() -> Program {
+    Program {
+        name: "reclaim_evict",
+        model: None,
+        check_races: true,
+        max_steps: 1000,
+        build: Box::new(|| {
+            let f = fabric(false);
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            let reg = ReclaimRegistry::create(&mut c0, &alloc, 4).unwrap();
+            let x = alloc.alloc(8, AllocHint::Spread).unwrap();
+            c0.write_u64(x, 1).unwrap();
+            let h = Arc::new(History::new());
+            // The crasher attaches first (lower id): the default DFS
+            // schedule pins its slot before the reclaimer seals, which is
+            // the interesting (eviction-requiring) path.
+            let mut cc = f.client();
+            let crash_id = cc.id();
+            let sc = reg.attach(&mut cc, &alloc).unwrap();
+            let mut cb = f.client();
+            let bid = cb.id();
+            let sb = reg.attach(&mut cb, &alloc).unwrap();
+            let participants = vec![crash_id, bid];
+            let crash_body: Box<dyn FnOnce() + Send> = Box::new(move || {
+                // Pin, then "crash": the guard drop is client-local, so
+                // the far slot keeps the pinned epoch forever.
+                if let Ok(g) = pin(&sc, &mut cc) {
+                    drop(g);
+                }
+            });
+            let freed_flag = Arc::new(AtomicU64::new(0));
+            let ff = freed_flag.clone();
+            let bbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                {
+                    let mut hh = sb.lock().unwrap();
+                    hh.retire(&mut cb, x, 8).unwrap();
+                    hh.seal(&mut cb).unwrap();
+                }
+                // Enough rounds for the reclaimer's own virtual backoff to
+                // out-wait the crashed client's lease and evict it.
+                for _ in 0..400 {
+                    let freed = sb.lock().unwrap().reclaim(&mut cb).unwrap();
+                    if freed > 0 {
+                        ff.store(freed, Ordering::SeqCst);
+                        break;
+                    }
+                }
+            });
+            let finale: Box<dyn FnOnce() -> Option<String>> = Box::new(move || {
+                if freed_flag.load(Ordering::SeqCst) == 8 {
+                    None
+                } else {
+                    Some("crashed client was never evicted: retired block still in limbo".into())
+                }
+            });
+            PreparedRun {
+                fabric: f,
+                participants,
+                bodies: vec![crash_body, bbody],
+                history: h,
+                finale: Some(finale),
+            }
+        }),
+    }
+}
+
+/// The main-suite programs, in stable report order.
+pub fn main_programs() -> Vec<Program> {
+    vec![
+        mutex_counter(false),
+        rwlock_pair(false),
+        queue_fifo(),
+        httree_split(),
+        reclaim_publish(),
+        reclaim_evict(),
+        mutex_counter(true),
+        rwlock_pair(true),
+    ]
+}
+
+// Referenced by the mutant builders; kept here so the main programs and
+// mutants share setup idioms.
+pub(crate) use helpers::*;
+
+pub(crate) mod helpers {
+    use super::*;
+
+    /// Fresh single-node count-only fabric, no faults.
+    pub(crate) fn plain_fabric() -> Arc<farmem_fabric::Fabric> {
+        fabric(false)
+    }
+
+    /// Allocates one zeroed word.
+    pub(crate) fn word(c0: &mut FabricClient, alloc: &Arc<FarAlloc>) -> FarAddr {
+        let a = alloc.alloc(8, AllocHint::Spread).unwrap();
+        c0.write_u64(a, 0).unwrap();
+        a
+    }
+}

@@ -1,0 +1,91 @@
+//! Vector clocks over fabric client ids.
+//!
+//! Client ids are the fabric-assigned `u32`s; clocks grow on demand so a
+//! detector never needs to know the client population up front. The
+//! representation is a dense `Vec<u64>` indexed by client id — programs
+//! under check use a handful of clients, so density costs nothing and
+//! keeps `join` branch-free.
+
+/// A grow-on-demand vector clock.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    t: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> VectorClock {
+        VectorClock { t: Vec::new() }
+    }
+
+    /// The component for `client` (zero if never ticked or joined).
+    pub fn get(&self, client: u32) -> u64 {
+        self.t.get(client as usize).copied().unwrap_or(0)
+    }
+
+    /// Sets the component for `client`.
+    pub fn set(&mut self, client: u32, time: u64) {
+        let i = client as usize;
+        if self.t.len() <= i {
+            self.t.resize(i + 1, 0);
+        }
+        self.t[i] = time;
+    }
+
+    /// Advances `client`'s own component by one and returns the new value.
+    pub fn tick(&mut self, client: u32) -> u64 {
+        let v = self.get(client) + 1;
+        self.set(client, v);
+        v
+    }
+
+    /// Component-wise maximum: after the call, `self` dominates both
+    /// inputs. This is the happens-before join.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.t.len() < other.t.len() {
+            self.t.resize(other.t.len(), 0);
+        }
+        for (i, &v) in other.t.iter().enumerate() {
+            if self.t[i] < v {
+                self.t[i] = v;
+            }
+        }
+    }
+
+    /// True when the epoch `(client, time)` happens-before this clock:
+    /// the clock has observed at least `time` of `client`'s history.
+    pub fn covers(&self, client: u32, time: u64) -> bool {
+        self.get(client) >= time
+    }
+}
+
+/// A scalar epoch: one client's clock value at the moment of an access.
+/// Cheap to store per word (FastTrack-style) where a full clock would be
+/// wasteful.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Epoch {
+    /// The accessing client.
+    pub client: u32,
+    /// That client's own clock component at the access.
+    pub time: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_covers() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(3);
+        b.join(&a);
+        assert!(b.covers(0, 2));
+        assert!(b.covers(3, 1));
+        assert!(!b.covers(0, 3));
+        assert!(b.covers(7, 0)); // never-seen client: only time 0 covered
+        assert_eq!(a.get(3), 0);
+    }
+}

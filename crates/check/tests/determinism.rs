@@ -1,0 +1,45 @@
+//! Determinism guarantees: the suite's JSON is a pure function of
+//! `(smoke, seed)`, and smoke bounds are a strict prefix of the full
+//! bounds — everything smoke finds, the full run finds too.
+
+use farmem_check::explore::{explore, ExploreBounds};
+use farmem_check::mutants::all_mutants;
+use farmem_check::suite::{run_suite, SuiteConfig};
+
+#[test]
+fn suite_json_is_byte_identical_across_runs() {
+    let cfg = SuiteConfig { smoke: true, seed: 0xE16 };
+    let a = run_suite(&cfg).to_json();
+    let b = run_suite(&cfg).to_json();
+    assert_eq!(a, b, "suite JSON differs between identical runs");
+}
+
+#[test]
+fn smoke_findings_are_a_subset_of_full_findings() {
+    // A racy mutant makes the subset relation observable: the DFS
+    // prefix property means every schedule the small budget runs, the
+    // large budget runs too (same order), and random schedules use the
+    // same per-index seeds.
+    let mutants = all_mutants();
+    let m = mutants
+        .iter()
+        .find(|m| m.program.name == "m3_unsync_counter")
+        .expect("m3 present");
+    let small = explore(
+        &m.program,
+        &ExploreBounds { max_schedules: 12, random_schedules: 4, seed: 7 },
+    );
+    let large = explore(
+        &m.program,
+        &ExploreBounds { max_schedules: 48, random_schedules: 4, seed: 7 },
+    );
+    assert!(small.schedules <= large.schedules);
+    for r in &small.races {
+        assert!(
+            large.races.contains(r),
+            "race {:?} found under small bounds but not large",
+            r
+        );
+    }
+    assert!(large.lin_violations >= small.lin_violations.min(1));
+}

@@ -1,0 +1,58 @@
+//! Mutation self-tests: every deliberately-broken protocol variant must
+//! be flagged by every analysis it was built to trip, and every main
+//! (unbroken) program must come back clean — under the same smoke
+//! bounds CI uses.
+
+use std::sync::OnceLock;
+
+use farmem_check::suite::{run_suite, SuiteConfig, SuiteResult};
+
+const CFG: SuiteConfig = SuiteConfig { smoke: true, seed: 0xE16 };
+
+/// The suite is expensive; run it once and share it across tests.
+fn suite() -> &'static SuiteResult {
+    static SUITE: OnceLock<SuiteResult> = OnceLock::new();
+    SUITE.get_or_init(|| run_suite(&CFG))
+}
+
+#[test]
+fn main_programs_are_clean_under_smoke_bounds() {
+    let suite = suite();
+    for p in &suite.programs {
+        assert!(
+            p.clean(),
+            "program {} not clean: races={:?} lin={:?} invariant={:?} panicked={}",
+            p.name,
+            p.races,
+            p.first_lin,
+            p.first_invariant,
+            p.panicked,
+        );
+        assert!(p.lin_checked > 0 || p.races.is_empty());
+    }
+}
+
+#[test]
+fn every_mutant_is_caught_by_each_expected_analysis() {
+    let suite = suite();
+    assert!(!suite.mutants.is_empty());
+    for m in &suite.mutants {
+        assert!(
+            m.caught,
+            "mutant {} escaped: expected {:?}, got races={:?} lin={} invariant={}",
+            m.exploration.name,
+            m.expect,
+            m.exploration.races,
+            m.exploration.lin_violations,
+            m.exploration.invariant_violations,
+        );
+    }
+    // At least one mutant per analysis, so each checker's kill is
+    // demonstrated independently.
+    for analysis in ["races", "linearizability", "invariant"] {
+        assert!(
+            suite.mutants.iter().any(|m| m.expect.contains(&analysis)),
+            "no mutant exercises the {analysis} analysis"
+        );
+    }
+}

@@ -184,6 +184,7 @@ impl FarBlobMap {
         };
         let len = client.read_u64(FarAddr(ptr))?;
         let mut r = shared.lock().unwrap();
+        // lint: retire-ok: the record was unlinked by the map op; concurrent readers hold epoch guards until grace elapses.
         r.retire(client, FarAddr(ptr), WORD + len).map_err(CoreError::from)
     }
 

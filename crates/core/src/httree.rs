@@ -1047,6 +1047,7 @@ impl HtTreeHandle {
             // and their next epoch pin refreshes past the retired blocks
             // before those can be freed.
             let mut r = shared.lock().unwrap();
+            // lint: retire-ok: everything below was unlinked by the directory CAS; readers run under epoch guards and poison + grace fences stragglers.
             r.retire(client, entry.table_hdr, HDR_LEN)?;
             r.retire(client, entry.buckets, entry.n_buckets * WORD)?;
             if old_items_base != 0 {
@@ -1055,6 +1056,7 @@ impl HtTreeHandle {
             let in_bulk = |a: u64| {
                 old_items_base != 0 && a >= old_items_base && a < old_items_base + old_items_len
             };
+            // lint: retire-ok: same unlink as above — chain records and the old directory.
             let mut chain_records: Vec<u64> = drained
                 .into_iter()
                 .filter(|&a| a != self.poison.0 && !in_bulk(a))

@@ -202,6 +202,7 @@ impl FarQueue {
         reclaim: &farmem_reclaim::SharedReclaim,
     ) -> Result<()> {
         let mut r = reclaim.lock().unwrap();
+        // lint: retire-ok: structure teardown; the doc contract above requires concurrent clients to hold pin guards.
         r.retire(client, self.slots_base, (self.n_slots + self.slack_slots) * WORD)?;
         r.retire(client, self.hdr, HDR_LEN)?;
         r.seal(client)?;

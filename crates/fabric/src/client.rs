@@ -328,6 +328,13 @@ impl FabricClient {
     /// *before* any node-side execution (fail-before-execution), which is
     /// what makes blind retry safe even for atomics.
     pub(crate) fn begin_attempt(&mut self) -> Result<()> {
+        // Verification gate (crate::check): a deterministic explorer
+        // blocks here until this client is granted its next verb. Sits
+        // before the fault roll so an injected failure is itself a
+        // scheduled step.
+        if let Some(h) = self.fabric.check_hook() {
+            h.gate(self.id);
+        }
         if !self.faults.enabled() {
             return Ok(());
         }
@@ -397,6 +404,15 @@ impl FabricClient {
         }
     }
 
+    /// Reports an executed memory access to the verification observer,
+    /// if one is installed (crate::check). Never touches clock or stats.
+    #[inline]
+    pub(crate) fn observe(&self, kind: crate::check::AccessKind, addr: FarAddr, len: u64) {
+        if let Some(h) = self.fabric.check_hook() {
+            h.access(&crate::check::Access { client: self.id, addr, len, kind });
+        }
+    }
+
     /// Executes a read of `[addr, addr+len)` arriving at `arrival`,
     /// returning `(bytes, node_finish)`. Counts messages/bytes, not RTs.
     pub(crate) fn exec_read(
@@ -421,6 +437,7 @@ impl FabricClient {
         }
         self.stats.messages += segs.len() as u64;
         self.stats.bytes_read += len;
+        self.observe(crate::check::AccessKind::Read, addr, len);
         Ok((buf, finish))
     }
 
@@ -444,6 +461,7 @@ impl FabricClient {
         }
         self.stats.messages += segs.len() as u64;
         self.stats.bytes_written += len;
+        self.observe(crate::check::AccessKind::Write, addr, len);
         Ok(finish)
     }
 
@@ -467,6 +485,7 @@ impl FabricClient {
         let v = node.read_u64(off)?;
         self.stats.messages += 1;
         self.stats.bytes_read += WORD;
+        self.observe(crate::check::AccessKind::Read, addr, WORD);
         Ok((v, f))
     }
 
@@ -481,6 +500,7 @@ impl FabricClient {
         self.fabric.fire(nid, off, WORD, f);
         self.stats.messages += 1;
         self.stats.bytes_written += WORD;
+        self.observe(crate::check::AccessKind::Write, addr, WORD);
         Ok(f)
     }
 
@@ -503,6 +523,15 @@ impl FabricClient {
         }
         self.stats.messages += 1;
         self.stats.atomics += 1;
+        self.observe(
+            if prev == expected {
+                crate::check::AccessKind::AtomicRmw
+            } else {
+                crate::check::AccessKind::AtomicRead
+            },
+            addr,
+            WORD,
+        );
         Ok((prev, f))
     }
 
@@ -523,6 +552,7 @@ impl FabricClient {
         self.fabric.fire(nid, off, WORD, f);
         self.stats.messages += 1;
         self.stats.atomics += 1;
+        self.observe(crate::check::AccessKind::AtomicRmw, addr, WORD);
         Ok((prev, f))
     }
 
@@ -720,6 +750,7 @@ impl FabricClient {
             let f = node.occupy(arrival, cost.node_msg_ns + cost.bytes_ns(WORD));
             node.write_u64(off, value)?;
             c.fabric.fire(nid, off, WORD, f);
+            c.observe(crate::check::AccessKind::Write, addr, WORD);
             c.stats.messages += 1;
             c.stats.posted_messages += 1;
             c.stats.bytes_written += WORD;
@@ -747,6 +778,7 @@ impl FabricClient {
             let f = node.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
             node.faa_u64(off, delta)?;
             c.fabric.fire(nid, off, WORD, f);
+            c.observe(crate::check::AccessKind::AtomicRmw, addr, WORD);
             c.stats.messages += 1;
             c.stats.posted_messages += 1;
             c.stats.atomics += 1;
@@ -822,6 +854,7 @@ impl FabricClient {
     fn pump_events(&mut self) {
         let events = self.sink.drain();
         let one_way = self.fabric.cost().one_way_ns();
+        let hook = self.fabric.check_hook();
         let mut delta = AccessStats::new();
         for e in &events {
             match e {
@@ -829,6 +862,15 @@ impl FabricClient {
                 _ => {
                     delta.notifications += 1;
                     self.clock.advance_to(e.fired_at_ns() + one_way);
+                    if let Some(h) = &hook {
+                        let (addr, len) = match e {
+                            Event::Changed { addr, len, .. } => (*addr, *len),
+                            Event::Equal { addr, .. } => (*addr, WORD),
+                            Event::ChangedData { addr, data, .. } => (*addr, data.len() as u64),
+                            Event::Lost { .. } => unreachable!("handled above"),
+                        };
+                        h.notified(self.id, addr, len);
+                    }
                 }
             }
         }
@@ -1109,6 +1151,73 @@ mod tests {
         let (traced, traced_ns) = run(true);
         assert_eq!(plain, traced, "tracing must not perturb any counter");
         assert_eq!(plain_ns, traced_ns, "tracing must not perturb the clock");
+    }
+
+    #[test]
+    fn check_hooks_add_zero_accesses_and_time() {
+        // Same discipline as tracing: a verification observer must be
+        // pure observation — identical counters and virtual clock with
+        // and without one installed, while actually seeing the traffic.
+        use crate::check::{Access, CheckObserver};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[derive(Default)]
+        struct Counting {
+            gates: AtomicU64,
+            accesses: AtomicU64,
+            notified: AtomicU64,
+        }
+        impl CheckObserver for Counting {
+            fn gate(&self, _client: u32) {
+                self.gates.fetch_add(1, Ordering::Relaxed);
+            }
+            fn access(&self, _a: &Access) {
+                self.accesses.fetch_add(1, Ordering::Relaxed);
+            }
+            fn notified(&self, _client: u32, _addr: FarAddr, _len: u64) {
+                self.notified.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let run = |hooked: bool| -> (AccessStats, u64) {
+            let f = FabricConfig {
+                faults: crate::fault::FaultPlan::transient(50_000),
+                ..FabricConfig::single_node(1 << 20)
+            }
+            .build();
+            let obs = std::sync::Arc::new(Counting::default());
+            if hooked {
+                f.install_check_observer(obs.clone());
+            }
+            let mut c = f.client();
+            let sub = c.notify0(FarAddr(128), 8).unwrap();
+            for i in 0..50u64 {
+                c.write_u64(FarAddr(8 * (i + 1)), i).unwrap();
+                c.read_u64(FarAddr(8 * (i + 1))).unwrap();
+            }
+            c.cas(FarAddr(8), 0, 1).unwrap();
+            c.faa(FarAddr(16), 2).unwrap();
+            c.write_u64(FarAddr(64), 4096).unwrap();
+            c.load0(FarAddr(64), 8).unwrap();
+            c.batch(&[
+                BatchOp::Faa { addr: FarAddr(8), delta: 1 },
+                BatchOp::Read { addr: FarAddr(8), len: 8 },
+            ])
+            .unwrap();
+            let _ = c.recv_events();
+            c.unsubscribe(sub).unwrap();
+            if hooked {
+                assert!(obs.gates.load(Ordering::Relaxed) > 0, "gate saw attempts");
+                assert!(obs.accesses.load(Ordering::Relaxed) > 0, "observer saw accesses");
+                assert!(obs.notified.load(Ordering::Relaxed) > 0, "observer saw receipts");
+                f.clear_check_observer();
+            }
+            (c.stats(), c.now_ns())
+        };
+        let (plain, plain_ns) = run(false);
+        let (hooked, hooked_ns) = run(true);
+        assert_eq!(plain, hooked, "check hooks must not perturb any counter");
+        assert_eq!(plain_ns, hooked_ns, "check hooks must not perturb the clock");
     }
 
     #[test]

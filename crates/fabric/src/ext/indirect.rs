@@ -30,6 +30,7 @@
 //! access itself — the `*_auto` wrappers do exactly that.
 
 use crate::addr::{FarAddr, NodeId, WORD};
+use crate::check::AccessKind;
 use crate::client::FabricClient;
 use crate::error::{FabricError, Result};
 use crate::fabric::IndirectionMode;
@@ -225,16 +226,30 @@ impl FabricClient {
             self.stats_mut().atomics += 1;
             let service = cost.node_ext_ns + cost.bytes_ns(len);
             let finish = home.occupy(home_finish, service);
+            // The guard word was probed atomically whatever the outcome.
+            self.observe(AccessKind::AtomicRead, guard, WORD);
             match unit {
                 Err(e) => {
                     self.finish_rt(home_finish);
                     return Err(e);
                 }
                 Ok(Unit::Null) => {
+                    self.observe(AccessKind::AtomicRead, ptr_addr, WORD);
                     self.finish_rt(home_finish);
                     return Err(FabricError::NullDeref { pointer_at: ptr_addr });
                 }
                 Ok(Unit::Local { ptr, out, fired }) => {
+                    self.observe(AccessKind::AtomicRmw, ptr_addr, WORD);
+                    let target = FarAddr(ptr + index);
+                    self.observe(
+                        match &access {
+                            TargetAccess::Read(_) => AccessKind::Read,
+                            TargetAccess::Write(_) => AccessKind::Write,
+                            TargetAccess::Add(_) | TargetAccess::Swap(_) => AccessKind::AtomicRmw,
+                        },
+                        target,
+                        len,
+                    );
                     // Notifications fire outside the atomic unit.
                     fabric.fire(home_id, ptr_off, WORD, finish);
                     if let Some((off, l)) = fired {
@@ -252,6 +267,7 @@ impl FabricClient {
                     return Ok((ptr, out));
                 }
                 Ok(Unit::Remote { ptr, target, node }) => {
+                    self.observe(AccessKind::AtomicRmw, ptr_addr, WORD);
                     fabric.fire(home_id, ptr_off, WORD, finish);
                     if mode == IndirectionMode::Error {
                         self.finish_rt(finish);
@@ -267,11 +283,16 @@ impl FabricClient {
         }
 
         let ptr = match ptr_read {
-            PtrRead::Plain => home.read_u64(ptr_off)?,
+            PtrRead::Plain => {
+                let v = home.read_u64(ptr_off)?;
+                self.observe(AccessKind::Read, ptr_addr, WORD);
+                v
+            }
             PtrRead::FetchAdd(delta) => {
                 self.stats_mut().atomics += 1;
                 let prev = home.faa_u64(ptr_off, delta)?;
                 fabric.fire(home_id, ptr_off, WORD, home_finish);
+                self.observe(AccessKind::AtomicRmw, ptr_addr, WORD);
                 prev
             }
             PtrRead::GuardedFetchAdd { .. } => unreachable!("handled above"),
@@ -382,6 +403,15 @@ impl FabricClient {
             TargetAccess::Write(d) => self.stats_mut().bytes_written += d.len() as u64,
             TargetAccess::Add(_) => {}
         }
+        self.observe(
+            match &access {
+                TargetAccess::Read(_) => AccessKind::Read,
+                TargetAccess::Write(_) => AccessKind::Write,
+                TargetAccess::Add(_) | TargetAccess::Swap(_) => AccessKind::AtomicRmw,
+            },
+            target,
+            len,
+        );
         self.finish_rt(finish);
         Ok((ptr, out))
     }

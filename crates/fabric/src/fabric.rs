@@ -5,12 +5,13 @@
 //! with [`Fabric::client`] and issue one-sided verbs; no application
 //! processor ever mediates access to far memory (§2).
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use std::collections::HashMap;
 
 use crate::addr::{AddressMap, FarAddr, NodeId, Segment, Striping};
+use crate::check::CheckObserver;
 use crate::cost::CostModel;
 use crate::error::{FabricError, Result};
 use crate::fault::{FaultPlan, RetryPolicy};
@@ -104,6 +105,11 @@ pub struct Fabric {
     /// ([`Fabric::alloc_region`]); the real allocator lives in
     /// `farmem-alloc`.
     region_cursor: AtomicU64,
+    /// Verification observer (`farmem-check`); see [`crate::check`].
+    hooks: RwLock<Option<Arc<dyn CheckObserver>>>,
+    /// Fast-path flag: with no observer installed, every verb pays one
+    /// relaxed load here and nothing else (the `fabric::trace` discipline).
+    hooked: AtomicBool,
 }
 
 impl Fabric {
@@ -125,7 +131,35 @@ impl Fabric {
             subs: Mutex::new(HashMap::new()),
             // Skip the reserved null word; start allocations page-aligned.
             region_cursor: AtomicU64::new(crate::addr::PAGE),
+            hooks: RwLock::new(None),
+            hooked: AtomicBool::new(false),
         })
+    }
+
+    /// Installs a verification observer ([`crate::check`]): it will see
+    /// every verb attempt (gate), memory access, and notification receipt
+    /// on this fabric until [`Fabric::clear_check_observer`]. Observers
+    /// must not perturb virtual time or stats; installing one changes no
+    /// accounting.
+    pub fn install_check_observer(&self, obs: Arc<dyn CheckObserver>) {
+        *self.hooks.write().unwrap() = Some(obs);
+        self.hooked.store(true, Ordering::Release);
+    }
+
+    /// Removes the installed verification observer, if any.
+    pub fn clear_check_observer(&self) {
+        self.hooked.store(false, Ordering::Release);
+        *self.hooks.write().unwrap() = None;
+    }
+
+    /// The installed observer, or `None` (the common fast path: one
+    /// relaxed-ish atomic load).
+    #[inline]
+    pub(crate) fn check_hook(&self) -> Option<Arc<dyn CheckObserver>> {
+        if !self.hooked.load(Ordering::Acquire) {
+            return None;
+        }
+        self.hooks.read().unwrap().clone()
     }
 
     /// The fabric's configuration.

@@ -49,6 +49,7 @@
 
 pub mod addr;
 pub mod broker;
+pub mod check;
 pub mod client;
 pub mod cost;
 pub mod error;
@@ -63,6 +64,7 @@ pub mod trace;
 
 pub use addr::{AddressMap, FarAddr, NodeId, Segment, Striping, PAGE, WORD};
 pub use broker::{Broker, BrokerStats};
+pub use check::{Access, AccessKind, CheckObserver};
 pub use client::{BatchOp, BatchOut, FabricClient};
 pub use cost::{CostModel, SimClock};
 pub use error::{FabricError, Result};

@@ -166,8 +166,10 @@ pub enum PipeOp {
 
 impl PipeOp {
     /// Whether executing this descriptor mutates far memory (the batch
-    /// `mutated` notion: a completed side effect makes a blind re-commit
-    /// unsafe).
+    /// `mutated` notion: once a side effect has completed, a blind
+    /// re-commit would duplicate it — a FAA applied twice, a won CAS
+    /// re-reported as lost — so such failures surface as
+    /// [`FabricError::PipelineTorn`] instead of being retried).
     fn has_side_effect(&self) -> bool {
         !matches!(
             self,
@@ -631,15 +633,19 @@ fn exec_faai_swap_guarded(
     c.stats_mut().atomics += 1;
     let service = cost.node_ext_ns + cost.bytes_ns(WORD);
     let finish = home.occupy(home_finish, service);
+    c.observe(crate::check::AccessKind::AtomicRead, guard, WORD);
     match unit? {
         Unit::Null => Err(FabricError::NullDeref { pointer_at: ptr_addr }),
         Unit::Local { ptr, old, slot_off } => {
             fabric.fire(home_id, ptr_off, WORD, finish);
             fabric.fire(home_id, slot_off, WORD, finish);
+            c.observe(crate::check::AccessKind::AtomicRmw, ptr_addr, WORD);
+            c.observe(crate::check::AccessKind::AtomicRmw, FarAddr(ptr), WORD);
             c.stats_mut().bytes_read += WORD;
             Ok((PipeOut::PtrWord { ptr, word: old }, finish))
         }
         Unit::Remote { ptr, target, node } => {
+            c.observe(crate::check::AccessKind::AtomicRmw, ptr_addr, WORD);
             fabric.fire(home_id, ptr_off, WORD, finish);
             if mode == IndirectionMode::Error {
                 return Err(FabricError::IndirectRemote { target, target_node: node });
@@ -655,6 +661,7 @@ fn exec_faai_swap_guarded(
             c.stats_mut().atomics += 1;
             let old = rnode.swap_u64(seg.offset, replacement)?;
             fabric.fire(seg.node, seg.offset, WORD, f);
+            c.observe(crate::check::AccessKind::AtomicRmw, target, WORD);
             c.stats_mut().bytes_read += WORD;
             Ok((PipeOut::PtrWord { ptr, word: old }, f))
         }
@@ -720,13 +727,16 @@ fn exec_indirect(
         done += seg.len as usize;
         finish = finish.max(f);
     }
+    c.observe(crate::check::AccessKind::Read, ptr, crate::addr::WORD);
     match write {
         None => {
             c.stats_mut().bytes_read += len;
+            c.observe(crate::check::AccessKind::Read, target, len);
             Ok((PipeOut::Bytes(buf), finish))
         }
         Some(_) => {
             c.stats_mut().bytes_written += len;
+            c.observe(crate::check::AccessKind::Write, target, len);
             Ok((PipeOut::Done, finish))
         }
     }

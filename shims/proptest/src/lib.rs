@@ -11,7 +11,8 @@
 //!
 //! * **no shrinking** — a failing case reports the sampled inputs via the
 //!   panic message's case index; re-running reproduces it exactly;
-//! * strategies are samplers only ([`Strategy::sample`]), covering the
+//! * strategies are samplers only ([`strategy::Strategy::sample`]),
+//!   covering the
 //!   combinators this repo uses: integer ranges, `any`, tuples, `Just`,
 //!   `prop_map`, `prop_oneof!` and `prop::collection::vec`.
 

@@ -18,7 +18,10 @@
 //!   queue, and refreshable vectors;
 //! * [`rpc`] — the two-sided RPC substrate the paper compares against;
 //! * [`baselines`] — traditional one-sided and RPC-based comparators;
-//! * [`monitor`] — the §6 monitoring case study.
+//! * [`monitor`] — the §6 monitoring case study;
+//! * [`check`] — farmem-check: race detection, bounded interleaving
+//!   exploration, and linearizability checking for every protocol above
+//!   (DESIGN.md §9).
 //!
 //! ## Quickstart
 //!
@@ -50,8 +53,11 @@
 //! assert_eq!(b.stats().since(&before).round_trips, 1); // ONE far access
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use farmem_alloc as alloc;
 pub use farmem_baselines as baselines;
+pub use farmem_check as check;
 pub use farmem_core as core;
 pub use farmem_fabric as fabric;
 pub use farmem_monitor as monitor;

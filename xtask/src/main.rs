@@ -1,0 +1,272 @@
+//! Workspace automation. `cargo run -p xtask -- lint` enforces three
+//! repo-level disciplines that rustc cannot:
+//!
+//! 1. **forbid-unsafe** — every crate root carries
+//!    `#![forbid(unsafe_code)]`. The whole reproduction is safe Rust;
+//!    a crate that drops the attribute silently weakens that claim.
+//! 2. **far-addr** — no code outside `crates/fabric` constructs
+//!    `FarAddr` arithmetic by hand (`FarAddr(base + i * 8)`). Address
+//!    math belongs to the fabric's `offset`/`offset_signed` so layouts
+//!    stay auditable; `FarAddr(value)` around a stored pointer is fine.
+//!    Annotate deliberate exceptions with `lint: far-addr-ok`.
+//! 3. **retire-guard** — every `retire(...)` call site sits in a guard
+//!    scope: a `pin(`/`Guard` token within the preceding 80 lines, or an
+//!    explicit `// lint: retire-ok: <why>` justification within 10 lines.
+//!    Retiring far memory without an epoch discipline in sight is how
+//!    use-after-free reaches a one-sided fabric.
+//!
+//! Test modules (`#[cfg(test)]` onward), `tests/` and `benches/` trees,
+//! and comment lines are exempt from lints 2 and 3: they exercise or
+//! document layouts rather than define protocols.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut errors: Vec<String> = Vec::new();
+    lint_forbid_unsafe(&root, &mut errors);
+    lint_far_addr(&root, &mut errors);
+    lint_retire_guard(&root, &mut errors);
+    if errors.is_empty() {
+        println!("xtask lint: ok (forbid-unsafe, far-addr, retire-guard)");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("lint error: {e}");
+        }
+        eprintln!("xtask lint: {} error(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The directory holding the workspace `Cargo.toml` (where `[workspace]`
+/// lives), found by walking up from the current directory.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(s) = fs::read_to_string(&manifest) {
+                if s.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            panic!("no workspace Cargo.toml above cwd");
+        }
+    }
+}
+
+/// Every crate root in the workspace.
+fn crate_roots(root: &Path) -> Vec<PathBuf> {
+    let mut out = vec![root.join("src/lib.rs"), root.join("xtask/src/main.rs")];
+    for group in ["crates", "shims"] {
+        let dir = root.join(group);
+        let Ok(entries) = fs::read_dir(&dir) else { continue };
+        for e in entries.flatten() {
+            let lib = e.path().join("src/lib.rs");
+            if lib.is_file() {
+                out.push(lib);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn lint_forbid_unsafe(root: &Path, errors: &mut Vec<String>) {
+    for path in crate_roots(root) {
+        let text = fs::read_to_string(&path).unwrap_or_default();
+        if !text.contains("#![forbid(unsafe_code)]") {
+            errors.push(format!(
+                "{}: crate root missing #![forbid(unsafe_code)]",
+                rel(root, &path)
+            ));
+        }
+    }
+}
+
+/// Files subject to source lints: `.rs` under `src/`, `crates/`,
+/// `shims/`, excluding the named subtree, `tests/`, and `benches/`.
+fn lint_sources(root: &Path, exclude: &[&str]) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for group in ["src", "crates", "shims"] {
+        walk(&root.join(group), &mut out);
+    }
+    out.retain(|p| {
+        let r = rel(root, p);
+        !exclude.iter().any(|x| r.starts_with(x))
+            && !r.contains("/tests/")
+            && !r.contains("/benches/")
+    });
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            walk(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root).unwrap_or(p).display().to_string()
+}
+
+/// True for lines the source lints skip: comments and (from the first
+/// `#[cfg(test)]` onward, by the tests-module-last convention) test code.
+struct LineFilter {
+    in_tests: bool,
+}
+
+impl LineFilter {
+    fn new() -> LineFilter {
+        LineFilter { in_tests: false }
+    }
+
+    fn skip(&mut self, line: &str) -> bool {
+        if line.contains("#[cfg(test)]") {
+            self.in_tests = true;
+        }
+        self.in_tests || line.trim_start().starts_with("//")
+    }
+}
+
+/// The balanced-paren argument of the first `FarAddr(` at/after `at`,
+/// within one line, with nested `[...]` index expressions removed (array
+/// indexing arithmetic is not address arithmetic).
+fn far_addr_arg(line: &str, at: usize) -> String {
+    let body = &line[at..];
+    let mut depth = 0usize;
+    let mut bracket = 0usize;
+    let mut arg = String::new();
+    for c in body.chars() {
+        if bracket > 0 {
+            match c {
+                '[' => bracket += 1,
+                ']' => bracket -= 1,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '(' => {
+                depth += 1;
+                if depth > 1 {
+                    arg.push(c);
+                }
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    break;
+                }
+                arg.push(c);
+            }
+            '[' => bracket = 1,
+            c => arg.push(c),
+        }
+    }
+    arg
+}
+
+fn lint_far_addr(root: &Path, errors: &mut Vec<String>) {
+    const OPS: [&str; 7] = [" + ", " - ", " * ", " / ", " % ", " << ", " >> "];
+    for path in lint_sources(root, &["crates/fabric"]) {
+        let text = fs::read_to_string(&path).unwrap_or_default();
+        let mut filter = LineFilter::new();
+        for (i, line) in text.lines().enumerate() {
+            if filter.skip(line) || line.contains("lint: far-addr-ok") {
+                continue;
+            }
+            let mut from = 0usize;
+            while let Some(pos) = line[from..].find("FarAddr(") {
+                let at = from + pos + "FarAddr".len();
+                let arg = far_addr_arg(line, at);
+                if OPS.iter().any(|op| arg.contains(op)) {
+                    errors.push(format!(
+                        "{}:{}: FarAddr arithmetic constructed by hand ({}); \
+                         use FarAddr::offset, or annotate `lint: far-addr-ok`",
+                        rel(root, &path),
+                        i + 1,
+                        arg.trim()
+                    ));
+                }
+                from = at;
+            }
+        }
+    }
+}
+
+fn lint_retire_guard(root: &Path, errors: &mut Vec<String>) {
+    for path in lint_sources(root, &["crates/reclaim"]) {
+        let text = fs::read_to_string(&path).unwrap_or_default();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut filter = LineFilter::new();
+        for (i, line) in lines.iter().enumerate() {
+            if filter.skip(line) {
+                continue;
+            }
+            // `.retire(x` with an argument; `.retire()` is Arena's
+            // unrelated whole-arena teardown.
+            let Some(pos) = line.find(".retire(") else { continue };
+            if line[pos + ".retire(".len()..].starts_with(')') {
+                continue;
+            }
+            let marker = (i.saturating_sub(10)..=i)
+                .any(|j| lines[j].contains("lint: retire-ok"));
+            let guarded = (i.saturating_sub(80)..i)
+                .any(|j| lines[j].contains("pin(") || lines[j].contains("Guard"));
+            if !marker && !guarded {
+                errors.push(format!(
+                    "{}:{}: retire outside a guard scope (no pin()/Guard within \
+                     80 lines); annotate `// lint: retire-ok: <why>` if the \
+                     protocol justifies it",
+                    rel(root, &path),
+                    i + 1
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn far_addr_arg_strips_index_expressions() {
+        let line = "let a = FarAddr(w[(A_DIR / 8) as usize]);";
+        let at = line.find("FarAddr").unwrap() + "FarAddr".len();
+        assert_eq!(far_addr_arg(line, at), "w");
+    }
+
+    #[test]
+    fn far_addr_arg_keeps_top_level_arithmetic() {
+        let line = "c.read(FarAddr(p + 16), 8)";
+        let at = line.find("FarAddr").unwrap() + "FarAddr".len();
+        assert_eq!(far_addr_arg(line, at), "p + 16");
+    }
+}
