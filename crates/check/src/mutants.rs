@@ -515,6 +515,172 @@ fn queue_nonatomic_head() -> Mutant {
     Mutant { program, expect: &[Expect::Lin] }
 }
 
+/// Shared geometry of the failover mutants (M9–M11): the miniature
+/// replicated register of `programs::replica_failover` — epoch word `e`
+/// (the fencing token), primary copy `d_a`, replica copy `d_b`, both
+/// seeded with the register's initial value 1.
+fn failover_words(
+    f: &Arc<farmem_fabric::Fabric>,
+) -> (FarAddr, FarAddr, FarAddr, Arc<History>, u32) {
+    let alloc = FarAlloc::new(f.clone());
+    let mut c0 = f.client();
+    let e = word(&mut c0, &alloc);
+    let d_a = alloc.alloc(8, AllocHint::Spread).unwrap();
+    let d_b = alloc.alloc(8, AllocHint::Spread).unwrap();
+    c0.write_u64(d_a, 1).unwrap();
+    c0.write_u64(d_b, 1).unwrap();
+    let h = Arc::new(History::new());
+    h.seed(c0.id(), Op::RegWrite { part: 0, v: vec![1] }, Ret::Unit);
+    (e, d_a, d_b, h, c0.id())
+}
+
+/// M9 — a deposed primary keeps serving reads: the reader never checks
+/// the fencing epoch and always reads the old primary copy, so a read
+/// invoked after the promoted replica's write completed still returns
+/// the pre-failover value. Exactly the stale-primary split-brain the
+/// fencing token exists to prevent.
+fn serve_read_after_fence() -> Mutant {
+    let program = Program {
+        name: "m9_serve_read_after_fence",
+        model: Some(Model::Register { init: 1 }),
+        check_races: false,
+        max_steps: 150,
+        build: Box::new(|| {
+            let f = plain_fabric();
+            let (e, d_a, d_b, h, _) = failover_words(&f);
+            let mut cp = f.client();
+            let pid = cp.id();
+            let hp = h.clone();
+            let pbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let t = hp.invoke(pid, Op::RegWrite { part: 0, v: vec![2] });
+                assert_eq!(cp.cas(e, 0, 1).unwrap(), 0, "sole promoter");
+                cp.write_u64(d_b, 2).unwrap();
+                hp.complete(t, Ret::Unit);
+            });
+            let mut cr = f.client();
+            let rid = cr.id();
+            let hr = h.clone();
+            let rbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                for _ in 0..2 {
+                    let t = hr.invoke(rid, Op::RegRead { part: 0 });
+                    // MUTANT: epoch never consulted — the read is served
+                    // from the deposed primary `d_a` forever. Correct
+                    // code reads `e` and follows it to `d_b`.
+                    let v = cr.read_u64(d_a).unwrap();
+                    hr.complete(t, Ret::Vals(vec![v]));
+                }
+            });
+            PreparedRun {
+                fabric: f,
+                participants: vec![pid, rid],
+                bodies: vec![pbody, rbody],
+                history: h,
+                finale: None,
+            }
+        }),
+    };
+    Mutant { program, expect: &[Expect::Lin] }
+}
+
+/// M10 — promotion without bumping the configuration epoch: the new
+/// primary starts serving writes but no fencing token ever changes, so
+/// epoch-honouring readers keep reading the old copy and miss completed
+/// writes.
+fn promote_without_epoch_bump() -> Mutant {
+    let program = Program {
+        name: "m10_promote_without_epoch_bump",
+        model: Some(Model::Register { init: 1 }),
+        check_races: false,
+        max_steps: 150,
+        build: Box::new(|| {
+            let f = plain_fabric();
+            let (e, d_a, d_b, h, _) = failover_words(&f);
+            let mut cp = f.client();
+            let pid = cp.id();
+            let hp = h.clone();
+            let pbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let t = hp.invoke(pid, Op::RegWrite { part: 0, v: vec![2] });
+                // MUTANT: no `cas(e, 0, 1)` — the replica starts serving
+                // writes without publishing a new configuration epoch.
+                cp.write_u64(d_b, 2).unwrap();
+                hp.complete(t, Ret::Unit);
+            });
+            let mut cr = f.client();
+            let rid = cr.id();
+            let hr = h.clone();
+            let rbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                for _ in 0..2 {
+                    let t = hr.invoke(rid, Op::RegRead { part: 0 });
+                    let epoch = cr.read_u64(e).unwrap();
+                    let v = if epoch == 0 {
+                        cr.read_u64(d_a).unwrap()
+                    } else {
+                        cr.read_u64(d_b).unwrap()
+                    };
+                    hr.complete(t, Ret::Vals(vec![v]));
+                }
+            });
+            PreparedRun {
+                fabric: f,
+                participants: vec![pid, rid],
+                bodies: vec![pbody, rbody],
+                history: h,
+                finale: None,
+            }
+        }),
+    };
+    Mutant { program, expect: &[Expect::Lin] }
+}
+
+/// M11 — write acknowledged before the replica is durable: the writer
+/// completes after updating only the primary copy and mirrors to the
+/// replica afterwards. A failover in that window (the reader serves from
+/// the replica, as after a promotion) loses the acknowledged write.
+fn ack_write_before_replica_durable() -> Mutant {
+    let program = Program {
+        name: "m11_ack_write_before_replica_durable",
+        model: Some(Model::Register { init: 1 }),
+        check_races: false,
+        max_steps: 150,
+        build: Box::new(|| {
+            let f = plain_fabric();
+            let (_e, d_a, d_b, h, _) = failover_words(&f);
+            let mut cw = f.client();
+            let wid = cw.id();
+            let hw = h.clone();
+            let wbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let t = hw.invoke(wid, Op::RegWrite { part: 0, v: vec![2] });
+                cw.write_u64(d_a, 2).unwrap();
+                // MUTANT: ack after primary durability only — correct
+                // code mirrors to `d_b` *before* completing the write
+                // (ack-after-replica-durable).
+                hw.complete(t, Ret::Unit);
+                cw.write_u64(d_b, 2).unwrap();
+            });
+            // The post-failover reader: the primary has crash-stopped,
+            // so the promoted replica `d_b` serves the read.
+            let mut cr = f.client();
+            let rid = cr.id();
+            let hr = h.clone();
+            let rbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                for _ in 0..2 {
+                    let t = hr.invoke(rid, Op::RegRead { part: 0 });
+                    let v = cr.read_u64(d_b).unwrap();
+                    hr.complete(t, Ret::Vals(vec![v]));
+                }
+            });
+            PreparedRun {
+                fabric: f,
+                participants: vec![wid, rid],
+                bodies: vec![wbody, rbody],
+                history: h,
+                finale: None,
+            }
+        }),
+    };
+    Mutant { program, expect: &[Expect::Lin] }
+}
+
 /// Every mutant, in stable report order.
 pub fn all_mutants() -> Vec<Mutant> {
     vec![
@@ -526,5 +692,8 @@ pub fn all_mutants() -> Vec<Mutant> {
         double_retire(),
         free_before_grace(),
         queue_nonatomic_head(),
+        serve_read_after_fence(),
+        promote_without_epoch_bump(),
+        ack_write_before_replica_durable(),
     ]
 }

@@ -459,6 +459,72 @@ pub fn reclaim_evict() -> Program {
     }
 }
 
+/// Miniature fenced-failover protocol over a replicated register
+/// (crate::replica's protocol, shrunk to three far words). The register
+/// lives on a "primary" word `d_a`, mirrored to a "replica" word `d_b`
+/// (both seeded with the initial value); a configuration-epoch word `e`
+/// is the fencing token. The promoter *fences first* — CAS `e` 0→1 —
+/// and only then serves its write from the promoted replica; readers
+/// consult the epoch and read whichever copy it selects. Checked:
+/// register linearizability — real-time order across the promotion (a
+/// read invoked after the new primary's write completed must see it).
+/// Races off: the epoch word is the only synchronisation, and the
+/// mutants of this protocol are credited to the history checker.
+pub fn replica_failover() -> Program {
+    Program {
+        name: "replica_failover",
+        model: Some(Model::Register { init: 1 }),
+        check_races: false,
+        max_steps: 150,
+        build: Box::new(|| {
+            let f = plain_fabric();
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            let e = word(&mut c0, &alloc);
+            let d_a = alloc.alloc(8, AllocHint::Spread).unwrap();
+            let d_b = alloc.alloc(8, AllocHint::Spread).unwrap();
+            c0.write_u64(d_a, 1).unwrap();
+            c0.write_u64(d_b, 1).unwrap();
+            let h = Arc::new(History::new());
+            h.seed(c0.id(), Op::RegWrite { part: 0, v: vec![1] }, Ret::Unit);
+            // Promoter: fence the deposed primary by bumping the epoch,
+            // then serve the new write from the promoted replica.
+            let mut cp = f.client();
+            let pid = cp.id();
+            let hp = h.clone();
+            let pbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let t = hp.invoke(pid, Op::RegWrite { part: 0, v: vec![2] });
+                assert_eq!(cp.cas(e, 0, 1).unwrap(), 0, "sole promoter");
+                cp.write_u64(d_b, 2).unwrap();
+                hp.complete(t, Ret::Unit);
+            });
+            // Reader: epoch first, then the copy the epoch selects.
+            let mut cr = f.client();
+            let rid = cr.id();
+            let hr = h.clone();
+            let rbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                for _ in 0..2 {
+                    let t = hr.invoke(rid, Op::RegRead { part: 0 });
+                    let epoch = cr.read_u64(e).unwrap();
+                    let v = if epoch == 0 {
+                        cr.read_u64(d_a).unwrap()
+                    } else {
+                        cr.read_u64(d_b).unwrap()
+                    };
+                    hr.complete(t, Ret::Vals(vec![v]));
+                }
+            });
+            PreparedRun {
+                fabric: f,
+                participants: vec![pid, rid],
+                bodies: vec![pbody, rbody],
+                history: h,
+                finale: None,
+            }
+        }),
+    }
+}
+
 /// The main-suite programs, in stable report order.
 pub fn main_programs() -> Vec<Program> {
     vec![
@@ -468,6 +534,7 @@ pub fn main_programs() -> Vec<Program> {
         httree_split(),
         reclaim_publish(),
         reclaim_evict(),
+        replica_failover(),
         mutex_counter(true),
         rwlock_pair(true),
     ]

@@ -29,6 +29,7 @@ fn bounds_for(name: &str, cfg: &SuiteConfig) -> ExploreBounds {
         "queue_fifo" | "reclaim_publish" => ((120, 40), (24, 8)),
         "httree_split" => ((60, 20), (12, 4)),
         "reclaim_evict" => ((80, 30), (12, 4)),
+        "replica_failover" => ((120, 40), (24, 8)),
         "mutex_counter_chaos" | "rwlock_pair_chaos" => ((60, 20), (24, 8)),
         // Mutants: enough DFS to exhaust (or deeply cover) their small
         // choice trees deterministically.

@@ -17,12 +17,13 @@
 
 use std::sync::Arc;
 
-use crate::addr::{FarAddr, WORD};
+use crate::addr::{FarAddr, NodeId, WORD};
 use crate::cost::SimClock;
 use crate::error::{FabricError, Result};
 use crate::fabric::Fabric;
 use crate::fault::{FaultPlan, FaultRng, RetryPolicy};
 use crate::notify::{Event, EventSink, SubId, SubKind};
+use crate::replica::GroupView;
 use crate::stats::AccessStats;
 use crate::trace::{SpanGuard, TraceConfig, TraceReport, Tracer, VerbKind};
 
@@ -55,6 +56,14 @@ pub struct FabricClient {
     /// Sink-side coalesced count already folded into
     /// `stats.notifications_coalesced` (the sink counts cumulatively).
     seen_coalesced: u64,
+    /// Cached per-group replication views (empty when the fabric is
+    /// unreplicated). Deliberately *not* kept coherent: a client keeps
+    /// routing through its cached view until a
+    /// [`FabricError::FencedEpoch`] or failover forces a charged refresh
+    /// — that staleness window is what the fencing epoch exists for.
+    views: Vec<Option<GroupView>>,
+    /// Round-robin cursor for replica-read spreading.
+    read_rr: u64,
 }
 
 /// One verb inside a fenced batch.
@@ -137,6 +146,11 @@ impl FabricClient {
         let sink = EventSink::new(config.delivery, seed);
         let fault_seed =
             config.faults.seed ^ (id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let views = if fabric.replicated() {
+            vec![None; config.nodes as usize]
+        } else {
+            Vec::new()
+        };
         FabricClient {
             fabric,
             id,
@@ -150,6 +164,8 @@ impl FabricClient {
             trace: None,
             trace_depth: 0,
             seen_coalesced: 0,
+            views,
+            read_rr: 0,
         }
     }
 
@@ -369,11 +385,29 @@ impl FabricClient {
         Ok(())
     }
 
+    /// Re-routes (failovers + fence refreshes) allowed per verb before the
+    /// client gives up: bounds pathological configuration churn while
+    /// allowing several successive promotions (K crashes of one group).
+    const MAX_REROUTES: u32 = 8;
+
     /// Runs `op` under the client's retry policy: transient errors
     /// ([`FabricError::is_transient`]) are retried with exponential backoff
     /// and seeded jitter, all charged to the *virtual* clock (the advancing
     /// clock is also what heals timed node crash windows and expires stale
     /// lock leases in `farmem-core`).
+    ///
+    /// Permanent faults are handled without touching the backoff budget:
+    ///
+    /// * [`FabricError::NodeLost`] — the node crash-stopped and can never
+    ///   recover, so backing off is pointless. With a live replica the
+    ///   client fails over ([`try_failover`](Self::try_failover)) and
+    ///   re-issues against the promoted primary; the re-issue is a routing
+    ///   change, **not** a fault retry, so `retries` is not charged.
+    ///   Without one the verb is abandoned immediately, charging
+    ///   `giveups` exactly once.
+    /// * [`FabricError::FencedEpoch`] — the client routed through a stale
+    ///   cached view to a deposed primary. It refreshes the view (one
+    ///   charged round trip) and re-issues; again not a fault retry.
     pub(crate) fn retrying<T>(
         &mut self,
         mut op: impl FnMut(&mut FabricClient) -> Result<T>,
@@ -381,10 +415,30 @@ impl FabricClient {
         let policy = self.retry;
         let mut backoff = policy.base_backoff_ns;
         let mut attempt = 0u32;
+        let mut reroutes = 0u32;
         loop {
             attempt += 1;
             match op(self) {
                 Ok(v) => return Ok(v),
+                Err(FabricError::NodeLost(n)) => {
+                    reroutes += 1;
+                    if reroutes > Self::MAX_REROUTES || !self.try_failover(n) {
+                        self.stats.giveups += 1;
+                        return Err(FabricError::NodeLost(n));
+                    }
+                    attempt -= 1; // re-issue, not a fault retry
+                }
+                Err(FabricError::FencedEpoch { node, epoch }) => {
+                    reroutes += 1;
+                    if reroutes > Self::MAX_REROUTES {
+                        self.stats.giveups += 1;
+                        return Err(FabricError::FencedEpoch { node, epoch });
+                    }
+                    let g = self.fabric.group_of(node);
+                    self.stats.fence_refreshes += 1;
+                    self.refresh_view(g);
+                    attempt -= 1; // re-issue, not a fault retry
+                }
                 Err(e) if e.is_transient() && attempt < policy.max_attempts => {
                     self.stats.retries += 1;
                     let mut delay = backoff;
@@ -401,6 +455,98 @@ impl FabricClient {
                     return Err(e);
                 }
             }
+        }
+    }
+
+    // ----- replication routing and fenced failover (crate::replica) -----
+
+    /// Physical node this client currently routes group `g`'s *mutations*
+    /// (and unspread reads) to: the primary recorded in its cached view.
+    /// A stale view keeps routing to a deposed primary until its fence
+    /// error forces a refresh — exactly the partitioned-stale-client
+    /// scenario the fencing epoch protects against.
+    pub(crate) fn route(&mut self, g: NodeId) -> NodeId {
+        if !self.fabric.replicated() {
+            return g;
+        }
+        self.cached_view(g).primary
+    }
+
+    /// Like [`route`](Self::route), but for reads: with
+    /// [`spread_reads`](crate::replica::ReplicaConfig::spread_reads) on,
+    /// round-robins over every cached member of the group.
+    pub(crate) fn route_read(&mut self, g: NodeId) -> NodeId {
+        if !self.fabric.replicated() {
+            return g;
+        }
+        if !self.fabric.replication().spread_reads {
+            return self.cached_view(g).primary;
+        }
+        self.read_rr = self.read_rr.wrapping_add(1);
+        let rr = self.read_rr as usize;
+        let v = self.cached_view(g);
+        v.members[rr % v.members.len()]
+    }
+
+    /// The client's cached view of group `g`, fetched free of charge on
+    /// first touch (part of the attach handshake, like the address map).
+    fn cached_view(&mut self, g: NodeId) -> &GroupView {
+        let slot = &mut self.views[g.0 as usize];
+        if slot.is_none() {
+            *slot = Some(self.fabric.group_view(g));
+        }
+        slot.as_ref().unwrap()
+    }
+
+    /// Re-fetches group `g`'s configuration from the fabric, charging one
+    /// round trip (the configuration service lives across the fabric too).
+    fn refresh_view(&mut self, g: NodeId) {
+        self.stats.round_trips += 1;
+        self.stats.messages += 1;
+        self.clock.advance(self.fabric.cost().far_rtt_ns);
+        let v = self.fabric.group_view(g);
+        self.views[g.0 as usize] = Some(v);
+    }
+
+    /// Reacts to a permanent loss of physical node `lost`: evicts a dead
+    /// replica, adopts a failover another client already completed, or —
+    /// when the lost node is the group's current primary and this client
+    /// is first — waits out the failover lease and promotes a replica.
+    /// Returns whether the verb can be re-issued.
+    fn try_failover(&mut self, lost: NodeId) -> bool {
+        if !self.fabric.replicated() {
+            return false;
+        }
+        let fabric = self.fabric.clone();
+        let g = fabric.group_of(lost);
+        let cached = self.cached_view(g);
+        let (cached_epoch, cached_primary) = (cached.epoch, cached.primary);
+        if lost != cached_primary {
+            // A spread read hit a dead replica: drop it from the group and
+            // fall back to the primary. No promotion involved.
+            fabric.evict_replica(g, lost);
+            self.refresh_view(g);
+            return true;
+        }
+        if fabric.group_epoch(g) != cached_epoch {
+            // Another client already promoted past our view: adopt the new
+            // configuration without waiting out the lease again.
+            self.stats.failovers += 1;
+            self.refresh_view(g);
+            return true;
+        }
+        // First suspector: wait one failover lease of virtual time, so
+        // every lock lease held through the dead primary has expired
+        // before its successor starts serving (DESIGN.md §10), then
+        // promote. The epoch condition makes racing promotions idempotent.
+        self.clock.advance(fabric.replication().failover_lease_ns);
+        match fabric.promote(g, cached_epoch, self.clock.now()) {
+            Ok(_) => {
+                self.stats.failovers += 1;
+                self.refresh_view(g);
+                true
+            }
+            Err(_) => false,
         }
     }
 
@@ -427,7 +573,8 @@ impl FabricClient {
         let mut finish = arrival;
         let mut done = 0usize;
         for seg in &segs {
-            let node = self.fabric.node(seg.node);
+            let phys = self.route_read(seg.node);
+            let node = self.fabric.node(phys);
             node.check_alive_at(arrival)?;
             let service = cost.node_msg_ns + cost.bytes_ns(seg.len);
             let f = node.occupy(arrival, service);
@@ -450,12 +597,13 @@ impl FabricClient {
         let mut finish = arrival;
         let mut done = 0usize;
         for seg in &segs {
-            let node = self.fabric.node(seg.node);
+            let phys = self.route(seg.node);
+            let node = self.fabric.node(phys);
             node.check_alive_at(arrival)?;
             let service = cost.node_msg_ns + cost.bytes_ns(seg.len);
             let f = node.occupy(arrival, service);
             node.write_bytes(seg.offset, &data[done..done + seg.len as usize])?;
-            self.fabric.fire(seg.node, seg.offset, seg.len, f);
+            let f = self.fabric.fire(&mut self.stats, seg.node, seg.offset, seg.len, f);
             done += seg.len as usize;
             finish = finish.max(f);
         }
@@ -479,7 +627,8 @@ impl FabricClient {
     pub(crate) fn exec_read_u64(&mut self, addr: FarAddr, arrival: u64) -> Result<(u64, u64)> {
         let cost = *self.fabric.cost();
         let (nid, off) = self.word_home(addr)?;
-        let node = self.fabric.node(nid);
+        let phys = self.route_read(nid);
+        let node = self.fabric.node(phys);
         node.check_alive_at(arrival)?;
         let f = node.occupy(arrival, cost.node_msg_ns + cost.bytes_ns(WORD));
         let v = node.read_u64(off)?;
@@ -493,11 +642,12 @@ impl FabricClient {
     pub(crate) fn exec_write_u64(&mut self, addr: FarAddr, value: u64, arrival: u64) -> Result<u64> {
         let cost = *self.fabric.cost();
         let (nid, off) = self.word_home(addr)?;
-        let node = self.fabric.node(nid);
+        let phys = self.route(nid);
+        let node = self.fabric.node(phys);
         node.check_alive_at(arrival)?;
         let f = node.occupy(arrival, cost.node_msg_ns + cost.bytes_ns(WORD));
         node.write_u64(off, value)?;
-        self.fabric.fire(nid, off, WORD, f);
+        let f = self.fabric.fire(&mut self.stats, nid, off, WORD, f);
         self.stats.messages += 1;
         self.stats.bytes_written += WORD;
         self.observe(crate::check::AccessKind::Write, addr, WORD);
@@ -514,12 +664,13 @@ impl FabricClient {
     ) -> Result<(u64, u64)> {
         let cost = *self.fabric.cost();
         let (nid, off) = self.word_home(addr)?;
-        let node = self.fabric.node(nid);
+        let phys = self.route(nid);
+        let node = self.fabric.node(phys);
         node.check_alive_at(arrival)?;
-        let f = node.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
+        let mut f = node.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
         let prev = node.cas_u64(off, expected, new)?;
         if prev == expected {
-            self.fabric.fire(nid, off, WORD, f);
+            f = self.fabric.fire(&mut self.stats, nid, off, WORD, f);
         }
         self.stats.messages += 1;
         self.stats.atomics += 1;
@@ -545,11 +696,12 @@ impl FabricClient {
     ) -> Result<(u64, u64)> {
         let cost = *self.fabric.cost();
         let (nid, off) = self.word_home(addr)?;
-        let node = self.fabric.node(nid);
+        let phys = self.route(nid);
+        let node = self.fabric.node(phys);
         node.check_alive_at(arrival)?;
         let f = node.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
         let prev = node.faa_u64(off, delta)?;
-        self.fabric.fire(nid, off, WORD, f);
+        let f = self.fabric.fire(&mut self.stats, nid, off, WORD, f);
         self.stats.messages += 1;
         self.stats.atomics += 1;
         self.observe(crate::check::AccessKind::AtomicRmw, addr, WORD);
@@ -675,7 +827,8 @@ impl FabricClient {
                     BatchOp::Cas { addr, .. } | BatchOp::Faa { addr, .. } => (*addr, WORD),
                 };
                 for seg in c.fabric.segments(addr, len)? {
-                    c.fabric.node(seg.node).check_alive_at(arrival)?;
+                    let phys = c.route(seg.node);
+                    c.fabric.node(phys).check_alive_at(arrival)?;
                 }
             }
             let mut out = Vec::with_capacity(ops.len());
@@ -745,11 +898,14 @@ impl FabricClient {
             let cost = *c.fabric.cost();
             let arrival = c.arrival();
             let (nid, off) = c.word_home(addr)?;
-            let node = c.fabric.node(nid);
+            let phys = c.route(nid);
+            let node = c.fabric.node(phys);
             node.check_alive_at(arrival)?;
             let f = node.occupy(arrival, cost.node_msg_ns + cost.bytes_ns(WORD));
             node.write_u64(off, value)?;
-            c.fabric.fire(nid, off, WORD, f);
+            // Unsignaled: the mirror fan-out happens, but nothing waits on
+            // its finish time (visible by the next fenced op, as posted).
+            let _ = c.fabric.fire(&mut c.stats, nid, off, WORD, f);
             c.observe(crate::check::AccessKind::Write, addr, WORD);
             c.stats.messages += 1;
             c.stats.posted_messages += 1;
@@ -773,11 +929,12 @@ impl FabricClient {
             let cost = *c.fabric.cost();
             let arrival = c.arrival();
             let (nid, off) = c.word_home(addr)?;
-            let node = c.fabric.node(nid);
+            let phys = c.route(nid);
+            let node = c.fabric.node(phys);
             node.check_alive_at(arrival)?;
             let f = node.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
             node.faa_u64(off, delta)?;
-            c.fabric.fire(nid, off, WORD, f);
+            let _ = c.fabric.fire(&mut c.stats, nid, off, WORD, f);
             c.observe(crate::check::AccessKind::AtomicRmw, addr, WORD);
             c.stats.messages += 1;
             c.stats.posted_messages += 1;
@@ -800,7 +957,10 @@ impl FabricClient {
             let segs = c.fabric.segments(addr, len)?;
             debug_assert_eq!(segs.len(), 1, "a page never spans nodes");
             let seg = segs[0];
-            let node = c.fabric.node(seg.node);
+            // Subscriptions live on the current primary only; they do not
+            // survive failover (best-effort, DESIGN.md §10).
+            let phys = c.route(seg.node);
+            let node = c.fabric.node(phys);
             let arrival = c.arrival();
             node.check_alive_at(arrival)?;
             let cost = *c.fabric.cost();
@@ -808,7 +968,7 @@ impl FabricClient {
             let id = node
                 .subs
                 .register(addr, seg.offset, len, kind, c.sink.clone())?;
-            c.fabric.register_sub(id, seg.node);
+            c.fabric.register_sub(id, phys);
             c.stats.messages += 1;
             c.finish_rt(finish);
             Ok(id)

@@ -41,6 +41,26 @@ pub enum FabricError {
     },
     /// The addressed memory node has been failed by fault injection.
     NodeFailed(NodeId),
+    /// The addressed memory node has crash-stopped permanently
+    /// ([`crash_permanent`](crate::node::MemoryNode::crash_permanent)): it
+    /// will never serve another verb. Unlike
+    /// [`NodeFailed`](FabricError::NodeFailed) this is *not* transient —
+    /// the retry loop must not burn its backoff budget waiting for a node
+    /// that cannot recover. With replication enabled the client fails over
+    /// to the group's promoted replica instead.
+    NodeLost(NodeId),
+    /// The request reached a memory node that has been fenced out of its
+    /// replication group: a replica was promoted and the group's
+    /// configuration epoch moved past the epoch this node was deposed at.
+    /// The deposed node must not serve (possibly stale) data; the client
+    /// refreshes its cached group view and re-issues against the promoted
+    /// primary. Not transient.
+    FencedEpoch {
+        /// The fenced (deposed) node.
+        node: NodeId,
+        /// The configuration epoch at which the node was fenced.
+        epoch: u64,
+    },
     /// A notification registration violated the page rules of §4.3:
     /// ranges must be word-aligned and must not cross a page boundary.
     BadSubscription {
@@ -115,6 +135,13 @@ impl FabricError {
     /// [`BatchTorn`](FabricError::BatchTorn) is deliberately
     /// non-transient: a torn batch already applied side effects that a
     /// blind retry would duplicate.
+    ///
+    /// [`NodeLost`](FabricError::NodeLost) and
+    /// [`FencedEpoch`](FabricError::FencedEpoch) are *not* transient
+    /// either: a crash-stopped node never heals and a fenced node never
+    /// serves again, so backing off at the same node is wasted budget.
+    /// The retry loop handles both specially — failover to a promoted
+    /// replica, or a group-view refresh — instead of blind re-issue.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
@@ -142,6 +169,12 @@ impl core::fmt::Display for FabricError {
                 )
             }
             FabricError::NodeFailed(n) => write!(f, "memory node {n:?} has failed"),
+            FabricError::NodeLost(n) => {
+                write!(f, "memory node {n:?} has crash-stopped permanently")
+            }
+            FabricError::FencedEpoch { node, epoch } => {
+                write!(f, "memory node {node:?} fenced at configuration epoch {epoch}")
+            }
             FabricError::BadSubscription { addr, len, reason } => {
                 write!(f, "bad subscription [{addr:?} +{len}): {reason}")
             }

@@ -119,8 +119,9 @@ impl FabricClient {
 
         // Resolve the pointer at its home node.
         let (home_id, ptr_off) = self.word_home(ptr_addr)?;
+        let home_phys = self.route(home_id);
         let fabric = self.fabric().clone();
-        let home = fabric.node(home_id);
+        let home = fabric.node(home_phys);
         home.check_alive_at(arrival)?;
 
         let len = match &access {
@@ -142,13 +143,14 @@ impl FabricClient {
             if peek != 0 {
                 if let Ok(segs) = fabric.segments(FarAddr(peek + index), len) {
                     for seg in &segs {
-                        fabric.node(seg.node).check_alive_at(arrival)?;
+                        let phys = self.route(seg.node);
+                        fabric.node(phys).check_alive_at(arrival)?;
                     }
                 }
             }
         }
 
-        let home_finish = home.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
+        let mut home_finish = home.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
         self.stats_mut().messages += 1;
 
         // The guarded flavour: one atomic unit at the home node.
@@ -250,11 +252,15 @@ impl FabricClient {
                         target,
                         len,
                     );
-                    // Notifications fire outside the atomic unit.
-                    fabric.fire(home_id, ptr_off, WORD, finish);
-                    if let Some((off, l)) = fired {
-                        fabric.fire(home_id, off, l, finish);
-                    }
+                    // Notifications and replica mirrors fire outside the
+                    // atomic unit; both mirrors fan out in parallel and the
+                    // ack folds in the slower one.
+                    let mirrored = fabric.fire(self.stats_mut(), home_id, ptr_off, WORD, finish);
+                    let finish = if let Some((off, l)) = fired {
+                        mirrored.max(fabric.fire(self.stats_mut(), home_id, off, l, finish))
+                    } else {
+                        mirrored
+                    };
                     match &access {
                         TargetAccess::Read(l) => self.stats_mut().bytes_read += *l,
                         TargetAccess::Swap(_) => self.stats_mut().bytes_read += WORD,
@@ -268,7 +274,7 @@ impl FabricClient {
                 }
                 Ok(Unit::Remote { ptr, target, node }) => {
                     self.observe(AccessKind::AtomicRmw, ptr_addr, WORD);
-                    fabric.fire(home_id, ptr_off, WORD, finish);
+                    let finish = fabric.fire(self.stats_mut(), home_id, ptr_off, WORD, finish);
                     if mode == IndirectionMode::Error {
                         self.finish_rt(finish);
                         return Err(FabricError::IndirectRemote {
@@ -291,7 +297,7 @@ impl FabricClient {
             PtrRead::FetchAdd(delta) => {
                 self.stats_mut().atomics += 1;
                 let prev = home.faa_u64(ptr_off, delta)?;
-                fabric.fire(home_id, ptr_off, WORD, home_finish);
+                home_finish = fabric.fire(self.stats_mut(), home_id, ptr_off, WORD, home_finish);
                 self.observe(AccessKind::AtomicRmw, ptr_addr, WORD);
                 prev
             }
@@ -349,13 +355,14 @@ impl FabricClient {
         };
         let mut done = 0usize;
         for seg in &segs {
-            let node = fabric.node(seg.node);
+            let phys = self.route(seg.node);
+            let node = fabric.node(phys);
             node.check_alive_at(arrival)?;
             // Remote targets occupy their node's interface from the
             // arrival time (the interface is work-conserving); the
             // memory-side hop latency is added to the completion.
             let service = cost.node_msg_ns + cost.bytes_ns(seg.len);
-            let f = if seg.node == home_id {
+            let mut f = if seg.node == home_id {
                 node.occupy(home_finish, service)
             } else {
                 self.stats_mut().forward_hops += 1;
@@ -370,7 +377,7 @@ impl FabricClient {
                     self.stats_mut().atomics += 1;
                     let old = node.swap_u64(seg.offset, *replacement)?;
                     buf[done..done + 8].copy_from_slice(&old.to_le_bytes());
-                    fabric.fire(seg.node, seg.offset, WORD, f);
+                    f = fabric.fire(self.stats_mut(), seg.node, seg.offset, WORD, f);
                 }
                 (Some(buf), _) => {
                     node.read_bytes(seg.offset, &mut buf[done..done + seg.len as usize])?;
@@ -378,7 +385,7 @@ impl FabricClient {
                 (None, access) => match access {
                     TargetAccess::Write(data) => {
                         node.write_bytes(seg.offset, &data[done..done + seg.len as usize])?;
-                        fabric.fire(seg.node, seg.offset, seg.len, f);
+                        f = fabric.fire(self.stats_mut(), seg.node, seg.offset, seg.len, f);
                     }
                     TargetAccess::Add(v) => {
                         if !target.is_aligned(WORD) {
@@ -389,7 +396,7 @@ impl FabricClient {
                         }
                         self.stats_mut().atomics += 1;
                         node.faa_u64(seg.offset, *v)?;
-                        fabric.fire(seg.node, seg.offset, WORD, f);
+                        f = fabric.fire(self.stats_mut(), seg.node, seg.offset, WORD, f);
                     }
                     TargetAccess::Read(_) | TargetAccess::Swap(_) => unreachable!(),
                 },

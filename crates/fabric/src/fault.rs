@@ -61,6 +61,17 @@ pub struct FaultPlan {
     pub spike_ns: u64,
     /// Seed of the deterministic fault stream (mixed with the client id).
     pub seed: u64,
+    /// Node to permanently crash-stop at [`crash_at_ns`](FaultPlan::crash_at_ns)
+    /// (applied when the fabric is built; ignored while `crash_at_ns` is
+    /// `u64::MAX`).
+    pub crash_node: u32,
+    /// Virtual time of the scheduled permanent crash-stop of
+    /// [`crash_node`](FaultPlan::crash_node); `u64::MAX` (the default)
+    /// schedules none. Unlike the transient taxonomy above this fault
+    /// never heals: verbs fail with
+    /// [`FabricError::NodeLost`](crate::error::FabricError::NodeLost) and
+    /// the client must fail over (or give up immediately), not retry.
+    pub crash_at_ns: u64,
 }
 
 impl FaultPlan {
@@ -72,7 +83,22 @@ impl FaultPlan {
         timeout_ns: 50_000,
         spike_ns: 20_000,
         seed: 0xfa17,
+        crash_node: 0,
+        crash_at_ns: u64::MAX,
     };
+
+    /// A plan that permanently crash-stops logical node `node` at virtual
+    /// time `at_ns` (and injects nothing else). Compose with other fault
+    /// kinds via [`with_crash_permanent`](FaultPlan::with_crash_permanent).
+    pub fn crash_permanent(node: crate::addr::NodeId, at_ns: u64) -> FaultPlan {
+        FaultPlan::NONE.with_crash_permanent(node, at_ns)
+    }
+
+    /// Same plan, plus a permanent crash-stop of `node` at `at_ns` — e.g.
+    /// a chaos plan of transient faults with one mid-workload node loss.
+    pub fn with_crash_permanent(self, node: crate::addr::NodeId, at_ns: u64) -> FaultPlan {
+        FaultPlan { crash_node: node.0, crash_at_ns: at_ns, ..self }
+    }
 
     /// A plan injecting transient failures (two thirds) and timeouts (one
     /// third) at `ppm` parts per million per verb attempt, plus spikes at

@@ -59,6 +59,7 @@ pub mod fault;
 pub mod node;
 pub mod notify;
 pub mod pipeline;
+pub mod replica;
 pub mod stats;
 pub mod trace;
 
@@ -74,6 +75,7 @@ pub use fault::{FaultPlan, RetryPolicy};
 pub use node::{MemoryNode, NodeOccupancy};
 pub use notify::{DeliveryPolicy, Event, EventSink, SinkStats, SubId, SubKind};
 pub use pipeline::{CompletionQueue, IssueQueue, PipeOp, PipeOut};
+pub use replica::{GroupView, ReplicaConfig, FAILOVER_LEASE_NS};
 pub use stats::AccessStats;
 pub use trace::{
     LatencyHistogram, SpanAgg, SpanGuard, SpanSummary, TraceConfig, TraceEvent, TraceReport,

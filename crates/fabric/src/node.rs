@@ -67,6 +67,16 @@ pub struct MemoryNode {
     /// Total service time ever booked (diagnostics: utilization checks).
     busy_ns: AtomicU64,
     failed: AtomicBool,
+    /// Virtual time at or after which the node is permanently crash-stopped
+    /// ([`FabricError::NodeLost`]); `u64::MAX` means never. Unlike timed
+    /// crash windows a lost node never recovers, so the client retry loop
+    /// stops immediately instead of burning its backoff budget.
+    lost_at_ns: AtomicU64,
+    /// Configuration epoch at which this node was fenced out of its
+    /// replication group (`u64::MAX` = not fenced). A fenced node refuses
+    /// every verb with [`FabricError::FencedEpoch`]: a deposed, possibly
+    /// partitioned primary must never silently serve stale data.
+    fenced_epoch: AtomicU64,
     /// Virtual-time crash→recover windows scheduled by fault injection;
     /// kept off the hot path behind `has_crash_windows`.
     crash_windows: Mutex<Vec<(u64, u64)>>,
@@ -94,6 +104,8 @@ impl MemoryNode {
             guard_lock: Mutex::new(()),
             busy_ns: AtomicU64::new(0),
             failed: AtomicBool::new(false),
+            lost_at_ns: AtomicU64::new(u64::MAX),
+            fenced_epoch: AtomicU64::new(u64::MAX),
             crash_windows: Mutex::new(Vec::new()),
             has_crash_windows: AtomicBool::new(false),
             subs: SubscriptionTable::new(capacity),
@@ -135,6 +147,41 @@ impl MemoryNode {
         self.has_crash_windows.store(true, Ordering::SeqCst);
     }
 
+    /// Permanently crash-stops the node, effective immediately: every
+    /// subsequent verb fails with [`FabricError::NodeLost`] and nothing
+    /// ever recovers it. This is the crash-stop fault of the fenced
+    /// failover protocol — contrast [`fail`](MemoryNode::fail) (clearable)
+    /// and [`schedule_crash`](MemoryNode::schedule_crash) (self-healing).
+    pub fn crash_permanent(&self) {
+        self.lost_at_ns.store(0, Ordering::SeqCst);
+    }
+
+    /// Schedules a permanent crash-stop at virtual time `at_ns`: verbs
+    /// arriving at or after `at_ns` fail with [`FabricError::NodeLost`],
+    /// forever. Used by
+    /// [`FaultPlan::crash_permanent`](crate::fault::FaultPlan::crash_permanent)
+    /// to kill a node mid-workload deterministically.
+    pub fn schedule_crash_permanent(&self, at_ns: u64) {
+        self.lost_at_ns.store(at_ns, Ordering::SeqCst);
+    }
+
+    /// Whether the node is permanently crash-stopped as of `now_ns`.
+    pub fn is_lost_at(&self, now_ns: u64) -> bool {
+        now_ns >= self.lost_at_ns.load(Ordering::SeqCst)
+    }
+
+    /// Fences the node out of its replication group at configuration
+    /// `epoch`: it refuses every verb with [`FabricError::FencedEpoch`]
+    /// from now on. Called by promotion; fencing is never undone.
+    pub(crate) fn fence(&self, epoch: u64) {
+        self.fenced_epoch.store(epoch, Ordering::SeqCst);
+    }
+
+    /// Whether the node has been fenced out of its replication group.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced_epoch.load(Ordering::SeqCst) != u64::MAX
+    }
+
     /// Removes all scheduled crash windows.
     pub fn clear_crash_schedule(&self) {
         self.crash_windows.lock().unwrap().clear();
@@ -163,11 +210,25 @@ impl MemoryNode {
         }
     }
 
-    /// Like [`check_alive`](MemoryNode::check_alive), but also honours
-    /// timed crash windows: fails if `now_ns` falls inside any scheduled
-    /// `[from, until)` window.
+    /// Like [`check_alive`](MemoryNode::check_alive), but also
+    /// distinguishes the *permanent* fault taxonomy and honours timed
+    /// crash windows. Checked most-specific first:
+    ///
+    /// 1. fenced → [`FabricError::FencedEpoch`] (deposed primary; the
+    ///    client must refresh its group view, not retry here);
+    /// 2. permanently crash-stopped → [`FabricError::NodeLost`] (never
+    ///    recovers; the client fails over instead of backing off);
+    /// 3. injected failure / timed crash window →
+    ///    [`FabricError::NodeFailed`] (transient: backoff heals it).
     #[inline]
     pub fn check_alive_at(&self, now_ns: u64) -> Result<()> {
+        let fence = self.fenced_epoch.load(Ordering::SeqCst);
+        if fence != u64::MAX {
+            return Err(FabricError::FencedEpoch { node: self.id, epoch: fence });
+        }
+        if self.is_lost_at(now_ns) {
+            return Err(FabricError::NodeLost(self.id));
+        }
         self.check_alive()?;
         if self.has_crash_windows.load(Ordering::SeqCst) {
             let windows = self.crash_windows.lock().unwrap();

@@ -592,7 +592,8 @@ fn exec_faai_swap_guarded(
     let mode = c.fabric().config().indirection;
     let fabric = c.fabric().clone();
     let (home_id, ptr_off) = c.word_home(ptr_addr)?;
-    let home = fabric.node(home_id);
+    let home_phys = c.route(home_id);
+    let home = fabric.node(home_phys);
     home.check_alive_at(arrival)?;
     let home_finish = home.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
     c.stats_mut().messages += 1;
@@ -637,8 +638,10 @@ fn exec_faai_swap_guarded(
     match unit? {
         Unit::Null => Err(FabricError::NullDeref { pointer_at: ptr_addr }),
         Unit::Local { ptr, old, slot_off } => {
-            fabric.fire(home_id, ptr_off, WORD, finish);
-            fabric.fire(home_id, slot_off, WORD, finish);
+            // Both mirrors fan out in parallel; the ack folds in the slower.
+            let f1 = fabric.fire(c.stats_mut(), home_id, ptr_off, WORD, finish);
+            let f2 = fabric.fire(c.stats_mut(), home_id, slot_off, WORD, finish);
+            let finish = f1.max(f2);
             c.observe(crate::check::AccessKind::AtomicRmw, ptr_addr, WORD);
             c.observe(crate::check::AccessKind::AtomicRmw, FarAddr(ptr), WORD);
             c.stats_mut().bytes_read += WORD;
@@ -646,13 +649,14 @@ fn exec_faai_swap_guarded(
         }
         Unit::Remote { ptr, target, node } => {
             c.observe(crate::check::AccessKind::AtomicRmw, ptr_addr, WORD);
-            fabric.fire(home_id, ptr_off, WORD, finish);
+            let finish = fabric.fire(c.stats_mut(), home_id, ptr_off, WORD, finish);
             if mode == IndirectionMode::Error {
                 return Err(FabricError::IndirectRemote { target, target_node: node });
             }
             // Forwarded completion at the remote target (§7.1).
             let seg = fabric.segments(target, WORD)?[0];
-            let rnode = fabric.node(seg.node);
+            let rphys = c.route(seg.node);
+            let rnode = fabric.node(rphys);
             rnode.check_alive_at(arrival)?;
             c.stats_mut().forward_hops += 1;
             c.stats_mut().messages += 1;
@@ -660,7 +664,7 @@ fn exec_faai_swap_guarded(
             let f = rnode.occupy(arrival, svc).max(finish) + cost.mem_hop_ns;
             c.stats_mut().atomics += 1;
             let old = rnode.swap_u64(seg.offset, replacement)?;
-            fabric.fire(seg.node, seg.offset, WORD, f);
+            let f = fabric.fire(c.stats_mut(), seg.node, seg.offset, WORD, f);
             c.observe(crate::check::AccessKind::AtomicRmw, target, WORD);
             c.stats_mut().bytes_read += WORD;
             Ok((PipeOut::PtrWord { ptr, word: old }, f))
@@ -685,7 +689,8 @@ fn exec_indirect(
     let mode = c.fabric().config().indirection;
     let fabric = c.fabric().clone();
     let (home_id, ptr_off) = c.word_home(ptr)?;
-    let home = fabric.node(home_id);
+    let home_phys = c.route(home_id);
+    let home = fabric.node(home_phys);
     home.check_alive_at(arrival)?;
     let home_finish = home.occupy(arrival, cost.node_msg_ns + cost.node_ext_ns);
     c.stats_mut().messages += 1;
@@ -707,10 +712,11 @@ fn exec_indirect(
     let mut finish = home_finish;
     let mut done = 0usize;
     for seg in &segs {
-        let node = fabric.node(seg.node);
+        let phys = c.route(seg.node);
+        let node = fabric.node(phys);
         node.check_alive_at(arrival)?;
         let service = cost.node_msg_ns + cost.bytes_ns(seg.len);
-        let f = if seg.node == home_id {
+        let mut f = if seg.node == home_id {
             node.occupy(home_finish, service)
         } else {
             c.stats_mut().forward_hops += 1;
@@ -721,7 +727,7 @@ fn exec_indirect(
             None => node.read_bytes(seg.offset, &mut buf[done..done + seg.len as usize])?,
             Some(data) => {
                 node.write_bytes(seg.offset, &data[done..done + seg.len as usize])?;
-                fabric.fire(seg.node, seg.offset, seg.len, f);
+                f = fabric.fire(c.stats_mut(), seg.node, seg.offset, seg.len, f);
             }
         }
         done += seg.len as usize;

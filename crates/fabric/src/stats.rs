@@ -136,6 +136,19 @@ access_stats! {
     /// Grace-period detection rounds run (each is one scan of the epoch
     /// registry; its round trips are also counted in `round_trips`).
     reclaim_rounds,
+    /// Mirror messages fanned out to replicas by mutating verbs (each also
+    /// counts in `messages`; see `crate::replica`). `messages -
+    /// replica_messages` is the unreplicated message count, so the fan-out
+    /// overhead of a K-replica fabric stays auditable.
+    replica_messages,
+    /// Failovers this client completed (or adopted): a permanent primary
+    /// loss it survived by re-issuing against a promoted replica.
+    failovers,
+    /// Group-view refreshes forced by [`FabricError::FencedEpoch`]
+    /// (crate::error::FabricError::FencedEpoch): the client was routing to
+    /// a deposed primary and paid one round trip to fetch the new
+    /// configuration.
+    fence_refreshes,
 }
 
 #[cfg(test)]

@@ -79,9 +79,9 @@ pub mod prelude {
     };
     pub use farmem_fabric::{
         AccessStats, BatchOp, CompletionQueue, CostModel, DeliveryPolicy, Event, Fabric,
-        FabricClient, FabricConfig, FarAddr, FarIov, FaultPlan, IndirectionMode, IssueQueue,
-        NodeId, PipeOp, PipeOut, RetryPolicy, Striping, SubId, TraceConfig, TraceReport,
-        Tracer,
+        FabricClient, FabricConfig, FarAddr, FarIov, FaultPlan, GroupView, IndirectionMode,
+        IssueQueue, NodeId, PipeOp, PipeOut, ReplicaConfig, RetryPolicy, Striping, SubId,
+        TraceConfig, TraceReport, Tracer, FAILOVER_LEASE_NS,
     };
     pub use farmem_monitor::{AlarmSpec, HistogramMonitor, NaiveMonitor, Severity};
     pub use farmem_reclaim::{

@@ -117,6 +117,89 @@ fn queue_delivers_exactly_once_under_chaos_for_every_seed() {
     }
 }
 
+/// Queue workload under chaos *and* a mid-workload permanent primary
+/// crash: same exactly-once proof as [`queue_workload`], but the fabric
+/// runs K=1 replication and the (only) group's primary is crash-stopped
+/// for good halfway through. Pipelined batch dequeues are mixed in so the
+/// doorbell path crosses the failover too.
+fn queue_failover_workload(seed: u64) -> AccessStats {
+    let f = FabricConfig {
+        faults: FaultPlan::transient(FAULT_PPM).with_seed(seed),
+        replication: ReplicaConfig::mirrored(1),
+        ..FabricConfig::count_only(64 << 20)
+    }
+    .build();
+    let alloc = FarAlloc::new(f.clone());
+    let mut c = f.client();
+    let before = c.stats();
+    let q = FarQueue::create(&mut c, &alloc, QueueConfig::new(12, 2)).unwrap();
+    let mut h = FarQueue::attach(&mut c, q.hdr()).unwrap();
+    let mut produced = Vec::new();
+    let mut consumed = Vec::new();
+    let mut next = 1u64;
+    for i in 0..300u64 {
+        if i == 150 {
+            // Permanent loss of the primary, mid-stream. The next verb
+            // fails over; everything enqueued so far must survive on the
+            // promoted replica.
+            f.node(NodeId(0)).crash_permanent();
+        }
+        if i % 3 != 2 {
+            match h.enqueue(&mut c, next) {
+                Ok(()) => {
+                    produced.push(next);
+                    next += 1;
+                }
+                Err(CoreError::QueueFull) => {}
+                Err(e) => panic!("seed {seed:#x}: enqueue failed: {e}"),
+            }
+        } else if i % 9 == 2 {
+            // Pipelined batch dequeue (guarded faai+swap descriptors).
+            match h.dequeue_batch(&mut c, 3) {
+                Ok(vs) => consumed.extend(vs),
+                Err(CoreError::QueueEmpty) => {}
+                Err(e) => panic!("seed {seed:#x}: batch dequeue failed: {e}"),
+            }
+        } else {
+            match h.dequeue(&mut c) {
+                Ok(v) => consumed.push(v),
+                Err(CoreError::QueueEmpty) => {}
+                Err(e) => panic!("seed {seed:#x}: dequeue failed: {e}"),
+            }
+        }
+    }
+    loop {
+        match h.dequeue(&mut c) {
+            Ok(v) => consumed.push(v),
+            Err(CoreError::QueueEmpty) => break,
+            Err(e) => panic!("seed {seed:#x}: drain failed: {e}"),
+        }
+    }
+    assert_eq!(
+        consumed, produced,
+        "seed {seed:#x}: exactly-once, in-order delivery across the failover"
+    );
+    let d = c.stats().since(&before);
+    assert_eq!(d.failovers, 1, "seed {seed:#x}: exactly one promotion");
+    assert_eq!(f.group_view(NodeId(0)).epoch, 1, "seed {seed:#x}");
+    d
+}
+
+#[test]
+fn queue_is_exactly_once_through_permanent_crash_and_failover() {
+    for seed in SEEDS {
+        let stats = queue_failover_workload(seed);
+        assert!(stats.faults_injected > 0, "seed {seed:#x}: chaos must actually fire");
+        assert_eq!(stats.giveups, 0, "seed {seed:#x}: no verb may be abandoned");
+        assert!(stats.replica_messages > 0, "seed {seed:#x}: mirrors must have fanned out");
+        assert_eq!(
+            queue_failover_workload(seed),
+            stats,
+            "seed {seed:#x} must be reproducible"
+        );
+    }
+}
+
 /// Refreshable-vector workload: writer updates, reader converges through
 /// (fault-afflicted) refreshes.
 fn refvec_workload(seed: u64) -> AccessStats {

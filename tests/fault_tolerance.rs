@@ -309,6 +309,147 @@ fn pipeline_torn_reports_partial_completion() {
 }
 
 #[test]
+fn permanent_crash_without_replicas_gives_up_immediately() {
+    // A permanent crash-stop is not a transient fault: with no replica to
+    // fail over to, the verb is abandoned at once — `giveups` exactly once
+    // per verb, `retries` untouched, and none of the ~127µs exponential
+    // backoff budget burned waiting for a node that can never come back.
+    let f = FabricConfig::count_only(16 << 20).build();
+    let mut c = f.client();
+    let addr = FarAddr(4096);
+    c.write_u64(addr, 7).unwrap();
+    f.node(NodeId(0)).crash_permanent();
+    let before = c.stats();
+    let t0 = c.now_ns();
+    assert!(matches!(
+        c.read_u64(addr),
+        Err(farmem::fabric::FabricError::NodeLost(NodeId(0)))
+    ));
+    let d = c.stats().since(&before);
+    assert_eq!(d.giveups, 1, "abandoned exactly once");
+    assert_eq!(d.retries, 0, "a lost node is not retried");
+    assert_eq!(c.now_ns(), t0, "no backoff burned on an unrecoverable fault");
+    // Every subsequent verb is charged its own single give-up.
+    assert!(c.write_u64(addr, 8).is_err());
+    assert_eq!(c.stats().since(&before).giveups, 2);
+}
+
+#[test]
+fn failover_to_replica_reissues_without_charging_retries() {
+    // K=1 and the primary is lost from the start (scheduled through the
+    // fault plan): the first verb waits out the failover lease, promotes
+    // the replica, and completes against it. The re-issue is a routing
+    // change, not a fault retry — `retries` stays 0 and nothing gives up.
+    let f = FabricConfig {
+        replication: ReplicaConfig::mirrored(1),
+        faults: FaultPlan::crash_permanent(NodeId(0), 0),
+        ..FabricConfig::count_only(16 << 20)
+    }
+    .build();
+    let mut c = f.client();
+    let addr = FarAddr(4096);
+    c.write_u64(addr, 41).unwrap();
+    assert_eq!(c.read_u64(addr).unwrap(), 41);
+    let s = c.stats();
+    assert_eq!(s.failovers, 1, "one promotion, adopted by the verb");
+    assert_eq!(s.retries, 0, "failover re-issue never counts as a retry");
+    assert_eq!(s.giveups, 0);
+    assert!(
+        c.now_ns() >= FAILOVER_LEASE_NS,
+        "promotion only after the failover lease expired"
+    );
+    let v = f.group_view(NodeId(0));
+    assert_eq!((v.epoch, v.primary), (1, NodeId(1)), "replica promoted at epoch 1");
+    // The deposed primary is fenced, not silently serving stale data.
+    assert!(matches!(
+        f.node(NodeId(0)).check_alive_at(c.now_ns()),
+        Err(farmem::fabric::FabricError::FencedEpoch { epoch: 1, .. })
+    ));
+}
+
+#[test]
+fn stale_client_is_fenced_into_a_view_refresh() {
+    // Client A caches the group view, client B performs the failover; A's
+    // next verb still routes to the deposed primary, gets the fencing
+    // error, pays one charged view refresh, and completes — it can never
+    // read or write through the stale primary.
+    let f = FabricConfig {
+        replication: ReplicaConfig::mirrored(1),
+        ..FabricConfig::count_only(16 << 20)
+    }
+    .build();
+    let mut a = f.client();
+    let mut b = f.client();
+    let addr = FarAddr(4096);
+    a.write_u64(addr, 5).unwrap(); // caches group 0's epoch-0 view
+    f.node(NodeId(0)).crash_permanent();
+    assert_eq!(b.read_u64(addr).unwrap(), 5, "B fails over and reads the replica");
+    assert_eq!(b.stats().failovers, 1);
+    let before = a.stats();
+    assert_eq!(a.read_u64(addr).unwrap(), 5, "A is fenced, refreshes, re-reads");
+    let d = a.stats().since(&before);
+    assert_eq!(d.fence_refreshes, 1, "the fence forced exactly one refresh");
+    assert_eq!(d.failovers, 0, "A adopted B's failover without promoting");
+    assert_eq!(d.retries, 0);
+}
+
+#[test]
+fn retries_and_reissues_stay_separate_under_mixed_faults() {
+    // 2% transient faults *plus* a permanent primary loss mid-workload:
+    // transient faults surface as `retries` (each also booked in
+    // `faults_injected`), the failover re-issue does not, and nothing is
+    // double-counted or abandoned.
+    let f = FabricConfig {
+        replication: ReplicaConfig::mirrored(1),
+        faults: FaultPlan::transient(20_000).with_seed(11),
+        retry: RetryPolicy::DEFAULT,
+        ..FabricConfig::count_only(16 << 20)
+    }
+    .build();
+    let mut c = f.client();
+    let base = 4096u64;
+    for i in 0..100u64 {
+        c.write_u64(FarAddr(base + i * 8), i + 1).unwrap();
+    }
+    f.node(NodeId(0)).crash_permanent();
+    for i in 100..200u64 {
+        c.write_u64(FarAddr(base + i * 8), i + 1).unwrap();
+    }
+    for i in 0..200u64 {
+        assert_eq!(c.read_u64(FarAddr(base + i * 8)).unwrap(), i + 1);
+    }
+    let s = c.stats();
+    assert_eq!(s.failovers, 1);
+    assert_eq!(s.giveups, 0);
+    assert!(s.faults_injected > 0, "the 2% plan must fire over 400 verbs");
+    assert!(
+        s.retries <= s.faults_injected,
+        "every retry maps to an injected fault; re-issues are never retries"
+    );
+}
+
+#[test]
+fn group_death_charges_one_giveup_per_verb() {
+    // Primary and every replica lost: failover has nowhere to promote, so
+    // each verb is abandoned with exactly one give-up (never one per
+    // membership probe or per re-route).
+    let f = FabricConfig {
+        replication: ReplicaConfig::mirrored(1),
+        ..FabricConfig::count_only(16 << 20)
+    }
+    .build();
+    let mut c = f.client();
+    c.write_u64(FarAddr(4096), 1).unwrap();
+    f.node(NodeId(0)).crash_permanent();
+    f.node(NodeId(1)).crash_permanent();
+    assert!(c.read_u64(FarAddr(4096)).is_err());
+    assert_eq!(c.stats().giveups, 1);
+    assert!(c.read_u64(FarAddr(4096)).is_err());
+    assert_eq!(c.stats().giveups, 2);
+    assert_eq!(c.stats().retries, 0);
+}
+
+#[test]
 fn pipelined_dequeue_batch_is_exactly_once_under_faults() {
     // Batched dequeues claim items with pipelined guarded `faai`+swap
     // descriptors; under 2% transient faults every item must still come
