@@ -24,6 +24,7 @@ use crate::fabric::Fabric;
 use crate::fault::{FaultPlan, FaultRng, RetryPolicy};
 use crate::notify::{Event, EventSink, SubId, SubKind};
 use crate::replica::GroupView;
+use crate::sample::MetricSampler;
 use crate::stats::AccessStats;
 use crate::trace::{SpanGuard, TraceConfig, TraceReport, Tracer, VerbKind};
 
@@ -49,6 +50,10 @@ pub struct FabricClient {
     /// disabled tracer is a single `Option` branch per verb and adds zero
     /// fabric accesses either way.
     trace: Option<Tracer>,
+    /// Metrics hook, when installed ([`FabricClient::install_sampler`]).
+    /// Same cost discipline as the tracer: one `Option` branch per verb
+    /// when absent, and never any fabric accesses (see [`crate::sample`]).
+    sampler: Option<Arc<dyn MetricSampler>>,
     /// Reentrancy depth of [`FabricClient::traced`]: composite verbs
     /// (`load0_auto` → `load0`, retries) record only at the outermost
     /// wrapper, so counter deltas are never attributed twice.
@@ -162,6 +167,7 @@ impl FabricClient {
             retry: config.retry,
             rng: FaultRng::new(fault_seed),
             trace: None,
+            sampler: None,
             trace_depth: 0,
             seen_coalesced: 0,
             views,
@@ -215,6 +221,7 @@ impl FabricClient {
                 delta.near_accesses = n;
                 t.charge(delta, self.clock.now());
             }
+            self.sample_tick(0);
         }
     }
 
@@ -238,6 +245,31 @@ impl FabricClient {
                 delta.reclaim_rounds = rounds;
                 t.charge(delta, self.clock.now());
             }
+            self.sample_tick(0);
+        }
+    }
+
+    // ----- metrics sampling (farmem-metrics; see `crate::sample`) -----
+
+    /// Installs a metrics sampler: it observes every completed outermost
+    /// verb (and bookkeeping ticks) until cleared. Replaces any previous
+    /// sampler.
+    pub fn install_sampler(&mut self, sampler: Arc<dyn MetricSampler>) {
+        self.sampler = Some(sampler);
+    }
+
+    /// Removes the metrics sampler, returning the client to the
+    /// one-branch-per-verb disabled path.
+    pub fn clear_sampler(&mut self) -> Option<Arc<dyn MetricSampler>> {
+        self.sampler.take()
+    }
+
+    /// Reports one activity boundary to the installed sampler (no-op
+    /// branch when none is installed).
+    #[inline]
+    fn sample_tick(&mut self, verb_ns: u64) {
+        if let Some(s) = &self.sampler {
+            s.observe(self.id, self.clock.now(), verb_ns, &self.stats);
         }
     }
 
@@ -292,8 +324,7 @@ impl FabricClient {
         kind: VerbKind,
         f: impl FnOnce(&mut FabricClient) -> Result<T>,
     ) -> Result<T> {
-        let Some(tracer) = self.trace.clone() else { return f(self) };
-        if self.trace_depth > 0 {
+        if self.trace_depth > 0 || (self.trace.is_none() && self.sampler.is_none()) {
             return f(self);
         }
         self.trace_depth = 1;
@@ -301,13 +332,11 @@ impl FabricClient {
         let before = self.stats;
         let out = f(self);
         self.trace_depth = 0;
-        tracer.record_verb(
-            kind,
-            start,
-            self.clock.now(),
-            self.stats.since(&before),
-            out.is_ok(),
-        );
+        let end = self.clock.now();
+        if let Some(tracer) = self.trace.clone() {
+            tracer.record_verb(kind, start, end, self.stats.since(&before), out.is_ok());
+        }
+        self.sample_tick(end - start);
         out
     }
 
@@ -1047,6 +1076,7 @@ impl FabricClient {
             if let Some(t) = &self.trace {
                 t.charge(delta, self.clock.now());
             }
+            self.sample_tick(0);
         }
         self.pending.extend(events);
     }

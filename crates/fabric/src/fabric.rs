@@ -262,7 +262,7 @@ impl Fabric {
     }
 
     /// Promotes a live replica of group `g`, conditioned on the caller's
-    /// observed epoch (see [`GroupTable::promote`] semantics in
+    /// observed epoch (see `GroupTable::promote` semantics in
     /// `crate::replica`): idempotent under races, fences the deposed
     /// primary at the new epoch, errors with
     /// [`FabricError::NodeLost`] when no live member remains.

@@ -60,6 +60,7 @@ pub mod node;
 pub mod notify;
 pub mod pipeline;
 pub mod replica;
+pub mod sample;
 pub mod stats;
 pub mod trace;
 
@@ -76,6 +77,7 @@ pub use node::{MemoryNode, NodeOccupancy};
 pub use notify::{DeliveryPolicy, Event, EventSink, SinkStats, SubId, SubKind};
 pub use pipeline::{CompletionQueue, IssueQueue, PipeOp, PipeOut};
 pub use replica::{GroupView, ReplicaConfig, FAILOVER_LEASE_NS};
+pub use sample::MetricSampler;
 pub use stats::AccessStats;
 pub use trace::{
     LatencyHistogram, SpanAgg, SpanGuard, SpanSummary, TraceConfig, TraceEvent, TraceReport,

@@ -17,13 +17,13 @@
 //!   group when [`ReplicaConfig::spread_reads`] is on (hot-key spreading;
 //!   see DESIGN.md §10 for the consistency caveat).
 //! * **Fenced failover**: a verb hitting a crash-stopped primary surfaces
-//!   [`FabricError::NodeLost`](crate::error::FabricError::NodeLost). The
+//!   [`FabricError::NodeLost`]. The
 //!   client waits one [`ReplicaConfig::failover_lease_ns`] of virtual time
 //!   (so every lease the deposed primary's clients held has expired),
 //!   then promotes a live replica: promotion bumps the group's
 //!   *configuration epoch* — the fencing token — and fences the deposed
 //!   node, whose every later verb fails with
-//!   [`FabricError::FencedEpoch`](crate::error::FabricError::FencedEpoch)
+//!   [`FabricError::FencedEpoch`]
 //!   instead of silently serving stale data. Clients cache a per-group
 //!   view `{epoch, primary, members}`; a stale client keeps routing to
 //!   the fenced node until the fence error forces a (charged) view

@@ -1,0 +1,34 @@
+//! The metrics sampling hook (farmem-metrics).
+//!
+//! The live observability layer in `crates/metrics` watches the system
+//! *while it runs*: it snapshots [`AccessStats`] deltas, node occupancy
+//! and verb latencies into bounded time-series rings on a virtual-time
+//! interval. The fabric's side of that contract is this one trait.
+//!
+//! A [`FabricClient`](crate::FabricClient) holds an
+//! `Option<Arc<dyn MetricSampler>>`
+//! ([`install_sampler`](crate::FabricClient::install_sampler)); with no
+//! sampler installed every verb pays exactly **one branch** — the same
+//! cheap-by-default discipline as the tracer (`crate::trace`) and the
+//! verification observer (`crate::check`). A sampler *observes*: it must
+//! never issue fabric accesses, advance a virtual clock, or mutate
+//! counters, so enabling it keeps memory contents, outputs and
+//! [`AccessStats`] byte-identical to a run without it (enforced by the
+//! twin-run property tests in `tests/metrics_props.rs`).
+
+use crate::stats::AccessStats;
+
+/// Receives a callback after every completed *outermost* client verb
+/// (composite verbs report once, like trace attribution), and after
+/// bookkeeping-only activity — near accesses, reclamation booking,
+/// notification drains — with `verb_ns == 0`.
+pub trait MetricSampler: Send + Sync {
+    /// Observes one client activity boundary.
+    ///
+    /// * `client` — the reporting client's id;
+    /// * `now_ns` — the client's virtual clock after the activity;
+    /// * `verb_ns` — virtual duration of the verb that just completed
+    ///   (`0` for bookkeeping ticks);
+    /// * `stats` — the client's live cumulative counters.
+    fn observe(&self, client: u32, now_ns: u64, verb_ns: u64, stats: &AccessStats);
+}

@@ -43,10 +43,25 @@ macro_rules! access_stats {
             }
 
             /// Component-wise difference `self - earlier`, for measuring
-            /// one operation or one experiment phase.
+            /// one operation or one experiment phase. Counters are
+            /// monotone, so `earlier` must be the *older* snapshot;
+            /// swapping the arguments trips a debug assertion naming the
+            /// offending field (and saturates to zero in release builds)
+            /// instead of underflow-panicking mid-experiment.
             pub fn since(&self, earlier: &AccessStats) -> AccessStats {
                 AccessStats {
-                    $($field: self.$field - earlier.$field,)+
+                    $($field: {
+                        debug_assert!(
+                            self.$field >= earlier.$field,
+                            concat!(
+                                "AccessStats::since: `",
+                                stringify!($field),
+                                "` is smaller than in `earlier` — \
+                                 snapshots passed in the wrong order?"
+                            ),
+                        );
+                        self.$field.saturating_sub(earlier.$field)
+                    },)+
                 }
             }
 
@@ -144,10 +159,9 @@ access_stats! {
     /// Failovers this client completed (or adopted): a permanent primary
     /// loss it survived by re-issuing against a promoted replica.
     failovers,
-    /// Group-view refreshes forced by [`FabricError::FencedEpoch`]
-    /// (crate::error::FabricError::FencedEpoch): the client was routing to
-    /// a deposed primary and paid one round trip to fetch the new
-    /// configuration.
+    /// Group-view refreshes forced by `FabricError::FencedEpoch`: the
+    /// client was routing to a deposed primary and paid one round trip
+    /// to fetch the new configuration.
     fence_refreshes,
 }
 
@@ -171,6 +185,20 @@ mod tests {
         let mut sum = a;
         sum.merge(&d);
         assert_eq!(sum, b);
+    }
+
+    /// Regression test for the `since` underflow hazard: a caller that
+    /// passes a *later* snapshot as `earlier` must hit a descriptive
+    /// debug assertion (release builds saturate to zero instead), not a
+    /// bare `attempt to subtract with overflow` panic deep in a report.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "snapshots passed in the wrong order")]
+    fn since_with_swapped_snapshots_trips_the_debug_assertion() {
+        let mut later = AccessStats::new();
+        later.round_trips = 3;
+        let earlier = AccessStats::new();
+        let _ = earlier.since(&later);
     }
 
     /// Every field participates in `since` and `merge` — the macro makes

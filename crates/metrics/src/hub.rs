@@ -1,0 +1,597 @@
+//! The sampling registry: bounded ring time-series over live counters.
+//!
+//! A [`MetricsHub`] implements the fabric's
+//! [`MetricSampler`] hook. Clients report
+//! every completed outermost verb; on a virtual-time interval boundary
+//! the hub emits one [`Sample`] per client — the exact [`AccessStats`]
+//! delta since the previous sample plus per-interval verb-latency
+//! quantiles — and one [`NodeSample`] per physical memory node
+//! (replicas included) with occupancy deltas. Rings are bounded; an
+//! evicted sample's delta folds into a per-client accumulator so
+//! [`MetricsHub::reconcile`] can always prove, field for field, that
+//!
+//! ```text
+//! evicted + Σ ring deltas + residual  ==  final.since(base)
+//! ```
+//!
+//! — the same exactness discipline as `TraceReport::reconcile`.
+//!
+//! Sampling is purely observational: the hub never issues fabric
+//! accesses, never touches a client clock, and never mutates counters.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use farmem_fabric::sample::MetricSampler;
+use farmem_fabric::trace::{LatencyHistogram, Tracer};
+use farmem_fabric::{AccessStats, Fabric, FabricClient, NodeOccupancy};
+
+use crate::flight::FlightBundle;
+use crate::slo::{SloAlarm, SloEngine, SloRule};
+
+/// Hub configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricsConfig {
+    /// Sampling interval, in virtual nanoseconds. Sample boundaries are
+    /// aligned to multiples of this interval; a sample is emitted at the
+    /// first activity *after* a boundary (no timer exists in virtual
+    /// time), so one sample may cover several idle intervals.
+    pub interval_ns: u64,
+    /// Maximum retained samples per ring; older samples fold into the
+    /// eviction accumulator. Flight-bundle replay is exact only over the
+    /// retained window: size the ring to cover the run when a bundle
+    /// must replay the complete alarm history.
+    pub ring_capacity: usize,
+    /// Trace events kept per client in a flight-recorder dump (the tail
+    /// of the tracer's event log).
+    pub flight_trace_events: usize,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> MetricsConfig {
+        MetricsConfig {
+            interval_ns: 1_000_000, // 1 virtual ms
+            ring_capacity: 256,
+            flight_trace_events: 64,
+        }
+    }
+}
+
+/// One per-client sample: the interval's exact counter delta plus
+/// latency quantiles of the outermost verbs completed inside it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// Per-client sequence number, from 0.
+    pub seq: u64,
+    /// Emission time (the client's virtual clock).
+    pub t_ns: u64,
+    /// Covered duration: `t_ns` minus the previous emission (or the
+    /// attach baseline for seq 0).
+    pub wall_ns: u64,
+    /// Outermost verbs completed in the interval.
+    pub verbs: u64,
+    /// Median outermost-verb latency in the interval (ns).
+    pub p50_verb_ns: u64,
+    /// 99th-percentile outermost-verb latency in the interval (ns).
+    pub p99_verb_ns: u64,
+    /// Worst outermost-verb latency in the interval (ns).
+    pub max_verb_ns: u64,
+    /// Counter delta since the previous sample.
+    pub delta: AccessStats,
+    /// Cumulative counters at emission (delta and total are both kept so
+    /// a bundle line is self-describing).
+    pub total: AccessStats,
+}
+
+/// One per-node occupancy sample (deltas over the covered interval).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeSample {
+    /// Per-node sequence number, from 0.
+    pub seq: u64,
+    /// Emission time (maximum client virtual clock seen so far).
+    pub t_ns: u64,
+    /// Covered duration since the previous node sample.
+    pub wall_ns: u64,
+    /// Messages booked on the node interface in the interval.
+    pub messages: u64,
+    /// Service time booked in the interval (ns).
+    pub busy_ns: u64,
+    /// Queueing delay summed over the interval's messages (ns).
+    pub waited_ns: u64,
+    /// Worst single-message queueing delay seen so far (cumulative
+    /// gauge — the node does not track per-interval maxima).
+    pub max_wait_ns: u64,
+    /// Busy fraction over the interval, in permille (may exceed 1000
+    /// when several clients' virtual timelines overlap on one node).
+    pub busy_permille: u64,
+}
+
+/// Per-client ring state.
+struct ClientTrack {
+    base: AccessStats,
+    last_total: AccessStats,
+    last_t_ns: u64,
+    next_due_ns: u64,
+    seq: u64,
+    cur_hist: LatencyHistogram,
+    cur_verbs: u64,
+    ring: VecDeque<Sample>,
+    evicted: AccessStats,
+    evicted_samples: u64,
+}
+
+impl ClientTrack {
+    fn new(base: AccessStats, now_ns: u64, interval_ns: u64) -> ClientTrack {
+        ClientTrack {
+            base,
+            last_total: base,
+            last_t_ns: now_ns,
+            next_due_ns: (now_ns / interval_ns + 1) * interval_ns,
+            seq: 0,
+            cur_hist: LatencyHistogram::default(),
+            cur_verbs: 0,
+            ring: VecDeque::new(),
+            evicted: AccessStats::new(),
+            evicted_samples: 0,
+        }
+    }
+}
+
+/// Per-node ring state.
+struct NodeTrack {
+    last: NodeOccupancy,
+    seq: u64,
+    ring: VecDeque<NodeSample>,
+    evicted_samples: u64,
+}
+
+struct HubInner {
+    clients: BTreeMap<u32, ClientTrack>,
+    nodes: Vec<NodeTrack>,
+    node_next_due_ns: u64,
+    node_last_t_ns: u64,
+    /// Maximum client virtual clock observed (node sampling timeline).
+    max_now_ns: u64,
+    engine: SloEngine,
+    alarms: Vec<SloAlarm>,
+    bundles: Vec<FlightBundle>,
+    tracers: BTreeMap<u32, Tracer>,
+}
+
+/// The live sampling registry. Install on clients with
+/// [`MetricsHub::attach`]; read rings, alarms and bundles at any time.
+pub struct MetricsHub {
+    cfg: MetricsConfig,
+    fabric: Arc<Fabric>,
+    inner: Mutex<HubInner>,
+}
+
+impl MetricsHub {
+    /// A hub over `fabric` with `rules` evaluated on every sample.
+    pub fn new(fabric: Arc<Fabric>, cfg: MetricsConfig, rules: Vec<SloRule>) -> Arc<MetricsHub> {
+        assert!(cfg.interval_ns > 0, "sampling interval must be positive");
+        let nodes = fabric
+            .nodes()
+            .iter()
+            .map(|n| NodeTrack {
+                last: n.occupancy(),
+                seq: 0,
+                ring: VecDeque::new(),
+                evicted_samples: 0,
+            })
+            .collect();
+        Arc::new(MetricsHub {
+            cfg,
+            fabric,
+            inner: Mutex::new(HubInner {
+                clients: BTreeMap::new(),
+                nodes,
+                node_next_due_ns: cfg.interval_ns,
+                node_last_t_ns: 0,
+                max_now_ns: 0,
+                engine: SloEngine::new(rules),
+                alarms: Vec::new(),
+                bundles: Vec::new(),
+                tracers: BTreeMap::new(),
+            }),
+        })
+    }
+
+    /// The hub's configuration.
+    pub fn config(&self) -> MetricsConfig {
+        self.cfg
+    }
+
+    /// Registers `client` (baseline = its current counters and clock)
+    /// and installs this hub as its sampler.
+    pub fn attach(self: &Arc<MetricsHub>, client: &mut FabricClient) {
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.clients.insert(
+                client.id(),
+                ClientTrack::new(client.stats(), client.now_ns(), self.cfg.interval_ns),
+            );
+        }
+        client.install_sampler(self.clone());
+    }
+
+    /// Registers a tracer whose recent events go into flight-recorder
+    /// dumps for `client`.
+    pub fn register_tracer(&self, client: u32, tracer: Tracer) {
+        self.inner.lock().unwrap().tracers.insert(client, tracer);
+    }
+
+    /// Clients with registered tracks, in id order.
+    pub fn clients(&self) -> Vec<u32> {
+        self.inner.lock().unwrap().clients.keys().copied().collect()
+    }
+
+    /// Snapshot of a client's ring, oldest first.
+    pub fn samples(&self, client: u32) -> Vec<Sample> {
+        self.inner
+            .lock()
+            .unwrap()
+            .clients
+            .get(&client)
+            .map(|t| t.ring.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// A client's eviction accumulator: folded deltas and sample count.
+    pub fn evicted(&self, client: u32) -> (AccessStats, u64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .clients
+            .get(&client)
+            .map(|t| (t.evicted, t.evicted_samples))
+            .unwrap_or((AccessStats::new(), 0))
+    }
+
+    /// Number of physical nodes sampled (primaries then replicas).
+    pub fn node_count(&self) -> usize {
+        self.inner.lock().unwrap().nodes.len()
+    }
+
+    /// Snapshot of a node's ring, oldest first.
+    pub fn node_samples(&self, node: usize) -> Vec<NodeSample> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .nodes
+            .get(node)
+            .map(|t| t.ring.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All fired alarms, in firing order.
+    pub fn alarms(&self) -> Vec<SloAlarm> {
+        self.inner.lock().unwrap().alarms.clone()
+    }
+
+    /// Flight-recorder bundles dumped so far (one per fired alarm).
+    pub fn bundles(&self) -> Vec<FlightBundle> {
+        self.inner.lock().unwrap().bundles.clone()
+    }
+
+    /// The rule list the engine evaluates.
+    pub fn rules(&self) -> Vec<SloRule> {
+        self.inner.lock().unwrap().engine.rules().to_vec()
+    }
+
+    /// Dumps a flight bundle right now (outside any alarm), e.g. at the
+    /// end of a run for archival.
+    pub fn dump_flight(&self, reason: &str) -> FlightBundle {
+        let inner = self.inner.lock().unwrap();
+        FlightBundle::build(
+            reason,
+            None,
+            &self.cfg,
+            &inner.clients_view(),
+            &inner.nodes_view(),
+            &inner.alarms,
+            &inner.trace_tails(self.cfg.flight_trace_events),
+        )
+    }
+
+    /// Proves the sampled series reconciles exactly with `final_stats`:
+    /// for every counter field,
+    /// `evicted + Σ ring deltas + residual == final.since(base)` where
+    /// residual covers activity after the last emitted sample. Returns
+    /// the offending field names on mismatch.
+    pub fn reconcile(&self, client: u32, final_stats: &AccessStats) -> Result<(), String> {
+        let inner = self.inner.lock().unwrap();
+        let Some(track) = inner.clients.get(&client) else {
+            return Err(format!("client {client} has no track"));
+        };
+        let mut series = track.evicted;
+        for s in &track.ring {
+            series.merge(&s.delta);
+        }
+        let residual = final_stats.since(&track.last_total);
+        series.merge(&residual);
+        let expected = final_stats.since(&track.base);
+        if series == expected {
+            return Ok(());
+        }
+        let mut bad = Vec::new();
+        let got = series.to_array();
+        let want = expected.to_array();
+        for (i, name) in AccessStats::FIELD_NAMES.iter().enumerate() {
+            if got[i] != want[i] {
+                bad.push(format!("{name}: series {} != final {}", got[i], want[i]));
+            }
+        }
+        Err(bad.join("; "))
+    }
+}
+
+impl HubInner {
+    /// (client, ring, evicted-delta, evicted-count) view for bundling.
+    fn clients_view(&self) -> Vec<(u32, Vec<Sample>, AccessStats, u64)> {
+        self.clients
+            .iter()
+            .map(|(id, t)| {
+                (*id, t.ring.iter().copied().collect(), t.evicted, t.evicted_samples)
+            })
+            .collect()
+    }
+
+    /// (node, ring) view for bundling.
+    fn nodes_view(&self) -> Vec<(u32, Vec<NodeSample>)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u32, t.ring.iter().copied().collect()))
+            .collect()
+    }
+
+    /// Last-`n` trace-event lines per registered tracer (the "flight
+    /// recorder" half of a dump; empty when no tracer is registered).
+    fn trace_tails(&self, n: usize) -> Vec<(u32, Vec<String>)> {
+        self.tracers
+            .iter()
+            .map(|(id, tracer)| {
+                let jsonl = tracer.jsonl();
+                let lines: Vec<&str> = jsonl.lines().collect();
+                let tail = lines.len().saturating_sub(n);
+                (*id, lines[tail..].iter().map(|l| l.to_string()).collect())
+            })
+            .collect()
+    }
+}
+
+impl MetricSampler for MetricsHub {
+    fn observe(&self, client: u32, now_ns: u64, verb_ns: u64, stats: &AccessStats) {
+        let mut guard = self.inner.lock().unwrap();
+        let inner = &mut *guard;
+        let track = inner
+            .clients
+            .entry(client)
+            .or_insert_with(|| ClientTrack::new(AccessStats::new(), 0, self.cfg.interval_ns));
+        if verb_ns > 0 {
+            track.cur_hist.add(verb_ns);
+            track.cur_verbs += 1;
+        }
+        let mut fired = Vec::new();
+        if now_ns >= track.next_due_ns {
+            let sample = Sample {
+                seq: track.seq,
+                t_ns: now_ns,
+                wall_ns: now_ns - track.last_t_ns,
+                verbs: track.cur_verbs,
+                p50_verb_ns: track.cur_hist.quantile_ns(0.50),
+                p99_verb_ns: track.cur_hist.quantile_ns(0.99),
+                max_verb_ns: track.cur_hist.max_ns(),
+                delta: stats.since(&track.last_total),
+                total: *stats,
+            };
+            track.ring.push_back(sample);
+            while track.ring.len() > self.cfg.ring_capacity {
+                let old = track.ring.pop_front().expect("ring non-empty");
+                track.evicted.merge(&old.delta);
+                track.evicted_samples += 1;
+            }
+            track.last_total = *stats;
+            track.last_t_ns = now_ns;
+            track.seq += 1;
+            track.cur_hist = LatencyHistogram::default();
+            track.cur_verbs = 0;
+            track.next_due_ns = (now_ns / self.cfg.interval_ns + 1) * self.cfg.interval_ns;
+            fired.extend(inner.engine.ingest_client(client, &sample));
+        }
+        // Node occupancy samples ride the same aligned boundaries, on
+        // the max virtual clock seen across clients.
+        inner.max_now_ns = inner.max_now_ns.max(now_ns);
+        if inner.max_now_ns >= inner.node_next_due_ns {
+            let t_ns = inner.max_now_ns;
+            let wall_ns = t_ns - inner.node_last_t_ns;
+            for (i, (track, node)) in
+                inner.nodes.iter_mut().zip(self.fabric.nodes()).enumerate()
+            {
+                let occ = node.occupancy();
+                let busy = occ.busy_ns - track.last.busy_ns;
+                let sample = NodeSample {
+                    seq: track.seq,
+                    t_ns,
+                    wall_ns,
+                    messages: occ.messages - track.last.messages,
+                    busy_ns: busy,
+                    waited_ns: occ.waited_ns - track.last.waited_ns,
+                    max_wait_ns: occ.max_wait_ns,
+                    busy_permille: busy
+                        .saturating_mul(1000)
+                        .checked_div(wall_ns)
+                        .unwrap_or(0),
+                };
+                track.ring.push_back(sample);
+                while track.ring.len() > self.cfg.ring_capacity {
+                    track.ring.pop_front();
+                    track.evicted_samples += 1;
+                }
+                track.last = occ;
+                track.seq += 1;
+                fired.extend(inner.engine.ingest_node(i as u32, &sample));
+            }
+            inner.node_last_t_ns = t_ns;
+            inner.node_next_due_ns =
+                (t_ns / self.cfg.interval_ns + 1) * self.cfg.interval_ns;
+        }
+        // A fired rule dumps the flight recorder: ring windows plus the
+        // tail of each registered tracer's event log.
+        for alarm in fired {
+            inner.alarms.push(alarm);
+            let bundle = FlightBundle::build(
+                "slo-alarm",
+                Some(&alarm),
+                &self.cfg,
+                &inner.clients_view(),
+                &inner.nodes_view(),
+                &inner.alarms,
+                &inner.trace_tails(self.cfg.flight_trace_events),
+            );
+            inner.bundles.push(bundle);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmem_fabric::{FabricConfig, FarAddr};
+    use farmem_monitor::AlarmSpec;
+    use crate::slo::Signal;
+
+    fn workload(client: &mut FabricClient, n: u64) {
+        for i in 0..n {
+            let addr = FarAddr(64 + (i % 64) * 8);
+            client.write_u64(addr, i).unwrap();
+            let _ = client.read_u64(addr).unwrap();
+            if i % 7 == 0 {
+                client.near_access();
+            }
+        }
+    }
+
+    fn hub_over(fabric: &Arc<Fabric>, cap: usize) -> Arc<MetricsHub> {
+        MetricsHub::new(
+            fabric.clone(),
+            MetricsConfig { interval_ns: 100_000, ring_capacity: cap, flight_trace_events: 8 },
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn series_reconciles_exactly_with_final_stats() {
+        let fabric = FabricConfig::single_node(1 << 20).build();
+        let mut client = fabric.client();
+        let hub = hub_over(&fabric, 1024);
+        hub.attach(&mut client);
+        workload(&mut client, 500);
+        let stats = client.stats();
+        hub.reconcile(client.id(), &stats).unwrap();
+        let samples = hub.samples(client.id());
+        assert!(samples.len() > 3, "expected several samples, got {}", samples.len());
+        // Deltas sum to the total minus the base (zero here), and the
+        // sequence numbers and timestamps are strictly monotone.
+        let mut sum = AccessStats::new();
+        for (i, s) in samples.iter().enumerate() {
+            sum.merge(&s.delta);
+            assert!(s.wall_ns > 0);
+            assert_eq!(s.seq, i as u64);
+            if i > 0 {
+                assert!(s.t_ns > samples[i - 1].t_ns);
+                assert_eq!(s.wall_ns, s.t_ns - samples[i - 1].t_ns);
+            }
+        }
+        // Activity after the last boundary is residual, so the ring can
+        // only under-count the final totals — never over-count.
+        for (i, v) in sum.to_array().into_iter().enumerate() {
+            assert!(v <= stats.to_array()[i], "{}", AccessStats::FIELD_NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn ring_eviction_folds_into_accumulator_and_still_reconciles() {
+        let fabric = FabricConfig::single_node(1 << 20).build();
+        let mut client = fabric.client();
+        let hub = hub_over(&fabric, 4);
+        hub.attach(&mut client);
+        workload(&mut client, 800);
+        let (evicted, n) = hub.evicted(client.id());
+        assert!(n > 0, "small ring must evict");
+        assert!(evicted.round_trips > 0);
+        assert_eq!(hub.samples(client.id()).len(), 4);
+        hub.reconcile(client.id(), &client.stats()).unwrap();
+    }
+
+    #[test]
+    fn node_rings_cover_all_physical_nodes_and_see_traffic() {
+        let fabric = FabricConfig::single_node(1 << 20).build();
+        let mut client = fabric.client();
+        let hub = hub_over(&fabric, 64);
+        hub.attach(&mut client);
+        workload(&mut client, 300);
+        assert_eq!(hub.node_count(), 1);
+        let samples = hub.node_samples(0);
+        assert!(!samples.is_empty());
+        let messages: u64 = samples.iter().map(|s| s.messages).sum();
+        assert!(messages > 0, "node ring must see the workload's messages");
+    }
+
+    #[test]
+    fn attach_mid_run_uses_current_counters_as_base() {
+        let fabric = FabricConfig::single_node(1 << 20).build();
+        let mut client = fabric.client();
+        workload(&mut client, 100); // unobserved prelude
+        let hub = hub_over(&fabric, 64);
+        hub.attach(&mut client);
+        workload(&mut client, 200);
+        hub.reconcile(client.id(), &client.stats()).unwrap();
+    }
+
+    #[test]
+    fn sampling_is_invisible_to_the_workload() {
+        let run = |with_hub: bool| {
+            let fabric = FabricConfig::single_node(1 << 20).build();
+            let mut client = fabric.client();
+            let hub = with_hub.then(|| {
+                let hub = hub_over(&fabric, 64);
+                hub.attach(&mut client);
+                hub
+            });
+            workload(&mut client, 300);
+            let tail: Vec<u8> = (0..256)
+                .map(|i| client.read_u64(FarAddr(64 + (i % 64) * 8)).unwrap() as u8)
+                .collect();
+            drop(hub);
+            (client.stats(), client.now_ns(), tail)
+        };
+        assert_eq!(run(false), run(true), "metrics on/off must be byte-identical");
+    }
+
+    #[test]
+    fn slo_alarm_fires_and_dumps_a_bundle() {
+        let fabric = FabricConfig::single_node(1 << 20).build();
+        let mut client = fabric.client();
+        let rules = vec![SloRule {
+            name: "rt-rate",
+            signal: Signal::RoundTripsPerMs,
+            spec: AlarmSpec { warning: 1, critical: 100_000, failure: 200_000, duration: 1 },
+            window: 4,
+        }];
+        let hub = MetricsHub::new(
+            fabric.clone(),
+            MetricsConfig { interval_ns: 100_000, ring_capacity: 64, flight_trace_events: 8 },
+            rules,
+        );
+        hub.attach(&mut client);
+        workload(&mut client, 200);
+        let alarms = hub.alarms();
+        assert!(!alarms.is_empty(), "any traffic breaches warning=1 RT/ms");
+        assert_eq!(alarms[0].rule, "rt-rate");
+        let bundles = hub.bundles();
+        assert_eq!(bundles.len(), alarms.len());
+        assert!(bundles[0].jsonl.contains("\"kind\":\"alarm\""));
+        assert!(bundles[0].jsonl.contains("\"kind\":\"sample\""));
+    }
+}

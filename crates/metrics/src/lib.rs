@@ -1,0 +1,60 @@
+//! # farmem-metrics — live observability for the far-memory stack
+//!
+//! `farmem-trace` (PR 2) explains one *finished* run; this crate watches
+//! the system **while it runs**. The paper's argument stands or falls on
+//! far-access counts and queueing at the memory node (§3.1, §6), so those
+//! are exactly the signals kept under continuous observation:
+//!
+//! * **Sampling rings** ([`MetricsHub`]): on a virtual-time interval the
+//!   hub snapshots per-client [`AccessStats`] deltas, per-node
+//!   [`NodeOccupancy`](farmem_fabric::NodeOccupancy) deltas (replica
+//!   nodes included), per-interval verb-latency quantiles, pipeline
+//!   depth, retry/giveup/failover rates and reclaim limbo footprint into
+//!   bounded ring time-series. Ring evictions fold into an accumulator,
+//!   so the series always reconciles **exactly** against the final
+//!   counters ([`MetricsHub::reconcile`], same discipline as
+//!   `TraceReport::reconcile`).
+//! * **SLO rules** ([`SloRule`], [`SloEngine`]): threshold + duration
+//!   rules over the rings — p99 verb latency, retry rate, node busy
+//!   fraction, limbo bytes, failovers — reusing the §6 case study's
+//!   [`AlarmSpec`]/[`MonitorAlarm`] types, so the monitoring demo and
+//!   the metrics layer share one alarm vocabulary. Rules are
+//!   edge-triggered: an alarm fires on severity escalation, not on every
+//!   breaching sample.
+//! * **Flight recorder** ([`FlightBundle`]): a firing rule dumps the
+//!   last-N trace events plus the current ring windows as a JSONL
+//!   postmortem bundle, so a chaos-induced anomaly is diagnosable after
+//!   the fact without re-running. Bundles replay: feeding the recorded
+//!   samples through a fresh [`SloEngine`] reproduces the recorded
+//!   verdicts (asserted by `e18_metrics`).
+//! * **Exposition**: [`MetricsHub::prometheus`] renders the classic
+//!   text format; structured accessors feed `Table`/`Report` JSON on the
+//!   bench side.
+//!
+//! ## Zero cost when off
+//!
+//! The fabric side of the contract is
+//! [`MetricSampler`](farmem_fabric::MetricSampler): one `Option` branch
+//! per verb when no sampler is installed, and an installed hub never
+//! issues fabric accesses, never advances a clock and never mutates
+//! counters — a run with metrics on is byte-identical (memory, outputs,
+//! `AccessStats`) to one with metrics off. Enforced by unit tests here
+//! and a twin-run property test in `tests/metrics_props.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod hub;
+pub mod prom;
+pub mod slo;
+
+pub use flight::FlightBundle;
+pub use hub::{MetricsConfig, MetricsHub, NodeSample, Sample};
+pub use slo::{
+    severity_from_name, severity_name, Scope, Signal, SloAlarm, SloEngine, SloRule,
+};
+
+// Re-exported so rule authors need only this crate in scope.
+pub use farmem_monitor::{AlarmSpec, MonitorAlarm, Severity};
+pub use farmem_fabric::AccessStats;

@@ -1,0 +1,151 @@
+//! Prometheus-style text exposition.
+//!
+//! [`MetricsHub::prometheus`](crate::MetricsHub::prometheus) renders the
+//! hub's live state in the classic `# TYPE` / `name{labels} value`
+//! format. Every [`AccessStats`] counter becomes
+//! `farmem_<field>_total{client="N"}` straight from `FIELD_NAMES`, so a
+//! newly added counter appears in the exposition with no code change
+//! here — the same single-source-of-truth discipline as the stats macro
+//! itself. Gauges cover the derived signals the SLO rules watch (limbo
+//! bytes, per-interval p99, node busy fraction), and
+//! `farmem_slo_alarms_total` counts firings by rule and severity.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use farmem_fabric::AccessStats;
+
+use crate::hub::MetricsHub;
+use crate::slo::severity_name;
+
+impl MetricsHub {
+    /// Renders the hub's current state as Prometheus text exposition.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let clients = self.clients();
+
+        // Cumulative counters: latest observed totals per client.
+        // (A client's totals live in its last sample; residual activity
+        // since then is not yet visible — scrape semantics.)
+        let totals: Vec<(u32, AccessStats)> = clients
+            .iter()
+            .filter_map(|&c| self.samples(c).last().map(|s| (c, s.total)))
+            .collect();
+        for (i, name) in AccessStats::FIELD_NAMES.iter().enumerate() {
+            let _ = writeln!(out, "# TYPE farmem_{name}_total counter");
+            for (client, total) in &totals {
+                let _ = writeln!(
+                    out,
+                    "farmem_{name}_total{{client=\"{client}\"}} {}",
+                    total.to_array()[i]
+                );
+            }
+        }
+
+        // Derived per-client gauges, from the latest sample.
+        let _ = writeln!(out, "# TYPE farmem_limbo_bytes gauge");
+        for (client, total) in &totals {
+            let _ = writeln!(
+                out,
+                "farmem_limbo_bytes{{client=\"{client}\"}} {}",
+                total.retired_bytes.saturating_sub(total.reclaimed_bytes)
+            );
+        }
+        let _ = writeln!(out, "# TYPE farmem_verb_p99_ns gauge");
+        let _ = writeln!(out, "# TYPE farmem_samples_total counter");
+        for &client in &clients {
+            let samples = self.samples(client);
+            if let Some(last) = samples.last() {
+                let _ = writeln!(
+                    out,
+                    "farmem_verb_p99_ns{{client=\"{client}\"}} {}",
+                    last.p99_verb_ns
+                );
+            }
+            let (_, evicted) = self.evicted(client);
+            let _ = writeln!(
+                out,
+                "farmem_samples_total{{client=\"{client}\"}} {}",
+                samples.len() as u64 + evicted
+            );
+        }
+
+        // Node occupancy: cumulative counters reconstructed from ring
+        // deltas plus the worst-wait gauge.
+        let _ = writeln!(out, "# TYPE farmem_node_messages_total counter");
+        let _ = writeln!(out, "# TYPE farmem_node_busy_ns_total counter");
+        let _ = writeln!(out, "# TYPE farmem_node_busy_permille gauge");
+        let _ = writeln!(out, "# TYPE farmem_node_max_wait_ns gauge");
+        for node in 0..self.node_count() {
+            let samples = self.node_samples(node);
+            let messages: u64 = samples.iter().map(|s| s.messages).sum();
+            let busy: u64 = samples.iter().map(|s| s.busy_ns).sum();
+            let _ = writeln!(out, "farmem_node_messages_total{{node=\"{node}\"}} {messages}");
+            let _ = writeln!(out, "farmem_node_busy_ns_total{{node=\"{node}\"}} {busy}");
+            if let Some(last) = samples.last() {
+                let _ = writeln!(
+                    out,
+                    "farmem_node_busy_permille{{node=\"{node}\"}} {}",
+                    last.busy_permille
+                );
+                let _ = writeln!(
+                    out,
+                    "farmem_node_max_wait_ns{{node=\"{node}\"}} {}",
+                    last.max_wait_ns
+                );
+            }
+        }
+
+        // Alarm firings by (rule, severity).
+        let _ = writeln!(out, "# TYPE farmem_slo_alarms_total counter");
+        let mut by_rule: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+        for a in self.alarms() {
+            *by_rule.entry((a.rule, severity_name(a.alarm.severity))).or_default() += 1;
+        }
+        for ((rule, severity), count) in by_rule {
+            let _ = writeln!(
+                out,
+                "farmem_slo_alarms_total{{rule=\"{rule}\",severity=\"{severity}\"}} {count}"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::hub::{MetricsConfig, MetricsHub};
+    use farmem_fabric::{FabricConfig, FarAddr};
+
+    #[test]
+    fn exposition_lists_every_stats_field_and_node_metrics() {
+        let fabric = FabricConfig::single_node(1 << 20).build();
+        let mut client = fabric.client();
+        let hub = MetricsHub::new(
+            fabric.clone(),
+            MetricsConfig { interval_ns: 100_000, ..MetricsConfig::default() },
+            Vec::new(),
+        );
+        hub.attach(&mut client);
+        for i in 0..200u64 {
+            client.write_u64(FarAddr(64 + (i % 32) * 8), i).unwrap();
+        }
+        let text = hub.prometheus();
+        for name in farmem_fabric::AccessStats::FIELD_NAMES {
+            assert!(
+                text.contains(&format!("# TYPE farmem_{name}_total counter")),
+                "missing field {name}"
+            );
+        }
+        assert!(text.contains("farmem_round_trips_total{client=\"0\"} "));
+        assert!(text.contains("farmem_node_messages_total{node=\"0\"} "));
+        assert!(text.contains("# TYPE farmem_limbo_bytes gauge"));
+        // Values are parseable and the round-trip counter is non-zero.
+        let rt_line = text
+            .lines()
+            .find(|l| l.starts_with("farmem_round_trips_total"))
+            .unwrap();
+        let v: u64 = rt_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(v > 0);
+    }
+}

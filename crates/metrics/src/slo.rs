@@ -1,0 +1,349 @@
+//! SLO rules over the sampling rings.
+//!
+//! A rule watches one [`Signal`] derived from the per-client or per-node
+//! sample streams and applies the §6 case study's threshold-plus-duration
+//! semantics, reusing [`AlarmSpec`] and [`MonitorAlarm`] from
+//! `farmem-monitor` verbatim so the two layers share one alarm type
+//! (ISSUE 7 satellite). The engine is deterministic and self-contained:
+//! the flight-recorder replay path rebuilds a fresh [`SloEngine`] from
+//! the same rules and feeds it the recorded samples, and must reproduce
+//! the recorded verdicts.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use farmem_monitor::{AlarmSpec, MonitorAlarm, Severity};
+
+use crate::hub::{NodeSample, Sample};
+
+/// What a rule measures, evaluated per emitted sample.
+///
+/// Client signals return `None` for node samples and vice versa, so one
+/// rule list can mix both kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Signal {
+    /// Dependent round trips per virtual millisecond of covered time.
+    RoundTripsPerMs,
+    /// Verb retries per thousand completed verbs in the interval.
+    RetriesPerKVerb,
+    /// Cumulative verbs abandoned after exhausting the retry budget.
+    GiveupsTotal,
+    /// Failovers completed in the interval (a permanent primary loss).
+    FailoversDelta,
+    /// Fencing-epoch refreshes in the interval (stale-view evictions).
+    FenceRefreshesDelta,
+    /// Reclamation limbo footprint: `retired_bytes - reclaimed_bytes`.
+    LimboBytes,
+    /// 99th-percentile outermost-verb latency in the interval (ns).
+    VerbP99Ns,
+    /// Mean pipeline depth: pipelined descriptors per doorbell.
+    PipelineDepth,
+    /// Node busy fraction over the interval, in permille (0..=1000).
+    NodeBusyPermille,
+    /// Worst single-message queueing delay seen at the node so far (ns).
+    NodeMaxWaitNs,
+}
+
+impl Signal {
+    /// Stable name used in exposition and flight bundles.
+    pub fn name(self) -> &'static str {
+        match self {
+            Signal::RoundTripsPerMs => "round_trips_per_ms",
+            Signal::RetriesPerKVerb => "retries_per_kverb",
+            Signal::GiveupsTotal => "giveups_total",
+            Signal::FailoversDelta => "failovers_delta",
+            Signal::FenceRefreshesDelta => "fence_refreshes_delta",
+            Signal::LimboBytes => "limbo_bytes",
+            Signal::VerbP99Ns => "verb_p99_ns",
+            Signal::PipelineDepth => "pipeline_depth",
+            Signal::NodeBusyPermille => "node_busy_permille",
+            Signal::NodeMaxWaitNs => "node_max_wait_ns",
+        }
+    }
+
+    /// Evaluates the signal on a client sample (`None` for node signals).
+    pub fn eval_client(self, s: &Sample) -> Option<u64> {
+        let per_ms =
+            |n: u64| n.saturating_mul(1_000_000).checked_div(s.wall_ns).unwrap_or(0);
+        match self {
+            Signal::RoundTripsPerMs => Some(per_ms(s.delta.round_trips)),
+            Signal::RetriesPerKVerb => {
+                Some(s.delta.retries.saturating_mul(1000) / s.verbs.max(1))
+            }
+            Signal::GiveupsTotal => Some(s.total.giveups),
+            Signal::FailoversDelta => Some(s.delta.failovers),
+            Signal::FenceRefreshesDelta => Some(s.delta.fence_refreshes),
+            Signal::LimboBytes => {
+                Some(s.total.retired_bytes.saturating_sub(s.total.reclaimed_bytes))
+            }
+            Signal::VerbP99Ns => Some(s.p99_verb_ns),
+            Signal::PipelineDepth => {
+                Some(s.delta.pipelined_ops / s.delta.doorbells.max(1))
+            }
+            Signal::NodeBusyPermille | Signal::NodeMaxWaitNs => None,
+        }
+    }
+
+    /// Evaluates the signal on a node sample (`None` for client signals).
+    pub fn eval_node(self, s: &NodeSample) -> Option<u64> {
+        match self {
+            Signal::NodeBusyPermille => Some(s.busy_permille),
+            Signal::NodeMaxWaitNs => Some(s.max_wait_ns),
+            _ => None,
+        }
+    }
+}
+
+/// One SLO rule: a signal, the shared §6 alarm thresholds, and the
+/// number of recent samples the duration count is evaluated over.
+#[derive(Clone, Copy, Debug)]
+pub struct SloRule {
+    /// Stable rule name (appears in alarms, bundles and exposition).
+    pub name: &'static str,
+    /// The watched signal.
+    pub signal: Signal,
+    /// Thresholds + duration, shared with the §6 histogram monitor.
+    pub spec: AlarmSpec,
+    /// Sliding window length, in samples, the duration rule counts over.
+    pub window: usize,
+}
+
+/// The scope a rule fired in: one client's stream or one physical node's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scope {
+    /// A client's sample stream.
+    Client(u32),
+    /// A physical memory node's sample stream (replicas included).
+    Node(u32),
+}
+
+impl Scope {
+    /// `"client"` / `"node"`.
+    pub fn kind(self) -> &'static str {
+        match self {
+            Scope::Client(_) => "client",
+            Scope::Node(_) => "node",
+        }
+    }
+
+    /// The client or node index.
+    pub fn index(self) -> u32 {
+        match self {
+            Scope::Client(i) | Scope::Node(i) => i,
+        }
+    }
+}
+
+/// A fired SLO alarm. `alarm` reuses the §6 [`MonitorAlarm`]:
+/// `window_seq` carries the firing sample's sequence number and `count`
+/// the number of breaching samples inside the rule window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SloAlarm {
+    /// The firing rule's name.
+    pub rule: &'static str,
+    /// The watched signal.
+    pub signal: Signal,
+    /// Which stream breached.
+    pub scope: Scope,
+    /// The signal value at the firing sample.
+    pub value: u64,
+    /// Severity / firing-sample seq / breach count, in the shared type.
+    pub alarm: MonitorAlarm,
+}
+
+/// Stable lowercase name of a severity (exposition + flight bundles).
+pub fn severity_name(s: Severity) -> &'static str {
+    match s {
+        Severity::Warning => "warning",
+        Severity::Critical => "critical",
+        Severity::Failure => "failure",
+    }
+}
+
+/// Inverse of [`severity_name`], for bundle replay.
+pub fn severity_from_name(name: &str) -> Option<Severity> {
+    match name {
+        "warning" => Some(Severity::Warning),
+        "critical" => Some(Severity::Critical),
+        "failure" => Some(Severity::Failure),
+        _ => None,
+    }
+}
+
+/// Per-(rule, scope) sliding window and edge-trigger latch.
+#[derive(Clone, Debug, Default)]
+struct RuleState {
+    values: VecDeque<u64>,
+    held: Option<Severity>,
+}
+
+/// Evaluates a rule list over sample streams, deterministically.
+///
+/// State is keyed by `(rule, scope)`, so the verdicts for one scope
+/// depend only on that scope's samples in sequence order — which is what
+/// makes flight-bundle replay exact regardless of how different scopes'
+/// samples interleave.
+#[derive(Clone, Debug)]
+pub struct SloEngine {
+    rules: Vec<SloRule>,
+    state: BTreeMap<(usize, Scope), RuleState>,
+}
+
+impl SloEngine {
+    /// An engine evaluating `rules`.
+    pub fn new(rules: Vec<SloRule>) -> SloEngine {
+        SloEngine { rules, state: BTreeMap::new() }
+    }
+
+    /// The rule list (for exposition and bundle metadata).
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Ingests one client sample; returns newly fired alarms.
+    pub fn ingest_client(&mut self, client: u32, s: &Sample) -> Vec<SloAlarm> {
+        self.ingest(Scope::Client(client), s.seq, |sig| sig.eval_client(s))
+    }
+
+    /// Ingests one node sample; returns newly fired alarms.
+    pub fn ingest_node(&mut self, node: u32, s: &NodeSample) -> Vec<SloAlarm> {
+        self.ingest(Scope::Node(node), s.seq, |sig| sig.eval_node(s))
+    }
+
+    fn ingest(
+        &mut self,
+        scope: Scope,
+        seq: u64,
+        eval: impl Fn(Signal) -> Option<u64>,
+    ) -> Vec<SloAlarm> {
+        let mut fired = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            let Some(value) = eval(rule.signal) else { continue };
+            let st = self.state.entry((i, scope)).or_default();
+            st.values.push_back(value);
+            while st.values.len() > rule.window.max(1) {
+                st.values.pop_front();
+            }
+            // Highest severity whose threshold is breached by at least
+            // `duration` samples in the window (§6 semantics).
+            let mut verdict = None;
+            for (sev, threshold) in [
+                (Severity::Failure, rule.spec.failure),
+                (Severity::Critical, rule.spec.critical),
+                (Severity::Warning, rule.spec.warning),
+            ] {
+                let count =
+                    st.values.iter().filter(|v| **v >= threshold).count() as u64;
+                if count >= rule.spec.duration {
+                    verdict = Some((sev, count));
+                    break;
+                }
+            }
+            match verdict {
+                Some((sev, count)) => {
+                    // Edge-triggered: fire only on escalation, so a
+                    // sustained breach yields one alarm, not one per
+                    // sample.
+                    if st.held.is_none_or(|held| sev > held) {
+                        fired.push(SloAlarm {
+                            rule: rule.name,
+                            signal: rule.signal,
+                            scope,
+                            value,
+                            alarm: MonitorAlarm { severity: sev, window_seq: seq, count },
+                        });
+                    }
+                    st.held = Some(sev);
+                }
+                None => st.held = None,
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmem_fabric::AccessStats;
+
+    fn sample(seq: u64, retries: u64, verbs: u64) -> Sample {
+        let mut delta = AccessStats::new();
+        delta.retries = retries;
+        Sample {
+            seq,
+            t_ns: (seq + 1) * 1_000_000,
+            wall_ns: 1_000_000,
+            verbs,
+            p50_verb_ns: 0,
+            p99_verb_ns: 0,
+            max_verb_ns: 0,
+            delta,
+            total: delta,
+        }
+    }
+
+    fn retry_rule(duration: u64, window: usize) -> SloRule {
+        SloRule {
+            name: "retry-rate",
+            signal: Signal::RetriesPerKVerb,
+            spec: AlarmSpec { warning: 100, critical: 300, failure: 800, duration },
+            window,
+        }
+    }
+
+    #[test]
+    fn fires_on_escalation_only_and_resets_when_healthy() {
+        let mut eng = SloEngine::new(vec![retry_rule(1, 4)]);
+        // Healthy sample: nothing fires.
+        assert!(eng.ingest_client(0, &sample(0, 0, 100)).is_empty());
+        // 150 retries/kverb breaches warning once.
+        let fired = eng.ingest_client(0, &sample(1, 15, 100));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].alarm.severity, Severity::Warning);
+        assert_eq!(fired[0].alarm.window_seq, 1);
+        // Sustained breach at the same severity: edge-triggered silence.
+        assert!(eng.ingest_client(0, &sample(2, 15, 100)).is_empty());
+        // Escalation to critical fires again.
+        let fired = eng.ingest_client(0, &sample(3, 40, 100));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].alarm.severity, Severity::Critical);
+        // Recovery clears the latch (window still holds old breaches, so
+        // drain it with healthy samples first).
+        for seq in 4..8 {
+            eng.ingest_client(0, &sample(seq, 0, 100));
+        }
+        // A fresh breach fires anew.
+        let fired = eng.ingest_client(0, &sample(8, 15, 100));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].alarm.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn duration_rule_needs_enough_breaching_samples() {
+        let mut eng = SloEngine::new(vec![retry_rule(3, 5)]);
+        assert!(eng.ingest_client(7, &sample(0, 15, 100)).is_empty());
+        assert!(eng.ingest_client(7, &sample(1, 15, 100)).is_empty());
+        let fired = eng.ingest_client(7, &sample(2, 15, 100));
+        assert_eq!(fired.len(), 1, "third breaching sample meets duration=3");
+        assert_eq!(fired[0].alarm.count, 3);
+        assert_eq!(fired[0].scope, Scope::Client(7));
+    }
+
+    #[test]
+    fn scopes_are_independent() {
+        let mut eng = SloEngine::new(vec![retry_rule(2, 4)]);
+        assert!(eng.ingest_client(0, &sample(0, 15, 100)).is_empty());
+        // Client 1's first breach doesn't inherit client 0's window.
+        assert!(eng.ingest_client(1, &sample(0, 15, 100)).is_empty());
+        assert_eq!(eng.ingest_client(0, &sample(1, 15, 100)).len(), 1);
+        assert_eq!(eng.ingest_client(1, &sample(1, 15, 100)).len(), 1);
+    }
+
+    #[test]
+    fn severity_names_round_trip() {
+        for s in [Severity::Warning, Severity::Critical, Severity::Failure] {
+            assert_eq!(severity_from_name(severity_name(s)), Some(s));
+        }
+        assert_eq!(severity_from_name("info"), None);
+    }
+}

@@ -21,7 +21,10 @@
 //! * [`monitor`] — the §6 monitoring case study;
 //! * [`check`] — farmem-check: race detection, bounded interleaving
 //!   exploration, and linearizability checking for every protocol above
-//!   (DESIGN.md §9).
+//!   (DESIGN.md §9);
+//! * [`metrics`] — live observability: virtual-time sampling rings over
+//!   every client and memory node, SLO alarms with a flight recorder,
+//!   and Prometheus-style exposition (DESIGN.md §11).
 //!
 //! ## Quickstart
 //!
@@ -60,6 +63,7 @@ pub use farmem_baselines as baselines;
 pub use farmem_check as check;
 pub use farmem_core as core;
 pub use farmem_fabric as fabric;
+pub use farmem_metrics as metrics;
 pub use farmem_monitor as monitor;
 pub use farmem_reclaim as reclaim;
 pub use farmem_rpc as rpc;
@@ -82,6 +86,9 @@ pub mod prelude {
         FabricClient, FabricConfig, FarAddr, FarIov, FaultPlan, GroupView, IndirectionMode,
         IssueQueue, NodeId, PipeOp, PipeOut, ReplicaConfig, RetryPolicy, Striping, SubId,
         TraceConfig, TraceReport, Tracer, FAILOVER_LEASE_NS,
+    };
+    pub use farmem_metrics::{
+        FlightBundle, MetricsConfig, MetricsHub, Signal, SloEngine, SloRule,
     };
     pub use farmem_monitor::{AlarmSpec, HistogramMonitor, NaiveMonitor, Severity};
     pub use farmem_reclaim::{

@@ -1,0 +1,150 @@
+//! Twin-run property tests for farmem-metrics (ISSUE 7 satellite):
+//! installing a [`MetricsHub`] must be *invisible* to the workload.
+//!
+//! Each case drives an arbitrary mixed-verb program on two fabrics built
+//! from the same configuration — one with a sampling hub (and SLO rules
+//! that actually fire), one without — and asserts the runs are
+//! byte-identical: same far-memory contents, same verb outputs, same
+//! virtual clock, same `AccessStats` in every field. On top of that the
+//! observed run must reconcile its sampled series exactly against the
+//! final counters.
+
+use farmem::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One verb against a small set of word-aligned slots (same shape as the
+/// pipelining equivalence property in `proptests.rs`), plus near-access
+/// charges so the bookkeeping tick path is exercised too.
+#[derive(Debug, Clone)]
+enum Op {
+    WriteWord(usize, u64),
+    ReadWord(usize),
+    Cas(usize, u64, u64),
+    Faa(usize, u64),
+    WriteBytes(usize, Vec<u8>),
+    ReadBytes(usize, u64),
+    Near(u64),
+}
+
+const SLOTS: usize = 8;
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            ((0..SLOTS), any::<u64>()).prop_map(|(s, v)| Op::WriteWord(s, v)),
+            (0..SLOTS).prop_map(Op::ReadWord),
+            ((0..SLOTS), (0u64..4), (1u64..1000)).prop_map(|(s, e, n)| Op::Cas(s, e, n)),
+            ((0..SLOTS), (1u64..100)).prop_map(|(s, d)| Op::Faa(s, d)),
+            ((0..SLOTS), prop::collection::vec(any::<u8>(), 8..33))
+                .prop_map(|(s, b)| Op::WriteBytes(s, b)),
+            ((0..SLOTS), (8u64..33)).prop_map(|(s, l)| Op::ReadBytes(s, l)),
+            (1u64..5).prop_map(Op::Near),
+        ],
+        1..60,
+    )
+}
+
+fn slot_addr(i: usize) -> FarAddr {
+    FarAddr(4096 * (1 + (i as u64 % 2)) + (i as u64 / 2) * 64)
+}
+
+fn build(seed: u64) -> Arc<Fabric> {
+    FabricConfig {
+        nodes: 2,
+        node_capacity: 1 << 20,
+        striping: Striping::Striped { stripe: 4096 },
+        cost: CostModel::DEFAULT,
+        faults: FaultPlan::transient(20_000).with_seed(seed),
+        ..FabricConfig::default()
+    }
+    .build()
+}
+
+/// Aggressive rules so sampling, the SLO engine and the flight recorder
+/// all do real work during the observed run.
+fn firing_rules() -> Vec<SloRule> {
+    vec![
+        SloRule {
+            name: "rt-rate",
+            signal: Signal::RoundTripsPerMs,
+            spec: AlarmSpec { warning: 1, critical: 50, failure: 100_000, duration: 1 },
+            window: 4,
+        },
+        SloRule {
+            name: "node-busy",
+            signal: Signal::NodeBusyPermille,
+            spec: AlarmSpec { warning: 1, critical: 500, failure: 2000, duration: 1 },
+            window: 4,
+        },
+    ]
+}
+
+/// Runs the program, returning (verb outputs, final memory, stats, clock).
+fn run(
+    fabric: &Arc<Fabric>,
+    program: &[Op],
+    hub: Option<&Arc<MetricsHub>>,
+) -> (Vec<Vec<u8>>, Vec<Vec<u8>>, AccessStats, u64) {
+    let mut c = fabric.client();
+    if let Some(hub) = hub {
+        hub.attach(&mut c);
+    }
+    let mut out = Vec::new();
+    for op in program {
+        match op {
+            Op::WriteWord(s, v) => c.write_u64(slot_addr(*s), *v).unwrap(),
+            Op::ReadWord(s) => out.push(c.read_u64(slot_addr(*s)).unwrap().to_le_bytes().to_vec()),
+            Op::Cas(s, e, n) => {
+                out.push(c.cas(slot_addr(*s), *e, *n).unwrap().to_le_bytes().to_vec())
+            }
+            Op::Faa(s, d) => out.push(c.faa(slot_addr(*s), *d).unwrap().to_le_bytes().to_vec()),
+            Op::WriteBytes(s, b) => c.write(slot_addr(*s), b).unwrap(),
+            Op::ReadBytes(s, l) => out.push(c.read(slot_addr(*s), *l).unwrap()),
+            Op::Near(n) => c.near_accesses(*n),
+        }
+    }
+    let mem: Vec<Vec<u8>> = (0..SLOTS).map(|s| c.read(slot_addr(s), 64).unwrap()).collect();
+    // The trailing reads are part of both runs, so stats stay comparable.
+    (out, mem, c.stats(), c.now_ns())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn metrics_on_and_off_are_byte_identical(program in ops(), seed in 0u64..1000) {
+        let bare = run(&build(seed), &program, None);
+
+        let fabric = build(seed);
+        let hub = MetricsHub::new(
+            fabric.clone(),
+            MetricsConfig { interval_ns: 10_000, ring_capacity: 16, flight_trace_events: 8 },
+            firing_rules(),
+        );
+        let observed = run(&fabric, &program, Some(&hub));
+
+        prop_assert_eq!(&observed.0, &bare.0, "verb outputs must match");
+        prop_assert_eq!(&observed.1, &bare.1, "far memory must be byte-identical");
+        prop_assert_eq!(observed.2, bare.2, "AccessStats must match in every field");
+        prop_assert_eq!(observed.3, bare.3, "virtual clocks must match");
+
+        // The observed run's series reconciles exactly, even with the
+        // tiny ring forcing evictions.
+        if let Err(e) = hub.reconcile(0, &observed.2) {
+            return Err(TestCaseError::fail(format!("series does not reconcile: {e}")));
+        }
+        // With a warning threshold of 1 RT/ms, any *sampled* interval
+        // containing a round trip fires an alarm and dumps a bundle —
+        // proving the whole observability path ran while staying
+        // invisible. (A short program may finish before the first
+        // boundary; then nothing was sampled and nothing may fire.)
+        let (evicted, _) = hub.evicted(0);
+        let sampled_rts = evicted.round_trips
+            + hub.samples(0).iter().map(|s| s.delta.round_trips).sum::<u64>();
+        if sampled_rts > 0 {
+            prop_assert!(!hub.alarms().is_empty(), "rt-rate warning must fire");
+            prop_assert_eq!(hub.bundles().len(), hub.alarms().len());
+        }
+    }
+}

@@ -1,5 +1,12 @@
-//! Workspace automation. `cargo run -p xtask -- lint` enforces three
-//! repo-level disciplines that rustc cannot:
+//! Workspace automation.
+//!
+//! `cargo run -p xtask -- perf-gate [--smoke] [--record]` runs the
+//! gated experiment drivers fresh and diffs their deterministic
+//! virtual-time tables against the committed baseline — see
+//! [`perf_gate`] for the band semantics.
+//!
+//! `cargo run -p xtask -- lint` enforces four repo-level disciplines
+//! that rustc cannot:
 //!
 //! 1. **forbid-unsafe** — every crate root carries
 //!    `#![forbid(unsafe_code)]`. The whole reproduction is safe Rust;
@@ -14,23 +21,36 @@
 //!    explicit `// lint: retire-ok: <why>` justification within 10 lines.
 //!    Retiring far memory without an epoch discipline in sight is how
 //!    use-after-free reaches a one-sided fabric.
+//! 4. **stats-mut** — no code outside `crates/fabric` assigns directly
+//!    to an `AccessStats` counter field (`.retries += 1`, `.failovers =
+//!    2`, ...). The counters are the ground truth every tracer, sampler
+//!    and reconciliation proof in the repo audits against; only the
+//!    fabric's verb implementations may move them. The field list comes
+//!    from `AccessStats::FIELD_NAMES` itself, so the lint tracks the
+//!    struct. Same-named fields of *other* structs (e.g. `ReclaimStats`)
+//!    annotate `lint: stats-ok: <why>`.
 //!
 //! Test modules (`#[cfg(test)]` onward), `tests/` and `benches/` trees,
-//! and comment lines are exempt from lints 2 and 3: they exercise or
+//! and comment lines are exempt from lints 2–4: they exercise or
 //! document layouts rather than define protocols.
 
 #![forbid(unsafe_code)]
+
+mod perf_gate;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use farmem_fabric::AccessStats;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("perf-gate") => perf_gate::perf_gate(&args[1..], &workspace_root()),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- <lint | perf-gate>");
             ExitCode::from(2)
         }
     }
@@ -42,8 +62,9 @@ fn lint() -> ExitCode {
     lint_forbid_unsafe(&root, &mut errors);
     lint_far_addr(&root, &mut errors);
     lint_retire_guard(&root, &mut errors);
+    lint_stats_mut(&root, &mut errors);
     if errors.is_empty() {
-        println!("xtask lint: ok (forbid-unsafe, far-addr, retire-guard)");
+        println!("xtask lint: ok (forbid-unsafe, far-addr, retire-guard, stats-mut)");
         ExitCode::SUCCESS
     } else {
         for e in &errors {
@@ -252,6 +273,63 @@ fn lint_retire_guard(root: &Path, errors: &mut Vec<String>) {
     }
 }
 
+/// True when the text immediately after a field reference is an
+/// assignment (`= v`, `+= v`, ...), as opposed to a comparison
+/// (`==`), a match arm (`=>`), a method call or a plain read.
+fn is_assignment(rest: &str) -> bool {
+    let rest = rest.trim_start();
+    for op in ["+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "<<=", ">>="] {
+        if rest.starts_with(op) {
+            return true;
+        }
+    }
+    rest.starts_with('=') && !rest.starts_with("==") && !rest.starts_with("=>")
+}
+
+fn lint_stats_mut(root: &Path, errors: &mut Vec<String>) {
+    for path in lint_sources(root, &["crates/fabric"]) {
+        let text = fs::read_to_string(&path).unwrap_or_default();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut filter = LineFilter::new();
+        for (i, line) in lines.iter().enumerate() {
+            // The justification marker may sit on the line itself or the
+            // comment line directly above it.
+            let marked = line.contains("lint: stats-ok")
+                || (i > 0 && lines[i - 1].contains("lint: stats-ok"));
+            if filter.skip(line) || marked {
+                continue;
+            }
+            for field in AccessStats::FIELD_NAMES {
+                let needle = format!(".{field}");
+                let mut from = 0usize;
+                while let Some(pos) = line[from..].find(&needle) {
+                    let end = from + pos + needle.len();
+                    from = end;
+                    // Reject partial identifier matches (`.retries_total`).
+                    if line[end..]
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    {
+                        continue;
+                    }
+                    if is_assignment(&line[end..]) {
+                        errors.push(format!(
+                            "{}:{}: direct mutation of AccessStats field `{}` outside \
+                             crates/fabric; counters move only through fabric verbs — \
+                             annotate `lint: stats-ok: <why>` if this is a different \
+                             struct's field",
+                            rel(root, &path),
+                            i + 1,
+                            field
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +346,16 @@ mod tests {
         let line = "c.read(FarAddr(p + 16), 8)";
         let at = line.find("FarAddr").unwrap() + "FarAddr".len();
         assert_eq!(far_addr_arg(line, at), "p + 16");
+    }
+
+    #[test]
+    fn assignment_detection_separates_writes_from_reads() {
+        assert!(is_assignment(" = 3;"));
+        assert!(is_assignment(" += len;"));
+        assert!(is_assignment("<<= 1;"));
+        assert!(!is_assignment(" == other.retries"));
+        assert!(!is_assignment(" => {}"));
+        assert!(!is_assignment(".to_string()"));
+        assert!(!is_assignment(" > 0"));
     }
 }

@@ -1,0 +1,537 @@
+//! `cargo run -p xtask -- perf-gate [--smoke] [--record] [--baseline <p>]
+//! [--tolerance <f>]` — the performance-regression gate.
+//!
+//! Every experiment driver runs in *virtual* time, so its numbers are
+//! deterministic: a drifted cell is a real behavioural change, not
+//! noise. The gate exploits that. It builds the gated drivers, runs each
+//! with `--json` in a scratch directory (the committed `results/` tree
+//! is never touched), and diffs every table cell against the committed
+//! baseline `results/perf_baseline.json`:
+//!
+//! * numeric cells (plain numbers, `×`-ratios) must stay within the
+//!   relative tolerance band (default ±10%) — tight enough to catch a
+//!   protocol regression that adds round trips, loose enough to let
+//!   intentional small reshapes through without re-recording;
+//! * non-numeric cells (verdict columns like `yes`/`no`, `∞`) must match
+//!   exactly — a flipped verdict fails the gate no matter how small the
+//!   underlying drift.
+//!
+//! The verdict is written machine-readably to `results/perf_gate.json`
+//! (gitignored) and the process exits non-zero on any failure, so CI can
+//! gate merges on it. `--record` re-runs the drivers and rewrites the
+//! baseline instead of diffing — the intended flow after a deliberate
+//! performance change, with the diff reviewed like any other result.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+use farmem_bench::Json;
+
+/// Drivers under the gate: the perf-sensitive subset whose tables are
+/// stable cell-for-cell under a fixed seed. Exploratory drivers with
+/// huge tables (regime sweeps, ablations) stay out to keep the baseline
+/// reviewable.
+const DRIVERS: [&str; 8] = [
+    "e1_primitives",
+    "e4_httree",
+    "e5_queue",
+    "e13_trace",
+    "e14_pipeline",
+    "e15_reclaim",
+    "e17_replica",
+    "e18_metrics",
+];
+
+const DEFAULT_TOLERANCE: f64 = 0.10;
+
+struct GateArgs {
+    smoke: bool,
+    record: bool,
+    baseline: Option<PathBuf>,
+    tolerance: f64,
+}
+
+fn parse_args(args: &[String]) -> Result<GateArgs, String> {
+    let mut out = GateArgs {
+        smoke: false,
+        record: false,
+        baseline: None,
+        tolerance: DEFAULT_TOLERANCE,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => out.smoke = true,
+            "--record" => out.record = true,
+            "--baseline" => {
+                let p = it.next().ok_or("--baseline requires a path")?;
+                out.baseline = Some(PathBuf::from(p));
+            }
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance requires a value")?;
+                out.tolerance =
+                    v.parse().map_err(|_| format!("--tolerance: not a number: {v:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// One failed cell comparison.
+struct Failure {
+    experiment: String,
+    table: String,
+    row: usize,
+    col: String,
+    base: String,
+    fresh: String,
+    rel: Option<f64>,
+}
+
+pub fn perf_gate(args: &[String], root: &Path) -> ExitCode {
+    let args = match parse_args(args) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: cargo run -p xtask -- perf-gate [--smoke] [--record] \
+                 [--baseline <path>] [--tolerance <f>]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    println!("perf-gate: building drivers (release)...");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let status = Command::new(&cargo)
+        .args(["build", "--release", "-p", "farmem-bench", "--bins"])
+        .current_dir(root)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("perf-gate: driver build failed ({s})");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("perf-gate: cannot spawn cargo: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Fresh runs, each in its own scratch cwd so `Report::save` writes
+    // there and the committed results/ tree stays pristine.
+    let mode = if args.smoke { "smoke" } else { "full" };
+    let mut fresh_docs: Vec<(String, String)> = Vec::new();
+    for driver in DRIVERS {
+        let scratch = root.join("target/perf-gate").join(driver);
+        let produced = scratch.join("results").join(format!("{driver}.json"));
+        let _ = fs::remove_file(&produced);
+        if let Err(e) = fs::create_dir_all(&scratch) {
+            eprintln!("perf-gate: mkdir {}: {e}", scratch.display());
+            return ExitCode::FAILURE;
+        }
+        let bin = root.join("target/release").join(driver);
+        let mut cmd = Command::new(&bin);
+        if args.smoke {
+            cmd.arg("--smoke");
+        }
+        // --json keeps stdout machine-readable; the document on disk is
+        // what the gate actually diffs.
+        cmd.arg("--json").current_dir(&scratch);
+        println!("perf-gate: running {driver} ({mode})...");
+        match cmd.output() {
+            // A driver's internal assertions are part of the gate: a
+            // correctness panic fails it exactly like a perf drift.
+            Ok(out) if out.status.success() => {}
+            Ok(out) => {
+                eprintln!("perf-gate: {driver} exited with {}", out.status);
+                eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("perf-gate: cannot run {}: {e}", bin.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        match fs::read_to_string(&produced) {
+            Ok(doc) => fresh_docs.push((driver.to_string(), doc)),
+            Err(e) => {
+                eprintln!("perf-gate: {driver} produced no {}: {e}", produced.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("results/perf_baseline.json"));
+
+    if args.record {
+        let doc = baseline_doc(mode, args.tolerance, &fresh_docs);
+        if let Err(e) = fs::write(&baseline_path, doc) {
+            eprintln!("perf-gate: write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "perf-gate: recorded baseline for {} drivers ({mode}) to {}",
+            fresh_docs.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let base_raw = match fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "perf-gate: no baseline at {} ({e}); record one with \
+                 `cargo run -p xtask -- perf-gate {}--record`",
+                baseline_path.display(),
+                if args.smoke { "--smoke " } else { "" },
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let base = match Json::parse(&base_raw) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "perf-gate: baseline {} is not valid JSON: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if base.get("mode").and_then(|m| m.as_str()) != Some(mode) {
+        eprintln!(
+            "perf-gate: baseline was recorded in `{}` mode, this run is `{mode}`",
+            base.get("mode").and_then(|m| m.as_str()).unwrap_or("?"),
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut checked = 0usize;
+    let mut failures: Vec<Failure> = Vec::new();
+    for (driver, raw) in &fresh_docs {
+        let fresh = match Json::parse(raw) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("perf-gate: {driver} output is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match find_experiment(&base, driver) {
+            Some(b) => {
+                compare_experiment(driver, b, &fresh, args.tolerance, &mut checked, &mut failures)
+            }
+            None => failures.push(Failure {
+                experiment: driver.clone(),
+                table: String::new(),
+                row: 0,
+                col: String::new(),
+                base: "<absent>".into(),
+                fresh: "<present>".into(),
+                rel: None,
+            }),
+        }
+    }
+
+    let verdict_path = root.join("results/perf_gate.json");
+    let verdict = verdict_doc(mode, args.tolerance, checked, &failures);
+    if let Err(e) = fs::write(&verdict_path, verdict) {
+        eprintln!("perf-gate: write {}: {e}", verdict_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    if failures.is_empty() {
+        println!(
+            "perf-gate: pass — {checked} cells within ±{:.0}% of baseline \
+             (verdict in {})",
+            args.tolerance * 100.0,
+            verdict_path.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            let rel = f
+                .rel
+                .map(|r| format!(" (rel diff {:.1}%)", r * 100.0))
+                .unwrap_or_default();
+            eprintln!(
+                "perf-gate FAIL: {} / {:?} row {} col {:?}: baseline {:?} vs fresh {:?}{rel}",
+                f.experiment, f.table, f.row, f.col, f.base, f.fresh
+            );
+        }
+        eprintln!(
+            "perf-gate: {} of {checked} cells out of band; if the change is \
+             intentional, re-record with `cargo run -p xtask -- perf-gate {}--record` \
+             and commit the baseline diff",
+            failures.len(),
+            if mode == "smoke" { "--smoke " } else { "" },
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The experiment report named `driver` inside the baseline document.
+fn find_experiment<'a>(base: &'a Json, driver: &str) -> Option<&'a Json> {
+    base.get("experiments")?
+        .as_arr()?
+        .iter()
+        .find(|e| e.get("experiment").and_then(|n| n.as_str()) == Some(driver))
+}
+
+fn compare_experiment(
+    driver: &str,
+    base: &Json,
+    fresh: &Json,
+    tolerance: f64,
+    checked: &mut usize,
+    failures: &mut Vec<Failure>,
+) {
+    let b_tables = base.get("tables").and_then(|t| t.as_arr()).unwrap_or(&[]);
+    let f_tables = fresh.get("tables").and_then(|t| t.as_arr()).unwrap_or(&[]);
+    if b_tables.len() != f_tables.len() {
+        failures.push(Failure {
+            experiment: driver.into(),
+            table: "<table count>".into(),
+            row: 0,
+            col: String::new(),
+            base: b_tables.len().to_string(),
+            fresh: f_tables.len().to_string(),
+            rel: None,
+        });
+        return;
+    }
+    for (bt, ft) in b_tables.iter().zip(f_tables) {
+        let title = bt.get("title").and_then(|t| t.as_str()).unwrap_or("?").to_string();
+        let headers: Vec<String> = bt
+            .get("headers")
+            .and_then(|h| h.as_arr())
+            .map(|hs| {
+                hs.iter()
+                    .map(|h| h.as_str().unwrap_or("?").to_string())
+                    .collect()
+            })
+            .unwrap_or_default();
+        if ft.get("title").and_then(|t| t.as_str()) != Some(title.as_str()) {
+            failures.push(Failure {
+                experiment: driver.into(),
+                table: title.clone(),
+                row: 0,
+                col: "<title>".into(),
+                base: title.clone(),
+                fresh: ft.get("title").and_then(|t| t.as_str()).unwrap_or("?").into(),
+                rel: None,
+            });
+            continue;
+        }
+        let b_rows = bt.get("rows").and_then(|r| r.as_arr()).unwrap_or(&[]);
+        let f_rows = ft.get("rows").and_then(|r| r.as_arr()).unwrap_or(&[]);
+        if b_rows.len() != f_rows.len() {
+            failures.push(Failure {
+                experiment: driver.into(),
+                table: title.clone(),
+                row: 0,
+                col: "<row count>".into(),
+                base: b_rows.len().to_string(),
+                fresh: f_rows.len().to_string(),
+                rel: None,
+            });
+            continue;
+        }
+        for (r, (br, fr)) in b_rows.iter().zip(f_rows).enumerate() {
+            let b_cells = br.as_arr().unwrap_or(&[]);
+            let f_cells = fr.as_arr().unwrap_or(&[]);
+            for (c, (bc, fc)) in b_cells.iter().zip(f_cells).enumerate() {
+                let bv = bc.as_str().unwrap_or("?");
+                let fv = fc.as_str().unwrap_or("?");
+                *checked += 1;
+                let col = headers.get(c).cloned().unwrap_or_else(|| c.to_string());
+                match (cell_num(bv), cell_num(fv)) {
+                    (Some(b), Some(f)) => {
+                        let rel = (f - b).abs() / b.abs().max(1.0);
+                        if rel > tolerance {
+                            failures.push(Failure {
+                                experiment: driver.into(),
+                                table: title.clone(),
+                                row: r,
+                                col,
+                                base: bv.into(),
+                                fresh: fv.into(),
+                                rel: Some(rel),
+                            });
+                        }
+                    }
+                    _ => {
+                        if bv != fv {
+                            failures.push(Failure {
+                                experiment: driver.into(),
+                                table: title.clone(),
+                                row: r,
+                                col,
+                                base: bv.into(),
+                                fresh: fv.into(),
+                                rel: None,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Numeric view of a table cell: plain numbers and `×`-ratios compare
+/// within tolerance; everything else (verdicts, `∞`, `24/24`) compares
+/// exactly as a string.
+fn cell_num(s: &str) -> Option<f64> {
+    let t = s.trim().trim_start_matches('×');
+    if t.is_empty() || t == "∞" {
+        return None;
+    }
+    t.parse().ok()
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn baseline_doc(mode: &str, tolerance: f64, docs: &[(String, String)]) -> String {
+    let mut out = String::from("{\n\"schema_version\": 1,\n");
+    out.push_str(&format!("\"mode\": {},\n", json_str(mode)));
+    out.push_str(&format!("\"tolerance\": {tolerance},\n"));
+    out.push_str("\"experiments\": [\n");
+    for (i, (_, doc)) in docs.iter().enumerate() {
+        out.push_str(doc.trim_end());
+        if i + 1 < docs.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn verdict_doc(mode: &str, tolerance: f64, checked: usize, failures: &[Failure]) -> String {
+    let mut out = String::from("{\n\"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "\"verdict\": {},\n",
+        json_str(if failures.is_empty() { "pass" } else { "fail" })
+    ));
+    out.push_str(&format!("\"mode\": {},\n", json_str(mode)));
+    out.push_str(&format!("\"tolerance\": {tolerance},\n"));
+    out.push_str(&format!("\"cells_checked\": {checked},\n"));
+    out.push_str("\"failures\": [\n");
+    for (i, f) in failures.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"experiment\": {}, \"table\": {}, \"row\": {}, \"col\": {}, \
+             \"baseline\": {}, \"fresh\": {}{}}}",
+            json_str(&f.experiment),
+            json_str(&f.table),
+            f.row,
+            json_str(&f.col),
+            json_str(&f.base),
+            json_str(&f.fresh),
+            f.rel
+                .map(|r| format!(", \"rel_diff\": {r:.4}"))
+                .unwrap_or_default(),
+        ));
+        if i + 1 < failures.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_num_classifies_table_cells() {
+        assert_eq!(cell_num("2013"), Some(2013.0));
+        assert_eq!(cell_num("×1.25"), Some(1.25));
+        assert_eq!(cell_num(" 100000.0 "), Some(100000.0));
+        assert_eq!(cell_num("∞"), None);
+        assert_eq!(cell_num("yes"), None);
+        assert_eq!(cell_num("24/24"), None);
+    }
+
+    fn report(name: &str, cell: &str, verdict: &str) -> String {
+        format!(
+            "{{\"schema_version\": 1, \"experiment\": \"{name}\", \"tables\": [\
+             {{\"schema_version\": 1, \"title\": \"t\", \"headers\": [\"v\", \"ok\"], \
+             \"rows\": [[\"{cell}\", \"{verdict}\"]]}}]}}"
+        )
+    }
+
+    fn gate(base_cell: &str, base_ok: &str, fresh_cell: &str, fresh_ok: &str) -> Vec<String> {
+        let base_doc = baseline_doc(
+            "smoke",
+            0.10,
+            &[("e0".to_string(), report("e0", base_cell, base_ok))],
+        );
+        let base = Json::parse(&base_doc).unwrap();
+        let fresh = Json::parse(&report("e0", fresh_cell, fresh_ok)).unwrap();
+        let mut checked = 0;
+        let mut failures = Vec::new();
+        let b = find_experiment(&base, "e0").unwrap();
+        compare_experiment("e0", b, &fresh, 0.10, &mut checked, &mut failures);
+        assert_eq!(checked, 2);
+        failures.iter().map(|f| f.col.clone()).collect()
+    }
+
+    #[test]
+    fn numeric_drift_within_band_passes() {
+        assert!(gate("1000", "yes", "1050", "yes").is_empty());
+    }
+
+    #[test]
+    fn numeric_drift_beyond_band_fails() {
+        assert_eq!(gate("1000", "yes", "1200", "yes"), vec!["v"]);
+    }
+
+    #[test]
+    fn verdict_flip_fails_regardless_of_magnitude() {
+        assert_eq!(gate("1000", "yes", "1000", "no"), vec!["ok"]);
+    }
+
+    #[test]
+    fn verdict_doc_is_parseable_and_carries_failures() {
+        let failures = vec![Failure {
+            experiment: "e0".into(),
+            table: "t".into(),
+            row: 3,
+            col: "ns/op".into(),
+            base: "100".into(),
+            fresh: "200".into(),
+            rel: Some(1.0),
+        }];
+        let doc = verdict_doc("smoke", 0.1, 10, &failures);
+        let j = Json::parse(&doc).unwrap();
+        assert_eq!(j.get("verdict").unwrap().as_str(), Some("fail"));
+        assert_eq!(j.get("cells_checked").unwrap().as_u64(), Some(10));
+        let f = &j.get("failures").unwrap().as_arr().unwrap()[0];
+        assert_eq!(f.get("col").unwrap().as_str(), Some("ns/op"));
+        assert_eq!(f.get("rel_diff").unwrap().as_f64(), Some(1.0));
+    }
+}
