@@ -633,6 +633,75 @@ impl HtTreeHandle {
         Ok(out)
     }
 
+    /// Async twin of [`get_many`](Self::get_many): the bucket-head
+    /// prefetch posts through one [`AsyncBatch`] doorbell and *suspends*,
+    /// so an executor can interleave thousands of concurrent lookups on
+    /// one OS thread. Accounting is byte-identical to the synchronous
+    /// path: the epoch pin, directory sync, and cached-tree traversal run
+    /// inline (control-plane, no steady-state far traffic), and chain
+    /// hops / stale-cache retries take the same serial fallbacks.
+    ///
+    /// The epoch [`Guard`] is pinned *before* the doorbell and held
+    /// across the suspension: the reactor's refresh-on-wake leaves
+    /// pinned tasks alone (safety), and because the pin happened at post
+    /// time, a restructure sealing while this task is parked cannot
+    /// retire the tables its descriptors name. The guard's epoch was
+    /// validated against the cached directory at pin time, so no re-check
+    /// is needed on wake — staleness surfaces, as in the sync path, as a
+    /// version mismatch handled by refresh-and-retry.
+    ///
+    /// [`AsyncBatch`]: farmem_runtime::AsyncBatch
+    pub async fn get_many_async(
+        &mut self,
+        ac: &farmem_runtime::AsyncClient,
+        keys: &[u64],
+    ) -> Result<Vec<Option<u64>>> {
+        let _span = ac.span("httree.get_many");
+        // lint: block-ok — epoch pin is control-plane (local check; rare
+        // resync on epoch advance), identical to the sync path.
+        let _guard = ac.with(|client| self.pin_epoch(client))?;
+        self.stats.gets += keys.len() as u64;
+        // lint: block-ok — local event drain; refresh only on notification.
+        ac.with(|client| self.sync_directory(client))?;
+        let entries: Vec<Entry> =
+            ac.with(|client| keys.iter().map(|&k| self.entry_for(client, k)).collect());
+        let mut b = ac.batch();
+        for (i, &key) in keys.iter().enumerate() {
+            b.load0(Self::bucket_addr(&entries[i], key), ITEM_LEN);
+        }
+        let mut cq = b.commit().await;
+        let mut out = Vec::with_capacity(keys.len());
+        for (i, &key) in keys.iter().enumerate() {
+            // lint: block-ok — per-key completion (chain hops, stale
+            // refresh, serial retry) is the rare path, kept byte-identical
+            // to `get_many` by running the same synchronous code.
+            let prefetched = ac.with(|client| -> Result<Option<Option<u64>>> {
+                Ok(match cq.take(i) {
+                    Some(Ok(res)) => {
+                        let first = Item::decode(&res.into_bytes());
+                        match self.walk_chain(client, &entries[i], key, first)? {
+                            Walk::Done(v) => Some(v),
+                            Walk::Stale => {
+                                self.stats.stale_refreshes += 1;
+                                self.refresh_directory(client)?;
+                                None
+                            }
+                        }
+                    }
+                    Some(Err(farmem_fabric::FabricError::NullDeref { .. })) => Some(None),
+                    _ => None,
+                })
+            })?;
+            match prefetched {
+                Some(v) => out.push(v),
+                // lint: block-ok — serial fallback after a stale or missed
+                // prefetch, identical to the sync path.
+                None => out.push(ac.with(|client| self.get_inner(client, key))?),
+            }
+        }
+        Ok(out)
+    }
+
     /// Inserts or updates `key → value`. **Two far accesses** when the
     /// cache is fresh: a gather (bucket pointer + table version) and a
     /// fenced batch (item publish + bucket CAS).

@@ -586,6 +586,137 @@ impl QueueHandle {
         Ok(values)
     }
 
+    /// Async twin of [`dequeue_batch`](Self::dequeue_batch): the guarded
+    /// `faai_swap` claims post through one [`AsyncBatch`] doorbell and
+    /// *suspend*, so an executor can interleave thousands of consumers on
+    /// one OS thread. Exactly-once delivery and the far accesses booked
+    /// are byte-identical to the synchronous path; contended retries
+    /// [`yield_now`] (no fabric access, no clock movement) instead of
+    /// busy-looping, letting earlier-clocked peers fire first.
+    ///
+    /// [`AsyncBatch`]: farmem_runtime::AsyncBatch
+    /// [`yield_now`]: farmem_runtime::AsyncClient::yield_now
+    pub async fn dequeue_batch_async(
+        &mut self,
+        ac: &farmem_runtime::AsyncClient,
+        max: usize,
+    ) -> Result<Vec<u64>> {
+        let _span = ac.span("queue.dequeue_batch");
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        for _ in 0..64 {
+            match self.dequeue_batch_once_async(ac, max).await {
+                Err(CoreError::Contended) => ac.yield_now().await,
+                other => return other,
+            }
+        }
+        Err(CoreError::Contended)
+    }
+
+    async fn dequeue_batch_once_async(
+        &mut self,
+        ac: &farmem_runtime::AsyncClient,
+        max: usize,
+    ) -> Result<Vec<u64>> {
+        // lint: block-ok — local event drain (epoch notifications).
+        ac.with(|client| self.sync(client))?;
+        if self.head_est > self.tail_est {
+            // lint: block-ok — rare odd-epoch wait, identical to sync.
+            ac.with(|client| self.wait_epoch_even_and_refresh(client))?;
+            return Err(CoreError::Contended);
+        }
+        let needed = max as u64 * WORD + 2 * self.q.max_clients * WORD;
+        if self.tail_est < self.head_est + needed {
+            // The one steady-state serial far access: posted as its own
+            // doorbell, identical accounting to the blocking `read_u64`.
+            self.tail_est = ac.read_u64(self.q.hdr.offset(OFF_TAIL)).await?;
+            self.stats.est_refreshes += 1;
+        }
+        let avail = self.tail_est.saturating_sub(self.head_est) / WORD;
+        if avail == 0 {
+            self.stats.empty_hits += 1;
+            return Err(CoreError::QueueEmpty);
+        }
+        let k = avail.min(max as u64) as usize;
+        let mut b = ac.batch();
+        for _ in 0..k {
+            b.faai_swap_guarded(
+                self.q.hdr.offset(OFF_HEAD),
+                WORD,
+                EMPTY,
+                self.q.hdr.offset(OFF_EPOCH),
+                self.epoch_val,
+            );
+        }
+        let mut cq = b.commit().await;
+        let mut values = Vec::with_capacity(k);
+        let mut need_repair = false;
+        let mut guard_bounced = false;
+        let mut hard_err: Option<CoreError> = None;
+        for i in 0..k {
+            match cq.take(i) {
+                Some(Ok(out)) => {
+                    let (old_head, raw) = out.ptr_word();
+                    if old_head >= self.q.region_end() {
+                        hard_err =
+                            Some(CoreError::Corrupted("head pointer escaped the slack region"));
+                        break;
+                    }
+                    self.head_est = old_head + WORD;
+                    if raw == EMPTY {
+                        self.stats.empty_recoveries += 1;
+                        need_repair = true;
+                    } else {
+                        self.stats.deq_fast += 1;
+                        values.push(raw - 1);
+                        if old_head >= self.q.slack_base() {
+                            need_repair = true;
+                        }
+                    }
+                }
+                Some(Err(farmem_fabric::FabricError::GuardMismatch { .. })) => {
+                    guard_bounced = true;
+                    break;
+                }
+                Some(Err(e)) => {
+                    hard_err = Some(e.into());
+                    break;
+                }
+                None => break,
+            }
+        }
+        if need_repair {
+            // lint: block-ok — rare slack-region repair, identical to sync.
+            if let Err(e) = ac.with(|client| self.repair(client)) {
+                if values.is_empty() {
+                    return Err(e);
+                }
+            }
+        }
+        if guard_bounced {
+            // lint: block-ok — rare epoch bounce, identical to sync.
+            if let Err(e) = ac.with(|client| self.wait_epoch_even_and_refresh(client)) {
+                if values.is_empty() {
+                    return Err(e);
+                }
+            }
+            if values.is_empty() {
+                return Err(CoreError::Contended);
+            }
+        }
+        if let Some(e) = hard_err {
+            if values.is_empty() {
+                return Err(e);
+            }
+        }
+        if values.is_empty() {
+            self.stats.empty_hits += 1;
+            return Err(CoreError::QueueEmpty);
+        }
+        Ok(values)
+    }
+
     /// Enqueues, retrying on [`CoreError::QueueFull`] after waiting for a
     /// head-pointer change notification. `max_retries` bounds the wait.
     pub fn enqueue_wait(

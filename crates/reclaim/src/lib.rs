@@ -434,6 +434,49 @@ impl ReclaimHandle {
         Ok(self.observed)
     }
 
+    /// Wake-boundary epoch refresh for suspended tasks (the async
+    /// runtime's *refresh-on-wake* rule; DESIGN.md §12).
+    ///
+    /// A client that blocks between structure operations republishes its
+    /// epoch only at the next [`pin`] — fine when operations are frequent,
+    /// but a *parked* logical client under an executor may not pin again
+    /// for a long virtual time, and its stale published epoch would hold
+    /// every retire at a newer epoch out of reclamation. Calling this at
+    /// each wake boundary closes that gap:
+    ///
+    /// * **No guard held** (`depth == 0`): behaves exactly like the
+    ///   depth-0 entry of [`pin`] — drains the epoch notification and, if
+    ///   it fired (or a previous resync failed mid-way), re-reads the
+    ///   global epoch and CASes the slot forward. Returns `Ok(true)` iff
+    ///   the published epoch advanced; callers must then revalidate any
+    ///   cached far pointers before the next dereference (the same
+    ///   contract [`Guard::epoch`] documents).
+    /// * **Guard held** (`depth > 0`): does nothing and returns
+    ///   `Ok(false)`. Safety comes first — the pinned epoch must not
+    ///   advance while a guard-protected traversal may hold unvalidated
+    ///   far pointers. The slot stays bit-identical while parked, so the
+    ///   lease detector charges no progress against a *live* task within
+    ///   its lease; a task that never wakes again is indistinguishable
+    ///   from a crashed client and is evicted after `LEASE_NS`, which is
+    ///   safe by the re-registration protocol in [`publish`](ReclaimHandle).
+    pub fn refresh_on_wake(&mut self, client: &mut FabricClient) -> Result<bool> {
+        if self.depth > 0 {
+            return Ok(false);
+        }
+        let sub = self.epoch_sub;
+        let fired = !client
+            .take_events(|e| {
+                e.sub() == Some(sub) || matches!(e, farmem_fabric::Event::Lost { .. })
+            })
+            .is_empty();
+        if !(fired || self.force_resync) {
+            return Ok(false);
+        }
+        let before = self.observed;
+        self.resync(client)?;
+        Ok(self.observed != before)
+    }
+
     /// Re-reads the global epoch and publishes it in our slot (CAS, so an
     /// eviction is detected rather than clobbered).
     fn resync(&mut self, client: &mut FabricClient) -> Result<()> {
@@ -690,6 +733,52 @@ mod tests {
         let _g2 = pin(&s2, &mut c2).unwrap();
         let mut h1 = s1.lock().unwrap();
         assert_eq!(h1.reclaim(&mut c1).unwrap(), 256);
+    }
+
+    #[test]
+    fn refresh_on_wake_unblocks_grace_without_a_pin() {
+        let (f, a, reg) = setup();
+        let mut c1 = f.client();
+        let mut c2 = f.client();
+        let s1 = reg.attach(&mut c1, &a).unwrap();
+        let s2 = reg.attach(&mut c2, &a).unwrap();
+        // c2 is a parked logical client: no guard held, not pinning.
+        let block = a.alloc(256, AllocHint::Spread).unwrap();
+        {
+            let mut h1 = s1.lock().unwrap();
+            h1.retire(&mut c1, block, 256).unwrap();
+            h1.seal(&mut c1).unwrap();
+            assert_eq!(h1.reclaim(&mut c1).unwrap(), 0, "c2's stale slot blocks the free");
+        }
+        // A wake boundary republishes c2's epoch without any pin.
+        let advanced = s2.lock().unwrap().refresh_on_wake(&mut c2).unwrap();
+        assert!(advanced, "the seal's epoch notification fired while parked");
+        assert_eq!(s1.lock().unwrap().reclaim(&mut c1).unwrap(), 256);
+    }
+
+    #[test]
+    fn refresh_on_wake_is_inert_while_a_guard_is_held() {
+        let (f, a, reg) = setup();
+        let mut c1 = f.client();
+        let mut c2 = f.client();
+        let s1 = reg.attach(&mut c1, &a).unwrap();
+        let s2 = reg.attach(&mut c2, &a).unwrap();
+        // c2 pins *before* the retire and then suspends with the guard
+        // held across the park.
+        let g2 = pin(&s2, &mut c2).unwrap();
+        let block = a.alloc(256, AllocHint::Spread).unwrap();
+        {
+            let mut h1 = s1.lock().unwrap();
+            h1.retire(&mut c1, block, 256).unwrap();
+            h1.seal(&mut c1).unwrap();
+        }
+        // Wake boundaries inside the guard must not advance the epoch.
+        assert!(!s2.lock().unwrap().refresh_on_wake(&mut c2).unwrap());
+        assert_eq!(s1.lock().unwrap().reclaim(&mut c1).unwrap(), 0, "guard still pins");
+        drop(g2);
+        // The first wake boundary after the drop releases the pin.
+        assert!(s2.lock().unwrap().refresh_on_wake(&mut c2).unwrap());
+        assert_eq!(s1.lock().unwrap().reclaim(&mut c1).unwrap(), 256);
     }
 
     #[test]

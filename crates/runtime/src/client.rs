@@ -1,0 +1,403 @@
+//! [`AsyncClient`]: the leaf fabric verbs as futures that park at a
+//! doorbell instead of blocking an OS thread.
+//!
+//! Every async verb posts one descriptor (the same [`PipeOp`] vocabulary
+//! the pipeline takes), pushes the doorbell onto the owning executor's
+//! reactor queue, and suspends. The reactor later *fires* the doorbell —
+//! executing the descriptor through the identical synchronous verb
+//! implementation, so stats and clock movement are byte-identical to
+//! blocking code — stores the completion, and wakes the task exactly
+//! once. See [`crate::exec`] for the firing order.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use farmem_fabric::pipeline::{CompletionQueue, PipeOp, PipeOut};
+use farmem_fabric::trace::SpanGuard;
+use farmem_fabric::{AccessStats, FabricClient, FarAddr, FarIov, Result};
+use farmem_reclaim::{Guard, SharedReclaim};
+
+/// The reactor's pending-doorbell queue, ordered by (issue time, task id).
+pub(crate) type ReactorQueue = Rc<RefCell<BinaryHeap<Reverse<(u64, usize)>>>>;
+
+/// What a parked task is waiting on.
+pub(crate) enum Doorbell {
+    /// One descriptor, executed through the equivalent *serial* verb:
+    /// accounting is byte-identical to calling the blocking verb.
+    Serial(PipeOp),
+    /// A pipelined batch, executed through `pipeline()`/`commit()`:
+    /// accounting is byte-identical to the synchronous pipelined path.
+    Batch(Vec<PipeOp>),
+    /// Cooperative yield: completes with no fabric access at the task's
+    /// current virtual time, letting earlier-clocked peers run first.
+    Yield,
+}
+
+/// A fired doorbell's result, in the same shape it was posted.
+pub(crate) enum Completion {
+    /// Serial verb outcome.
+    Serial(Result<PipeOut>),
+    /// Drained completion queue of a batch doorbell.
+    Batch(CompletionQueue),
+    /// A yield completed.
+    Yield,
+}
+
+/// Task park state, owned by the cell shared between the task's
+/// [`AsyncClient`] and the executor's reactor.
+pub(crate) enum Park {
+    /// Running (or runnable): nothing posted.
+    Idle,
+    /// A doorbell is posted; the task suspends until the reactor fires it.
+    Posted(Doorbell),
+    /// The reactor fired the doorbell; the next poll returns this.
+    Complete(Completion),
+}
+
+/// Shared state of one logical client: the wrapped [`FabricClient`], the
+/// park state, and the wiring back to the executor's reactor.
+pub(crate) struct ClientCell {
+    pub(crate) client: FabricClient,
+    pub(crate) state: Park,
+    pub(crate) waker: Option<Waker>,
+    /// Reclamation handle for refresh-on-wake (see crate docs).
+    pub(crate) reclaim: Option<SharedReclaim>,
+    pub(crate) tid: usize,
+    pub(crate) reactor: ReactorQueue,
+    /// Doorbells the reactor fired for this task.
+    pub(crate) doorbells_fired: u64,
+    /// Verb-future polls (2 per doorbell when nothing spin-polls).
+    pub(crate) verb_polls: u64,
+    /// Polls that found the doorbell still pending after the first park —
+    /// spin-polling. Zero under this crate's executor.
+    pub(crate) wasted_polls: u64,
+}
+
+/// A logical far-memory client multiplexed by an [`Executor`]
+/// (`crate::exec::Executor`): the blocking [`FabricClient`] verbs as
+/// `async fn`s that suspend at the doorbell.
+///
+/// At most one doorbell may be in flight per client: each verb must be
+/// awaited to completion before the next is posted (the `async fn`
+/// signatures enforce this under normal control flow).
+///
+/// [`Executor`]: crate::exec::Executor
+#[derive(Clone)]
+pub struct AsyncClient {
+    pub(crate) cell: Rc<RefCell<ClientCell>>,
+}
+
+/// Future for one posted doorbell: `Pending` exactly once (parking), then
+/// `Ready` with the completion after the reactor fires and wakes.
+struct VerbFuture {
+    cell: Rc<RefCell<ClientCell>>,
+}
+
+impl Future for VerbFuture {
+    type Output = Completion;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Completion> {
+        let mut cell = self.cell.borrow_mut();
+        cell.verb_polls += 1;
+        match std::mem::replace(&mut cell.state, Park::Idle) {
+            Park::Complete(done) => Poll::Ready(done),
+            Park::Posted(bell) => {
+                if cell.waker.is_some() {
+                    // Re-polled while still parked: somebody is spinning.
+                    cell.wasted_polls += 1;
+                }
+                cell.state = Park::Posted(bell);
+                cell.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+            Park::Idle => panic!("verb future polled with no posted doorbell"),
+        }
+    }
+}
+
+impl AsyncClient {
+    /// Posts `bell` at the client's current virtual time and returns the
+    /// future that parks on it.
+    fn post(&self, bell: Doorbell) -> VerbFuture {
+        {
+            let mut cell = self.cell.borrow_mut();
+            assert!(
+                matches!(cell.state, Park::Idle),
+                "a doorbell is already in flight for this client"
+            );
+            let issue = cell.client.now_ns();
+            let tid = cell.tid;
+            cell.state = Park::Posted(bell);
+            cell.reactor.borrow_mut().push(Reverse((issue, tid)));
+        }
+        VerbFuture { cell: self.cell.clone() }
+    }
+
+    async fn serial(&self, op: PipeOp) -> Result<PipeOut> {
+        match self.post(Doorbell::Serial(op)).await {
+            Completion::Serial(out) => out,
+            _ => unreachable!("serial doorbell completed with a non-serial shape"),
+        }
+    }
+
+    /// Async [`FabricClient::read`]: `len` bytes at `addr`.
+    pub async fn read(&self, addr: FarAddr, len: u64) -> Result<Vec<u8>> {
+        self.serial(PipeOp::Read { addr, len }).await.map(PipeOut::into_bytes)
+    }
+
+    /// Async [`FabricClient::write`].
+    pub async fn write(&self, addr: FarAddr, data: Vec<u8>) -> Result<()> {
+        self.serial(PipeOp::Write { addr, data }).await.map(|_| ())
+    }
+
+    /// Async [`FabricClient::read_u64`].
+    pub async fn read_u64(&self, addr: FarAddr) -> Result<u64> {
+        self.serial(PipeOp::ReadU64 { addr }).await.map(|o| o.value())
+    }
+
+    /// Async [`FabricClient::write_u64`].
+    pub async fn write_u64(&self, addr: FarAddr, value: u64) -> Result<()> {
+        self.serial(PipeOp::WriteU64 { addr, value }).await.map(|_| ())
+    }
+
+    /// Async [`FabricClient::cas`]; completes with the previous value.
+    pub async fn cas(&self, addr: FarAddr, expected: u64, new: u64) -> Result<u64> {
+        self.serial(PipeOp::Cas { addr, expected, new }).await.map(|o| o.value())
+    }
+
+    /// Async [`FabricClient::faa`]; completes with the previous value.
+    pub async fn faa(&self, addr: FarAddr, delta: u64) -> Result<u64> {
+        self.serial(PipeOp::Faa { addr, delta }).await.map(|o| o.value())
+    }
+
+    /// Async [`FabricClient::rgather`].
+    pub async fn rgather(&self, iov: Vec<FarIov>) -> Result<Vec<u8>> {
+        self.serial(PipeOp::Gather { iov }).await.map(PipeOut::into_bytes)
+    }
+
+    /// Async [`FabricClient::wscatter`].
+    pub async fn wscatter(&self, iov: Vec<FarIov>, data: Vec<u8>) -> Result<()> {
+        self.serial(PipeOp::Scatter { iov, data }).await.map(|_| ())
+    }
+
+    /// Async [`FabricClient::load0`]: dereference the pointer at `ptr`
+    /// and read `len` bytes at the target.
+    pub async fn load0(&self, ptr: FarAddr, len: u64) -> Result<Vec<u8>> {
+        self.load2(ptr, 0, len).await
+    }
+
+    /// Async [`FabricClient::load2`]: read `len` bytes at `(*ptr) + index`.
+    pub async fn load2(&self, ptr: FarAddr, index: u64, len: u64) -> Result<Vec<u8>> {
+        self.serial(PipeOp::Load2 { ptr, index, len }).await.map(PipeOut::into_bytes)
+    }
+
+    /// Async [`FabricClient::store2`]: write `data` at `(*ptr) + index`.
+    pub async fn store2(&self, ptr: FarAddr, index: u64, data: Vec<u8>) -> Result<()> {
+        self.serial(PipeOp::Store2 { ptr, index, data }).await.map(|_| ())
+    }
+
+    /// Async [`FabricClient::faai_swap_guarded`]; completes with the old
+    /// `(pointer, target word)` pair.
+    pub async fn faai_swap_guarded(
+        &self,
+        ptr: FarAddr,
+        delta: u64,
+        replacement: u64,
+        guard: FarAddr,
+        expect: u64,
+    ) -> Result<(u64, u64)> {
+        self.serial(PipeOp::FaaiSwapGuarded { ptr, delta, replacement, guard, expect })
+            .await
+            .map(|o| o.ptr_word())
+    }
+
+    /// Starts a pipelined batch: descriptors accumulate locally and
+    /// [`AsyncBatch::commit`] rings one doorbell for all of them.
+    pub fn batch(&self) -> AsyncBatch<'_> {
+        AsyncBatch { ac: self, ops: Vec::new() }
+    }
+
+    /// Cooperatively yields: parks at the client's current virtual time
+    /// with no fabric access, letting tasks with earlier clocks fire
+    /// first. Useful in host-side retry loops.
+    pub async fn yield_now(&self) {
+        match self.post(Doorbell::Yield).await {
+            Completion::Yield => {}
+            _ => unreachable!("yield doorbell completed with a verb shape"),
+        }
+    }
+
+    /// Runs `f` against the wrapped [`FabricClient`] synchronously —
+    /// the escape hatch for near accesses, span management, event
+    /// drains, and control-plane calls that issue no steady-state far
+    /// traffic. Must not be held across an `await` (the borrow is
+    /// released when `f` returns).
+    pub fn with<R>(&self, f: impl FnOnce(&mut FabricClient) -> R) -> R {
+        f(&mut self.cell.borrow_mut().client)
+    }
+
+    /// Charges one near access (client-local memory).
+    pub fn near_access(&self) {
+        self.cell.borrow_mut().client.near_access();
+    }
+
+    /// Charges `n` near accesses.
+    pub fn near_accesses(&self, n: u64) {
+        self.cell.borrow_mut().client.near_accesses(n);
+    }
+
+    /// Opens a trace span on the wrapped client (no-op when tracing is
+    /// off). The guard is independent of the client borrow, so it may be
+    /// held across `await` points.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.cell.borrow_mut().client.span(name)
+    }
+
+    /// The wrapped client's id.
+    pub fn id(&self) -> u32 {
+        self.cell.borrow().client.id()
+    }
+
+    /// The wrapped client's virtual clock.
+    pub fn now_ns(&self) -> u64 {
+        self.cell.borrow().client.now_ns()
+    }
+
+    /// The wrapped client's access counters.
+    pub fn stats(&self) -> AccessStats {
+        self.cell.borrow().client.stats()
+    }
+
+    /// Registers the task's reclamation handle. From then on the reactor
+    /// applies *refresh-on-wake*: each time this task wakes from a
+    /// doorbell with no guard held, its published epoch is resynced, so
+    /// long parks do not stall grace periods (crate docs, DESIGN.md §12).
+    pub fn attach_reclaim(&self, shared: SharedReclaim) {
+        self.cell.borrow_mut().reclaim = Some(shared.clone());
+    }
+
+    /// Pins an epoch guard for the registered reclamation handle.
+    ///
+    /// Control-plane: the common path is free (a local event-queue
+    /// check); the rare resync after an epoch advance costs one read
+    /// plus one CAS, executed inline at poll time rather than through a
+    /// doorbell — it is off the steady-state path by design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no handle was registered with
+    /// [`attach_reclaim`](AsyncClient::attach_reclaim).
+    pub fn pin(&self) -> farmem_reclaim::Result<Guard> {
+        let mut cell = self.cell.borrow_mut();
+        let shared = cell.reclaim.clone().expect("attach_reclaim before pin");
+        farmem_reclaim::pin(&shared, &mut cell.client)
+    }
+}
+
+/// A pipelined batch posted through an [`AsyncClient`]: the async twin of
+/// [`IssueQueue`](farmem_fabric::IssueQueue), committing every descriptor
+/// behind one doorbell with identical accounting.
+pub struct AsyncBatch<'a> {
+    ac: &'a AsyncClient,
+    ops: Vec<PipeOp>,
+}
+
+impl AsyncBatch<'_> {
+    /// Posts a raw descriptor; returns its completion index.
+    pub fn post(&mut self, op: PipeOp) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    /// Posts a read of `len` bytes at `addr`.
+    pub fn read(&mut self, addr: FarAddr, len: u64) -> usize {
+        self.post(PipeOp::Read { addr, len })
+    }
+
+    /// Posts a write of `data` at `addr`.
+    pub fn write(&mut self, addr: FarAddr, data: &[u8]) -> usize {
+        self.post(PipeOp::Write { addr, data: data.to_vec() })
+    }
+
+    /// Posts an aligned word read.
+    pub fn read_u64(&mut self, addr: FarAddr) -> usize {
+        self.post(PipeOp::ReadU64 { addr })
+    }
+
+    /// Posts an aligned word write.
+    pub fn write_u64(&mut self, addr: FarAddr, value: u64) -> usize {
+        self.post(PipeOp::WriteU64 { addr, value })
+    }
+
+    /// Posts a compare-and-swap.
+    pub fn cas(&mut self, addr: FarAddr, expected: u64, new: u64) -> usize {
+        self.post(PipeOp::Cas { addr, expected, new })
+    }
+
+    /// Posts a fetch-and-add.
+    pub fn faa(&mut self, addr: FarAddr, delta: u64) -> usize {
+        self.post(PipeOp::Faa { addr, delta })
+    }
+
+    /// Posts a gather over `iov`.
+    pub fn gather(&mut self, iov: &[FarIov]) -> usize {
+        self.post(PipeOp::Gather { iov: iov.to_vec() })
+    }
+
+    /// Posts a scatter of `data` over `iov`.
+    pub fn scatter(&mut self, iov: &[FarIov], data: &[u8]) -> usize {
+        self.post(PipeOp::Scatter { iov: iov.to_vec(), data: data.to_vec() })
+    }
+
+    /// Posts a `load0`-style indirection read.
+    pub fn load0(&mut self, ptr: FarAddr, len: u64) -> usize {
+        self.post(PipeOp::Load2 { ptr, index: 0, len })
+    }
+
+    /// Posts a `load2`-style indexed indirection read.
+    pub fn load2(&mut self, ptr: FarAddr, index: u64, len: u64) -> usize {
+        self.post(PipeOp::Load2 { ptr, index, len })
+    }
+
+    /// Posts a `store2`-style indexed indirection write.
+    pub fn store2(&mut self, ptr: FarAddr, index: u64, data: &[u8]) -> usize {
+        self.post(PipeOp::Store2 { ptr, index, data: data.to_vec() })
+    }
+
+    /// Posts a guarded fetch-add-and-indirect-swap.
+    pub fn faai_swap_guarded(
+        &mut self,
+        ptr: FarAddr,
+        delta: u64,
+        replacement: u64,
+        guard: FarAddr,
+        expect: u64,
+    ) -> usize {
+        self.post(PipeOp::FaaiSwapGuarded { ptr, delta, replacement, guard, expect })
+    }
+
+    /// Posted descriptor count.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing has been posted.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Rings the doorbell: parks until the reactor has committed every
+    /// descriptor (per-descriptor retries, abort-on-failure and
+    /// `PipelineTorn` semantics are exactly the synchronous pipeline's).
+    pub async fn commit(self) -> CompletionQueue {
+        match self.ac.post(Doorbell::Batch(self.ops)).await {
+            Completion::Batch(cq) => cq,
+            _ => unreachable!("batch doorbell completed with a non-batch shape"),
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # farmem-runtime — multiplexing logical clients over few OS threads
+//!
+//! The paper's performance argument (§3–§5) bounds every operation by far
+//! round trips; PR 3's pipelines overlap the round trips *within* one
+//! client, but a simulated client still occupied a blocking OS thread
+//! between doorbells, capping how many concurrent users one process can
+//! model. This crate removes that cap: logical clients become futures,
+//! and a completion-driven executor multiplexes tens of thousands of them
+//! over a single OS thread (or shards them round-robin over a handful —
+//! see [`Runtime`]).
+//!
+//! ## Model
+//!
+//! * [`AsyncClient`] wraps a [`FabricClient`] and exposes the leaf verbs
+//!   (`read`, `write`, `cas`, `faa`, …) as `async fn`s. Awaiting one
+//!   *posts a descriptor and parks at the doorbell* instead of blocking:
+//!   the future returns `Pending` exactly once and is woken exactly once,
+//!   when the reactor has drained its completion. There is no spin
+//!   polling — a parked task is never re-polled until its completion is
+//!   ready (asserted by [`TaskReport::wasted_polls`]).
+//! * [`AsyncBatch`] is the pipelined form: it accumulates the same
+//!   [`PipeOp`] descriptors an [`IssueQueue`] takes and `commit().await`
+//!   rings one doorbell for all of them.
+//! * The executor's **reactor** fires parked doorbells in virtual-time
+//!   order — always the posted doorbell with the smallest (issue time,
+//!   task id) — which generalises the discrete-event min-clock stepping
+//!   the bench fleet uses, so multiplexed runs are deterministic.
+//!
+//! ## Accounting is sync-identical
+//!
+//! A serial verb awaited through the runtime books *byte-identical*
+//! [`AccessStats`](farmem_fabric::AccessStats) and clock movement to the
+//! same verb called synchronously, because the reactor executes the
+//! descriptor through the very same verb implementation. A committed
+//! [`AsyncBatch`] books exactly what the equivalent `pipeline()`/
+//! `commit()` books (serial-identical counts, overlap-aware clock).
+//! Tracing, sampling and `TraceReport::reconcile` therefore stay exact
+//! under the executor — proven by the twin-run property test in
+//! `tests/runtime_props.rs`.
+//!
+//! ## Guards across `await`
+//!
+//! A [`Guard`](farmem_reclaim::Guard) held across a suspension point
+//! stays pinned: parking never touches the client's reclamation slot, so
+//! safety is unaffected. To keep a *parked* task from stalling grace
+//! periods, the reactor calls
+//! [`ReclaimHandle::refresh_on_wake`](farmem_reclaim::ReclaimHandle::refresh_on_wake)
+//! at every wake boundary: a task waking with **no** guard held
+//! republishes the latest epoch immediately (instead of waiting for its
+//! next `pin`), while a task waking *inside* a guard keeps its pinned
+//! epoch (safety first — its published epoch advances at the next
+//! depth-0 boundary). A task that never wakes again is indistinguishable
+//! from a crashed client and is lease-evicted after `LEASE_NS`, which is
+//! safe by the existing re-registration protocol. See DESIGN.md §12.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod exec;
+
+pub use client::{AsyncBatch, AsyncClient};
+pub use exec::{Executor, Runtime, TaskHandle, TaskReport, TaskResult};

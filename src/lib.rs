@@ -16,6 +16,9 @@
 //! * [`core`] — the far memory data structures themselves (§5): counters,
 //!   vectors, mutexes, barriers, the HT-tree map, the `saai`/`faai`
 //!   queue, and refreshable vectors;
+//! * [`runtime`] — the futures-based executor: completion-driven
+//!   reactor over the pipeline's issue/completion queues, multiplexing
+//!   10k+ logical clients per OS thread (DESIGN.md §12);
 //! * [`rpc`] — the two-sided RPC substrate the paper compares against;
 //! * [`baselines`] — traditional one-sided and RPC-based comparators;
 //! * [`monitor`] — the §6 monitoring case study;
@@ -67,6 +70,7 @@ pub use farmem_metrics as metrics;
 pub use farmem_monitor as monitor;
 pub use farmem_reclaim as reclaim;
 pub use farmem_rpc as rpc;
+pub use farmem_runtime as runtime;
 
 /// The most commonly used items, in one import.
 pub mod prelude {
@@ -95,4 +99,5 @@ pub mod prelude {
         pin, Guard, ReclaimError, ReclaimHandle, ReclaimRegistry, ReclaimStats, SharedReclaim,
     };
     pub use farmem_rpc::{RpcClient, RpcServer, ServerCpu};
+    pub use farmem_runtime::{AsyncBatch, AsyncClient, Executor, Runtime};
 }

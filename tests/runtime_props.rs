@@ -1,0 +1,412 @@
+//! Twin-run properties of the async runtime (DESIGN.md §12).
+//!
+//! The executor's contract is an *identity*: a program run through the
+//! async verbs and adopters must produce the same answers, the same far
+//! memory, and the same access counters as the blocking twin — latency
+//! hiding is never work skipping. These tests pin the identity down with
+//! an arbitrary mixed-verb program (proptest), the three structure
+//! adopters end to end, and the guard-across-suspension reclaim rules.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use farmem::prelude::*;
+use farmem_runtime::TaskHandle;
+use proptest::prelude::*;
+
+// --- mixed-verb twin programs -------------------------------------------
+
+/// One verb against a small set of word-aligned slots (the PR-3 pipeline
+/// vocabulary); ops may collide on a slot, so execution order is
+/// semantically load-bearing.
+#[derive(Debug, Clone)]
+enum VerbOp {
+    WriteWord(usize, u64),
+    ReadWord(usize),
+    Cas(usize, u64, u64),
+    Faa(usize, u64),
+    WriteBytes(usize, Vec<u8>),
+    ReadBytes(usize, u64),
+}
+
+/// A program step: one suspending serial verb, or one batch committed
+/// behind a single doorbell.
+#[derive(Debug, Clone)]
+enum Step {
+    Serial(VerbOp),
+    Batch(Vec<VerbOp>),
+}
+
+const VERB_SLOTS: usize = 8;
+
+/// Slot i's address: 64-byte-spaced words alternating between two stripe
+/// pages, so programs exercise both nodes of the striped fabric.
+fn verb_slot_addr(i: usize) -> FarAddr {
+    FarAddr(4096 * (1 + (i as u64 % 2)) + (i as u64 / 2) * 64)
+}
+
+fn one_verb() -> impl Strategy<Value = VerbOp> {
+    prop_oneof![
+        ((0..VERB_SLOTS), any::<u64>()).prop_map(|(s, v)| VerbOp::WriteWord(s, v)),
+        (0..VERB_SLOTS).prop_map(VerbOp::ReadWord),
+        ((0..VERB_SLOTS), (0u64..4), (1u64..1000)).prop_map(|(s, e, n)| VerbOp::Cas(s, e, n)),
+        ((0..VERB_SLOTS), (1u64..100)).prop_map(|(s, d)| VerbOp::Faa(s, d)),
+        ((0..VERB_SLOTS), prop::collection::vec(any::<u8>(), 8..33))
+            .prop_map(|(s, b)| VerbOp::WriteBytes(s, b)),
+        ((0..VERB_SLOTS), (8u64..33)).prop_map(|(s, l)| VerbOp::ReadBytes(s, l)),
+    ]
+}
+
+fn program() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            one_verb().prop_map(Step::Serial),
+            prop::collection::vec(one_verb(), 2..8).prop_map(Step::Batch),
+        ],
+        1..24,
+    )
+}
+
+fn twin_fabric() -> Arc<Fabric> {
+    FabricConfig {
+        nodes: 2,
+        node_capacity: 1 << 20,
+        striping: Striping::Striped { stripe: 4096 },
+        cost: CostModel::DEFAULT,
+        ..FabricConfig::default()
+    }
+    .build()
+}
+
+/// The blocking twin: serial verbs plus synchronous pipeline commits.
+fn run_sync(c: &mut FabricClient, prog: &[Step]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for step in prog {
+        match step {
+            Step::Serial(op) => match op {
+                VerbOp::WriteWord(s, v) => c.write_u64(verb_slot_addr(*s), *v).unwrap(),
+                VerbOp::ReadWord(s) => {
+                    out.push(c.read_u64(verb_slot_addr(*s)).unwrap().to_le_bytes().to_vec())
+                }
+                VerbOp::Cas(s, e, n) => {
+                    out.push(c.cas(verb_slot_addr(*s), *e, *n).unwrap().to_le_bytes().to_vec())
+                }
+                VerbOp::Faa(s, d) => {
+                    out.push(c.faa(verb_slot_addr(*s), *d).unwrap().to_le_bytes().to_vec())
+                }
+                VerbOp::WriteBytes(s, b) => c.write(verb_slot_addr(*s), b).unwrap(),
+                VerbOp::ReadBytes(s, l) => out.push(c.read(verb_slot_addr(*s), *l).unwrap()),
+            },
+            Step::Batch(ops) => {
+                let mut q = c.pipeline();
+                for op in ops {
+                    match op {
+                        VerbOp::WriteWord(s, v) => {
+                            q.write_u64(verb_slot_addr(*s), *v);
+                        }
+                        VerbOp::ReadWord(s) => {
+                            q.read_u64(verb_slot_addr(*s));
+                        }
+                        VerbOp::Cas(s, e, n) => {
+                            q.cas(verb_slot_addr(*s), *e, *n);
+                        }
+                        VerbOp::Faa(s, d) => {
+                            q.faa(verb_slot_addr(*s), *d);
+                        }
+                        VerbOp::WriteBytes(s, b) => {
+                            q.write(verb_slot_addr(*s), b);
+                        }
+                        VerbOp::ReadBytes(s, l) => {
+                            q.read(verb_slot_addr(*s), *l);
+                        }
+                    }
+                }
+                let cq = q.commit();
+                assert!(cq.status().is_ok());
+                for (op, o) in ops.iter().zip(cq.into_outputs().unwrap()) {
+                    match op {
+                        VerbOp::ReadWord(_) | VerbOp::Cas(..) | VerbOp::Faa(..) => {
+                            out.push(o.value().to_le_bytes().to_vec())
+                        }
+                        VerbOp::ReadBytes(..) => out.push(o.into_bytes()),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The suspending twin: the same program through [`AsyncClient`] verbs
+/// and [`AsyncBatch`] doorbells.
+async fn run_async(ac: AsyncClient, prog: Vec<Step>) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for step in &prog {
+        match step {
+            Step::Serial(op) => match op {
+                VerbOp::WriteWord(s, v) => ac.write_u64(verb_slot_addr(*s), *v).await.unwrap(),
+                VerbOp::ReadWord(s) => out.push(
+                    ac.read_u64(verb_slot_addr(*s)).await.unwrap().to_le_bytes().to_vec(),
+                ),
+                VerbOp::Cas(s, e, n) => out.push(
+                    ac.cas(verb_slot_addr(*s), *e, *n).await.unwrap().to_le_bytes().to_vec(),
+                ),
+                VerbOp::Faa(s, d) => out.push(
+                    ac.faa(verb_slot_addr(*s), *d).await.unwrap().to_le_bytes().to_vec(),
+                ),
+                VerbOp::WriteBytes(s, b) => ac.write(verb_slot_addr(*s), b.clone()).await.unwrap(),
+                VerbOp::ReadBytes(s, l) => {
+                    out.push(ac.read(verb_slot_addr(*s), *l).await.unwrap())
+                }
+            },
+            Step::Batch(ops) => {
+                let mut b = ac.batch();
+                for op in ops {
+                    match op {
+                        VerbOp::WriteWord(s, v) => {
+                            b.write_u64(verb_slot_addr(*s), *v);
+                        }
+                        VerbOp::ReadWord(s) => {
+                            b.read_u64(verb_slot_addr(*s));
+                        }
+                        VerbOp::Cas(s, e, n) => {
+                            b.cas(verb_slot_addr(*s), *e, *n);
+                        }
+                        VerbOp::Faa(s, d) => {
+                            b.faa(verb_slot_addr(*s), *d);
+                        }
+                        VerbOp::WriteBytes(s, bytes) => {
+                            b.write(verb_slot_addr(*s), bytes);
+                        }
+                        VerbOp::ReadBytes(s, l) => {
+                            b.read(verb_slot_addr(*s), *l);
+                        }
+                    }
+                }
+                let cq = b.commit().await;
+                assert!(cq.status().is_ok());
+                for (op, o) in ops.iter().zip(cq.into_outputs().unwrap()) {
+                    match op {
+                        VerbOp::ReadWord(_) | VerbOp::Cas(..) | VerbOp::Faa(..) => {
+                            out.push(o.value().to_le_bytes().to_vec())
+                        }
+                        VerbOp::ReadBytes(..) => out.push(o.into_bytes()),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The runtime's core identity, as a property over arbitrary mixed
+    /// serial/batch programs on twin fabrics: same answers, same final
+    /// far memory, every access counter identical (including
+    /// `overlap_saved_ns` — the twins see identical node occupancy),
+    /// identical virtual clocks, and a completion-driven poll discipline
+    /// (2 polls per doorbell, 0 wasted).
+    #[test]
+    fn async_programs_are_equivalent_to_blocking_twins(prog in program()) {
+        // Blocking twin.
+        let f = twin_fabric();
+        let mut c = f.client();
+        let sync_out = run_sync(&mut c, &prog);
+        let sync_stats = c.stats();
+        let sync_ns = c.now_ns();
+        let sync_mem: Vec<Vec<u8>> =
+            (0..VERB_SLOTS).map(|s| c.read(verb_slot_addr(s), 64).unwrap()).collect();
+
+        // Suspending twin.
+        let f = twin_fabric();
+        let mut ex = Executor::new();
+        let p = prog.clone();
+        let h = ex.spawn(f.client(), move |ac| run_async(ac, p));
+        ex.run();
+        let async_out = h.take().unwrap();
+        let mut probe = f.client();
+        let async_mem: Vec<Vec<u8>> =
+            (0..VERB_SLOTS).map(|s| probe.read(verb_slot_addr(s), 64).unwrap()).collect();
+
+        prop_assert_eq!(async_out, sync_out, "answers must match the blocking order");
+        prop_assert_eq!(async_mem, sync_mem, "final far memory must be identical");
+        prop_assert_eq!(
+            h.stats().to_array(),
+            sync_stats.to_array(),
+            "every access counter must be byte-identical"
+        );
+        prop_assert_eq!(h.now_ns(), sync_ns, "virtual clocks must agree on a twin fabric");
+        let r = h.report();
+        prop_assert_eq!(r.verb_polls, 2 * r.doorbells_fired, "one park + one consume per doorbell");
+        prop_assert_eq!(r.wasted_polls, 0, "completion-driven, never spin-polled");
+    }
+}
+
+// --- structure adopters -------------------------------------------------
+
+/// The three `crates/core` adopters against their synchronous twins on
+/// identically prepared fabrics: same answers, same counters, same clock.
+#[test]
+fn structure_adopters_match_blocking_twins() {
+    let build = || {
+        let f = FabricConfig {
+            nodes: 4,
+            node_capacity: 64 << 20,
+            striping: Striping::Striped { stripe: 4096 },
+            cost: CostModel::DEFAULT,
+            ..FabricConfig::default()
+        }
+        .build();
+        let alloc = FarAlloc::new(f.clone());
+        let mut c = f.client();
+        let vec = FarVec::create(&mut c, &alloc, 64 * 16, AllocHint::Striped).unwrap();
+        for r in 0..64u64 {
+            let vals: Vec<u64> = (0..16).map(|j| r * 16 + j + 1).collect();
+            vec.write_range(&mut c, r * 16, &vals).unwrap();
+        }
+        let cfg = HtTreeConfig { initial_buckets: 32, ..Default::default() };
+        let map = HtTree::create(&mut c, &alloc, cfg).unwrap();
+        let mut h = map.attach(&mut c, &alloc, cfg).unwrap();
+        for k in 0..64u64 {
+            h.put(&mut c, k, k * 5 + 2).unwrap();
+        }
+        let q = FarQueue::create(&mut c, &alloc, QueueConfig::new(64, 2)).unwrap();
+        let mut qh = FarQueue::attach(&mut c, q.hdr()).unwrap();
+        for j in 0..12u64 {
+            qh.enqueue(&mut c, 100 + j).unwrap();
+        }
+        (f, alloc, vec, map, cfg, q.hdr())
+    };
+    let ranges: Vec<(u64, u64)> = (0..8u64).map(|r| (r * 16 * 2, 16)).collect();
+    let keys: Vec<u64> = (0..24u64).map(|j| (j * 13) % 64).collect();
+
+    // Blocking twin.
+    let (f, alloc, vec, map, cfg, q_hdr) = build();
+    let mut c = f.client();
+    let sync_ranges = vec.read_ranges(&mut c, &ranges).unwrap();
+    let mut h = map.attach(&mut c, &alloc, cfg).unwrap();
+    let sync_gets = h.get_many(&mut c, &keys).unwrap();
+    let mut qh = FarQueue::attach(&mut c, q_hdr).unwrap();
+    let sync_deqs = qh.dequeue_batch(&mut c, 12).unwrap();
+    let sync_stats = c.stats();
+    let sync_ns = c.now_ns();
+
+    // Suspending twin.
+    let (f, alloc, vec, map, cfg, q_hdr) = build();
+    let mut ex = Executor::new();
+    let (r2, k2) = (ranges.clone(), keys.clone());
+    let handle = ex.spawn(f.client(), move |ac| async move {
+        let rr = vec.read_ranges_async(&ac, &r2).await.unwrap();
+        let mut h = ac.with(|c| map.attach(c, &alloc, cfg)).unwrap();
+        let gg = h.get_many_async(&ac, &k2).await.unwrap();
+        let mut qh = ac.with(|c| FarQueue::attach(c, q_hdr)).unwrap();
+        let dd = qh.dequeue_batch_async(&ac, 12).await.unwrap();
+        (rr, gg, dd)
+    });
+    ex.run();
+    let (async_ranges, async_gets, async_deqs) = handle.take().unwrap();
+
+    assert_eq!(async_ranges, sync_ranges);
+    assert_eq!(async_gets, sync_gets);
+    assert_eq!(sync_gets.iter().filter(|g| g.is_some()).count(), keys.len(), "all keys present");
+    assert_eq!(async_deqs, sync_deqs);
+    assert_eq!(async_deqs, (0..12u64).map(|j| 100 + j).collect::<Vec<_>>(), "FIFO preserved");
+    assert_eq!(handle.stats().to_array(), sync_stats.to_array(), "adopter counters identical");
+    assert_eq!(handle.now_ns(), sync_ns, "adopter clocks identical on twin fabrics");
+    assert_eq!(handle.report().wasted_polls, 0);
+}
+
+// --- guards across suspension -------------------------------------------
+
+/// The reclaim contract for parked tasks (ISSUE regression test):
+///
+/// * a [`Guard`] held across suspensions *pins* — wake boundaries while
+///   it is held never republish the epoch, so a concurrent reclaimer
+///   frees nothing (and, within the lease, never evicts the parked
+///   client's slot to force the free);
+/// * dropping the guard does not *leak* — the next wake boundary
+///   republishes the epoch and the reclaimer's grace period completes,
+///   with no lease eviction needed.
+#[test]
+fn guard_across_suspension_neither_leaks_nor_evicts() {
+    let f = FabricConfig::count_only(16 << 20).build();
+    let a = FarAlloc::new(f.clone());
+    let mut setup = f.client();
+    let reg = ReclaimRegistry::create(&mut setup, &a, 4).unwrap();
+    let block = a.alloc(256, AllocHint::Spread).unwrap();
+    let addr = a.alloc(8, AllocHint::Spread).unwrap();
+
+    let pinned = Rc::new(Cell::new(false));
+    let dropped = Rc::new(Cell::new(false));
+    let guarded_zero_rounds = Rc::new(Cell::new(0u32));
+
+    let mut ex = Executor::new();
+
+    // Task P: pins a guard, suspends at several doorbells while holding
+    // it, drops it, then suspends some more (each post-drop wake runs
+    // refresh-on-wake and republishes the epoch).
+    let (reg_p, a_p) = (reg, a.clone());
+    let (pinned_p, dropped_p) = (pinned.clone(), dropped.clone());
+    let parked: TaskHandle<()> = ex.spawn(f.client(), move |ac| async move {
+        let shared = ac.with(|c| reg_p.attach(c, &a_p)).unwrap();
+        ac.attach_reclaim(shared);
+        let g = ac.pin().unwrap();
+        pinned_p.set(true);
+        for _ in 0..3 {
+            // Suspended with the guard held: refresh-on-wake must be inert.
+            ac.read_u64(addr).await.unwrap();
+        }
+        drop(g);
+        dropped_p.set(true);
+        for _ in 0..3 {
+            // Suspended with no guard: refresh-on-wake republishes.
+            ac.read_u64(addr).await.unwrap();
+        }
+    });
+
+    // Task R: retires a block once P has pinned, then tries to reclaim.
+    let (reg_r, a_r) = (reg, a.clone());
+    let (pinned_r, dropped_r, zeros) = (pinned.clone(), dropped.clone(), guarded_zero_rounds.clone());
+    let reclaimer = ex.spawn(f.client(), move |ac| async move {
+        let shared = ac.with(|c| reg_r.attach(c, &a_r)).unwrap();
+        while !pinned_r.get() {
+            ac.yield_now().await;
+        }
+        ac.with(|c| {
+            let mut h = shared.lock().unwrap();
+            h.retire(c, block, 256).unwrap();
+            h.seal(c).unwrap();
+        });
+        // While the guard is held, every round must free nothing — and
+        // must NOT lease-evict the parked (but live) client to force it.
+        while !dropped_r.get() {
+            let freed = ac.with(|c| shared.lock().unwrap().reclaim(c)).unwrap();
+            assert_eq!(freed, 0, "freed far memory while a parked task held a guard");
+            zeros.set(zeros.get() + 1);
+            ac.yield_now().await;
+        }
+        // After the drop, P's wake boundaries republish; grace completes.
+        for _ in 0..16 {
+            let freed = ac.with(|c| shared.lock().unwrap().reclaim(c)).unwrap();
+            if freed > 0 {
+                return freed;
+            }
+            ac.yield_now().await;
+        }
+        0
+    });
+
+    ex.run();
+    parked.take().unwrap();
+    assert_eq!(reclaimer.take().unwrap(), 256, "grace completed after the guard dropped");
+    assert!(
+        guarded_zero_rounds.get() >= 1,
+        "the reclaimer must have observed the guard blocking at least once"
+    );
+    assert_eq!(parked.report().wasted_polls, 0);
+}

@@ -5,7 +5,7 @@
 //! virtual-time tables against the committed baseline — see
 //! [`perf_gate`] for the band semantics.
 //!
-//! `cargo run -p xtask -- lint` enforces four repo-level disciplines
+//! `cargo run -p xtask -- lint` enforces five repo-level disciplines
 //! that rustc cannot:
 //!
 //! 1. **forbid-unsafe** — every crate root carries
@@ -29,6 +29,13 @@
 //!    from `AccessStats::FIELD_NAMES` itself, so the lint tracks the
 //!    struct. Same-named fields of *other* structs (e.g. `ReclaimStats`)
 //!    annotate `lint: stats-ok: <why>`.
+//! 5. **block-async** — inside `async fn` bodies in `crates/core`, no
+//!    unannotated blocking fabric access: a direct `client.<verb>(...)`
+//!    call, or entering the synchronous escape hatch `.with(...)`, must
+//!    carry a `lint: block-ok` justification on the line or within the
+//!    4 lines above. The async adopters exist so hot paths *suspend* at
+//!    the doorbell; an unmarked blocking call inside an `async fn`
+//!    silently stalls every other logical client on the executor thread.
 //!
 //! Test modules (`#[cfg(test)]` onward), `tests/` and `benches/` trees,
 //! and comment lines are exempt from lints 2–4: they exercise or
@@ -63,8 +70,11 @@ fn lint() -> ExitCode {
     lint_far_addr(&root, &mut errors);
     lint_retire_guard(&root, &mut errors);
     lint_stats_mut(&root, &mut errors);
+    lint_block_async(&root, &mut errors);
     if errors.is_empty() {
-        println!("xtask lint: ok (forbid-unsafe, far-addr, retire-guard, stats-mut)");
+        println!(
+            "xtask lint: ok (forbid-unsafe, far-addr, retire-guard, stats-mut, block-async)"
+        );
         ExitCode::SUCCESS
     } else {
         for e in &errors {
@@ -325,6 +335,61 @@ fn lint_stats_mut(root: &Path, errors: &mut Vec<String>) {
                         ));
                     }
                 }
+            }
+        }
+    }
+}
+
+fn lint_block_async(root: &Path, errors: &mut Vec<String>) {
+    for path in lint_sources(root, &[]) {
+        let r = rel(root, &path);
+        if !r.starts_with("crates/core") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).unwrap_or_default();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut filter = LineFilter::new();
+        // `Some(depth)` while an `async fn` is open: 0 until its `{`
+        // arrives, then the running brace depth of the body.
+        let mut body: Option<i64> = None;
+        for (i, line) in lines.iter().enumerate() {
+            if filter.skip(line) {
+                continue;
+            }
+            if body.is_none() && line.contains("async fn ") {
+                body = Some(0);
+            }
+            let Some(depth) = body.as_mut() else { continue };
+            let inside = *depth > 0;
+            for c in line.chars() {
+                match c {
+                    '{' => *depth += 1,
+                    '}' => *depth -= 1,
+                    _ => {}
+                }
+            }
+            if *depth <= 0 && inside {
+                body = None;
+            }
+            if !inside {
+                continue;
+            }
+            // `.with(` is the sole synchronous escape hatch on
+            // `AsyncClient`; `client.` is the repo-wide name for a
+            // blocking `&mut FabricClient` receiver.
+            if !line.contains(".with(") && !line.contains("client.") {
+                continue;
+            }
+            let marked = (i.saturating_sub(4)..=i)
+                .any(|j| lines[j].contains("lint: block-ok"));
+            if !marked {
+                errors.push(format!(
+                    "{}:{}: blocking fabric access inside an async fn; \
+                     suspend at the doorbell instead, or annotate \
+                     `// lint: block-ok — <why>` within 4 lines above",
+                    rel(root, &path),
+                    i + 1
+                ));
             }
         }
     }
