@@ -29,7 +29,7 @@ mod arena;
 mod slab;
 
 pub use arena::Arena;
-pub use slab::{AllocStats, FarAlloc};
+pub use slab::{AllocStats, ClassStats, FarAlloc};
 
 use farmem_fabric::{FarAddr, NodeId};
 

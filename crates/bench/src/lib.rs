@@ -18,4 +18,4 @@ pub use cli::BenchArgs;
 pub use fleet::{Fleet, FleetOutcome};
 pub use json::Json;
 pub use report::{Report, Table};
-pub use workload::{DecayingRate, KeyDist, Zipf};
+pub use workload::{DecayingRate, KeyDist, OpenLoop, Zipf, ZipfTable};

@@ -681,6 +681,149 @@ fn ack_write_before_replica_durable() -> Mutant {
     Mutant { program, expect: &[Expect::Lin] }
 }
 
+/// Shared setup of the serving-TTL mutants (M12–M13): the two-word
+/// record of `programs::serve_ttl_evict` — expiry flag `exp` (zeroed)
+/// and value word `val` seeded with the register's initial value 7,
+/// plus a 4-slot reclaim registry.
+#[allow(clippy::type_complexity)]
+fn ttl_words(
+    f: &Arc<farmem_fabric::Fabric>,
+) -> (Arc<FarAlloc>, ReclaimRegistry, FarAddr, FarAddr, Arc<History>) {
+    let alloc = FarAlloc::new(f.clone());
+    let mut c0 = f.client();
+    let reg = ReclaimRegistry::create(&mut c0, &alloc, 4).unwrap();
+    let exp = word(&mut c0, &alloc);
+    let val = alloc.alloc(8, AllocHint::Spread).unwrap();
+    c0.write_u64(val, 7).unwrap();
+    let h = Arc::new(History::new());
+    h.seed(c0.id(), Op::RegWrite { part: 0, v: vec![7] }, Ret::Unit);
+    (alloc, reg, exp, val, h)
+}
+
+/// M12 — serve after expiry: the serving read path skips the record's
+/// TTL check and serves the value word unconditionally. Retirement and
+/// reclamation stay fully intact, so there is nothing for the race
+/// detector — the catch is pure history: a get invoked after the expiry
+/// completed must miss (return the tombstone 0), and this reader keeps
+/// serving the old value.
+fn serve_read_after_expiry() -> Mutant {
+    let program = Program {
+        name: "m12_serve_read_after_expiry",
+        model: Some(Model::Register { init: 7 }),
+        check_races: true,
+        max_steps: 400,
+        build: Box::new(|| {
+            let f = plain_fabric();
+            let (alloc, reg, exp, val, h) = ttl_words(&f);
+            let mut ca = f.client();
+            let aid = ca.id();
+            let sa = reg.attach(&mut ca, &alloc).unwrap();
+            let mut cb = f.client();
+            let bid = cb.id();
+            let sb = reg.attach(&mut cb, &alloc).unwrap();
+            let participants = vec![aid, bid];
+            let h2 = h.clone();
+            let abody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                for _ in 0..2 {
+                    let t = h2.invoke(aid, Op::RegRead { part: 0 });
+                    match pin(&sa, &mut ca) {
+                        Ok(g) => {
+                            // MUTANT: no expiry-flag read — the record is
+                            // served no matter how stale it is.
+                            let v = ca.read_u64(val).unwrap();
+                            drop(g);
+                            h2.complete(t, Ret::Vals(vec![v]));
+                        }
+                        Err(_) => h2.fail(t),
+                    }
+                }
+            });
+            let h3 = h.clone();
+            let bbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let t = h3.invoke(bid, Op::RegWrite { part: 0, v: vec![0] });
+                assert_eq!(cb.cas(exp, 0, 1).unwrap(), 0, "sole expirer");
+                h3.complete(t, Ret::Unit);
+                {
+                    let mut hh = sb.lock().unwrap();
+                    hh.retire(&mut cb, val, 8).unwrap();
+                    hh.seal(&mut cb).unwrap();
+                }
+                // Few rounds, as in reclaim_publish: no lease eviction.
+                for _ in 0..4 {
+                    if sb.lock().unwrap().reclaim(&mut cb).unwrap() > 0 {
+                        break;
+                    }
+                }
+            });
+            PreparedRun {
+                fabric: f,
+                participants,
+                bodies: vec![abody, bbody],
+                history: h,
+                finale: None,
+            }
+        }),
+    };
+    Mutant { program, expect: &[Expect::Lin] }
+}
+
+/// M13 — evict without retire: the expirer raises the TTL flag and then
+/// poisons the value word on the spot — no retire, no seal, no grace
+/// period — as if the record's bytes were freed and reused immediately.
+/// A pinned reader that sampled the flag while it was still clear goes
+/// on to serve the poison (linearizability), and the poison store races
+/// its read (race detector) — the serving-layer rendition of M7.
+fn evict_without_retire() -> Mutant {
+    let program = Program {
+        name: "m13_evict_without_retire",
+        model: Some(Model::Register { init: 7 }),
+        check_races: true,
+        max_steps: 250,
+        build: Box::new(|| {
+            let f = plain_fabric();
+            let (alloc, reg, exp, val, h) = ttl_words(&f);
+            let mut ca = f.client();
+            let aid = ca.id();
+            let sa = reg.attach(&mut ca, &alloc).unwrap();
+            let mut cb = f.client();
+            let bid = cb.id();
+            let participants = vec![aid, bid];
+            let h2 = h.clone();
+            let abody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                for _ in 0..2 {
+                    let t = h2.invoke(aid, Op::RegRead { part: 0 });
+                    match pin(&sa, &mut ca) {
+                        Ok(g) => {
+                            let expired = ca.read_u64(exp).unwrap() != 0;
+                            let v = if expired { 0 } else { ca.read_u64(val).unwrap() };
+                            drop(g);
+                            h2.complete(t, Ret::Vals(vec![v]));
+                        }
+                        Err(_) => h2.fail(t),
+                    }
+                }
+            });
+            let h3 = h.clone();
+            let bbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let t = h3.invoke(bid, Op::RegWrite { part: 0, v: vec![0] });
+                assert_eq!(cb.cas(exp, 0, 1).unwrap(), 0, "sole expirer");
+                h3.complete(t, Ret::Unit);
+                // MUTANT: no retire/seal/grace — the record's bytes are
+                // poisoned immediately, under a reader's pin.
+                cb.write_u64(val, crate::programs::POISON).unwrap();
+            });
+            PreparedRun {
+                fabric: f,
+                participants,
+                bodies: vec![abody, bbody],
+                history: h,
+                finale: None,
+            }
+        }),
+    };
+    Mutant { program, expect: &[Expect::Races, Expect::Lin] }
+}
+
 /// Every mutant, in stable report order.
 pub fn all_mutants() -> Vec<Mutant> {
     vec![
@@ -695,5 +838,7 @@ pub fn all_mutants() -> Vec<Mutant> {
         serve_read_after_fence(),
         promote_without_epoch_bump(),
         ack_write_before_replica_durable(),
+        serve_read_after_expiry(),
+        evict_without_retire(),
     ]
 }

@@ -525,6 +525,99 @@ pub fn replica_failover() -> Program {
     }
 }
 
+/// The serving layer's TTL protocol (`farmem-serve`), shrunk to two far
+/// words: an expiry flag (the record's TTL field, already past its
+/// deadline) and the value word. A reader pins, consults the flag, and
+/// serves the value only while the flag is clear — an expired record is
+/// a miss (tombstone value 0). The expirer raises the flag with a CAS
+/// (the unlink point), then retires the value word through the registry
+/// and reclaims. Checked: race-freedom, register linearizability (a get
+/// invoked after the expiry completed must miss — nothing is ever served
+/// past its TTL), and a per-run invariant that expiry actually frees the
+/// record's bytes.
+pub fn serve_ttl_evict() -> Program {
+    Program {
+        name: "serve_ttl_evict",
+        model: Some(Model::Register { init: 7 }),
+        check_races: true,
+        max_steps: 1000,
+        build: Box::new(|| {
+            let f = fabric(false);
+            let alloc = FarAlloc::new(f.clone());
+            let mut c0 = f.client();
+            let reg = ReclaimRegistry::create(&mut c0, &alloc, 4).unwrap();
+            let exp = word(&mut c0, &alloc);
+            let val = alloc.alloc(8, AllocHint::Spread).unwrap();
+            c0.write_u64(val, 7).unwrap();
+            let h = Arc::new(History::new());
+            h.seed(c0.id(), Op::RegWrite { part: 0, v: vec![7] }, Ret::Unit);
+            let mut ca = f.client();
+            let aid = ca.id();
+            let sa = reg.attach(&mut ca, &alloc).unwrap();
+            let mut cb = f.client();
+            let bid = cb.id();
+            let sb = reg.attach(&mut cb, &alloc).unwrap();
+            let participants = vec![aid, bid];
+            let h2 = h.clone();
+            let abody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                for _ in 0..2 {
+                    let t = h2.invoke(aid, Op::RegRead { part: 0 });
+                    match pin(&sa, &mut ca) {
+                        Ok(g) => {
+                            let expired = ca.read_u64(exp).unwrap() != 0;
+                            let v = if expired { 0 } else { ca.read_u64(val).unwrap() };
+                            drop(g);
+                            h2.complete(t, Ret::Vals(vec![v]));
+                        }
+                        Err(_) => h2.fail(t),
+                    }
+                }
+            });
+            let freed_flag = Arc::new(AtomicU64::new(0));
+            let ff = freed_flag.clone();
+            let h3 = h.clone();
+            let bbody: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let t = h3.invoke(bid, Op::RegWrite { part: 0, v: vec![0] });
+                // The unlink point: raising the flag is what turns the
+                // record into a miss; everything after is reclamation.
+                assert_eq!(cb.cas(exp, 0, 1).unwrap(), 0, "sole expirer");
+                h3.complete(t, Ret::Unit);
+                {
+                    let mut hh = sb.lock().unwrap();
+                    hh.retire(&mut cb, val, 8).unwrap();
+                    hh.seal(&mut cb).unwrap();
+                }
+                // Enough rounds that the backoff out-waits a reader whose
+                // published epoch lags (same lease path as reclaim_evict).
+                // The freed word is never poisoned here: a lease-evicted
+                // reader mid-read is legal fallout of the lease, and the
+                // allocator's free is metadata-only.
+                for _ in 0..400 {
+                    let freed = sb.lock().unwrap().reclaim(&mut cb).unwrap();
+                    if freed > 0 {
+                        ff.store(freed, Ordering::SeqCst);
+                        break;
+                    }
+                }
+            });
+            let finale: Box<dyn FnOnce() -> Option<String>> = Box::new(move || {
+                if freed_flag.load(Ordering::SeqCst) == 8 {
+                    None
+                } else {
+                    Some("expired record was never freed: retire/reclaim lost the bytes".into())
+                }
+            });
+            PreparedRun {
+                fabric: f,
+                participants,
+                bodies: vec![abody, bbody],
+                history: h,
+                finale: Some(finale),
+            }
+        }),
+    }
+}
+
 /// The main-suite programs, in stable report order.
 pub fn main_programs() -> Vec<Program> {
     vec![
@@ -535,6 +628,7 @@ pub fn main_programs() -> Vec<Program> {
         reclaim_publish(),
         reclaim_evict(),
         replica_failover(),
+        serve_ttl_evict(),
         mutex_counter(true),
         rwlock_pair(true),
     ]

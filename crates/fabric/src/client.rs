@@ -69,6 +69,12 @@ pub struct FabricClient {
     views: Vec<Option<GroupView>>,
     /// Round-robin cursor for replica-read spreading.
     read_rr: u64,
+    /// Per-client override of the fabric-wide
+    /// [`spread_reads`](crate::replica::ReplicaConfig::spread_reads)
+    /// policy (`None` = follow the fabric). Lets a serving layer spread
+    /// only the reads it knows are safe to spread (e.g. hot keys) while
+    /// the rest keep primary-read semantics.
+    spread_override: Option<bool>,
 }
 
 /// One verb inside a fenced batch.
@@ -172,6 +178,7 @@ impl FabricClient {
             seen_coalesced: 0,
             views,
             read_rr: 0,
+            spread_override: None,
         }
     }
 
@@ -508,13 +515,28 @@ impl FabricClient {
         if !self.fabric.replicated() {
             return g;
         }
-        if !self.fabric.replication().spread_reads {
+        let spread =
+            self.spread_override.unwrap_or(self.fabric.replication().spread_reads);
+        if !spread {
             return self.cached_view(g).primary;
         }
         self.read_rr = self.read_rr.wrapping_add(1);
         let rr = self.read_rr as usize;
         let v = self.cached_view(g);
         v.members[rr % v.members.len()]
+    }
+
+    /// Overrides the fabric-wide
+    /// [`spread_reads`](crate::replica::ReplicaConfig::spread_reads)
+    /// policy for *this client only*: `Some(true)` round-robins reads
+    /// over the cached replica group regardless of the fabric default,
+    /// `Some(false)` pins reads to the primary, and `None` (the initial
+    /// state) follows the fabric. Purely client-local routing state — no
+    /// far traffic. A serving layer toggles this around reads of keys it
+    /// has detected as hot, so cold reads keep primary locality while
+    /// hot-key load fans out over the replica group.
+    pub fn set_spread_reads(&mut self, override_: Option<bool>) {
+        self.spread_override = override_;
     }
 
     /// The client's cached view of group `g`, fetched free of charge on

@@ -1,0 +1,315 @@
+//! The record store: slab-class values with TTL words, freed through
+//! epoch reclamation.
+//!
+//! Follows the `FarBlobMap` layout (a value is a pointer to an immutable
+//! far record) with one extra header word for the absolute expiry
+//! instant:
+//!
+//! ```text
+//! record := { len: u64 | expiry_ns: u64 | payload bytes }
+//! ```
+//!
+//! Records are slab-allocated ([`FarAlloc`] size classes), so the bytes
+//! a tenant is charged for are the *rounded* class — exactly what
+//! [`charged_bytes`] reports and what `FarAlloc::class_stats` audits.
+//! Every unlink (overwrite, delete, expiry, eviction) retires the old
+//! record into the reclaim limbo list; it stays readable by concurrent
+//! epoch guards until grace elapses, and only then returns to the
+//! allocator. Mutations of one key must stay single-writer (the server
+//! guarantees this by routing each key to one owning worker).
+
+use farmem_alloc::{AllocHint, FarAlloc};
+use farmem_core::{HtTree, HtTreeConfig, HtTreeHandle};
+use farmem_fabric::{FabricClient, FarAddr, PAGE, WORD};
+use farmem_reclaim::{pin, SharedReclaim};
+use farmem_runtime::AsyncClient;
+use std::sync::Arc;
+
+use crate::Result;
+
+/// Record header: length word + expiry word.
+pub const RECORD_HEADER: u64 = 2 * WORD;
+
+/// Largest slab size class (mirrors the allocator's rounding boundary).
+const MAX_CLASS: u64 = 2048;
+
+/// The far-memory bytes a stored value of `len` payload bytes is
+/// charged: header plus payload, rounded up to the allocator's
+/// power-of-two size class (whole pages past the slab boundary). This
+/// is the quantity tenant byte quotas meter, so quota accounting and
+/// allocator occupancy reconcile exactly.
+pub fn charged_bytes(len: u64) -> u64 {
+    let raw = RECORD_HEADER + len;
+    if raw > MAX_CLASS {
+        raw.div_ceil(PAGE) * PAGE
+    } else {
+        raw.max(WORD).next_power_of_two()
+    }
+}
+
+/// What a lookup found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GetOutcome {
+    /// No record under the key.
+    Miss,
+    /// A record exists but its TTL instant has passed; it is *never*
+    /// returned to the caller. The owning worker unlinks and retires it.
+    Expired,
+    /// A live value.
+    Hit(Vec<u8>),
+}
+
+/// One handle onto the shared record tree (per worker or per session;
+/// cheap, client-side).
+pub struct RecordStore {
+    inner: HtTreeHandle,
+    alloc: Arc<FarAlloc>,
+    reclaim: SharedReclaim,
+}
+
+impl RecordStore {
+    /// Bytes fetched with the first record read; values up to
+    /// `PREFETCH - RECORD_HEADER` bytes complete in that one access.
+    pub const PREFETCH: u64 = 256;
+
+    /// Attaches a handle to the shared tree in reclaim mode.
+    pub fn attach(
+        client: &mut FabricClient,
+        alloc: &Arc<FarAlloc>,
+        tree: HtTree,
+        cfg: HtTreeConfig,
+        reclaim: SharedReclaim,
+    ) -> Result<RecordStore> {
+        let inner = tree.attach_reclaimed(client, alloc, cfg, reclaim.clone())?;
+        Ok(RecordStore { inner, alloc: alloc.clone(), reclaim: reclaim.clone() })
+    }
+
+    /// The underlying tree handle's stats.
+    pub fn tree_stats(&self) -> farmem_core::HtTreeStats {
+        self.inner.stats()
+    }
+
+    /// Stores `value` under the namespaced key with an absolute expiry
+    /// instant (`0` = never). Returns `true` when an existing record was
+    /// replaced (and retired).
+    pub fn put(
+        &mut self,
+        client: &mut FabricClient,
+        nskey: u64,
+        value: &[u8],
+        expiry_ns: u64,
+    ) -> Result<bool> {
+        let old = self.inner.get(client, nskey)?;
+        let record = self.alloc.alloc(RECORD_HEADER + value.len() as u64, AllocHint::Spread)?;
+        let mut bytes = Vec::with_capacity(16 + value.len());
+        bytes.extend_from_slice(&(value.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&expiry_ns.to_le_bytes());
+        bytes.extend_from_slice(value);
+        client.write(record, &bytes)?;
+        self.inner.put(client, nskey, record.0)?;
+        if let Some(ptr) = old {
+            // lint: retire-ok: the overwritten record was unlinked by the
+            // tree put above; readers hold epoch guards until grace.
+            self.retire(client, ptr)?;
+        }
+        Ok(old.is_some())
+    }
+
+    /// Looks the key up and reads the record, enforcing the TTL against
+    /// `now_ns`: an expired record is reported as [`GetOutcome::Expired`]
+    /// and its payload is never materialized. The read runs under an
+    /// epoch guard, so a record another worker is concurrently retiring
+    /// stays readable until grace elapses.
+    pub fn get(&mut self, client: &mut FabricClient, nskey: u64, now_ns: u64) -> Result<GetOutcome> {
+        let guard = pin(&self.reclaim, client)?;
+        let Some(ptr) = self.inner.get(client, nskey)? else {
+            drop(guard);
+            return Ok(GetOutcome::Miss);
+        };
+        let record = FarAddr(ptr);
+        let first = client.read(record, Self::PREFETCH)?;
+        let len = u64::from_le_bytes(first[0..8].try_into().expect("length word"));
+        let expiry = u64::from_le_bytes(first[8..16].try_into().expect("expiry word"));
+        if expiry != 0 && now_ns >= expiry {
+            drop(guard);
+            return Ok(GetOutcome::Expired);
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        let have = (Self::PREFETCH - RECORD_HEADER).min(len);
+        out.extend_from_slice(&first[16..16 + have as usize]);
+        if len > have {
+            let tail = client.read(record.offset(RECORD_HEADER + have), len - have)?;
+            out.extend_from_slice(&tail);
+        }
+        drop(guard);
+        Ok(GetOutcome::Hit(out))
+    }
+
+    /// Async twin of [`get`](Self::get) over a batch of keys: the tree
+    /// lookups post through one doorbell (`HtTree::get_many_async`), then
+    /// every found record's prefetch read posts through a second shared
+    /// doorbell — so an executor interleaves whole sessions' batches on
+    /// one OS thread. TTL semantics are identical to the sync path.
+    pub async fn get_many_async(
+        &mut self,
+        ac: &AsyncClient,
+        nskeys: &[u64],
+        now_ns: u64,
+    ) -> Result<Vec<GetOutcome>> {
+        // lint: block-ok — guard pin is control-plane (local unless the
+        // epoch advanced), identical to the sync path.
+        let guard = ac.with(|c| pin(&self.reclaim, c))?;
+        let ptrs = self.inner.get_many_async(ac, nskeys).await?;
+        let mut b = ac.batch();
+        let mut slots = Vec::with_capacity(nskeys.len());
+        for ptr in &ptrs {
+            match ptr {
+                Some(p) => {
+                    slots.push(Some(b.read(FarAddr(*p), Self::PREFETCH)));
+                }
+                None => slots.push(None),
+            }
+        }
+        let mut cq = b.commit().await;
+        let mut out = Vec::with_capacity(nskeys.len());
+        for (i, ptr) in ptrs.iter().enumerate() {
+            let Some(p) = ptr else {
+                out.push(GetOutcome::Miss);
+                continue;
+            };
+            let slot = slots[i].expect("descriptor posted for found key");
+            let first = match cq.take(slot) {
+                Some(Ok(res)) => res.into_bytes(),
+                // lint: block-ok — serial fallback after a failed
+                // prefetch, identical to the sync path.
+                _ => ac.with(|c| c.read(FarAddr(*p), Self::PREFETCH))?,
+            };
+            let len = u64::from_le_bytes(first[0..8].try_into().expect("length word"));
+            let expiry = u64::from_le_bytes(first[8..16].try_into().expect("expiry word"));
+            if expiry != 0 && now_ns >= expiry {
+                out.push(GetOutcome::Expired);
+                continue;
+            }
+            let mut v = Vec::with_capacity(len as usize);
+            let have = (Self::PREFETCH - RECORD_HEADER).min(len);
+            v.extend_from_slice(&first[16..16 + have as usize]);
+            if len > have {
+                let tail =
+                    ac.read(FarAddr(*p).offset(RECORD_HEADER + have), len - have).await?;
+                v.extend_from_slice(&tail);
+            }
+            out.push(GetOutcome::Hit(v));
+        }
+        drop(guard);
+        Ok(out)
+    }
+
+    /// Unlinks the key and retires its record. Returns whether a record
+    /// existed.
+    pub fn remove(&mut self, client: &mut FabricClient, nskey: u64) -> Result<bool> {
+        let old = self.inner.get(client, nskey)?;
+        self.inner.remove(client, nskey)?;
+        if let Some(ptr) = old {
+            self.retire(client, ptr)?;
+        }
+        Ok(old.is_some())
+    }
+
+    /// Retires an unlinked record: reads its length word to recover the
+    /// allocation size, then hands it to the limbo list. Readers holding
+    /// epoch guards keep it readable until grace elapses.
+    fn retire(&mut self, client: &mut FabricClient, ptr: u64) -> Result<()> {
+        let len = client.read_u64(FarAddr(ptr))?;
+        let mut r = self.reclaim.lock().unwrap();
+        // lint: retire-ok: the record was unlinked from the tree by this (single-writer) worker; concurrent readers hold epoch guards until grace elapses.
+        r.retire(client, FarAddr(ptr), RECORD_HEADER + len)?;
+        Ok(())
+    }
+
+    /// Seals the current epoch and runs one reclaim pass, returning the
+    /// bytes handed back to the allocator.
+    pub fn reclaim_pass(&mut self, client: &mut FabricClient) -> Result<u64> {
+        let mut r = self.reclaim.lock().unwrap();
+        r.seal(client)?;
+        let freed = r.reclaim(client)?;
+        Ok(freed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmem_fabric::FabricConfig;
+    use farmem_reclaim::ReclaimRegistry;
+
+    fn setup() -> (Arc<farmem_fabric::Fabric>, Arc<FarAlloc>) {
+        let f = FabricConfig::count_only(256 << 20).build();
+        let a = FarAlloc::new(f.clone());
+        (f, a)
+    }
+
+    fn store(
+        _f: &Arc<farmem_fabric::Fabric>,
+        a: &Arc<FarAlloc>,
+        c: &mut FabricClient,
+    ) -> RecordStore {
+        let reg = ReclaimRegistry::create(c, a, 8).unwrap();
+        let shared = reg.attach(c, a).unwrap();
+        let cfg = HtTreeConfig { initial_buckets: 1024, ..HtTreeConfig::default() };
+        let tree = HtTree::create(c, a, cfg).unwrap();
+        RecordStore::attach(c, a, tree, cfg, shared).unwrap()
+    }
+
+    #[test]
+    fn charged_bytes_round_to_classes() {
+        assert_eq!(charged_bytes(0), 16);
+        assert_eq!(charged_bytes(1), 32);
+        assert_eq!(charged_bytes(48), 64);
+        assert_eq!(charged_bytes(2032), 2048);
+        assert_eq!(charged_bytes(2033), 4096); // past the slab boundary: pages
+    }
+
+    #[test]
+    fn values_round_trip_and_expire() {
+        let (f, a) = setup();
+        let mut c = f.client();
+        let mut s = store(&f, &a, &mut c);
+        s.put(&mut c, 1, b"forever", 0).unwrap();
+        s.put(&mut c, 2, b"short-lived", 1_000).unwrap();
+        assert_eq!(s.get(&mut c, 1, 999).unwrap(), GetOutcome::Hit(b"forever".to_vec()));
+        assert_eq!(
+            s.get(&mut c, 2, 999).unwrap(),
+            GetOutcome::Hit(b"short-lived".to_vec())
+        );
+        // At exactly the TTL instant the record is gone.
+        assert_eq!(s.get(&mut c, 2, 1_000).unwrap(), GetOutcome::Expired);
+        assert_eq!(s.get(&mut c, 1, u64::MAX - 1).unwrap(), GetOutcome::Hit(b"forever".to_vec()));
+        assert_eq!(s.get(&mut c, 3, 0).unwrap(), GetOutcome::Miss);
+    }
+
+    #[test]
+    fn large_values_cross_the_prefetch() {
+        let (f, a) = setup();
+        let mut c = f.client();
+        let mut s = store(&f, &a, &mut c);
+        let v: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+        s.put(&mut c, 9, &v, 0).unwrap();
+        assert_eq!(s.get(&mut c, 9, 1).unwrap(), GetOutcome::Hit(v));
+    }
+
+    #[test]
+    fn overwrites_and_removes_retire_records() {
+        let (f, a) = setup();
+        let mut c = f.client();
+        let mut s = store(&f, &a, &mut c);
+        s.put(&mut c, 5, &[1u8; 100], 0).unwrap();
+        let live0 = a.stats().live_bytes;
+        assert!(s.put(&mut c, 5, &[2u8; 100], 0).unwrap(), "replacement detected");
+        assert!(s.remove(&mut c, 5).unwrap());
+        assert!(!s.remove(&mut c, 5).unwrap(), "second remove is a no-op");
+        // A seal + reclaim pass returns both records to the allocator.
+        let freed = s.reclaim_pass(&mut c).unwrap();
+        assert!(freed >= 2 * (RECORD_HEADER + 100), "freed {freed}");
+        assert!(a.stats().live_bytes < live0);
+    }
+}

@@ -27,7 +27,11 @@
 //!   (DESIGN.md §9);
 //! * [`metrics`] — live observability: virtual-time sampling rings over
 //!   every client and memory node, SLO alarms with a flight recorder,
-//!   and Prometheus-style exposition (DESIGN.md §11).
+//!   and Prometheus-style exposition (DESIGN.md §11);
+//! * [`serve`] — a multi-tenant cache serving front end: worker/session
+//!   sharding over the runtime, tenant quotas at admission, slab-class
+//!   values, TTL + LRU eviction through reclamation, and hot-key
+//!   replica-read spreading (DESIGN.md §13).
 //!
 //! ## Quickstart
 //!
@@ -71,6 +75,7 @@ pub use farmem_monitor as monitor;
 pub use farmem_reclaim as reclaim;
 pub use farmem_rpc as rpc;
 pub use farmem_runtime as runtime;
+pub use farmem_serve as serve;
 
 /// The most commonly used items, in one import.
 pub mod prelude {
@@ -100,4 +105,7 @@ pub mod prelude {
     };
     pub use farmem_rpc::{RpcClient, RpcServer, ServerCpu};
     pub use farmem_runtime::{AsyncBatch, AsyncClient, Executor, Runtime};
+    pub use farmem_serve::{
+        CacheServer, Request, Response, ServeConfig, ServeWorker, TenantId, TenantSpec,
+    };
 }

@@ -1,0 +1,274 @@
+//! Properties of the serving front end (DESIGN.md §13).
+//!
+//! The serving layer's contracts are stated here as properties over
+//! arbitrary request streams: tenant namespaces never leak into each
+//! other no matter how raw keys collide, admission control is a pure
+//! function of the request sequence and the virtual clock (two runs of
+//! the same stream reject identically), a record past its TTL is never
+//! served, and the LRU watermark bounds a worker's footprint while its
+//! unbounded twin grows without limit (the E15 twin-run pattern).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use farmem::prelude::*;
+use farmem::serve::Reject;
+use farmem_fabric::Fabric;
+use proptest::prelude::*;
+
+fn deploy(fabric: Arc<Fabric>, cfg: ServeConfig) -> (Arc<Fabric>, Arc<FarAlloc>, Arc<CacheServer>) {
+    let alloc = FarAlloc::new(fabric.clone());
+    let mut c = fabric.client();
+    let server = Arc::new(CacheServer::create(&mut c, &alloc, cfg).unwrap());
+    (fabric, alloc, server)
+}
+
+// --- tenant isolation ----------------------------------------------------
+
+/// One request against a small raw-key space shared by every tenant, so
+/// cross-tenant collisions are the common case, not the corner case.
+#[derive(Debug, Clone)]
+enum TOp {
+    Put(usize, u64, u8),
+    Get(usize, u64),
+    Delete(usize, u64),
+}
+
+const TENANTS: usize = 3;
+
+fn tenant_op() -> impl Strategy<Value = TOp> {
+    prop_oneof![
+        ((0..TENANTS), (0u64..8), (1u8..32)).prop_map(|(t, k, l)| TOp::Put(t, k, l)),
+        ((0..TENANTS), (0u64..8)).prop_map(|(t, k)| TOp::Get(t, k)),
+        ((0..TENANTS), (0u64..8)).prop_map(|(t, k)| TOp::Delete(t, k)),
+    ]
+}
+
+// --- TTL -----------------------------------------------------------------
+
+/// A TTL-program step: store a key with a bounded TTL, advance the
+/// virtual clock, or probe a key.
+#[derive(Debug, Clone)]
+enum TtlOp {
+    Put(u64, u64),
+    Advance(u64),
+    Get(u64),
+}
+
+fn ttl_op() -> impl Strategy<Value = TtlOp> {
+    prop_oneof![
+        ((0u64..6), (1_000u64..50_000)).prop_map(|(k, ttl)| TtlOp::Put(k, ttl)),
+        (1_000u64..30_000).prop_map(TtlOp::Advance),
+        (0u64..6).prop_map(TtlOp::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Tenant isolation as a property: run an arbitrary interleaving of
+    /// puts/gets/deletes from three tenants over one colliding 8-key raw
+    /// keyspace against a per-(tenant, key) model. Every value carries
+    /// its tenant's marker byte, so any namespace leak — serving another
+    /// tenant's record, a delete crossing namespaces — shows up as a
+    /// model mismatch. The per-tenant ledger must close exactly at the
+    /// end.
+    #[test]
+    fn colliding_raw_keys_never_leak_across_tenants(ops in prop::collection::vec(tenant_op(), 1..48)) {
+        let (f, _a, server) =
+            deploy(FabricConfig::count_only(256 << 20).build(), ServeConfig::default());
+        let ids: Vec<TenantId> = ["a", "b", "c"]
+            .iter()
+            .map(|n| server.add_tenant(TenantSpec::unlimited(n)).unwrap())
+            .collect();
+        let mut c = f.client();
+        let mut w = server.worker(0, 1, &mut c).unwrap();
+        let mut model: HashMap<(usize, u64), Vec<u8>> = HashMap::new();
+        for op in &ops {
+            match *op {
+                TOp::Put(t, k, len) => {
+                    let v = vec![0xA0 + t as u8; len as usize];
+                    prop_assert_eq!(
+                        w.put(&mut c, ids[t], k, &v, None).unwrap(),
+                        Response::Stored
+                    );
+                    model.insert((t, k), v);
+                }
+                TOp::Get(t, k) => {
+                    let want = match model.get(&(t, k)) {
+                        Some(v) => Response::Value(v.clone()),
+                        None => Response::Miss,
+                    };
+                    prop_assert_eq!(w.get(&mut c, ids[t], k).unwrap(), want);
+                }
+                TOp::Delete(t, k) => {
+                    let want = Response::Deleted(model.remove(&(t, k)).is_some());
+                    prop_assert_eq!(w.delete(&mut c, ids[t], k).unwrap(), want);
+                }
+            }
+        }
+        for (t, id) in ids.iter().enumerate() {
+            let (_, st) = server.tenant_stats()[id.0 as usize];
+            let live = model.keys().filter(|(mt, _)| *mt == t).count() as u64;
+            prop_assert_eq!(st.live_records, live, "tenant {} record count", t);
+            prop_assert_eq!(
+                st.stored - st.overwritten - st.deleted - st.expired - st.evicted,
+                st.live_records,
+                "tenant {} ledger must close", t
+            );
+        }
+    }
+
+    /// Admission control is deterministic: the same request stream
+    /// against the same quotas on a fresh deployment produces the same
+    /// response sequence, byte for byte — rejections included. On a
+    /// count-only fabric the clock never moves, so the op-quota window
+    /// never resets and the property is exact. Live bytes never exceed
+    /// the quota at any point.
+    #[test]
+    fn quota_rejection_is_a_pure_function_of_the_stream(
+        ops in prop::collection::vec(((0u64..12), (1u8..64)), 1..32),
+        op_quota in 1u64..16,
+        byte_quota in prop_oneof![Just(256u64), Just(512), Just(1024)],
+    ) {
+        let run = || {
+            let (f, _a, server) =
+                deploy(FabricConfig::count_only(256 << 20).build(), ServeConfig::default());
+            let t = server
+                .add_tenant(TenantSpec { op_quota, byte_quota, ..TenantSpec::unlimited("q") })
+                .unwrap();
+            let mut c = f.client();
+            let mut w = server.worker(0, 1, &mut c).unwrap();
+            let mut out = Vec::new();
+            for &(k, len) in &ops {
+                let r = w.put(&mut c, t, k, &vec![7u8; len as usize], None).unwrap();
+                let (_, st) = server.tenant_stats()[t.0 as usize];
+                assert!(st.live_bytes <= byte_quota, "quota overshot: {}", st.live_bytes);
+                out.push(r);
+            }
+            out
+        };
+        let (first, second) = (run(), run());
+        prop_assert_eq!(&first, &second, "identical streams must reject identically");
+        for r in &first {
+            prop_assert!(
+                matches!(
+                    r,
+                    Response::Stored
+                        | Response::Rejected(Reject::ByteQuota)
+                        | Response::Rejected(Reject::OpQuota)
+                ),
+                "unexpected response {:?}", r
+            );
+        }
+    }
+
+    /// A record past its TTL is never served, under arbitrary
+    /// interleavings of stores, virtual-clock advances, and probes. The
+    /// model tracks a conservative deadline (clock *after* the put plus
+    /// the TTL): once the clock passes it the record is expired for
+    /// certain and every probe must miss. The serving direction is
+    /// one-sided by design — a get's own far accesses advance the clock,
+    /// so a value observed close to its deadline may legally expire
+    /// mid-probe, but a hit after the deadline is a contract violation.
+    #[test]
+    fn expired_records_are_never_served(ops in prop::collection::vec(ttl_op(), 1..40)) {
+        let (f, _a, server) =
+            deploy(FabricConfig::single_node(64 << 20).build(), ServeConfig::default());
+        let t = server.add_tenant(TenantSpec::unlimited("ttl")).unwrap();
+        let mut c = f.client();
+        let mut w = server.worker(0, 1, &mut c).unwrap();
+        // Upper bound on each key's expiry deadline (absent = not stored).
+        let mut deadline: HashMap<u64, u64> = HashMap::new();
+        for op in &ops {
+            match *op {
+                TtlOp::Put(k, ttl) => {
+                    prop_assert_eq!(
+                        w.put(&mut c, t, k, &[k as u8; 16], Some(ttl)).unwrap(),
+                        Response::Stored
+                    );
+                    deadline.insert(k, c.now_ns() + ttl);
+                }
+                TtlOp::Advance(ns) => c.advance_time(ns),
+                TtlOp::Get(k) => {
+                    let now = c.now_ns();
+                    let r = w.get(&mut c, t, k).unwrap();
+                    match deadline.get(&k) {
+                        Some(&d) if now >= d => {
+                            prop_assert_eq!(r, Response::Miss, "served {} past its TTL", k);
+                            deadline.remove(&k);
+                        }
+                        Some(_) => prop_assert!(
+                            matches!(r, Response::Value(_) | Response::Miss),
+                            "stored key {} answered {:?}", k, r
+                        ),
+                        None => prop_assert_eq!(r, Response::Miss),
+                    }
+                }
+            }
+        }
+        let (_, st) = server.tenant_stats()[t.0 as usize];
+        prop_assert_eq!(
+            st.stored - st.overwritten - st.deleted - st.expired - st.evicted,
+            st.live_records
+        );
+    }
+}
+
+// --- bounded footprint (twin run) ----------------------------------------
+
+/// The E15 twin-run pattern, applied to the LRU watermark: one worker
+/// runs an all-distinct-key churn stream under an 8 KiB budget, its twin
+/// runs the identical stream unbounded. The budgeted worker's charged
+/// footprint must never exceed the budget (a plateau), the twin must
+/// grow past double that plateau (proving the stream really applies
+/// pressure), and every evicted record's bytes must reach the allocator.
+#[test]
+fn lru_watermark_bounds_footprint_where_the_twin_grows() {
+    const BUDGET: u64 = 8 << 10;
+    const CHURN: u64 = 600;
+    let run = |budget: u64| {
+        let cfg = ServeConfig { worker_byte_budget: budget, ..ServeConfig::default() };
+        let (f, a, server) = deploy(FabricConfig::count_only(256 << 20).build(), cfg);
+        let t = server.add_tenant(TenantSpec::unlimited("churn")).unwrap();
+        let mut c = f.client();
+        let mut w = server.worker(0, 1, &mut c).unwrap();
+        let mut peak = 0u64;
+        for i in 0..CHURN {
+            w.put(&mut c, t, i, &[i as u8; 240], None).unwrap();
+            if i % 64 == 63 {
+                w.reclaim_pass(&mut c).unwrap();
+                peak = peak.max(w.footprint());
+                if budget != u64::MAX {
+                    assert!(
+                        w.footprint() <= budget,
+                        "budgeted footprint {} exceeded {}",
+                        w.footprint(),
+                        budget
+                    );
+                }
+            }
+        }
+        w.reclaim_pass(&mut c).unwrap();
+        let st = w.stats();
+        (peak, st, a.stats().freed_bytes)
+    };
+
+    let (bounded_peak, bounded_stats, freed) = run(BUDGET);
+    let (unbounded_peak, unbounded_stats, _) = run(u64::MAX);
+
+    assert!(bounded_stats.evicted > 0, "the churn stream never forced an eviction");
+    assert_eq!(unbounded_stats.evicted, 0, "the unbounded twin must never evict");
+    assert!(
+        unbounded_peak >= 2 * bounded_peak,
+        "twin peak {unbounded_peak} vs bounded plateau {bounded_peak}: no real pressure"
+    );
+    // Every evicted 240-byte record is charged at the 256-byte class and
+    // its bytes must come back through reclamation.
+    assert!(
+        freed >= bounded_stats.evicted * 256,
+        "freed {} B for {} evictions",
+        freed,
+        bounded_stats.evicted
+    );
+}

@@ -32,7 +32,7 @@ use farmem_bench::Json;
 /// stable cell-for-cell under a fixed seed. Exploratory drivers with
 /// huge tables (regime sweeps, ablations) stay out to keep the baseline
 /// reviewable.
-const DRIVERS: [&str; 9] = [
+const DRIVERS: [&str; 10] = [
     "e1_primitives",
     "e4_httree",
     "e5_queue",
@@ -42,6 +42,7 @@ const DRIVERS: [&str; 9] = [
     "e17_replica",
     "e18_metrics",
     "e19_async",
+    "e20_serve",
 ];
 
 const DEFAULT_TOLERANCE: f64 = 0.10;
