@@ -1,0 +1,31 @@
+// fixture-path: crates/core/src/seeded_c01.rs
+// fixture-expect: clean
+// Regression pin for the two LineFilter blind spots the lexer killed:
+// violation-shaped text inside a multi-line block comment and inside a
+// raw string. The old grep-based linter flagged both; the masked
+// token stream must flag neither.
+
+/* A worked example of what NOT to do (the old linter flagged this
+   block line by line):
+
+   let addr = FarAddr(base + i * 8);
+   stats.round_trips += 1;
+   for key in keys {
+       out.push(map.get(client, key)?);
+   }
+*/
+
+/// Documentation generator: the embedded source is data, not code.
+pub fn bad_example_doc() -> &'static str {
+    r#"
+    let addr = FarAddr(base + i * 8);
+    stats.round_trips = 0;
+    async fn f(ac: &AsyncClient) { let v = ac.with(|client| client.read_u64(a)); }
+    "#
+}
+
+/// The string form of the attribute must not satisfy forbid-unsafe
+/// elsewhere, and must not trip anything here.
+pub fn attr_text() -> &'static str {
+    "#![forbid(unsafe_code)]"
+}

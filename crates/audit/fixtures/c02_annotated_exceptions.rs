@@ -1,0 +1,31 @@
+// fixture-path: crates/core/src/seeded_c02.rs
+// fixture-expect: clean
+// The annotation grammar: genuine violations of three passes, each
+// carrying its justification marker within the 4-line window. Every
+// marker names the pass it suppresses; none may leak onto another
+// finding.
+
+/// A pointer chase: serial by nature, annotated as such.
+pub fn walk(client: &mut FabricClient, mut cur: u64) -> Result<u64> {
+    let mut last = 0;
+    while cur != 0 {
+        // audit: rt-in-loop-ok: pointer chase — each hop's address
+        // comes from the word just read.
+        last = client.read_u64(FarAddr(cur))?;
+        cur = last;
+    }
+    Ok(last)
+}
+
+/// A stored pointer rebuilt with arithmetic the layout contract allows.
+/// (The far-addr marker is same-line, matching the historical lint.)
+pub fn slot_probe(client: &mut FabricClient, base: u64) -> Result<u64> {
+    let v = client.read_u64(FarAddr(base + 8))?; // lint: far-addr-ok
+    Ok(v)
+}
+
+/// A different struct's same-named counter field.
+pub fn bump_local(stats: &mut LocalStats) {
+    // lint: stats-ok: LocalStats is not AccessStats.
+    stats.retries += 1;
+}

@@ -1,0 +1,36 @@
+// fixture-path: crates/core/src/seeded_c03.rs
+// fixture-expect: clean
+// The batched twin of m01: the same per-key work through one pipeline
+// doorbell. A batch adopter in scope credits the loop, so rt-in-loop
+// must stay silent — this is the shape the pass pushes code toward.
+
+/// Looks up every key with one doorbell for all head loads.
+pub fn get_all_batched(
+    map: &mut FarHashTree,
+    client: &mut FabricClient,
+    keys: &[u64],
+) -> Result<Vec<Option<u64>>> {
+    let mut q = client.pipeline();
+    for &key in keys {
+        q.read(map.bucket_addr(key), ITEM_LEN);
+    }
+    let mut cq = q.commit();
+    let mut out = Vec::with_capacity(keys.len());
+    for (i, &key) in keys.iter().enumerate() {
+        out.push(map.decode_head(cq.take(i), key)?);
+    }
+    Ok(out)
+}
+
+/// Guard used strictly inside its scope: no escape.
+pub fn pinned_read(
+    shared: &SharedReclaim,
+    client: &mut FabricClient,
+    head: FarAddr,
+) -> Result<u64> {
+    let guard = pin(shared, client)?;
+    let next = client.read_u64(head)?;
+    let value = client.read_u64(FarAddr(next))?;
+    drop(guard);
+    Ok(value)
+}

@@ -1,0 +1,17 @@
+// fixture-path: crates/core/src/seeded_m01.rs
+// fixture-expect: rt-in-loop
+// Seeded violation: a per-key serial struct-verb loop — the classic
+// O(n)-round-trip regression get_many exists to prevent.
+
+/// Looks up every key with one dependent far access each.
+pub fn get_all(
+    map: &mut FarHashTree,
+    client: &mut FabricClient,
+    keys: &[u64],
+) -> Result<Vec<Option<u64>>> {
+    let mut out = Vec::with_capacity(keys.len());
+    for &key in keys {
+        out.push(map.get(client, key)?);
+    }
+    Ok(out)
+}

@@ -1,0 +1,14 @@
+// fixture-path: crates/core/src/seeded_m02.rs
+// fixture-expect: rt-in-loop
+// Seeded violation: a raw read_u64 per element over an address range
+// whose addresses are all known up front — exactly what
+// read_ranges / pipeline().read exist for.
+
+/// Sums `count` words starting at `base`, one round trip per word.
+pub fn sum_words(client: &mut FabricClient, base: FarAddr, count: u64) -> Result<u64> {
+    let mut total = 0u64;
+    for i in 0..count {
+        total = total.wrapping_add(client.read_u64(base.offset(i * WORD))?);
+    }
+    Ok(total)
+}

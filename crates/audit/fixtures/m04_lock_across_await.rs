@@ -1,0 +1,19 @@
+// fixture-path: crates/serve/src/seeded_m04.rs
+// fixture-expect: lock-across-rt
+// Seeded violation: a lease lock held across an await point. The task
+// can stay parked long past the lease; a contender fences the holder
+// and the post-await writes land unprotected.
+
+/// Updates a record while holding the far mutex across a suspension.
+pub async fn update_record(
+    lock: &FarMutex,
+    ac: &AsyncClient,
+    addr: FarAddr,
+    value: u64,
+) -> Result<()> {
+    ac.with(|client| lock.lock(client, 1_000_000))?;
+    let old = ac.read_u64(addr).await?;
+    ac.write_u64(addr, old.wrapping_add(value)).await?;
+    ac.with(|client| lock.unlock(client))?;
+    Ok(())
+}

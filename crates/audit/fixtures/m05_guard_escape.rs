@@ -1,0 +1,19 @@
+// fixture-path: crates/core/src/seeded_m05.rs
+// fixture-expect: guard-escape
+// Seeded violation: a chain pointer read under an epoch guard is
+// dereferenced after the guard is dropped. Once the pin ends, the
+// reclaimer's grace period can elapse and free the target — this is
+// use-after-free on a one-sided fabric.
+
+/// Reads a node's payload after unpinning the epoch that protected it.
+pub fn peek_next(
+    shared: &SharedReclaim,
+    client: &mut FabricClient,
+    head: FarAddr,
+) -> Result<u64> {
+    let guard = pin(shared, client)?;
+    let next = client.read_u64(head)?;
+    drop(guard);
+    let value = client.read_u64(FarAddr(next))?;
+    Ok(value)
+}

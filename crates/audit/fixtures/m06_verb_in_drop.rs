@@ -1,0 +1,18 @@
+// fixture-path: crates/core/src/seeded_m06.rs
+// fixture-expect: verb-in-drop
+// Seeded violation: a Drop impl that issues fabric verbs. Destructors
+// cannot surface FabricError, and they run at unpredictable times —
+// mid-panic, mid-failover — where a verb's retry/backoff machinery
+// deadlocks or silently drops the write.
+
+pub struct SessionSlot {
+    client: FabricClient,
+    slot: FarAddr,
+}
+
+impl Drop for SessionSlot {
+    fn drop(&mut self) {
+        let client = &mut self.client;
+        let _ = client.write_u64(self.slot, 0);
+    }
+}

@@ -1,0 +1,10 @@
+// fixture-path: crates/core/src/seeded_m08.rs
+// fixture-expect: far-addr
+// Seeded violation (legacy lint): hand-built FarAddr arithmetic.
+// Address math belongs to FarAddr::offset so layouts stay auditable.
+
+/// Reads slot `i` with hand-rolled pointer arithmetic.
+pub fn read_slot(client: &mut FabricClient, base: u64, i: u64) -> Result<u64> {
+    let value = client.read_u64(FarAddr(base + i * 8))?;
+    Ok(value)
+}

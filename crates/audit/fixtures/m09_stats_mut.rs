@@ -1,0 +1,12 @@
+// fixture-path: crates/core/src/seeded_m09.rs
+// fixture-expect: stats-mut
+// Seeded violation (legacy lint): direct mutation of an AccessStats
+// counter outside crates/fabric. The counters are the ground truth
+// every tracer and reconciliation proof audits against; only the
+// fabric's verb implementations may move them.
+
+/// "Fixes up" the round-trip counter by hand.
+pub fn absorb_retry(stats: &mut AccessStats) {
+    stats.round_trips += 1;
+    stats.retries += 1;
+}

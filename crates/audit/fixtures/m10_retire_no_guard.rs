@@ -1,0 +1,17 @@
+// fixture-path: crates/core/src/seeded_m10.rs
+// fixture-expect: retire-guard
+// Seeded violation (legacy lint): retiring far memory with no epoch
+// discipline in sight — no pin()/Guard within 80 lines and no
+// justification marker. This is how use-after-free reaches a
+// one-sided fabric.
+
+/// Frees a detached node immediately, without pinning an epoch.
+pub fn free_node(
+    handle: &mut ReclaimHandle,
+    client: &mut FabricClient,
+    addr: FarAddr,
+    len: u64,
+) -> Result<()> {
+    handle.retire(client, addr, len)?;
+    Ok(())
+}

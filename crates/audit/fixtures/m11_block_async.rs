@@ -1,0 +1,11 @@
+// fixture-path: crates/core/src/seeded_m11.rs
+// fixture-expect: block-async
+// Seeded violation (legacy lint): unannotated blocking fabric access
+// inside an async fn in crates/core. The blocking verb stalls every
+// other logical client multiplexed on the executor thread.
+
+/// Reads a word "asynchronously" while secretly blocking the thread.
+pub async fn read_word(ac: &AsyncClient, addr: FarAddr) -> Result<u64> {
+    let value = ac.with(|client| client.read_u64(addr))?;
+    Ok(value)
+}

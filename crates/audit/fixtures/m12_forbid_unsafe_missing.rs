@@ -1,0 +1,17 @@
+// fixture-path: crates/seeded/src/lib.rs
+// fixture-expect: forbid-unsafe
+// Seeded violation (legacy lint): a crate root whose
+// #![forbid(unsafe_code)] exists only inside comments. The old
+// grep-based lint was satisfied by the commented copy below; the
+// masked-text check is not.
+
+//! A crate that forgot to forbid unsafe code.
+//!
+//! The attribute is discussed — `#![forbid(unsafe_code)]` — but never
+//! actually declared.
+
+/* If it were real, it would look like:
+#![forbid(unsafe_code)]
+*/
+
+pub fn noop() {}

@@ -1,0 +1,88 @@
+//! Whole-tree integration tests for the analyzer: the lexer must
+//! round-trip every real source file, the analyzer must be a
+//! deterministic pure function of the tree, the real tree must audit
+//! clean, and the fixture corpus must score 100%.
+
+#![forbid(unsafe_code)]
+
+use farmem_audit::{
+    audit_tree, lex, run_fixture_corpus, source_files, workspace_root, AuditConfig, PASSES,
+};
+
+/// Every token's span concatenates back to the original source, and
+/// the masked text preserves byte length and newline positions — the
+/// two properties every pass leans on for line numbers.
+#[test]
+fn lexer_round_trips_every_workspace_file() {
+    let root = workspace_root();
+    let files = source_files(&root);
+    assert!(files.len() > 50, "walker found only {} files", files.len());
+    for path in files {
+        let src = std::fs::read_to_string(&path).expect("read source");
+        let lx = lex::lex(&src);
+        let rebuilt: String = lx.tokens.iter().map(|t| lx.text(t)).collect();
+        assert_eq!(rebuilt, src, "token spans must tile {}", path.display());
+        let masked = lx.masked();
+        assert_eq!(masked.len(), src.len(), "masked length drifted in {}", path.display());
+        let nl = |s: &str| {
+            s.bytes().enumerate().filter(|&(_, b)| b == b'\n').map(|(i, _)| i).collect::<Vec<_>>()
+        };
+        assert_eq!(nl(&masked), nl(&src), "masked newlines moved in {}", path.display());
+    }
+}
+
+/// Two independent runs over the same tree render byte-identical
+/// findings JSON — no iteration-order or hashing nondeterminism.
+#[test]
+fn audit_is_deterministic() {
+    let root = workspace_root();
+    let cfg = AuditConfig::default();
+    let a = audit_tree(&root, &cfg).expect("audit tree");
+    let b = audit_tree(&root, &cfg).expect("audit tree");
+    assert_eq!(a.to_json(), b.to_json(), "two audits of the same tree diverged");
+}
+
+/// The committed tree carries no unjustified violations: every finding
+/// class is either fixed or annotated with a reasoned exception.
+#[test]
+fn real_tree_audits_clean() {
+    let root = workspace_root();
+    let report = audit_tree(&root, &AuditConfig::default()).expect("audit tree");
+    assert!(
+        report.clean(),
+        "workspace must audit clean, found:\n{}",
+        report.render_text()
+    );
+}
+
+/// Mutation score: every seeded-violation fixture is caught by every
+/// pass it seeds, every clean fixture stays clean, and each of the
+/// nine passes is exercised by at least one mutant.
+#[test]
+fn fixture_corpus_scores_100_percent() {
+    let root = workspace_root();
+    let results = run_fixture_corpus(&root.join("crates/audit/fixtures"), &AuditConfig::default())
+        .expect("read fixture corpus");
+    let mutants: Vec<_> = results.iter().filter(|r| !r.spec.expect.is_empty()).collect();
+    assert!(mutants.len() >= 8, "corpus too small: {} mutants", mutants.len());
+    assert!(
+        results.len() > mutants.len(),
+        "corpus needs at least one clean fixture as a false-positive control"
+    );
+    for r in &results {
+        assert!(
+            r.caught,
+            "fixture {} (as {}) missed: expected [{}], fired [{}]",
+            r.name,
+            r.spec.pretend_path,
+            r.spec.expect.join(", "),
+            r.fired.join(", ")
+        );
+    }
+    for pass in PASSES {
+        assert!(
+            mutants.iter().any(|r| r.spec.expect.iter().any(|e| e == pass)),
+            "no mutant exercises pass {pass}"
+        );
+    }
+}

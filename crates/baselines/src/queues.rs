@@ -82,6 +82,8 @@ impl LockQueue {
     /// Dequeues under the far mutex (same cost shape as enqueue).
     pub fn dequeue(&self, client: &mut FabricClient) -> Result<u64> {
         let lock = self.lock();
+        // audit: lock-across-rt-ok: deliberate strawman — the locked baseline
+        // holds its lease across every verb by design; e5 measures the cost.
         lock.lock(client, 1_000_000).map_err(|_| BaselineError::Contended)?;
         let out = (|| -> Result<u64> {
             let head = client.read_u64(self.hdr.offset(Q_HEAD))?;

@@ -188,6 +188,8 @@ impl FarEpochBarrier {
         loop {
             // Events are pushed; check the generation only when notified
             // (plus once upfront in case the bump already happened).
+            // audit: rt-in-loop-ok: one re-check per notification wakeup,
+            // not per element; the deadline bounds the loop.
             if client.read_u64(self.addr.offset(WORD))? >= target {
                 return Ok(());
             }

@@ -579,6 +579,8 @@ impl HtTreeHandle {
             }
             // Collision: follow the chain, one far access per hop.
             self.stats.chain_hops += 1;
+            // audit: rt-in-loop-ok: pointer chase — each hop's address comes
+            // from the item just read; inherently serial (§4 chain cost).
             item = Item::decode(&client.read(FarAddr(item.next), ITEM_LEN)?);
         }
     }
@@ -880,6 +882,8 @@ impl HtTreeHandle {
                     Some(Ok(res)) => words(&res.into_bytes()),
                     // Failed or aborted descriptor: fall back to the
                     // serial read (hard errors propagate from it).
+                    // audit: rt-in-loop-ok: rare per-leaf fallback — the hot
+                    // path batched every bucket read through one doorbell.
                     _ => words(&client.read(entry.buckets, entry.n_buckets * WORD)?),
                 };
                 let mut seen = std::collections::HashSet::new();
@@ -888,6 +892,8 @@ impl HtTreeHandle {
                 while !frontier.is_empty() {
                     let iov: Vec<FarIov> =
                         frontier.iter().map(|&p| FarIov::new(FarAddr(p), ITEM_LEN)).collect();
+                    // audit: rt-in-loop-ok: level-order chain walk — one
+                    // rgather per chain *depth*, every chain gathered at once.
                     let bytes = client.rgather(&iov)?;
                     let items: Vec<Item> =
                         bytes.chunks_exact(ITEM_LEN as usize).map(Item::decode).collect();
@@ -979,6 +985,8 @@ impl HtTreeHandle {
             drained.extend(frontier.iter().copied());
             let iov: Vec<FarIov> =
                 frontier.iter().map(|&p| FarIov::new(FarAddr(p), ITEM_LEN)).collect();
+            // audit: rt-in-loop-ok: level-order chain drain — one rgather
+            // per chain depth, every bucket's chain gathered together.
             let bytes = client.rgather(&iov)?;
             let items: Vec<Item> =
                 bytes.chunks_exact(ITEM_LEN as usize).map(Item::decode).collect();
@@ -1017,6 +1025,8 @@ impl HtTreeHandle {
                 let mut cur = head;
                 while cur != 0 {
                     drained.insert(cur);
+                    // audit: rt-in-loop-ok: pointer chase over a racing
+                    // insert's chain (rare; only after a lost poison CAS).
                     let item = Item::decode(&client.read(FarAddr(cur), ITEM_LEN)?);
                     chain.push(item);
                     cur = item.next;
@@ -1031,6 +1041,8 @@ impl HtTreeHandle {
                     }
                 }
                 let bucket_addr = entry.buckets.offset(i as u64 * WORD);
+                // audit: rt-in-loop-ok: bounded re-poison CAS — loses only
+                // to a racing insert, whose chain the loop then absorbs.
                 let prev = client.cas(bucket_addr, head, self.poison.0)?;
                 if prev == head {
                     break;

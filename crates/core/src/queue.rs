@@ -728,6 +728,8 @@ impl QueueHandle {
         let mut sub = None;
         let mut result = Err(CoreError::QueueFull);
         for _ in 0..max_retries.max(1) {
+            // audit: rt-in-loop-ok: retry-until-notified — one attempt per
+            // wait cycle, bounded by max_retries; notify0 subscribes once.
             match self.enqueue(client, value) {
                 Err(CoreError::QueueFull) => {
                     if sub.is_none() {
@@ -755,6 +757,8 @@ impl QueueHandle {
         let mut sub = None;
         let mut result = Err(CoreError::QueueEmpty);
         for _ in 0..max_retries.max(1) {
+            // audit: rt-in-loop-ok: retry-until-notified — one attempt per
+            // wait cycle, bounded by max_retries; notify0 subscribes once.
             match self.dequeue(client) {
                 Err(CoreError::QueueEmpty) => {
                     if sub.is_none() {
@@ -839,6 +843,9 @@ impl QueueHandle {
         // We will receive our own epoch notifications; ignore them.
         // Wait for stragglers: pointers must be stable across two reads.
         loop {
+            // audit: rt-in-loop-ok: straggler quiesce — re-reads until the
+            // pointers stabilize; the odd epoch keeps new ops out, so the
+            // loop ends as soon as in-flight fast-path ops drain.
             let h = client.read_u64(self.q.hdr.offset(OFF_HEAD))?;
             let t = client.read_u64(self.q.hdr.offset(OFF_TAIL))?;
             if (h, t) == prev {

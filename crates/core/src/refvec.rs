@@ -361,6 +361,8 @@ impl VecReader {
         while cur < end {
             let page_end = (cur / PAGE + 1) * PAGE;
             let chunk = page_end.min(end) - cur;
+            // audit: rt-in-loop-ok: one subscription verb per far page —
+            // the notify API's page granularity, not per-element traffic.
             let sub = match mode {
                 RefreshMode::Notify => client.notify0(FarAddr(cur), chunk)?,
                 RefreshMode::NotifyData => client.notify0d(FarAddr(cur), chunk)?,

@@ -181,6 +181,8 @@ impl FarRwLock {
                 // fires change notifications, which would reset every
                 // waiter's lease accounting on each probe. Only attempt
                 // the increment once no writer bit shows.
+                // audit: rt-in-loop-ok: lease acquire — one probe per
+                // notification wakeup/backoff slice, bounded by max_attempts.
                 let seen = client.read_u64(self.addr)?;
                 if seen & WRITER == 0 {
                     if self.try_read_lock(client)? {
@@ -264,6 +266,8 @@ impl FarRwLock {
                 if self.try_write_lock(client)? {
                     return Ok(());
                 }
+                // audit: rt-in-loop-ok: lease acquire — one attempt per
+                // notification wakeup/backoff slice, bounded by max_attempts.
                 let seen = client.read_u64(self.addr)?;
                 if seen != watched {
                     watched = seen;
@@ -312,6 +316,8 @@ impl FarRwLock {
         // perturbation is rolled back by its reader within two of its far
         // accesses, so the word settles quickly.
         for _ in 0..1024 {
+            // audit: rt-in-loop-ok: bounded release retry — readers roll
+            // back their perturbation within two accesses, so this settles.
             let word = client.read_u64(self.addr)?;
             if word & WRITER == 0 {
                 return Err(CoreError::Corrupted("write_unlock without the write lock"));

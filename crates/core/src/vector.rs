@@ -266,6 +266,8 @@ impl FarVec {
     /// One far access.
     pub fn swap_base(&self, client: &mut FabricClient, new_base: FarAddr) -> Result<FarAddr> {
         loop {
+            // audit: rt-in-loop-ok: read-then-CAS retry — repeats only while
+            // racing swappers move the base; one access on the quiet path.
             let cur = client.read_u64(self.hdr)?;
             if client.cas(self.hdr, cur, new_base.0)? == cur {
                 return Ok(FarAddr(cur));
@@ -293,6 +295,8 @@ impl FarVec {
         while cur < end {
             let page_end = (cur / PAGE + 1) * PAGE;
             let chunk_end = page_end.min(end);
+            // audit: rt-in-loop-ok: one subscription verb per far page —
+            // the notify API's page granularity, not per-element traffic.
             subs.push(client.notify0(FarAddr(cur), chunk_end - cur)?);
             cur = chunk_end;
         }
@@ -355,6 +359,8 @@ impl CachedFarVec {
                 while cur < end {
                     let page_end = (cur / PAGE + 1) * PAGE;
                     let chunk_end = page_end.min(end);
+                    // audit: rt-in-loop-ok: one subscription verb per far
+                    // page — notify API granularity, not per-element traffic.
                     subs.push(client.notify0d(FarAddr(cur), chunk_end - cur)?);
                     cur = chunk_end;
                 }

@@ -153,6 +153,8 @@ impl HistogramMonitor {
             while cur < end {
                 let page_end = (cur / PAGE + 1) * PAGE;
                 let chunk = page_end.min(end) - cur;
+                // audit: rt-in-loop-ok: one-time consumer setup — one
+                // subscription verb per far page of alarm buckets.
                 alarm_subs.push(client.notify0(FarAddr(cur), chunk)?);
                 cur += chunk;
             }
@@ -325,6 +327,8 @@ impl ConsumerHandle {
                     let _ = addr;
                     // Window switched: re-read the sequence word lazily at
                     // evaluation time below (counted there).
+                    // audit: rt-in-loop-ok: one read per switch event
+                    // drained, not per element; switches are rare.
                     self.current_seq = client.read_u64(self.m.anchor.offset(M_SEQ))?;
                 }
                 Event::Changed { addr, .. } => {

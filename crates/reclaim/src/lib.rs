@@ -259,6 +259,8 @@ fn claim_slot(
 ) -> Result<(u64, u64, u64)> {
     let tag = ((client.id() as u64 + 1) & 0xffff) << TAG_SHIFT;
     for _ in 0..registry.n_slots + 4 {
+        // audit: rt-in-loop-ok: registration scan — one whole-registry read
+        // per attempt; rescans only after losing every CAS to racers.
         let bytes = client.read(registry.base, registry.far_len())?;
         let w = words(&bytes);
         if w[1] != registry.n_slots {
@@ -270,6 +272,8 @@ fn claim_slot(
             if w[(2 + i) as usize] == 0 {
                 saw_free = true;
                 let word = tag | epoch;
+                // audit: rt-in-loop-ok: one CAS per free slot until one
+                // lands; a loss means a racing registrant claimed it.
                 let prev = client.cas(registry.slot_addr(i), 0, word)?;
                 if prev == 0 {
                     return Ok((i, word, epoch));
@@ -629,6 +633,8 @@ impl ReclaimHandle {
                     // Presumed crashed: evict by CAS on the exact word we
                     // watched. Losing the race means the slot moved (the
                     // registrant lives or someone else evicted it).
+                    // audit: rt-in-loop-ok: one eviction CAS per registrant
+                    // presumed dead after a full lease of no movement (rare).
                     let prev = client.cas(self.registry.slot_addr(i), word, 0)?;
                     if prev == word {
                         self.stats.evictions += 1;

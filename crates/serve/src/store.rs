@@ -182,6 +182,8 @@ impl RecordStore {
                 Some(Ok(res)) => res.into_bytes(),
                 // lint: block-ok — serial fallback after a failed
                 // prefetch, identical to the sync path.
+                // audit: rt-in-loop-ok: rare per-key fallback — the hot path
+                // batched every prefetch through one doorbell above.
                 _ => ac.with(|c| c.read(FarAddr(*p), Self::PREFETCH))?,
             };
             let len = u64::from_le_bytes(first[0..8].try_into().expect("length word"));
